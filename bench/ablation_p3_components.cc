@@ -1,0 +1,93 @@
+// Ablation: which of P3's ingredients buys what?
+//
+// DESIGN.md calls out three mechanisms layered on the baseline protocol:
+// parameter slicing, the immediate parameter broadcast (removing
+// notify+pull and MXNet's per-layer pull gating), and priority scheduling.
+// This bench measures every intermediate combination on the two extreme
+// workloads (ResNet-50: many small layers; VGG-19: one dominant layer) at
+// their constrained-bandwidth operating points, plus the effect of
+// transport-level fragmentation alone and of dedicated (non-colocated)
+// parameter servers.
+#include <cstdio>
+
+#include "common/table.h"
+#include "model/zoo.h"
+#include "runner/experiment.h"
+
+namespace {
+
+using namespace p3;
+
+double run(const model::Workload& w, ps::ClusterConfig cfg) {
+  runner::MeasureOptions opts;
+  opts.warmup = 3;
+  opts.measured = 8;
+  return runner::measure_throughput(w, cfg, opts);
+}
+
+ps::ClusterConfig base_config(double bandwidth_gbps) {
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.bandwidth = gbps(bandwidth_gbps);
+  cfg.rx_bandwidth = gbps(100);
+  return cfg;
+}
+
+void ablate(const char* title, const model::Workload& w,
+            double bandwidth_gbps) {
+  std::printf("--- %s @ %.0f Gbps ---\n", title, bandwidth_gbps);
+  Table table({"configuration", "throughput", "vs baseline"});
+
+  const double baseline =
+      run(w, base_config(bandwidth_gbps));  // kBaseline default
+  auto add = [&](const char* name, double value) {
+    table.add_row({name, Table::num(value, 1),
+                   Table::num(100.0 * (value / baseline - 1.0), 1) + "%"});
+  };
+  add("baseline (MXNet KVStore)", baseline);
+
+  {
+    // Fragmentation only: baseline protocol, 4MB wire chunks.
+    auto cfg = base_config(bandwidth_gbps);
+    cfg.fragment_bytes = mib(4);
+    add("+ 4MB transport fragmentation", run(w, cfg));
+  }
+  {
+    // Slicing + immediate broadcast, FIFO (the paper's "Slicing").
+    auto cfg = base_config(bandwidth_gbps);
+    cfg.method = core::SyncMethod::kSlicingOnly;
+    add("+ slicing + broadcast (FIFO)", run(w, cfg));
+  }
+  {
+    auto cfg = base_config(bandwidth_gbps);
+    cfg.method = core::SyncMethod::kP3;
+    add("+ priority (= P3)", run(w, cfg));
+  }
+  {
+    // P3 with coarse slices: isolates how much the 50k granularity matters.
+    auto cfg = base_config(bandwidth_gbps);
+    cfg.method = core::SyncMethod::kP3;
+    cfg.slice_params = 1'000'000;
+    add("P3 with 1M-param slices", run(w, cfg));
+  }
+  {
+    // Deployment ablation: dedicated server machines double the cluster's
+    // NICs but force every byte across the network.
+    auto cfg = base_config(bandwidth_gbps);
+    cfg.method = core::SyncMethod::kP3;
+    cfg.dedicated_servers = true;
+    add("P3, dedicated PS machines", run(w, cfg));
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: P3 component contributions ==\n\n");
+  ablate("ResNet-50", model::workload_resnet50(), 4);
+  ablate("VGG-19", model::workload_vgg19(), 15);
+  ablate("Sockeye", model::workload_sockeye(), 4);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the figure-reproduction binaries.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "runner/experiment.h"
+
+namespace p3::bench {
+
+/// CSV output path under ./results (created on first use), keeping data
+/// files out of the binary directory.
+inline std::string out(const std::string& name) {
+  std::filesystem::create_directories("results");
+  return "results/" + name;
+}
+
+/// Print a set of series as one aligned table (x column + one column per
+/// series) and mirror it to a CSV file next to the binary.
+inline void report_series(const std::string& title, const std::string& x_label,
+                          const std::string& y_label,
+                          const std::vector<runner::Series>& series,
+                          const std::string& csv_path) {
+  std::printf("== %s ==\n", title.c_str());
+  std::vector<std::string> header{x_label};
+  for (const auto& s : series) header.push_back(s.name + " (" + y_label + ")");
+  Table table(header);
+  CsvWriter csv(out(csv_path), header);
+  if (!series.empty()) {
+    for (std::size_t i = 0; i < series.front().x.size(); ++i) {
+      const double x = series.front().x[i];
+      const bool integral = std::abs(x - std::round(x)) < 1e-9;
+      std::vector<std::string> row{Table::num(x, integral ? 0 : 2)};
+      for (const auto& s : series) row.push_back(Table::num(s.y[i], 2));
+      table.add_row(row);
+      csv.row(row);
+    }
+  }
+  table.print();
+  std::printf("(csv: %s)\n\n", out(csv_path).c_str());
+}
+
+/// Paper-style summary line: "P3 improves X by as much as N% over Baseline".
+inline void report_speedup(const std::string& model,
+                           const runner::Series& baseline,
+                           const runner::Series& improved) {
+  const double speedup = runner::max_speedup(baseline, improved);
+  std::printf("%s: %s improves throughput by up to %.0f%% over %s\n",
+              model.c_str(), improved.name.c_str(), speedup * 100.0,
+              baseline.name.c_str());
+}
+
+}  // namespace p3::bench

@@ -1,0 +1,71 @@
+// Extension: does P3 help the architecture that came after the paper?
+//
+// The Transformer (Vaswani et al. 2017) replaced Sockeye-style RNNs within
+// a year of the paper's publication. Communication-wise it combines both
+// pathologies the paper identifies: a dominant tied embedding at the very
+// front (24% of parameters, generated last, needed first — the Sockeye
+// case) and a long trunk of uniform medium tensors (the ResNet case). This
+// bench sweeps bandwidth over every synchronization method, on both the
+// parameter-server and the ring-allreduce substrate.
+#include <cstdio>
+
+#include "allreduce/ring.h"
+#include "bench_util.h"
+#include "common/options.h"
+#include "model/zoo.h"
+
+namespace {
+
+using namespace p3;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv, {{"warmup", "3"}, {"measured", "8"}});
+  runner::MeasureOptions m;
+  m.warmup = static_cast<int>(opts.integer("warmup"));
+  m.measured = static_cast<int>(opts.integer("measured"));
+
+  const auto workload = model::workload_transformer();
+  std::printf("== Extension: Transformer-base NMT (%.1fM params, heaviest "
+              "layer %.0f%% at position %d/%d) ==\n\n",
+              static_cast<double>(workload.model.total_params()) / 1e6,
+              100.0 * workload.model.heaviest_fraction(),
+              workload.model.heaviest_layer() + 1,
+              workload.model.num_layers());
+
+  const std::vector<double> bandwidths = {1, 2, 4, 6, 8, 10, 15};
+
+  // Parameter-server substrate.
+  ps::ClusterConfig ps_cfg;
+  ps_cfg.n_workers = 4;
+  ps_cfg.rx_bandwidth = gbps(100);
+  auto series = runner::bandwidth_sweep(
+      workload, ps_cfg,
+      {core::SyncMethod::kBaseline, core::SyncMethod::kSlicingOnly,
+       core::SyncMethod::kP3},
+      bandwidths, m);
+
+  // Ring-allreduce substrate.
+  for (auto schedule : {ar::ArSchedule::kFused, ar::ArSchedule::kPrioritySliced}) {
+    runner::Series s;
+    s.name = ar::ar_schedule_name(schedule);
+    for (double bw : bandwidths) {
+      ar::ArConfig cfg;
+      cfg.n_workers = 4;
+      cfg.schedule = schedule;
+      cfg.bandwidth = gbps(bw);
+      cfg.rx_bandwidth = gbps(100);
+      ar::ArCluster cluster(workload, cfg);
+      s.x.push_back(bw);
+      s.y.push_back(cluster.run(m.warmup, m.measured).throughput);
+    }
+    series.push_back(std::move(s));
+  }
+
+  bench::report_series("Transformer-base, 4 workers", "bandwidth (Gbps)",
+                       "sentences/s", series, "ext_transformer.csv");
+  bench::report_speedup("Transformer (PS)", series[0], series[2]);
+  bench::report_speedup("Transformer (AR)", series[3], series[4]);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 12: P3 throughput vs parameter slice size for ResNet-50, VGG-19
+// and Sockeye (4 workers, constrained bandwidth).
+//
+// Paper observation: throughput rises as slices shrink, peaks around
+// 50,000 parameters, then falls as per-packet overhead dominates.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/options.h"
+#include "model/zoo.h"
+
+namespace {
+
+using namespace p3;
+
+void run_model(const char* title, const model::Workload& workload,
+               double bandwidth_gbps, std::int64_t min_size, const char* csv,
+               const runner::MeasureOptions& opts) {
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.bandwidth = gbps(bandwidth_gbps);
+  cfg.rx_bandwidth = gbps(100);
+  // The paper sweeps 1e3..1e6; for the larger models the smallest sizes are
+  // capped so one sweep point stays within millions (not tens of millions)
+  // of simulated messages.
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t size : {1'000, 2'000, 5'000, 10'000, 20'000, 50'000,
+                            100'000, 200'000, 500'000, 1'000'000}) {
+    if (size >= min_size) sizes.push_back(size);
+  }
+  auto series = runner::slice_size_sweep(workload, cfg, sizes, opts);
+  series.name = "P3";
+  bench::report_series(title, "slice size (params)",
+                workload.model.sample_unit + "/s", {series}, csv);
+
+  // Locate the measured optimum.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < series.y.size(); ++i) {
+    if (series.y[i] > series.y[best]) best = i;
+  }
+  std::printf("%s: best slice size measured = %.0f params\n\n",
+              workload.model.name.c_str(), series.x[best]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv, {{"warmup", "3"}, {"measured", "8"}});
+  runner::MeasureOptions m;
+  m.warmup = static_cast<int>(opts.integer("warmup"));
+  m.measured = static_cast<int>(opts.integer("measured"));
+
+  std::printf("== Figure 12: slice size vs throughput (P3, 4 workers) ==\n\n");
+  run_model("Fig 12(a) ResNet-50", model::workload_resnet50(), 4, 1'000,
+            "fig12_resnet50.csv", m);
+  run_model("Fig 12(b) VGG-19", model::workload_vgg19(), 15, 5'000,
+            "fig12_vgg19.csv", m);
+  run_model("Fig 12(c) Sockeye", model::workload_sockeye(), 4, 2'000,
+            "fig12_sockeye.csv", m);
+
+  std::printf("paper: throughput peaks at ~50,000 parameters per slice\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figures 13 and 14 (Appendix B.1): the baseline's utilization pathology is
+// not MXNet-specific. Reproduces the network-utilization traces of a
+// TensorFlow-style scheduler (gradients pushed during backward, but all
+// parameter pulls deferred to the start of the next graph execution) on
+// ResNet-50 @ 4 Gbps, and a Poseidon-style wait-free-backpropagation
+// scheduler on InceptionV3 @ 1 Gbps.
+//
+// Paper observation: both frameworks also utilize the network poorly —
+// bursty traffic and unoverlapped inbound/outbound phases.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "model/zoo.h"
+#include "runner/experiment.h"
+
+namespace {
+
+using namespace p3;
+
+void sparkline(const char* label, const std::vector<double>& series,
+               double peak, std::size_t from, std::size_t count) {
+  std::printf("  %-9s|", label);
+  for (std::size_t i = from; i < std::min(series.size(), from + count); ++i) {
+    const int level = static_cast<int>(9.0 * series[i] / std::max(peak, 1e-9));
+    std::printf("%c",
+                level <= 0 ? '.' : static_cast<char>('0' + std::min(level, 9)));
+  }
+  std::printf("|\n");
+}
+
+void run_case(const char* title, const model::Workload& workload,
+              double bandwidth_gbps, core::SyncMethod method,
+              const char* csv_path) {
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.method = method;
+  cfg.bandwidth = gbps(bandwidth_gbps);
+  cfg.rx_bandwidth = gbps(100);
+
+  runner::MeasureOptions opts;
+  opts.warmup = 3;
+  opts.measured = 6;
+  const auto trace = runner::utilization_trace(workload, cfg, 0, opts);
+
+  CsvWriter csv(bench::out(csv_path), {"time_10ms", "outbound_gbps", "inbound_gbps"});
+  for (std::size_t i = 0; i < trace.outbound_gbps.size(); ++i) {
+    csv.row({static_cast<double>(i), trace.outbound_gbps[i],
+             i < trace.inbound_gbps.size() ? trace.inbound_gbps[i] : 0.0});
+  }
+
+  std::printf("--- %s (%.0f Gbps) ---\n", title, bandwidth_gbps);
+  const std::size_t window = 120;
+  const std::size_t from =
+      trace.outbound_gbps.size() > 2 * window ? trace.outbound_gbps.size() / 2
+                                              : 0;
+  sparkline("outbound", trace.outbound_gbps, bandwidth_gbps, from, window);
+  sparkline("inbound", trace.inbound_gbps, bandwidth_gbps, from, window);
+  std::printf("  idle bins: out %.0f%%, in %.0f%%  (csv: %s)\n\n",
+              100.0 * trace.idle_fraction_out, 100.0 * trace.idle_fraction_in,
+              bench::out(csv_path).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figures 13/14: other frameworks' network utilization ==\n\n");
+  run_case("Fig 13 TensorFlow-style, ResNet-50", model::workload_resnet50(),
+           4, core::SyncMethod::kTensorFlowStyle, "fig13_tensorflow.csv");
+  run_case("Fig 14 Poseidon (WFBP), InceptionV3",
+           model::workload_inception_v3(), 1, core::SyncMethod::kPoseidonWFBP,
+           "fig14_poseidon.csv");
+  std::printf("paper: similar to MXNet, these frameworks also utilize the "
+              "network poorly under bandwidth constraints\n");
+  return 0;
+}

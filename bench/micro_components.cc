@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks for the building blocks: event queue,
+// coroutine queues, slicing, utilization monitor, tensor ops, DGC top-k.
+#include <benchmark/benchmark.h>
+
+#include "core/slicing.h"
+#include "model/zoo.h"
+#include "net/monitor.h"
+#include "sim/queue.h"
+#include "sim/simulator.h"
+#include "train/dgc.h"
+#include "train/tensor.h"
+
+namespace {
+
+using namespace p3;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule(static_cast<double>(i % 97), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Queue<int> q(sim);
+    sim.spawn([](sim::Queue<int>& queue, int count) -> sim::Task {
+      for (int i = 0; i < count; ++i) {
+        int v = co_await queue.pop();
+        benchmark::DoNotOptimize(v);
+      }
+    }(q, n));
+    for (int i = 0; i < n; ++i) q.push(i);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CoroutinePingPong)->Arg(10'000);
+
+void BM_PartitionP3(benchmark::State& state) {
+  const auto m = model::vgg19();
+  for (auto _ : state) {
+    auto part = core::partition_p3(m, 4, state.range(0));
+    benchmark::DoNotOptimize(part.num_slices());
+  }
+}
+BENCHMARK(BM_PartitionP3)->Arg(50'000)->Arg(1'000);
+
+void BM_PartitionKvstore(benchmark::State& state) {
+  const auto m = model::vgg19();
+  for (auto _ : state) {
+    Rng rng(1);
+    auto part = core::partition_kvstore(m, 4, 1'000'000, rng);
+    benchmark::DoNotOptimize(part.num_slices());
+  }
+}
+BENCHMARK(BM_PartitionKvstore);
+
+void BM_MonitorRecord(benchmark::State& state) {
+  net::UtilizationMonitor mon(4, 0.010);
+  double t = 0.0;
+  for (auto _ : state) {
+    mon.record(0, net::Direction::kOut, t, t + 0.035, 1'000'000);
+    t += 0.01;
+  }
+  benchmark::DoNotOptimize(mon.total_bytes(0, net::Direction::kOut));
+}
+BENCHMARK(BM_MonitorRecord);
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  train::Tensor a = train::Tensor::he_normal(n, n, rng);
+  train::Tensor b = train::Tensor::he_normal(n, n, rng);
+  train::Tensor out(n, n);
+  for (auto _ : state) {
+    train::matmul(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
+
+void BM_DgcCompress(benchmark::State& state) {
+  std::vector<train::Param> params(1);
+  params[0].value = train::Tensor(1, 100'000);
+  params[0].grad = train::Tensor(1, 100'000);
+  Rng rng(2);
+  for (auto& v : params[0].grad.raw()) {
+    v = static_cast<float>(rng.normal());
+  }
+  train::DgcConfig cfg;
+  cfg.sparsity = 0.999;
+  cfg.warmup_epochs = 0;
+  train::DgcCompressor comp(params, cfg);
+  for (auto _ : state) {
+    auto sparse = comp.compress(params, 100);
+    benchmark::DoNotOptimize(sparse[0].indices.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_DgcCompress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Scenario: should you compress gradients, or schedule them better?
+//
+// Uses the numeric training substrate to make the paper's Section 5.6
+// argument concrete: DGC-style top-k compression buys bandwidth at the cost
+// of fidelity, while P3 (full-gradient sync) preserves the exact SGD
+// trajectory. Trains the same task under full sync and three DGC sparsity
+// levels and reports final validation accuracy next to the bytes each
+// method puts on the wire.
+#include <cstdio>
+#include <tuple>
+#include <vector>
+
+#include "train/trainer.h"
+
+using namespace p3;
+
+int main() {
+  train::MixtureConfig mix;
+  mix.noise = 1.6;
+  const auto data = train::make_gaussian_mixture(mix);
+
+  auto base_cfg = [] {
+    train::TrainerConfig cfg;
+    cfg.n_workers = 4;
+    cfg.batch_per_worker = 32;
+    cfg.epochs = 60;
+    cfg.hidden = {48, 48};
+    cfg.sgd.lr = 0.1;
+    cfg.sgd.momentum = 0.9;
+    cfg.sgd.decay_epochs = {30, 45};
+    cfg.seed = 11;
+    return cfg;
+  };
+
+  std::printf("task: 10-class Gaussian mixture, MLP 32-48-48-10, 4 workers, "
+              "60 epochs\n\n");
+  std::printf("%-22s %12s %16s\n", "method", "final acc", "bytes/iteration");
+
+  {
+    train::TrainerConfig cfg = base_cfg();
+    train::ParallelTrainer trainer(data, cfg);
+    const auto stats = trainer.train();
+    const double dense_bytes =
+        4.0 * static_cast<double>(trainer.model().total_params());
+    std::printf("%-22s %11.2f%% %15.0f\n", "full sync (P3)",
+                100.0 * stats.back().val_accuracy, dense_bytes);
+  }
+
+  for (auto [mode, label, bits] :
+       std::initializer_list<std::tuple<train::AggregationMode, const char*,
+                                        double>>{
+           {train::AggregationMode::kQsgd, "QSGD (4 levels)", 3.32},
+           {train::AggregationMode::kOneBit, "1-bit SGD", 1.0}}) {
+    train::TrainerConfig cfg = base_cfg();
+    cfg.mode = mode;
+    cfg.qsgd_levels = 4;
+    train::ParallelTrainer trainer(data, cfg);
+    const auto stats = trainer.train();
+    const double bytes =
+        bits / 8.0 * static_cast<double>(trainer.model().total_params());
+    std::printf("%-22s %11.2f%% %15.0f\n", label,
+                100.0 * stats.back().val_accuracy, bytes);
+  }
+
+  for (double sparsity : {0.9, 0.99, 0.999}) {
+    train::TrainerConfig cfg = base_cfg();
+    cfg.mode = train::AggregationMode::kDgc;
+    cfg.dgc.sparsity = sparsity;
+    cfg.dgc.momentum = cfg.sgd.momentum;
+    cfg.dgc.warmup_epochs = 4;
+    train::ParallelTrainer trainer(data, cfg);
+    const auto stats = trainer.train();
+    // Sparse encoding: ~8 bytes per transmitted entry (index + value).
+    const double entries =
+        (1.0 - sparsity) * static_cast<double>(trainer.model().total_params());
+    char label[64];
+    std::snprintf(label, sizeof(label), "DGC %.1f%% sparsity",
+                  100.0 * sparsity);
+    std::printf("%-22s %11.2f%% %15.0f\n", label,
+                100.0 * stats.back().val_accuracy, 8.0 * entries);
+  }
+
+  std::printf(
+      "\nthe trade: compression shrinks traffic by orders of magnitude but "
+      "perturbs the\ntrajectory; P3 sends every byte yet hides the cost by "
+      "scheduling, so accuracy\nis untouched — and the two approaches "
+      "compose.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Scenario: you are bringing your *own* model to a bandwidth-constrained
+// cluster and want to know (a) whether P3 helps and (b) what slice size to
+// configure.
+//
+// The model here is a small recommendation ranker: two enormous embedding
+// tables at the front (the Sockeye-like worst case: generated last in the
+// backward pass, needed first in the forward pass), then a cheap MLP tower.
+#include <cstdio>
+
+#include "model/compute.h"
+#include "model/zoo.h"
+#include "runner/experiment.h"
+
+using namespace p3;
+
+namespace {
+
+model::Workload make_ranker() {
+  // Layer parameter counts: user embedding 12M, item embedding 8M, then a
+  // 4-layer MLP tower. FLOPs: embeddings are lookups (cheap), tower is
+  // dense compute.
+  model::Workload w;
+  w.model = model::toy_custom(
+      {12'000'000, 8'000'000, 1'024 * 512, 512 * 256, 256 * 128, 128},
+      {1.0, 1.0, 600.0, 150.0, 40.0, 1.0});
+  w.model.name = "ranker";
+  w.model.sample_unit = "requests";
+  w.batch_per_worker = 64;
+  w.iter_compute_time = 0.18;
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  const auto workload = make_ranker();
+  std::printf("custom model '%s': %.1fM params, heaviest layer %.0f%% of "
+              "the model and it is layer %d of %d\n\n",
+              workload.model.name.c_str(),
+              static_cast<double>(workload.model.total_params()) / 1e6,
+              100.0 * workload.model.heaviest_fraction(),
+              workload.model.heaviest_layer() + 1,
+              workload.model.num_layers());
+
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.bandwidth = gbps(5);
+  cfg.rx_bandwidth = gbps(100);
+
+  // (a) does P3 help at 5 Gbps?
+  std::printf("throughput at 5 Gbps, 4 workers:\n");
+  for (auto method :
+       {core::SyncMethod::kBaseline, core::SyncMethod::kSlicingOnly,
+        core::SyncMethod::kP3}) {
+    cfg.method = method;
+    const double tp = runner::measure_throughput(workload, cfg);
+    std::printf("  %-10s %8.1f requests/s\n",
+                core::sync_method_name(method).c_str(), tp);
+  }
+
+  // (b) which slice size?
+  std::printf("\nP3 slice-size sweep:\n");
+  const auto sweep = runner::slice_size_sweep(
+      workload, cfg, {5'000, 20'000, 50'000, 200'000, 1'000'000});
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < sweep.x.size(); ++i) {
+    std::printf("  %9.0f params/slice -> %8.1f requests/s\n", sweep.x[i],
+                sweep.y[i]);
+    if (sweep.y[i] > sweep.y[best]) best = i;
+  }
+  std::printf("\nrecommended slice size: %.0f parameters\n", sweep.x[best]);
+  return 0;
+}

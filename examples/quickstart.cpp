@@ -1,0 +1,70 @@
+// Quickstart: compare the MXNet-style baseline against P3 on one workload.
+//
+//   $ ./quickstart [--model resnet50|inception|vgg19|sockeye]
+//                  [--bandwidth <Gbps>] [--workers <n>]
+//
+// Walks through the three public-API steps every experiment uses:
+//   1. pick a workload (model + calibrated compute budget),
+//   2. configure a cluster (size, bandwidth, synchronization method),
+//   3. run and read the throughput.
+#include <cstdio>
+#include <string>
+
+#include "common/options.h"
+#include "model/zoo.h"
+#include "ps/cluster.h"
+
+using namespace p3;
+
+namespace {
+
+model::Workload pick_workload(const std::string& name) {
+  if (name == "resnet50") return model::workload_resnet50();
+  if (name == "inception") return model::workload_inception_v3();
+  if (name == "vgg19") return model::workload_vgg19();
+  if (name == "sockeye") return model::workload_sockeye();
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv,
+               {{"model", "vgg19"}, {"bandwidth", "15"}, {"workers", "4"}});
+  const auto workload = pick_workload(opts.str("model"));
+  const double bandwidth = opts.num("bandwidth");
+  const int workers = static_cast<int>(opts.integer("workers"));
+
+  std::printf("model %s: %.1fM parameters (%.0f MB of gradients per "
+              "iteration per worker)\n",
+              workload.model.name.c_str(),
+              static_cast<double>(workload.model.total_params()) / 1e6,
+              static_cast<double>(workload.model.total_bytes()) / 1e6);
+  std::printf("cluster: %d workers, %0.f Gbps egress per NIC\n\n", workers,
+              bandwidth);
+
+  // Step 2-3: one cluster per synchronization method; run() reports
+  // steady-state training throughput.
+  double base_tp = 0.0;
+  for (auto method : {core::SyncMethod::kBaseline, core::SyncMethod::kP3}) {
+    ps::ClusterConfig cfg;
+    cfg.n_workers = workers;
+    cfg.method = method;
+    cfg.bandwidth = gbps(bandwidth);
+    cfg.rx_bandwidth = gbps(100);  // tc-style egress shaping
+
+    ps::Cluster cluster(workload, cfg);
+    const auto result = cluster.run(/*warmup=*/3, /*measured=*/10);
+    std::printf("%-10s %8.1f %s/s   (iteration %.0f ms)\n",
+                core::sync_method_name(method).c_str(), result.throughput,
+                workload.model.sample_unit.c_str(),
+                1e3 * result.mean_iteration_time);
+    if (method == core::SyncMethod::kBaseline) {
+      base_tp = result.throughput;
+    } else {
+      std::printf("\nP3 speedup over baseline: %.0f%%\n",
+                  100.0 * (result.throughput / base_tp - 1.0));
+    }
+  }
+  return 0;
+}

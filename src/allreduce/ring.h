@@ -1,0 +1,154 @@
+// Ring-allreduce gradient aggregation with P3-style scheduling.
+//
+// Section 2 of the paper notes that besides parameter servers, "there are
+// many variations of MPI all reduce operation specifically designed for ML
+// workloads", and Section 6 argues P3's design principles — parameter
+// slicing and priority-based propagation — "are general enough to be
+// applied to any gradient aggregation method". This module tests that claim
+// on the aggregation architecture that has since become dominant: ring
+// allreduce with gradient bucketing (Horovod / PyTorch DDP style).
+//
+// One collective executes at a time (the usual framework behaviour: fused
+// collectives are serialized by a coordinator). A bucket of B bytes on an
+// n-node ring costs 2(n-1) steps of B/n bytes plus per-step launch
+// overhead, so small buckets pay latency and large buckets delay urgent
+// layers — exactly the granularity trade-off of Section 5.7, now in
+// collective form. Three schedules:
+//
+//  * kPerLayer    — one collective per layer, executed in gradient
+//                   generation order (no fusion, wait-free backprop);
+//  * kFused       — consecutive layers fused into >= bucket_bytes
+//                   collectives in generation order (DDP's 25 MB buckets);
+//  * kPrioritySliced — P3 applied to collectives: layers sliced to
+//                   <= slice_params, the *highest-priority ready* slice is
+//                   reduced next, so first-layer slices preempt queued
+//                   later-layer traffic at slice granularity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "model/compute.h"
+#include "net/network.h"
+#include "sim/queue.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace p3::ar {
+
+enum class ArSchedule { kPerLayer = 0, kFused, kPrioritySliced };
+
+std::string ar_schedule_name(ArSchedule schedule);
+
+struct ArConfig {
+  int n_workers = 4;
+  BitsPerSec bandwidth = gbps(10);
+  BitsPerSec rx_bandwidth = 0;  ///< 0 = symmetric
+  TimeS latency = us(25);
+
+  ArSchedule schedule = ArSchedule::kFused;
+  Bytes bucket_bytes = mib(25);        ///< kFused fusion threshold
+  std::int64_t slice_params = 50'000;  ///< kPrioritySliced granularity
+
+  double reduce_bytes_per_sec = 6e9;  ///< local elementwise sum
+  double update_bytes_per_sec = 6e9;  ///< local SGD apply
+  TimeS step_overhead = us(20);       ///< per ring step launch cost
+  /// Concurrent collectives in flight (ByteScheduler-style credit). Small
+  /// collectives are latency-bound; pipelining hides the per-step latency
+  /// and launch overhead. 1 = strictly serialized (Horovod-style).
+  int max_inflight = 4;
+
+  double compute_jitter = 0.0;
+  std::uint64_t seed = 42;
+
+  /// Optional per-layer compute override (as in ps::ClusterConfig).
+  std::vector<TimeS> fwd_times;
+  std::vector<TimeS> bwd_times;
+};
+
+/// A unit of collective communication.
+struct Bucket {
+  std::int64_t id = -1;
+  std::vector<int> layers;  ///< layer indices covered (forward order)
+  Bytes bytes = 0;          ///< gradient payload
+  /// Execution rank key: smaller runs first among ready buckets.
+  int priority = 0;
+};
+
+/// Build the bucket list for a model under a schedule (exposed for tests).
+std::vector<Bucket> make_buckets(const model::ModelSpec& model,
+                                 ArSchedule schedule, Bytes bucket_bytes,
+                                 std::int64_t slice_params);
+
+struct ArRunResult {
+  double throughput = 0.0;
+  TimeS mean_iteration_time = 0.0;
+  std::int64_t collectives_run = 0;
+};
+
+/// Data-parallel cluster that aggregates gradients with ring allreduce.
+/// Mirrors ps::Cluster's interface: construct, run once, read the result.
+class ArCluster {
+ public:
+  ArCluster(model::Workload workload, ArConfig config);
+  ~ArCluster();
+  ArCluster(const ArCluster&) = delete;
+  ArCluster& operator=(const ArCluster&) = delete;
+
+  ArRunResult run(int warmup_iterations, int measured_iterations);
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  net::Network& network() { return *net_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Completed-iteration version of a worker/layer gate (for tests).
+  std::int64_t worker_layer_version(int worker, int layer) const;
+  /// Order in which collectives were executed (bucket ids, all iterations).
+  const std::vector<std::int64_t>& execution_log() const { return exec_log_; }
+
+ private:
+  struct WorkerState {
+    std::vector<std::unique_ptr<sim::VersionGate>> gates;  // per layer
+    std::vector<TimeS> iter_done;
+    Rng rng{0};
+  };
+
+  sim::Task worker_loop(int w);
+  sim::Task collective_engine();
+  sim::Task run_bucket(std::int64_t id, std::int64_t round);
+  sim::Task rx_pump(int node);
+
+  void mark_layer_ready(int layer);
+  std::int64_t pick_ready_bucket() const;
+
+  model::Workload workload_;
+  ArConfig cfg_;
+  std::vector<Bucket> buckets_;
+  std::vector<std::vector<std::int64_t>> layer_buckets_;  // layer -> ids
+  model::ComputeProfile profile_;
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  // Per-iteration scheduling state (reset each round by the engine).
+  std::vector<int> layer_ready_count_;    // workers done with bwd of layer
+  std::vector<bool> bucket_done_;         // executed this iteration
+  std::vector<int> layer_buckets_done_;   // per layer, buckets completed
+  std::unique_ptr<sim::Semaphore> ready_signal_;
+  /// Per in-flight collective: arrival counting semaphore keyed by bucket.
+  std::map<std::int64_t, std::unique_ptr<sim::Semaphore>> arrivals_;
+  int inflight_ = 0;
+
+  std::vector<std::int64_t> exec_log_;
+  std::int64_t target_iterations_ = 0;
+  int workers_finished_ = 0;
+  std::int64_t collectives_run_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace p3::ar

@@ -1,0 +1,54 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace p3 {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_) {
+    throw std::invalid_argument("CSV row width mismatch for " + path_);
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> fields) {
+  std::vector<std::string> strs;
+  strs.reserve(fields.size());
+  for (double v : fields) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    strs.emplace_back(buf);
+  }
+  row(strs);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace p3

@@ -1,0 +1,33 @@
+// CSV writer used by the bench harnesses to dump figure data series.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace p3 {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row; the number of fields must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: converts numeric fields with full precision.
+  void row(std::initializer_list<double> fields);
+
+  const std::string& path() const { return path_; }
+
+  /// Escape a field per RFC 4180 (quotes fields containing , " or newline).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace p3

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Deliberately not thread-safe beyond line
+// atomicity: the simulator is single-threaded and benches are sequential.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace p3 {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace p3
+
+#define P3_LOG(level)                                     \
+  if (static_cast<int>(level) < static_cast<int>(::p3::log_level())) { \
+  } else                                                  \
+    ::p3::detail::LogMessage(level)
+
+#define P3_DEBUG P3_LOG(::p3::LogLevel::kDebug)
+#define P3_INFO P3_LOG(::p3::LogLevel::kInfo)
+#define P3_WARN P3_LOG(::p3::LogLevel::kWarn)
+#define P3_ERROR P3_LOG(::p3::LogLevel::kError)

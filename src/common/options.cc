@@ -1,0 +1,80 @@
+#include "common/options.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace p3 {
+
+Options::Options(int argc, const char* const* argv,
+                 std::map<std::string, std::string> spec)
+    : values_(std::move(spec)) {
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    present_[k] = false;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string key = arg;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::invalid_argument("unknown option: --" + key);
+    }
+    if (!has_value) {
+      // `--key value` unless the next token is another option or missing;
+      // then treat as a boolean flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "1";
+      }
+    }
+    it->second = value;
+    present_[key] = true;
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  auto it = present_.find(key);
+  return it != present_.end() && it->second;
+}
+
+std::string Options::str(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    throw std::invalid_argument("option not in spec: --" + key);
+  }
+  return it->second;
+}
+
+double Options::num(const std::string& key) const {
+  const std::string v = str(key);
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::invalid_argument("option --" + key + " is not numeric: " + v);
+  }
+  return d;
+}
+
+long Options::integer(const std::string& key) const {
+  return static_cast<long>(num(key));
+}
+
+bool Options::flag(const std::string& key) const {
+  const std::string v = str(key);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace p3

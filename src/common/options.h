@@ -1,0 +1,33 @@
+// Tiny command line option parser for the bench/example binaries.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag`. Unknown
+// options raise; positional arguments are collected.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace p3 {
+
+class Options {
+ public:
+  /// `spec` maps option name -> default value (empty string for flags).
+  Options(int argc, const char* const* argv,
+          std::map<std::string, std::string> spec);
+
+  bool has(const std::string& key) const;
+  std::string str(const std::string& key) const;
+  double num(const std::string& key) const;
+  long integer(const std::string& key) const;
+  bool flag(const std::string& key) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> present_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace p3

@@ -1,0 +1,47 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows through `Rng` so experiments are
+// reproducible from a single seed. Internally this is xoshiro256**, which is
+// fast, tiny, and has no global state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace p3 {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<std::size_t>& v);
+
+  /// Split off an independent stream (useful for per-worker RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace p3

@@ -1,0 +1,50 @@
+// Small statistics helpers for throughput/latency reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace p3 {
+
+/// Streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation). p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// first/last bucket. Used by the utilization monitors.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double x, double weight = 1.0);
+  const std::vector<double>& buckets() const { return counts_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  double total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace p3

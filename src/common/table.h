@@ -1,0 +1,32 @@
+// Console table printer: the bench harnesses report paper-figure series as
+// aligned text tables on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace p3 {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment. Numeric-looking cells right-align.
+  std::string to_string() const;
+
+  /// Render to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format helper: fixed precision double.
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p3

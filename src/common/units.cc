@@ -1,0 +1,48 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace p3 {
+namespace {
+
+std::string format_scaled(double value, const char* const* suffixes, int count,
+                          double step) {
+  int idx = 0;
+  double v = value;
+  while (std::fabs(v) >= step && idx + 1 < count) {
+    v /= step;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  static const char* kSuffixes[] = {"B", "KB", "MB", "GB", "TB"};
+  return format_scaled(static_cast<double>(b), kSuffixes, 5, 1000.0);
+}
+
+std::string format_rate(BitsPerSec r) {
+  static const char* kSuffixes[] = {"bps", "Kbps", "Mbps", "Gbps", "Tbps"};
+  return format_scaled(r, kSuffixes, 5, 1000.0);
+}
+
+std::string format_time(TimeS t) {
+  char buf[64];
+  if (t < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", t * 1e9);
+  } else if (t < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", t * 1e6);
+  } else if (t < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", t * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", t);
+  }
+  return buf;
+}
+
+}  // namespace p3

@@ -1,0 +1,56 @@
+// Strong-ish unit helpers used throughout the simulator.
+//
+// Time is carried as double seconds (`TimeS`), data sizes as 64-bit byte
+// counts, and rates as bits per second. The helpers below keep unit
+// conversions explicit at call sites (`gbps(10)`, `mib(4)`), which is the
+// main defence against the classic bits-vs-bytes slip in network code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p3 {
+
+/// Simulated time in seconds.
+using TimeS = double;
+
+/// Data size in bytes.
+using Bytes = std::int64_t;
+
+/// Data rate in bits per second.
+using BitsPerSec = double;
+
+constexpr double kBitsPerByte = 8.0;
+
+/// 1 Gbps expressed in bits per second (decimal, as network gear uses).
+constexpr BitsPerSec gbps(double g) { return g * 1e9; }
+/// 1 Mbps in bits per second.
+constexpr BitsPerSec mbps(double m) { return m * 1e6; }
+
+/// Binary mebibytes/kibibytes, as buffer sizes are usually specified.
+constexpr Bytes kib(double k) { return static_cast<Bytes>(k * 1024.0); }
+constexpr Bytes mib(double m) { return static_cast<Bytes>(m * 1024.0 * 1024.0); }
+constexpr Bytes gib(double g) {
+  return static_cast<Bytes>(g * 1024.0 * 1024.0 * 1024.0);
+}
+
+/// Time taken to serialize `size` bytes at `rate` bits per second.
+constexpr TimeS transfer_time(Bytes size, BitsPerSec rate) {
+  return static_cast<double>(size) * kBitsPerByte / rate;
+}
+
+/// Bytes transferable in `t` seconds at `rate` bits per second.
+constexpr Bytes bytes_in(TimeS t, BitsPerSec rate) {
+  return static_cast<Bytes>(t * rate / kBitsPerByte);
+}
+
+/// Milliseconds/microseconds to seconds.
+constexpr TimeS ms(double v) { return v * 1e-3; }
+constexpr TimeS us(double v) { return v * 1e-6; }
+
+/// Human-readable formatting, e.g. "102.8 MB", "10.0 Gbps", "12.3 ms".
+std::string format_bytes(Bytes b);
+std::string format_rate(BitsPerSec r);
+std::string format_time(TimeS t);
+
+}  // namespace p3

@@ -1,0 +1,93 @@
+#include "core/slicing.h"
+
+#include <stdexcept>
+
+namespace p3::core {
+namespace {
+
+void validate(const model::ModelSpec& model, int n_servers) {
+  if (model.layers.empty()) throw std::invalid_argument("model has no layers");
+  if (n_servers <= 0) throw std::invalid_argument("need at least one server");
+}
+
+}  // namespace
+
+std::int64_t Partition::total_params() const {
+  std::int64_t total = 0;
+  for (const auto& s : slices) total += s.params;
+  return total;
+}
+
+Bytes Partition::layer_bytes(int layer) const {
+  Bytes total = 0;
+  for (auto id : layer_slices.at(static_cast<std::size_t>(layer))) {
+    total += slices[static_cast<std::size_t>(id)].payload_bytes();
+  }
+  return total;
+}
+
+Partition partition_kvstore(const model::ModelSpec& model, int n_servers,
+                            std::int64_t threshold, Rng& rng) {
+  validate(model, n_servers);
+  if (threshold <= 0) throw std::invalid_argument("non-positive threshold");
+
+  Partition part;
+  part.layer_slices.resize(model.layers.size());
+  for (int layer = 0; layer < model.num_layers(); ++layer) {
+    const auto params = model.layers[static_cast<std::size_t>(layer)].params;
+    auto add = [&](std::int64_t p, int server) {
+      Slice s;
+      s.id = part.num_slices();
+      s.layer = layer;
+      s.server = server;
+      s.params = p;
+      s.priority = layer;
+      part.slices.push_back(s);
+      part.layer_slices[static_cast<std::size_t>(layer)].push_back(s.id);
+    };
+    if (params < threshold) {
+      // Small layer: whole key on a random server.
+      add(params, static_cast<int>(
+                      rng.uniform_index(static_cast<std::uint64_t>(n_servers))));
+    } else {
+      // Large layer: split equally among all servers (remainder spread over
+      // the first shards).
+      const std::int64_t base = params / n_servers;
+      const std::int64_t rem = params % n_servers;
+      for (int srv = 0; srv < n_servers; ++srv) {
+        add(base + (srv < rem ? 1 : 0), srv);
+      }
+    }
+  }
+  return part;
+}
+
+Partition partition_p3(const model::ModelSpec& model, int n_servers,
+                       std::int64_t slice_params) {
+  validate(model, n_servers);
+  if (slice_params <= 0) throw std::invalid_argument("non-positive slice size");
+
+  Partition part;
+  part.layer_slices.resize(model.layers.size());
+  int next_server = 0;  // global round-robin cursor
+  for (int layer = 0; layer < model.num_layers(); ++layer) {
+    std::int64_t remaining =
+        model.layers[static_cast<std::size_t>(layer)].params;
+    // Zero-parameter layers still get no slice (nothing to synchronize).
+    while (remaining > 0) {
+      Slice s;
+      s.id = part.num_slices();
+      s.layer = layer;
+      s.server = next_server;
+      s.params = std::min(remaining, slice_params);
+      s.priority = layer;
+      part.slices.push_back(s);
+      part.layer_slices[static_cast<std::size_t>(layer)].push_back(s.id);
+      remaining -= s.params;
+      next_server = (next_server + 1) % n_servers;
+    }
+  }
+  return part;
+}
+
+}  // namespace p3::core

@@ -1,0 +1,66 @@
+// Parameter slicing and priority assignment — the first half of P3's
+// contribution (Section 4.2 of the paper).
+//
+// Two partitioning schemes are implemented:
+//
+//  * `partition_kvstore` — the baseline MXNet KVStore heuristic: layers
+//    below a threshold (default 10^6 parameters) are assigned whole to a
+//    randomly chosen server; larger layers are split equally among all
+//    servers. Granularity therefore stays coarse (shard size grows with the
+//    layer, e.g. a 25.7 M-parameter shard of VGG-19's fc6 on a 4-server
+//    cluster).
+//
+//  * `partition_p3` — P3's parameter slicing: every layer is cut into
+//    slices of at most `slice_params` parameters (default 50,000, the
+//    empirical optimum from Section 5.7) and slices are assigned to servers
+//    round-robin, so a heavy layer's synchronization pipelines across
+//    servers and across time.
+//
+// Priorities follow forward order: the first layer gets the highest
+// priority (smallest value) because its parameters are consumed first in
+// the next iteration; slices inherit the priority of their parent layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "model/model.h"
+
+namespace p3::core {
+
+struct Slice {
+  std::int64_t id = -1;     ///< global slice key
+  int layer = -1;           ///< owning layer (forward index)
+  int server = -1;          ///< owning server
+  std::int64_t params = 0;  ///< parameters in this slice
+  int priority = 0;         ///< layer forward index; smaller = more urgent
+
+  Bytes payload_bytes() const { return 4 * params; }
+};
+
+struct Partition {
+  std::vector<Slice> slices;                 ///< indexed by slice id
+  std::vector<std::vector<std::int64_t>> layer_slices;  ///< layer -> ids
+
+  int num_layers() const { return static_cast<int>(layer_slices.size()); }
+  std::int64_t num_slices() const {
+    return static_cast<std::int64_t>(slices.size());
+  }
+  /// Total parameters across all slices (must equal the model's).
+  std::int64_t total_params() const;
+  /// Total payload bytes a layer synchronizes.
+  Bytes layer_bytes(int layer) const;
+};
+
+/// Baseline MXNet KVStore sharding. `rng` drives the random placement of
+/// small layers (deterministic for a fixed seed).
+Partition partition_kvstore(const model::ModelSpec& model, int n_servers,
+                            std::int64_t threshold, Rng& rng);
+
+/// P3 parameter slicing with round-robin server assignment.
+Partition partition_p3(const model::ModelSpec& model, int n_servers,
+                       std::int64_t slice_params);
+
+}  // namespace p3::core

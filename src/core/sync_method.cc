@@ -1,0 +1,58 @@
+#include "core/sync_method.h"
+
+#include <stdexcept>
+
+namespace p3::core {
+
+SyncConfig sync_config(SyncMethod method) {
+  SyncConfig cfg;
+  switch (method) {
+    case SyncMethod::kBaseline:
+    case SyncMethod::kPoseidonWFBP:
+      break;
+    case SyncMethod::kSlicingOnly:
+      // The paper's "Slicing" series is the P3 implementation with priority
+      // scheduling disabled: slicing and the immediate parameter broadcast
+      // (Section 4.2 removes notify+pull as part of the implementation),
+      // but FIFO ordering.
+      cfg.slicing = true;
+      cfg.immediate_broadcast = true;
+      break;
+    case SyncMethod::kP3:
+      cfg.slicing = true;
+      cfg.priority = true;
+      cfg.immediate_broadcast = true;
+      break;
+    case SyncMethod::kTensorFlowStyle:
+      cfg.deferred_pull = true;
+      break;
+  }
+  return cfg;
+}
+
+std::string sync_method_name(SyncMethod method) {
+  switch (method) {
+    case SyncMethod::kBaseline:
+      return "Baseline";
+    case SyncMethod::kSlicingOnly:
+      return "Slicing";
+    case SyncMethod::kP3:
+      return "P3";
+    case SyncMethod::kTensorFlowStyle:
+      return "TensorFlow";
+    case SyncMethod::kPoseidonWFBP:
+      return "Poseidon";
+  }
+  throw std::invalid_argument("unknown sync method");
+}
+
+SyncMethod parse_sync_method(const std::string& name) {
+  for (SyncMethod m :
+       {SyncMethod::kBaseline, SyncMethod::kSlicingOnly, SyncMethod::kP3,
+        SyncMethod::kTensorFlowStyle, SyncMethod::kPoseidonWFBP}) {
+    if (sync_method_name(m) == name) return m;
+  }
+  throw std::invalid_argument("unknown sync method: " + name);
+}
+
+}  // namespace p3::core

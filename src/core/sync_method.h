@@ -1,0 +1,50 @@
+// Synchronization-method catalogue.
+//
+// A `SyncConfig` describes how the cluster engine behaves along the four
+// axes the paper varies; `sync_config` maps each named mechanism to its
+// flag combination:
+//
+//   method           slicing  priority  immediate  deferred-pull
+//   Baseline (MXNet)    -        -         -            -
+//   SlicingOnly         x        -         x            -
+//   P3                  x        x         x            -
+//   TensorFlowStyle     -        -         -            x
+//   PoseidonWFBP        -        -         -            -
+//
+// Baseline/Poseidon both implement wait-free backpropagation (gradients of a
+// layer are pushed as soon as its backward completes); TensorFlowStyle
+// additionally defers all parameter pulls to the start of the next graph
+// execution, the bidirectional-underuse behaviour described in Section 2.
+#pragma once
+
+#include <string>
+
+namespace p3::core {
+
+enum class SyncMethod {
+  kBaseline = 0,
+  kSlicingOnly,
+  kP3,
+  kTensorFlowStyle,
+  kPoseidonWFBP,
+};
+
+struct SyncConfig {
+  bool slicing = false;             ///< P3 parameter slicing
+  bool priority = false;            ///< priority queues (worker TX, server RX)
+  bool immediate_broadcast = false; ///< server pushes params, no notify+pull
+  bool deferred_pull = false;       ///< pulls issued only at iteration start
+};
+
+/// Flag combination for a named method (table above).
+SyncConfig sync_config(SyncMethod method);
+
+/// Display name ("Baseline", "Slicing", "P3", ...), matching the series
+/// labels used in the paper's figures.
+std::string sync_method_name(SyncMethod method);
+
+/// Parse a name (case-sensitive, as printed by sync_method_name) back to a
+/// method; throws std::invalid_argument on unknown names.
+SyncMethod parse_sync_method(const std::string& name);
+
+}  // namespace p3::core

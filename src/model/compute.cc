@@ -1,0 +1,73 @@
+#include "model/compute.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "model/zoo.h"
+
+namespace p3::model {
+
+TimeS ComputeProfile::total_fwd() const {
+  return std::accumulate(fwd.begin(), fwd.end(), 0.0);
+}
+
+TimeS ComputeProfile::total_bwd() const {
+  return std::accumulate(bwd.begin(), bwd.end(), 0.0);
+}
+
+ComputeProfile make_profile(const ModelSpec& model, TimeS iter_compute_time,
+                            const GpuModelConfig& config) {
+  const int n = model.num_layers();
+  if (n == 0) throw std::invalid_argument("model has no layers");
+  if (iter_compute_time <= 0.0) {
+    throw std::invalid_argument("non-positive compute budget");
+  }
+
+  const double total_flops = model.total_fwd_flops();
+  const TimeS overhead_total = 2.0 * n * config.layer_overhead;
+  TimeS flops_budget = iter_compute_time - overhead_total;
+  if (flops_budget < 0.0) flops_budget = 0.0;  // overhead-dominated tiny nets
+
+  const double fwd_share = 1.0 / (1.0 + config.bwd_ratio);
+  ComputeProfile p;
+  p.fwd.resize(static_cast<std::size_t>(n));
+  p.bwd.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double frac =
+        total_flops > 0.0
+            ? model.layers[static_cast<std::size_t>(i)].fwd_flops / total_flops
+            : 1.0 / n;
+    const TimeS layer_budget = flops_budget * frac;
+    p.fwd[static_cast<std::size_t>(i)] =
+        config.layer_overhead + layer_budget * fwd_share;
+    p.bwd[static_cast<std::size_t>(i)] =
+        config.layer_overhead + layer_budget * (1.0 - fwd_share);
+  }
+  return p;
+}
+
+// Calibration: per-worker plateau throughput = batch / iter_compute_time.
+// Four-worker plateaus in Figure 7: ResNet-50 ~105 img/s, InceptionV3
+// ~70 img/s, VGG-19 (P3, 30 Gbps) ~52 img/s, Sockeye ~160 sentences/s.
+
+Workload workload_resnet50() {
+  return Workload{resnet50(), 8, 0.305};  // 26.2 img/s/worker
+}
+
+Workload workload_inception_v3() {
+  return Workload{inception_v3(), 8, 0.457};  // 17.5 img/s/worker
+}
+
+Workload workload_vgg19() {
+  return Workload{vgg19(), 8, 0.571};  // 14.0 img/s/worker
+}
+
+Workload workload_sockeye() {
+  return Workload{sockeye(), 16, 0.40};  // 40 sentences/s/worker
+}
+
+Workload workload_transformer() {
+  return Workload{transformer_base(), 16, 0.72};  // ~22 sentences/s/worker
+}
+
+}  // namespace p3::model

@@ -1,0 +1,64 @@
+// GPU compute-time model.
+//
+// The simulator needs per-layer forward/backward durations. Absolute GPU
+// kernel times are irrelevant to the scheduling question; what matters is
+// (a) the total compute per iteration relative to communication and (b) how
+// that compute is distributed across layers. We therefore apportion a
+// calibrated per-iteration compute budget across layers proportionally to
+// their FLOPs, plus a fixed per-layer launch overhead, with the usual 1:2
+// forward:backward cost ratio.
+//
+// The per-model budgets in the workload presets are calibrated so that the
+// 4-worker linear-scaling plateaus match Figure 7 of the paper (see
+// EXPERIMENTS.md for the calibration table).
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "model/model.h"
+
+namespace p3::model {
+
+/// Per-layer execution times for one iteration (batch folded in).
+struct ComputeProfile {
+  std::vector<TimeS> fwd;
+  std::vector<TimeS> bwd;
+
+  TimeS total_fwd() const;
+  TimeS total_bwd() const;
+  TimeS total() const { return total_fwd() + total_bwd(); }
+  int num_layers() const { return static_cast<int>(fwd.size()); }
+};
+
+struct GpuModelConfig {
+  /// Backward / forward cost ratio (grad wrt inputs + grad wrt weights).
+  double bwd_ratio = 2.0;
+  /// Fixed per-layer, per-pass overhead (kernel launch, sync).
+  TimeS layer_overhead = us(25);
+};
+
+/// Apportion `iter_compute_time` (forward+backward for a full batch) across
+/// the model's layers proportionally to FLOPs.
+ComputeProfile make_profile(const ModelSpec& model, TimeS iter_compute_time,
+                            const GpuModelConfig& config = {});
+
+/// A benchmark workload: model plus the calibrated compute budget.
+struct Workload {
+  ModelSpec model;
+  int batch_per_worker = 8;      ///< samples per worker per iteration
+  TimeS iter_compute_time = 0.3; ///< fwd+bwd time per iteration per worker
+};
+
+/// Paper workloads with compute budgets calibrated to the Figure 7 plateaus
+/// (Quadro P4000-class throughput).
+Workload workload_resnet50();
+Workload workload_inception_v3();
+Workload workload_vgg19();
+Workload workload_sockeye();
+
+/// Extension workload: Transformer-base NMT, calibrated to a P4000-class
+/// per-GPU rate (~22 sentences/s/worker at batch 16).
+Workload workload_transformer();
+
+}  // namespace p3::model

@@ -1,0 +1,39 @@
+#include "model/model.h"
+
+#include <stdexcept>
+
+namespace p3::model {
+
+std::int64_t ModelSpec::total_params() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l.params;
+  return total;
+}
+
+double ModelSpec::total_fwd_flops() const {
+  double total = 0.0;
+  for (const auto& l : layers) total += l.fwd_flops;
+  return total;
+}
+
+int ModelSpec::heaviest_layer() const {
+  if (layers.empty()) throw std::logic_error("model has no layers");
+  int best = 0;
+  for (int i = 1; i < num_layers(); ++i) {
+    if (layers[static_cast<std::size_t>(i)].params >
+        layers[static_cast<std::size_t>(best)].params) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+double ModelSpec::heaviest_fraction() const {
+  const auto total = total_params();
+  if (total == 0) return 0.0;
+  return static_cast<double>(
+             layers[static_cast<std::size_t>(heaviest_layer())].params) /
+         static_cast<double>(total);
+}
+
+}  // namespace p3::model

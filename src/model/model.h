@@ -1,0 +1,52 @@
+// DNN model descriptions.
+//
+// A model is a forward-ordered sequence of parameterized layers. For the
+// communication simulator only three things matter per layer: how many
+// parameters it carries (gradient bytes = 4 * params), how much compute it
+// costs (FLOPs, to apportion iteration time), and its position in forward
+// order (which determines both gradient generation order — reverse — and
+// parameter consumption order, the two quantities P3 schedules by).
+//
+// Layers without parameters (pooling, activations) are folded into their
+// neighbours' FLOPs and do not appear: frameworks only synchronize
+// parameterized keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace p3::model {
+
+struct LayerSpec {
+  std::string name;
+  std::int64_t params = 0;   ///< learnable parameter count
+  double fwd_flops = 0.0;    ///< per-sample forward FLOPs estimate
+};
+
+struct ModelSpec {
+  std::string name;
+  std::string sample_unit = "images";  ///< "images" or "sentences"
+  std::vector<LayerSpec> layers;       ///< forward order
+
+  int num_layers() const { return static_cast<int>(layers.size()); }
+  std::int64_t total_params() const;
+  double total_fwd_flops() const;
+
+  /// Gradient/parameter payload of one layer in bytes (fp32).
+  Bytes layer_bytes(int layer) const {
+    return 4 * layers.at(static_cast<std::size_t>(layer)).params;
+  }
+  Bytes total_bytes() const { return 4 * total_params(); }
+
+  /// Index of the layer with the most parameters.
+  int heaviest_layer() const;
+
+  /// Fraction of all parameters held by the heaviest layer
+  /// (0.715 for VGG-19's fc6 in the paper).
+  double heaviest_fraction() const;
+};
+
+}  // namespace p3::model

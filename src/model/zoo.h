@@ -1,0 +1,51 @@
+// Model zoo: the four evaluation models from the paper plus ResNet-110
+// (used for the accuracy studies) and toy builders for the schedule figures.
+//
+// Parameter counts are computed from the published architectures (weights,
+// biases and batch-norm scale/shift), so the distributions in Figure 5 —
+// VGG-19's fc6 holding 71.5 % of all parameters, ResNet-50 peaking at
+// ~2.4 M, Sockeye's heavy initial embedding — are reproduced exactly.
+// FLOPs are standard dense/conv estimates used only to apportion compute
+// time across layers.
+#pragma once
+
+#include "model/model.h"
+
+namespace p3::model {
+
+/// ResNet-50 for ImageNet (He et al. 2015): ~25.6 M params, 161 tensors.
+ModelSpec resnet50();
+
+/// VGG-19 for ImageNet (Simonyan & Zisserman 2014): ~143.7 M params;
+/// fc6 alone holds 102.8 M (71.5 %).
+ModelSpec vgg19();
+
+/// InceptionV3 for ImageNet (Szegedy et al. 2015): ~23.8 M params.
+ModelSpec inception_v3();
+
+/// Sockeye NMT model on IWSLT15 (Hieber et al. 2017): ~36 M params with a
+/// heavy *initial* embedding layer — the case where priority alone cannot
+/// help (gradients arrive last) but slicing + bidirectional overlap can.
+ModelSpec sockeye();
+
+/// ResNet-110 for CIFAR-10: ~1.7 M params (accuracy experiments).
+ModelSpec resnet110_cifar();
+
+/// Transformer-base NMT (Vaswani et al. 2017): ~60 M params with a heavy
+/// tied embedding up front — an extension workload postdating the paper.
+ModelSpec transformer_base();
+
+/// AlexNet (Krizhevsky et al. 2012): ~61 M params, 94 % of them in the
+/// three FC layers — the historical extreme of parameter skew.
+ModelSpec alexnet();
+
+/// Uniform toy model: `n_layers` layers of `params_per_layer` parameters,
+/// equal FLOPs. Used for Figure 4.
+ModelSpec toy_uniform(int n_layers, std::int64_t params_per_layer);
+
+/// Toy model with explicit per-layer parameter counts (equal FLOPs unless
+/// `flops` given). Used for Figure 6 (middle layer 3x heavier).
+ModelSpec toy_custom(const std::vector<std::int64_t>& params,
+                     const std::vector<double>& flops = {});
+
+}  // namespace p3::model

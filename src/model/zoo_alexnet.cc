@@ -1,0 +1,30 @@
+#include "model/zoo.h"
+#include "model/zoo_util.h"
+
+namespace p3::model {
+
+// AlexNet (Krizhevsky et al. 2012): the historical extreme of the skew the
+// paper studies — the three fully-connected layers hold ~94% of the 61M
+// parameters, with fc6 alone at 37.8M (62%). Included as an additional
+// zoo entry for skew-sensitivity experiments.
+ModelSpec alexnet() {
+  using detail::conv_bias;
+  using detail::fc;
+
+  ModelSpec m;
+  m.name = "AlexNet";
+  m.sample_unit = "images";
+  auto& L = m.layers;
+
+  L.push_back(conv_bias("conv1", 11, 3, 96, 55));
+  L.push_back(conv_bias("conv2", 5, 96, 256, 27));
+  L.push_back(conv_bias("conv3", 3, 256, 384, 13));
+  L.push_back(conv_bias("conv4", 3, 384, 384, 13));
+  L.push_back(conv_bias("conv5", 3, 384, 256, 13));
+  L.push_back(fc("fc6", 256 * 6 * 6, 4096));  // 37.75M
+  L.push_back(fc("fc7", 4096, 4096));
+  L.push_back(fc("fc8", 4096, 1000));
+  return m;
+}
+
+}  // namespace p3::model

@@ -1,0 +1,116 @@
+#include <string>
+#include <vector>
+
+#include "model/zoo.h"
+#include "model/zoo_util.h"
+
+namespace p3::model {
+namespace {
+
+using detail::bn;
+using detail::conv;
+using detail::conv_rect;
+using detail::fc;
+
+/// Inception "BasicConv2d": convolution (no bias) + batch norm.
+void cb(std::vector<LayerSpec>& L, const std::string& name, int k, int cin,
+        int cout, int hw) {
+  L.push_back(conv(name, k, cin, cout, hw));
+  L.push_back(bn(name + ".bn", cout, hw));
+}
+
+void cb_rect(std::vector<LayerSpec>& L, const std::string& name, int kh,
+             int kw, int cin, int cout, int hw) {
+  L.push_back(conv_rect(name, kh, kw, cin, cout, hw));
+  L.push_back(bn(name + ".bn", cout, hw));
+}
+
+void inception_a(std::vector<LayerSpec>& L, const std::string& p, int cin,
+                 int pool_features) {
+  const int hw = 35;
+  cb(L, p + ".b1x1", 1, cin, 64, hw);
+  cb(L, p + ".b5x5_1", 1, cin, 48, hw);
+  cb(L, p + ".b5x5_2", 5, 48, 64, hw);
+  cb(L, p + ".b3x3dbl_1", 1, cin, 64, hw);
+  cb(L, p + ".b3x3dbl_2", 3, 64, 96, hw);
+  cb(L, p + ".b3x3dbl_3", 3, 96, 96, hw);
+  cb(L, p + ".bpool", 1, cin, pool_features, hw);
+}
+
+void inception_b(std::vector<LayerSpec>& L, const std::string& p, int cin) {
+  cb(L, p + ".b3x3", 3, cin, 384, 17);
+  cb(L, p + ".b3x3dbl_1", 1, cin, 64, 35);
+  cb(L, p + ".b3x3dbl_2", 3, 64, 96, 35);
+  cb(L, p + ".b3x3dbl_3", 3, 96, 96, 17);
+}
+
+void inception_c(std::vector<LayerSpec>& L, const std::string& p, int cin,
+                 int c7) {
+  const int hw = 17;
+  cb(L, p + ".b1x1", 1, cin, 192, hw);
+  cb(L, p + ".b7x7_1", 1, cin, c7, hw);
+  cb_rect(L, p + ".b7x7_2", 1, 7, c7, c7, hw);
+  cb_rect(L, p + ".b7x7_3", 7, 1, c7, 192, hw);
+  cb(L, p + ".b7x7dbl_1", 1, cin, c7, hw);
+  cb_rect(L, p + ".b7x7dbl_2", 7, 1, c7, c7, hw);
+  cb_rect(L, p + ".b7x7dbl_3", 1, 7, c7, c7, hw);
+  cb_rect(L, p + ".b7x7dbl_4", 7, 1, c7, c7, hw);
+  cb_rect(L, p + ".b7x7dbl_5", 1, 7, c7, 192, hw);
+  cb(L, p + ".bpool", 1, cin, 192, hw);
+}
+
+void inception_d(std::vector<LayerSpec>& L, const std::string& p, int cin) {
+  cb(L, p + ".b3x3_1", 1, cin, 192, 17);
+  cb(L, p + ".b3x3_2", 3, 192, 320, 8);
+  cb(L, p + ".b7x7x3_1", 1, cin, 192, 17);
+  cb_rect(L, p + ".b7x7x3_2", 1, 7, 192, 192, 17);
+  cb_rect(L, p + ".b7x7x3_3", 7, 1, 192, 192, 17);
+  cb(L, p + ".b7x7x3_4", 3, 192, 192, 8);
+}
+
+void inception_e(std::vector<LayerSpec>& L, const std::string& p, int cin) {
+  const int hw = 8;
+  cb(L, p + ".b1x1", 1, cin, 320, hw);
+  cb(L, p + ".b3x3_1", 1, cin, 384, hw);
+  cb_rect(L, p + ".b3x3_2a", 1, 3, 384, 384, hw);
+  cb_rect(L, p + ".b3x3_2b", 3, 1, 384, 384, hw);
+  cb(L, p + ".b3x3dbl_1", 1, cin, 448, hw);
+  cb(L, p + ".b3x3dbl_2", 3, 448, 384, hw);
+  cb_rect(L, p + ".b3x3dbl_3a", 1, 3, 384, 384, hw);
+  cb_rect(L, p + ".b3x3dbl_3b", 3, 1, 384, 384, hw);
+  cb(L, p + ".bpool", 1, cin, 192, hw);
+}
+
+}  // namespace
+
+ModelSpec inception_v3() {
+  ModelSpec m;
+  m.name = "InceptionV3";
+  m.sample_unit = "images";
+  auto& L = m.layers;
+
+  // Stem (299x299 input; auxiliary classifier excluded, as in the MXNet
+  // training configuration the paper benchmarks).
+  cb(L, "Conv2d_1a", 3, 3, 32, 149);
+  cb(L, "Conv2d_2a", 3, 32, 32, 147);
+  cb(L, "Conv2d_2b", 3, 32, 64, 147);
+  cb(L, "Conv2d_3b", 1, 64, 80, 73);
+  cb(L, "Conv2d_4a", 3, 80, 192, 71);
+
+  inception_a(L, "Mixed_5b", 192, 32);   // -> 256
+  inception_a(L, "Mixed_5c", 256, 64);   // -> 288
+  inception_a(L, "Mixed_5d", 288, 64);   // -> 288
+  inception_b(L, "Mixed_6a", 288);       // -> 768
+  inception_c(L, "Mixed_6b", 768, 128);
+  inception_c(L, "Mixed_6c", 768, 160);
+  inception_c(L, "Mixed_6d", 768, 160);
+  inception_c(L, "Mixed_6e", 768, 192);
+  inception_d(L, "Mixed_7a", 768);       // -> 1280
+  inception_e(L, "Mixed_7b", 1280);      // -> 2048
+  inception_e(L, "Mixed_7c", 2048);
+
+  L.push_back(fc("fc", 2048, 1000));
+  return m;
+}
+
+}  // namespace p3::model

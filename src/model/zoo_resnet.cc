@@ -1,0 +1,102 @@
+#include <string>
+#include <vector>
+
+#include "model/zoo.h"
+#include "model/zoo_util.h"
+
+namespace p3::model {
+namespace {
+
+using detail::bn;
+using detail::conv;
+using detail::fc;
+
+/// Append one ImageNet bottleneck block (1x1 down, 3x3, 1x1 up) with batch
+/// norms; `downsample` adds the 1x1 projection shortcut.
+void bottleneck(std::vector<LayerSpec>& layers, const std::string& prefix,
+                int cin, int width, int cout, int out_hw, bool downsample) {
+  layers.push_back(conv(prefix + ".conv1", 1, cin, width, out_hw));
+  layers.push_back(bn(prefix + ".bn1", width, out_hw));
+  layers.push_back(conv(prefix + ".conv2", 3, width, width, out_hw));
+  layers.push_back(bn(prefix + ".bn2", width, out_hw));
+  layers.push_back(conv(prefix + ".conv3", 1, width, cout, out_hw));
+  layers.push_back(bn(prefix + ".bn3", cout, out_hw));
+  if (downsample) {
+    layers.push_back(conv(prefix + ".downsample", 1, cin, cout, out_hw));
+    layers.push_back(bn(prefix + ".downsample_bn", cout, out_hw));
+  }
+}
+
+/// CIFAR basic block (3x3, 3x3) for ResNet-110.
+void basic_block(std::vector<LayerSpec>& layers, const std::string& prefix,
+                 int cin, int cout, int out_hw, bool downsample) {
+  layers.push_back(conv(prefix + ".conv1", 3, cin, cout, out_hw));
+  layers.push_back(bn(prefix + ".bn1", cout, out_hw));
+  layers.push_back(conv(prefix + ".conv2", 3, cout, cout, out_hw));
+  layers.push_back(bn(prefix + ".bn2", cout, out_hw));
+  if (downsample) {
+    layers.push_back(conv(prefix + ".downsample", 1, cin, cout, out_hw));
+    layers.push_back(bn(prefix + ".downsample_bn", cout, out_hw));
+  }
+}
+
+}  // namespace
+
+ModelSpec resnet50() {
+  ModelSpec m;
+  m.name = "ResNet-50";
+  m.sample_unit = "images";
+  auto& L = m.layers;
+
+  L.push_back(conv("conv1", 7, 3, 64, 112));
+  L.push_back(bn("bn1", 64, 112));
+
+  struct Stage {
+    int blocks, width, cout, hw;
+  };
+  // Standard [3,4,6,3] bottleneck stages at 56/28/14/7 spatial resolution.
+  const Stage stages[] = {
+      {3, 64, 256, 56}, {4, 128, 512, 28}, {6, 256, 1024, 14}, {3, 512, 2048, 7}};
+  int cin = 64;
+  int stage_idx = 1;
+  for (const auto& st : stages) {
+    for (int b = 0; b < st.blocks; ++b) {
+      const std::string prefix =
+          "layer" + std::to_string(stage_idx) + "." + std::to_string(b);
+      bottleneck(L, prefix, cin, st.width, st.cout, st.hw, b == 0);
+      cin = st.cout;
+    }
+    ++stage_idx;
+  }
+
+  L.push_back(fc("fc", 2048, 1000));
+  return m;
+}
+
+ModelSpec resnet110_cifar() {
+  ModelSpec m;
+  m.name = "ResNet-110";
+  m.sample_unit = "images";
+  auto& L = m.layers;
+
+  L.push_back(conv("conv1", 3, 3, 16, 32));
+  L.push_back(bn("bn1", 16, 32));
+
+  // Three stages of 18 basic blocks: 16@32x32, 32@16x16, 64@8x8.
+  const int channels[] = {16, 32, 64};
+  const int hw[] = {32, 16, 8};
+  int cin = 16;
+  for (int s = 0; s < 3; ++s) {
+    for (int b = 0; b < 18; ++b) {
+      const std::string prefix =
+          "layer" + std::to_string(s + 1) + "." + std::to_string(b);
+      basic_block(m.layers, prefix, cin, channels[s], hw[s],
+                  b == 0 && s > 0);
+      cin = channels[s];
+    }
+  }
+  L.push_back(fc("fc", 64, 10));
+  return m;
+}
+
+}  // namespace p3::model

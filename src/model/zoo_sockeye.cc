@@ -1,0 +1,67 @@
+#include "model/zoo.h"
+#include "model/zoo_util.h"
+
+namespace p3::model {
+
+// Sockeye NMT model (Hieber et al. 2017) as configured for IWSLT15-scale
+// data: 512-unit embeddings, a bidirectional LSTM encoder layer followed by
+// three stacked unidirectional layers, an MLP attention mechanism, and a
+// four-layer LSTM decoder. Vocabulary sizes (~16.6k source, ~8.3k target)
+// match IWSLT15 vi-en BPE vocabularies, which puts the *first* layer — the
+// source embedding, 8.5 M parameters — far above everything else (Fig 5c),
+// the configuration where the paper observes that heavy initial layers make
+// LSTM models hard to scale.
+ModelSpec sockeye() {
+  using detail::dense_seq;
+  using detail::embedding;
+  using detail::lstm;
+
+  constexpr double kTokens = 30.0;  // average IWSLT15 sentence length
+  constexpr int kDim = 512;
+  constexpr int kSrcVocab = 16600;
+  constexpr int kTgtVocab = 8300;
+
+  ModelSpec m;
+  m.name = "Sockeye";
+  m.sample_unit = "sentences";
+  auto& L = m.layers;
+
+  // --- encoder ---
+  L.push_back(embedding("encoder.embed", kSrcVocab, kDim, kTokens));
+  lstm(L, "encoder.birnn.fwd", kDim, kDim / 2, kTokens);
+  lstm(L, "encoder.birnn.rev", kDim, kDim / 2, kTokens);
+  for (int i = 1; i <= 3; ++i) {
+    lstm(L, "encoder.rnn.l" + std::to_string(i), kDim, kDim, kTokens);
+  }
+
+  // --- attention (MLP attention: query/key projections + score vector) ---
+  L.push_back(dense_seq("attention.query", kDim, kDim, kTokens, false));
+  L.push_back(dense_seq("attention.key", kDim, kDim, kTokens, false));
+  L.push_back(dense_seq("attention.score", kDim, 1, kTokens, false));
+
+  // --- decoder ---
+  L.push_back(embedding("decoder.embed", kTgtVocab, kDim, kTokens));
+  // First decoder layer consumes [embedding ; attention context].
+  lstm(L, "decoder.rnn.l1", 2 * kDim, kDim, kTokens);
+  for (int i = 2; i <= 4; ++i) {
+    lstm(L, "decoder.rnn.l" + std::to_string(i), kDim, kDim, kTokens);
+  }
+  L.push_back(dense_seq("decoder.hidden", 2 * kDim, kDim, kTokens));
+  L.push_back(dense_seq("decoder.logits", kDim, kTgtVocab, kTokens));
+  return m;
+}
+
+ModelSpec toy_uniform(int n_layers, std::int64_t params_per_layer) {
+  ModelSpec m;
+  m.name = "toy-uniform";
+  for (int i = 0; i < n_layers; ++i) {
+    LayerSpec l;
+    l.name = "L" + std::to_string(i + 1);
+    l.params = params_per_layer;
+    l.fwd_flops = 1.0;
+    m.layers.push_back(l);
+  }
+  return m;
+}
+
+}  // namespace p3::model

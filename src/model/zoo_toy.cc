@@ -1,0 +1,25 @@
+#include <stdexcept>
+
+#include "model/zoo.h"
+
+namespace p3::model {
+
+ModelSpec toy_custom(const std::vector<std::int64_t>& params,
+                     const std::vector<double>& flops) {
+  if (params.empty()) throw std::invalid_argument("toy model with no layers");
+  if (!flops.empty() && flops.size() != params.size()) {
+    throw std::invalid_argument("flops/params size mismatch");
+  }
+  ModelSpec m;
+  m.name = "toy-custom";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    LayerSpec l;
+    l.name = "L" + std::to_string(i + 1);
+    l.params = params[i];
+    l.fwd_flops = flops.empty() ? 1.0 : flops[i];
+    m.layers.push_back(l);
+  }
+  return m;
+}
+
+}  // namespace p3::model

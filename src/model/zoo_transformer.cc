@@ -1,0 +1,75 @@
+#include <string>
+
+#include "model/zoo.h"
+#include "model/zoo_util.h"
+
+namespace p3::model {
+namespace {
+
+using detail::dense_seq;
+using detail::embedding;
+
+constexpr int kDim = 512;
+constexpr int kFfn = 2048;
+constexpr double kTokens = 30.0;
+
+void layer_norm(std::vector<LayerSpec>& L, const std::string& name) {
+  LayerSpec ln;
+  ln.name = name;
+  ln.params = 2LL * kDim;  // scale + shift
+  ln.fwd_flops = kTokens * 8.0 * kDim;
+  L.push_back(ln);
+}
+
+void attention(std::vector<LayerSpec>& L, const std::string& prefix) {
+  for (const char* proj : {"q", "k", "v", "o"}) {
+    L.push_back(dense_seq(prefix + "." + proj + "_proj", kDim, kDim, kTokens));
+  }
+  layer_norm(L, prefix + ".norm");
+}
+
+void ffn(std::vector<LayerSpec>& L, const std::string& prefix) {
+  L.push_back(dense_seq(prefix + ".ffn1", kDim, kFfn, kTokens));
+  L.push_back(dense_seq(prefix + ".ffn2", kFfn, kDim, kTokens));
+  layer_norm(L, prefix + ".norm");
+}
+
+}  // namespace
+
+// Transformer-base NMT model (Vaswani et al. 2017) — the architecture that
+// displaced Sockeye's RNN stack shortly after the paper. Communication-wise
+// it combines both pathological shapes the paper studies: a very heavy
+// *initial* layer (the 16.4M-parameter shared embedding, like Sockeye) and
+// a long uniform trunk of medium tensors (like ResNet, but denser). Output
+// projection weights are tied to the embedding, so only its bias remains at
+// the end.
+ModelSpec transformer_base() {
+  constexpr int kVocab = 32'000;
+
+  ModelSpec m;
+  m.name = "Transformer";
+  m.sample_unit = "sentences";
+  auto& L = m.layers;
+
+  L.push_back(embedding("shared.embed", kVocab, kDim, 2.0 * kTokens));
+  for (int i = 1; i <= 6; ++i) {
+    const std::string p = "encoder.l" + std::to_string(i);
+    attention(L, p + ".self_attn");
+    ffn(L, p);
+  }
+  for (int i = 1; i <= 6; ++i) {
+    const std::string p = "decoder.l" + std::to_string(i);
+    attention(L, p + ".self_attn");
+    attention(L, p + ".cross_attn");
+    ffn(L, p);
+  }
+  // Tied output projection: only the bias is a fresh tensor.
+  LayerSpec out_bias;
+  out_bias.name = "output.bias";
+  out_bias.params = kVocab;
+  out_bias.fwd_flops = kTokens * 2.0 * kDim * kVocab;  // the tied matmul
+  L.push_back(out_bias);
+  return m;
+}
+
+}  // namespace p3::model

@@ -1,0 +1,106 @@
+// Shared builders for the model zoo (internal header).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/model.h"
+
+namespace p3::model::detail {
+
+/// Convolution weight tensor (no bias, as in BN architectures).
+/// FLOPs: 2 * k*k*cin * cout * out_h * out_w (multiply-add counted as 2).
+inline LayerSpec conv(const std::string& name, int k, int cin, int cout,
+                      int out_hw) {
+  LayerSpec l;
+  l.name = name;
+  l.params = static_cast<std::int64_t>(k) * k * cin * cout;
+  l.fwd_flops = 2.0 * k * k * cin * cout * out_hw * out_hw;
+  return l;
+}
+
+/// Convolution with bias (VGG style).
+inline LayerSpec conv_bias(const std::string& name, int k, int cin, int cout,
+                           int out_hw) {
+  LayerSpec l = conv(name, k, cin, cout, out_hw);
+  l.params += cout;
+  return l;
+}
+
+/// Non-square convolution (Inception uses 1x7 / 7x1 factorizations).
+inline LayerSpec conv_rect(const std::string& name, int kh, int kw, int cin,
+                           int cout, int out_hw) {
+  LayerSpec l;
+  l.name = name;
+  l.params = static_cast<std::int64_t>(kh) * kw * cin * cout;
+  l.fwd_flops = 2.0 * kh * kw * cin * cout * out_hw * out_hw;
+  return l;
+}
+
+/// Batch norm scale+shift. FLOPs are a few ops per activation; negligible
+/// next to the conv but nonzero so the layer occupies a compute slot.
+inline LayerSpec bn(const std::string& name, int channels, int out_hw) {
+  LayerSpec l;
+  l.name = name;
+  l.params = 2LL * channels;
+  l.fwd_flops = 4.0 * channels * out_hw * out_hw;
+  return l;
+}
+
+/// Fully connected layer with bias.
+inline LayerSpec fc(const std::string& name, int in, int out) {
+  LayerSpec l;
+  l.name = name;
+  l.params = static_cast<std::int64_t>(in) * out + out;
+  l.fwd_flops = 2.0 * static_cast<double>(in) * out;
+  return l;
+}
+
+/// Embedding lookup table: huge parameter count, negligible FLOPs.
+inline LayerSpec embedding(const std::string& name, int vocab, int dim,
+                           double tokens_per_sample) {
+  LayerSpec l;
+  l.name = name;
+  l.params = static_cast<std::int64_t>(vocab) * dim;
+  l.fwd_flops = tokens_per_sample * dim;  // a gather per token
+  return l;
+}
+
+/// LSTM cell, emitted as MXNet does: four tensors (i2h weight, i2h bias,
+/// h2h weight, h2h bias), each stacking the 4 gates.
+/// FLOPs: two dense matmuls per gate per token, split across the weights.
+inline void lstm(std::vector<LayerSpec>& layers, const std::string& name,
+                 int input, int hidden, double tokens_per_sample) {
+  LayerSpec i2h;
+  i2h.name = name + ".i2h_weight";
+  i2h.params = 4LL * input * hidden;
+  i2h.fwd_flops = tokens_per_sample * 2.0 * 4.0 * input * hidden;
+  layers.push_back(i2h);
+  LayerSpec i2h_b;
+  i2h_b.name = name + ".i2h_bias";
+  i2h_b.params = 4LL * hidden;
+  i2h_b.fwd_flops = tokens_per_sample * 4.0 * hidden;
+  layers.push_back(i2h_b);
+  LayerSpec h2h;
+  h2h.name = name + ".h2h_weight";
+  h2h.params = 4LL * hidden * hidden;
+  h2h.fwd_flops = tokens_per_sample * 2.0 * 4.0 * hidden * hidden;
+  layers.push_back(h2h);
+  LayerSpec h2h_b;
+  h2h_b.name = name + ".h2h_bias";
+  h2h_b.params = 4LL * hidden;
+  h2h_b.fwd_flops = tokens_per_sample * 4.0 * hidden;
+  layers.push_back(h2h_b);
+}
+
+/// Dense projection applied per token (attention / output layers).
+inline LayerSpec dense_seq(const std::string& name, int in, int out,
+                           double tokens_per_sample, bool bias = true) {
+  LayerSpec l;
+  l.name = name;
+  l.params = static_cast<std::int64_t>(in) * out + (bias ? out : 0);
+  l.fwd_flops = tokens_per_sample * 2.0 * static_cast<double>(in) * out;
+  return l;
+}
+
+}  // namespace p3::model::detail

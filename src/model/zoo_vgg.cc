@@ -1,0 +1,40 @@
+#include "model/zoo.h"
+#include "model/zoo_util.h"
+
+namespace p3::model {
+
+ModelSpec vgg19() {
+  using detail::conv_bias;
+  using detail::fc;
+
+  ModelSpec m;
+  m.name = "VGG-19";
+  m.sample_unit = "images";
+  auto& L = m.layers;
+
+  // Configuration E: 16 conv layers (with biases), then three FC layers.
+  // Spatial size halves after each pooling stage: 224/112/56/28/14, FCs at 7.
+  L.push_back(conv_bias("conv1_1", 3, 3, 64, 224));
+  L.push_back(conv_bias("conv1_2", 3, 64, 64, 224));
+  L.push_back(conv_bias("conv2_1", 3, 64, 128, 112));
+  L.push_back(conv_bias("conv2_2", 3, 128, 128, 112));
+  L.push_back(conv_bias("conv3_1", 3, 128, 256, 56));
+  L.push_back(conv_bias("conv3_2", 3, 256, 256, 56));
+  L.push_back(conv_bias("conv3_3", 3, 256, 256, 56));
+  L.push_back(conv_bias("conv3_4", 3, 256, 256, 56));
+  L.push_back(conv_bias("conv4_1", 3, 256, 512, 28));
+  L.push_back(conv_bias("conv4_2", 3, 512, 512, 28));
+  L.push_back(conv_bias("conv4_3", 3, 512, 512, 28));
+  L.push_back(conv_bias("conv4_4", 3, 512, 512, 28));
+  L.push_back(conv_bias("conv5_1", 3, 512, 512, 14));
+  L.push_back(conv_bias("conv5_2", 3, 512, 512, 14));
+  L.push_back(conv_bias("conv5_3", 3, 512, 512, 14));
+  L.push_back(conv_bias("conv5_4", 3, 512, 512, 14));
+  // fc6: 512*7*7 -> 4096 = 102,764,544 params, 71.5% of the model.
+  L.push_back(fc("fc6", 512 * 7 * 7, 4096));
+  L.push_back(fc("fc7", 4096, 4096));
+  L.push_back(fc("fc8", 4096, 1000));
+  return m;
+}
+
+}  // namespace p3::model

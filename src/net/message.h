@@ -1,0 +1,46 @@
+// Wire message descriptor.
+//
+// The network layer only cares about src/dst/bytes; the remaining fields are
+// protocol metadata filled in by the parameter-server layer (`p3::ps`,
+// `p3::core`). Keeping one flat POD avoids type-erasure in the hot path and
+// keeps the simulator allocation-free per message.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace p3::net {
+
+/// Protocol message kinds (parameter-server protocol, Section 4 of the
+/// paper). The network layer treats these opaquely.
+enum class MsgKind : std::uint8_t {
+  kPushGradient = 0,  ///< worker -> server: gradient slice payload
+  kNotify = 1,        ///< server -> worker: "key updated" control message
+  kPullRequest = 2,   ///< worker -> server: parameter pull control message
+  kParams = 3,        ///< server -> worker: updated parameter payload
+  kBackground = 4,    ///< foreign tenant traffic (dropped by the protocol)
+};
+
+struct Message {
+  int src = -1;
+  int dst = -1;
+  MsgKind kind = MsgKind::kPushGradient;
+  std::int64_t slice = -1;     ///< slice/shard key
+  int layer = -1;              ///< owning layer index (forward order)
+  int priority = 0;            ///< smaller value = more urgent (layer 0 first)
+  std::int64_t iteration = -1; ///< training iteration the payload belongs to
+  int worker = -1;             ///< originating worker for pushes/pulls
+  Bytes bytes = 0;             ///< total wire size including header
+  /// Logical (uncompressed) payload this message carries; the protocol layer
+  /// does its accounting on this while the network serializes `bytes`.
+  /// 0 = same as the wire payload.
+  Bytes logical = 0;
+};
+
+/// Fixed per-message header overhead (ps-lite style key+meta).
+constexpr Bytes kHeaderBytes = 64;
+/// Size of control messages (notify / pull request).
+constexpr Bytes kControlBytes = 256;
+
+}  // namespace p3::net

@@ -1,0 +1,91 @@
+#include "net/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p3::net {
+
+UtilizationMonitor::UtilizationMonitor(int n_nodes, TimeS bin_width)
+    : bin_width_(bin_width),
+      out_(static_cast<std::size_t>(n_nodes)),
+      in_(static_cast<std::size_t>(n_nodes)) {
+  if (n_nodes <= 0) throw std::invalid_argument("need at least one node");
+  if (bin_width <= 0.0) throw std::invalid_argument("non-positive bin width");
+}
+
+std::vector<double>& UtilizationMonitor::series(int node, Direction dir) {
+  auto& side = dir == Direction::kOut ? out_ : in_;
+  return side.at(static_cast<std::size_t>(node));
+}
+
+const std::vector<double>& UtilizationMonitor::series(int node,
+                                                      Direction dir) const {
+  const auto& side = dir == Direction::kOut ? out_ : in_;
+  return side.at(static_cast<std::size_t>(node));
+}
+
+void UtilizationMonitor::record(int node, Direction dir, TimeS start,
+                                TimeS end, Bytes bytes) {
+  if (bytes <= 0) return;
+  auto& bins = series(node, dir);
+  if (end <= start) {
+    // Instantaneous transfer: account wholly to the containing bin.
+    const auto idx = static_cast<std::size_t>(start / bin_width_);
+    if (bins.size() <= idx) bins.resize(idx + 1, 0.0);
+    bins[idx] += static_cast<double>(bytes);
+    return;
+  }
+  const double rate = static_cast<double>(bytes) / (end - start);
+  const auto last = static_cast<std::size_t>(end / bin_width_);
+  if (bins.size() <= last) bins.resize(last + 1, 0.0);
+  for (auto b = static_cast<std::size_t>(start / bin_width_); b <= last; ++b) {
+    const double lo = std::max(start, static_cast<double>(b) * bin_width_);
+    const double hi =
+        std::min(end, (static_cast<double>(b) + 1.0) * bin_width_);
+    if (hi > lo) bins[b] += rate * (hi - lo);
+  }
+}
+
+std::size_t UtilizationMonitor::bins(int node, Direction dir) const {
+  return series(node, dir).size();
+}
+
+double UtilizationMonitor::bin_bytes(int node, Direction dir,
+                                     std::size_t i) const {
+  const auto& bins = series(node, dir);
+  return i < bins.size() ? bins[i] : 0.0;
+}
+
+BitsPerSec UtilizationMonitor::bin_rate(int node, Direction dir,
+                                        std::size_t i) const {
+  return bin_bytes(node, dir, i) * kBitsPerByte / bin_width_;
+}
+
+double UtilizationMonitor::total_bytes(int node, Direction dir) const {
+  const auto& bins = series(node, dir);
+  double total = 0.0;
+  for (double b : bins) total += b;
+  return total;
+}
+
+double UtilizationMonitor::idle_fraction(int node, Direction dir,
+                                         BitsPerSec threshold,
+                                         std::size_t first,
+                                         std::size_t last) const {
+  if (last <= first) return 0.0;
+  std::size_t idle = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    if (bin_rate(node, dir, i) < threshold) ++idle;
+  }
+  return static_cast<double>(idle) / static_cast<double>(last - first);
+}
+
+BitsPerSec UtilizationMonitor::peak_rate(int node, Direction dir) const {
+  const auto& bins = series(node, dir);
+  double peak = 0.0;
+  for (double b : bins) peak = std::max(peak, b);
+  return peak * kBitsPerByte / bin_width_;
+}
+
+}  // namespace p3::net

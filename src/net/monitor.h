@@ -1,0 +1,57 @@
+// bwm-ng style per-interface utilization monitor.
+//
+// The paper measures inbound/outbound traffic of one worker machine at
+// 10 ms precision (Figs 8, 9, 13, 14). `UtilizationMonitor` accumulates
+// transferred bytes into fixed-width time bins per node and direction; a
+// transfer spanning several bins is spread proportionally, matching what an
+// interface byte-counter sampled at bin boundaries would report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace p3::net {
+
+enum class Direction { kOut = 0, kIn = 1 };
+
+class UtilizationMonitor {
+ public:
+  UtilizationMonitor(int n_nodes, TimeS bin_width = 0.010);
+
+  /// Record a transfer interval on a node's TX or RX channel.
+  void record(int node, Direction dir, TimeS start, TimeS end, Bytes bytes);
+
+  TimeS bin_width() const { return bin_width_; }
+  std::size_t bins(int node, Direction dir) const;
+
+  /// Bytes accounted to bin `i`.
+  double bin_bytes(int node, Direction dir, std::size_t i) const;
+
+  /// Average rate over bin `i` in bits/s.
+  BitsPerSec bin_rate(int node, Direction dir, std::size_t i) const;
+
+  /// Total bytes recorded for a node/direction.
+  double total_bytes(int node, Direction dir) const;
+
+  /// Fraction of bins in [first, last) whose utilization is below
+  /// `threshold` (idle-time metric used in Section 5.4).
+  double idle_fraction(int node, Direction dir, BitsPerSec threshold,
+                       std::size_t first, std::size_t last) const;
+
+  /// Peak bin rate in bits/s over all recorded bins.
+  BitsPerSec peak_rate(int node, Direction dir) const;
+
+ private:
+  std::vector<double>& series(int node, Direction dir);
+  const std::vector<double>& series(int node, Direction dir) const;
+
+  TimeS bin_width_;
+  // [node][direction] -> per-bin byte counts.
+  std::vector<std::vector<double>> out_;
+  std::vector<std::vector<double>> in_;
+};
+
+}  // namespace p3::net

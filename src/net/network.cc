@@ -1,0 +1,118 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace p3::net {
+
+Network::Network(sim::Simulator& sim, int n_nodes, NetworkConfig config)
+    : sim_(&sim), config_(config) {
+  if (n_nodes <= 0) throw std::invalid_argument("need at least one node");
+  if (config.rate <= 0 || config.loopback_rate <= 0) {
+    throw std::invalid_argument("non-positive link rate");
+  }
+  const BitsPerSec rx = config.rx_rate > 0 ? config.rx_rate : config.rate;
+  nics_.resize(static_cast<std::size_t>(n_nodes), Nic{config.rate, rx});
+  inboxes_.reserve(static_cast<std::size_t>(n_nodes));
+  for (int i = 0; i < n_nodes; ++i) {
+    inboxes_.push_back(std::make_unique<sim::Queue<Message>>(sim));
+  }
+}
+
+TimeS Network::post(Message m) {
+  if (m.src < 0 || m.src >= nodes() || m.dst < 0 || m.dst >= nodes()) {
+    throw std::out_of_range("message endpoint out of range");
+  }
+  if (m.bytes <= 0) throw std::invalid_argument("message with no bytes");
+
+  ++posted_;
+  bytes_posted_ += m.bytes;
+  const TimeS now = sim_->now();
+  TimeS deliver_at;
+  TimeS tx_end;
+
+  if (m.src == m.dst) {
+    // Colocated processes: loopback channel, no NIC involvement.
+    Nic& nic = nics_[static_cast<std::size_t>(m.src)];
+    const TimeS start = std::max(now, nic.loop_free);
+    tx_end = start + transfer_time(m.bytes, config_.loopback_rate);
+    nic.loop_free = tx_end;
+    deliver_at = tx_end + config_.loopback_latency;
+  } else {
+    bytes_remote_ += m.bytes;
+    Nic& src = nics_[static_cast<std::size_t>(m.src)];
+    Nic& dst = nics_[static_cast<std::size_t>(m.dst)];
+    const TimeS tx_start = std::max(now, src.tx_free);
+    tx_end = tx_start + transfer_time(m.bytes, src.tx_rate);
+    src.tx_free = tx_end;
+
+    const TimeS rx_start = std::max(tx_end + config_.latency, dst.rx_free);
+    const TimeS rx_end = rx_start + transfer_time(m.bytes, dst.rx_rate);
+    dst.rx_free = rx_end;
+    deliver_at = rx_end;
+
+    if (monitor_ != nullptr) {
+      monitor_->record(m.src, Direction::kOut, tx_start, tx_end, m.bytes);
+      monitor_->record(m.dst, Direction::kIn, rx_start, rx_end, m.bytes);
+    }
+    if (timeline_ != nullptr) {
+      timeline_->add("n" + std::to_string(m.src) + ".tx", tx_start, tx_end,
+                     message_label(m));
+      timeline_->add("n" + std::to_string(m.dst) + ".rx", rx_start, rx_end,
+                     message_label(m));
+    }
+  }
+
+  sim_->schedule_at(deliver_at, [this, m = std::move(m)] {
+    ++delivered_;
+    inbox(m.dst).push(m);
+  });
+  return tx_end;
+}
+
+void Network::set_node_rate(int node, BitsPerSec tx_rate,
+                            BitsPerSec rx_rate) {
+  if (tx_rate <= 0 || rx_rate < 0) {
+    throw std::invalid_argument("non-positive link rate");
+  }
+  auto& nic = nics_.at(static_cast<std::size_t>(node));
+  nic.tx_rate = tx_rate;
+  if (rx_rate > 0) nic.rx_rate = rx_rate;
+}
+
+BitsPerSec Network::node_rate(int node) const {
+  return nics_.at(static_cast<std::size_t>(node)).tx_rate;
+}
+
+BitsPerSec Network::node_rx_rate(int node) const {
+  return nics_.at(static_cast<std::size_t>(node)).rx_rate;
+}
+
+TimeS Network::tx_free_at(int node) const {
+  const Nic& nic = nics_.at(static_cast<std::size_t>(node));
+  return std::max(nic.tx_free, sim_->now());
+}
+
+std::string message_label(const Message& m) {
+  std::string prefix;
+  switch (m.kind) {
+    case MsgKind::kPushGradient:
+      prefix = "g";  // gradient push
+      break;
+    case MsgKind::kNotify:
+      prefix = "n";
+      break;
+    case MsgKind::kPullRequest:
+      prefix = "q";
+      break;
+    case MsgKind::kParams:
+      prefix = "p";
+      break;
+    case MsgKind::kBackground:
+      return "bg";
+  }
+  return prefix + "L" + std::to_string(m.layer);
+}
+
+}  // namespace p3::net

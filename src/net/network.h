@@ -1,0 +1,115 @@
+// Cluster network substrate.
+//
+// Models a full-mesh (switched) cluster of `n` machines, each with a
+// full-duplex NIC. A message of S bytes from a to b:
+//
+//   1. serializes on a's TX channel:  [tx_start, tx_start + S/rate_tx)
+//   2. propagates for `latency`
+//   3. serializes on b's RX channel:  [rx_start, rx_start + S/rate_rx)
+//   4. is delivered into b's inbox at rx_end
+//
+// Channels serve reservations FIFO (tx_start = max(now, channel free time)),
+// which is exactly the behaviour of a kernel socket send queue; priority
+// scheduling in P3 happens *above* this layer by deciding what to post next,
+// as in the paper's producer/consumer design. Messages between colocated
+// processes (src == dst) use a per-node loopback channel and never touch the
+// NIC.
+//
+// Per-node rates support heterogeneous clusters and `tc qdisc`-style
+// throttling mid-experiment (Section 5.3 uses this to sweep bandwidth).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "net/message.h"
+#include "net/monitor.h"
+#include "sim/queue.h"
+#include "sim/simulator.h"
+#include "trace/timeline.h"
+
+namespace p3::net {
+
+struct NetworkConfig {
+  BitsPerSec rate = gbps(10);            ///< per-NIC TX (egress) rate
+  /// RX (ingress) rate; 0 = same as `rate`. The paper throttles with
+  /// `tc qdisc`, which shapes egress only — set this to the physical line
+  /// rate (e.g. 100 Gbps InfiniBand) to reproduce that setup.
+  BitsPerSec rx_rate = 0;
+  TimeS latency = us(25);                ///< one-way propagation delay
+  BitsPerSec loopback_rate = gbps(400);  ///< colocated worker<->server path
+  TimeS loopback_latency = us(2);
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, int n_nodes, NetworkConfig config);
+
+  int nodes() const { return static_cast<int>(nics_.size()); }
+  sim::Simulator& simulator() { return *sim_; }
+  const NetworkConfig& config() const { return config_; }
+
+  /// Post a message for transmission. Reserves the channels immediately
+  /// (FIFO) and schedules delivery into `inbox(dst)`. Returns the time at
+  /// which the sender's TX serialization completes — the moment a blocking
+  /// send() call would return.
+  TimeS post(Message m);
+
+  /// Awaitable blocking send: posts and suspends until TX completes.
+  auto send(Message m) {
+    const TimeS done = post(std::move(m));
+    return sim_->sleep_until(done);
+  }
+
+  /// Destination queues; protocol demux loops pop from these.
+  sim::Queue<Message>& inbox(int node) {
+    return *inboxes_.at(static_cast<std::size_t>(node));
+  }
+
+  /// `tc qdisc`-style rate limiting of one node's egress; rx_rate 0 keeps
+  /// the node's current ingress rate.
+  void set_node_rate(int node, BitsPerSec tx_rate, BitsPerSec rx_rate = 0);
+  BitsPerSec node_rate(int node) const;     ///< TX rate
+  BitsPerSec node_rx_rate(int node) const;  ///< RX rate
+
+  /// Earliest time the node's TX channel is free (== now when idle).
+  TimeS tx_free_at(int node) const;
+
+  /// Optional observers.
+  void attach_monitor(UtilizationMonitor* monitor) { monitor_ = monitor; }
+  void attach_timeline(trace::Timeline* timeline) { timeline_ = timeline; }
+
+  /// Counters for conservation checks in tests.
+  std::int64_t messages_posted() const { return posted_; }
+  std::int64_t messages_delivered() const { return delivered_; }
+  Bytes bytes_posted() const { return bytes_posted_; }
+  /// Bytes that actually crossed a NIC (excludes loopback).
+  Bytes bytes_posted_remote() const { return bytes_remote_; }
+
+ private:
+  struct Nic {
+    BitsPerSec tx_rate;
+    BitsPerSec rx_rate;
+    TimeS tx_free = 0.0;
+    TimeS rx_free = 0.0;
+    TimeS loop_free = 0.0;
+  };
+
+  sim::Simulator* sim_;
+  NetworkConfig config_;
+  std::vector<Nic> nics_;
+  std::vector<std::unique_ptr<sim::Queue<Message>>> inboxes_;
+  UtilizationMonitor* monitor_ = nullptr;
+  trace::Timeline* timeline_ = nullptr;
+  std::int64_t posted_ = 0;
+  std::int64_t delivered_ = 0;
+  Bytes bytes_posted_ = 0;
+  Bytes bytes_remote_ = 0;
+};
+
+/// Human-readable label for timeline spans ("push L3", "param L1", ...).
+std::string message_label(const Message& m);
+
+}  // namespace p3::net

@@ -1,0 +1,440 @@
+#include "ps/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace p3::ps {
+namespace {
+
+std::string lane(const char* prefix, int node, const char* suffix) {
+  return std::string(prefix) + std::to_string(node) + suffix;
+}
+
+}  // namespace
+
+Cluster::Cluster(model::Workload workload, ClusterConfig config)
+    : workload_(std::move(workload)),
+      cfg_(std::move(config)),
+      sync_(core::sync_config(cfg_.method)) {
+  if (cfg_.n_workers <= 0) {
+    throw std::invalid_argument("need at least one worker");
+  }
+  if (cfg_.fragment_bytes <= 0) {
+    throw std::invalid_argument("non-positive fragment size");
+  }
+  if (cfg_.update_bytes_per_sec <= 0) {
+    throw std::invalid_argument("non-positive update rate");
+  }
+  if (cfg_.wire_compression < 1.0) {
+    throw std::invalid_argument("compression factor below 1");
+  }
+
+  Rng placement_rng(cfg_.seed);
+  partition_ =
+      sync_.slicing
+          ? core::partition_p3(workload_.model, cfg_.n_workers,
+                               cfg_.slice_params)
+          : core::partition_kvstore(workload_.model, cfg_.n_workers,
+                                    cfg_.kvstore_threshold, placement_rng);
+
+  if (!cfg_.fwd_times.empty()) {
+    const auto n = static_cast<std::size_t>(workload_.model.num_layers());
+    if (cfg_.fwd_times.size() != n || cfg_.bwd_times.size() != n) {
+      throw std::invalid_argument("compute override size mismatch");
+    }
+    profile_.fwd = cfg_.fwd_times;
+    profile_.bwd = cfg_.bwd_times;
+  } else {
+    profile_ = model::make_profile(workload_.model, workload_.iter_compute_time);
+  }
+
+  net::NetworkConfig net_cfg;
+  net_cfg.rate = cfg_.bandwidth;
+  net_cfg.rx_rate = cfg_.rx_bandwidth;
+  net_cfg.latency = cfg_.latency;
+  net_ = std::make_unique<net::Network>(sim_, total_nodes(), net_cfg);
+
+  const int layers = workload_.model.num_layers();
+  for (int w = 0; w < cfg_.n_workers; ++w) {
+    auto ws = std::make_unique<WorkerState>(sim_);
+    ws->gates.reserve(static_cast<std::size_t>(layers));
+    for (int l = 0; l < layers; ++l) {
+      ws->gates.push_back(std::make_unique<sim::VersionGate>(sim_));
+    }
+    ws->param_bytes.assign(static_cast<std::size_t>(layers), 0);
+    ws->notify_count.assign(static_cast<std::size_t>(layers), 0);
+    ws->rng = Rng(cfg_.seed + 1000003ULL * static_cast<std::uint64_t>(w + 1));
+    workers_.push_back(std::move(ws));
+
+    auto ss = std::make_unique<ServerState>(sim_);
+    const auto n_slices = static_cast<std::size_t>(partition_.num_slices());
+    ss->round_bytes.assign(n_slices, 0);
+    ss->version.assign(n_slices, 0);
+    ss->pending.resize(n_slices);
+    servers_.push_back(std::move(ss));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::attach_timeline(trace::Timeline* timeline) {
+  timeline_ = timeline;
+  net_->attach_timeline(timeline);
+}
+
+Bytes Cluster::wire_payload(Bytes logical) const {
+  if (cfg_.wire_compression <= 1.0) return logical;
+  const auto compressed = static_cast<Bytes>(
+      static_cast<double>(logical) / cfg_.wire_compression);
+  return std::max<Bytes>(compressed, 1);
+}
+
+int Cluster::item_priority(std::int64_t slice) const {
+  if (!sync_.priority) return 0;  // FIFO: ties broken by sequence number
+  return partition_.slices[static_cast<std::size_t>(slice)].priority;
+}
+
+double Cluster::jitter_factor(WorkerState& ws) {
+  if (cfg_.compute_jitter <= 0.0) return 1.0;
+  return std::max(0.2, ws.rng.normal(1.0, cfg_.compute_jitter));
+}
+
+void Cluster::enqueue_push(int w, std::int64_t slice, std::int64_t iteration) {
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
+  Bytes remaining = sl.payload_bytes();
+  // Fragment large shards (ps-lite serialization); each fragment is a
+  // separate message, so priority preemption also works mid-layer.
+  while (remaining > 0) {
+    SendItem item;
+    item.slice = slice;
+    item.kind = net::MsgKind::kPushGradient;
+    item.iteration = iteration;
+    item.payload = std::min(remaining, cfg_.fragment_bytes);
+    item.priority = item_priority(slice);
+    item.seq = ws.send_seq++;
+    ws.sendq.push(item);
+    remaining -= item.payload;
+  }
+}
+
+void Cluster::enqueue_pull(int w, std::int64_t slice, std::int64_t iteration) {
+  // Pull requests are tiny control messages; like TCP small packets they
+  // interleave with bulk data rather than queueing behind it, so they are
+  // posted directly instead of going through the bulk send queue.
+  const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
+  net::Message m;
+  m.src = w;
+  m.dst = server_node(sl.server);
+  m.kind = net::MsgKind::kPullRequest;
+  m.slice = slice;
+  m.layer = sl.layer;
+  m.priority = item_priority(slice);
+  m.iteration = iteration;
+  m.worker = w;
+  m.bytes = net::kControlBytes;
+  net_->post(m);
+  ++pulls_sent_;
+}
+
+sim::Task Cluster::worker_loop(int w) {
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  const int layers = workload_.model.num_layers();
+  for (std::int64_t iter = 0; iter < target_iterations_; ++iter) {
+    const double jitter = jitter_factor(ws);
+    TimeS stall = 0.0;
+    // --- forward propagation ---
+    for (int l = 0; l < layers; ++l) {
+      if (!partition_.layer_slices[static_cast<std::size_t>(l)].empty()) {
+        const TimeS wait_from = sim_.now();
+        co_await ws.gates[static_cast<std::size_t>(l)]->wait_for(iter);
+        stall += sim_.now() - wait_from;
+      }
+      const TimeS t0 = sim_.now();
+      co_await sim_.sleep(profile_.fwd[static_cast<std::size_t>(l)] * jitter);
+      if (timeline_ != nullptr) {
+        timeline_->add(lane("w", w, ".cmp"), t0, sim_.now(),
+                       "F" + std::to_string(l + 1));
+      }
+    }
+    // --- backward propagation (reverse order) ---
+    for (int l = layers - 1; l >= 0; --l) {
+      const TimeS t0 = sim_.now();
+      co_await sim_.sleep(profile_.bwd[static_cast<std::size_t>(l)] * jitter);
+      if (timeline_ != nullptr) {
+        timeline_->add(lane("w", w, ".cmp"), t0, sim_.now(),
+                       "B" + std::to_string(l + 1));
+      }
+      // Wait-free backpropagation: the layer's slices enter the send queue
+      // the moment its gradients exist.
+      for (auto slice : partition_.layer_slices[static_cast<std::size_t>(l)]) {
+        enqueue_push(w, slice, iter);
+      }
+    }
+    if (sync_.deferred_pull) {
+      // TensorFlow-style: pulls for every key are issued together at the
+      // start of the next graph execution, in forward order.
+      for (int l = 0; l < layers; ++l) {
+        for (auto slice :
+             partition_.layer_slices[static_cast<std::size_t>(l)]) {
+          enqueue_pull(w, slice, iter);
+        }
+      }
+    }
+    ws.iter_done.push_back(sim_.now());
+    ws.iter_stall.push_back(stall);
+  }
+  ++workers_finished_;
+}
+
+sim::Task Cluster::worker_sender(int w) {
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  for (;;) {
+    SendItem item = co_await ws.sendq.pop();
+    const auto& sl = partition_.slices[static_cast<std::size_t>(item.slice)];
+    net::Message m;
+    m.src = w;
+    m.dst = server_node(sl.server);
+    m.kind = item.kind;
+    m.slice = item.slice;
+    m.layer = sl.layer;
+    m.priority = item.priority;
+    m.iteration = item.iteration;
+    m.worker = w;
+    m.logical = item.payload;
+    m.bytes = wire_payload(item.payload) + net::kHeaderBytes;
+    ++pushes_sent_;
+    // Per-message CPU cost on the sender thread, then a blocking send: the
+    // consumer only dequeues the next (highest priority) item once this
+    // message has fully serialized onto the NIC.
+    if (cfg_.send_overhead > 0.0) co_await sim_.sleep(cfg_.send_overhead);
+    co_await net_->send(m);
+  }
+}
+
+sim::Task Cluster::node_demux(int n) {
+  // Colocated mode: node n hosts worker n and server n. Dedicated mode:
+  // nodes [0, n_workers) host workers, [n_workers, 2*n_workers) servers.
+  const int server_idx = cfg_.dedicated_servers ? n - cfg_.n_workers : n;
+  for (;;) {
+    net::Message m = co_await net_->inbox(n).pop();
+    switch (m.kind) {
+      case net::MsgKind::kPushGradient:
+      case net::MsgKind::kPullRequest: {
+        if (server_idx < 0) throw std::logic_error("PS traffic at worker node");
+        auto& ss = *servers_[static_cast<std::size_t>(server_idx)];
+        RxItem item;
+        item.msg = m;
+        item.priority = m.priority;
+        item.seq = ss.rx_seq++;
+        ss.rxq.push(item);
+        break;
+      }
+      case net::MsgKind::kNotify:
+        worker_on_notify(n, m);
+        break;
+      case net::MsgKind::kParams:
+        worker_on_param(n, m);
+        break;
+      case net::MsgKind::kBackground:
+        break;  // foreign tenant traffic: consumed bandwidth, nothing else
+    }
+  }
+}
+
+void Cluster::worker_on_notify(int w, const net::Message& m) {
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  const auto layer = static_cast<std::size_t>(m.layer);
+  const auto& slices = partition_.layer_slices[layer];
+  if (++ws.notify_count[layer] ==
+      static_cast<int>(slices.size())) {
+    // MXNet issues the pull only once every slice of the layer has been
+    // notified (the behaviour P3 removes, Section 4.2).
+    ws.notify_count[layer] = 0;
+    for (auto slice : slices) enqueue_pull(w, slice, m.iteration);
+  }
+}
+
+void Cluster::worker_on_param(int w, const net::Message& m) {
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  const auto layer = static_cast<std::size_t>(m.layer);
+  ws.param_bytes[layer] += m.logical;
+  if (ws.param_bytes[layer] >= partition_.layer_bytes(m.layer)) {
+    ws.param_bytes[layer] = 0;
+    // All parameters of the layer are fresh: unblock the next forward pass.
+    ws.gates[layer]->increment();
+  }
+}
+
+void Cluster::send_params(int server, std::int64_t slice, int worker) {
+  const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
+  Bytes remaining = sl.payload_bytes();
+  while (remaining > 0) {
+    const Bytes payload = std::min(remaining, cfg_.fragment_bytes);
+    net::Message m;
+    m.src = server_node(server);
+    m.dst = worker;
+    m.kind = net::MsgKind::kParams;
+    m.slice = slice;
+    m.layer = sl.layer;
+    m.priority = item_priority(slice);
+    m.worker = worker;
+    m.logical = payload;
+    m.bytes = wire_payload(payload) + net::kHeaderBytes;
+    net_->post(m);
+    ++params_sent_;
+    remaining -= payload;
+  }
+}
+
+sim::Task Cluster::server_loop(int n) {
+  // `n` is the *server index*; its NIC is node server_node(n).
+  auto& ss = *servers_[static_cast<std::size_t>(n)];
+  for (;;) {
+    RxItem item = co_await ss.rxq.pop();
+    const net::Message& m = item.msg;
+    const auto slice_idx = static_cast<std::size_t>(m.slice);
+    const auto& sl = partition_.slices[slice_idx];
+    if (sl.server != n) {
+      throw std::logic_error("slice routed to wrong server");
+    }
+
+    if (m.kind == net::MsgKind::kPullRequest) {
+      if (ss.version[slice_idx] >= m.iteration + 1) {
+        send_params(n, m.slice, m.worker);
+      } else {
+        ss.pending[slice_idx].push_back(PendingPull{m.worker, m.iteration});
+      }
+      continue;
+    }
+
+    // Gradient push: aggregate (memory-bound add over the full-precision
+    // array; compression saves wire bytes, not server arithmetic).
+    const Bytes payload = m.logical;
+    const TimeS t0 = sim_.now();
+    co_await sim_.sleep(static_cast<double>(payload) /
+                        cfg_.update_bytes_per_sec);
+    ss.round_bytes[slice_idx] += payload;
+
+    const Bytes round_target = sl.payload_bytes() * cfg_.n_workers;
+    if (ss.round_bytes[slice_idx] >= round_target) {
+      // All workers contributed: run the optimizer step on the shard.
+      ss.round_bytes[slice_idx] = 0;
+      co_await sim_.sleep(
+          static_cast<double>(sl.payload_bytes()) / cfg_.update_bytes_per_sec +
+          cfg_.update_overhead);
+      ++ss.version[slice_idx];
+      ++rounds_completed_;
+      if (timeline_ != nullptr) {
+        timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                       "U" + std::to_string(sl.layer + 1));
+      }
+
+      if (sync_.immediate_broadcast) {
+        // P3Server: broadcast updated parameters without notify+pull.
+        for (int w = 0; w < cfg_.n_workers; ++w) send_params(n, m.slice, w);
+      } else if (!sync_.deferred_pull) {
+        for (int w = 0; w < cfg_.n_workers; ++w) {
+          net::Message notify;
+          notify.src = server_node(n);
+          notify.dst = w;
+          notify.kind = net::MsgKind::kNotify;
+          notify.slice = m.slice;
+          notify.layer = sl.layer;
+          notify.priority = item_priority(m.slice);
+          notify.iteration = m.iteration;
+          notify.bytes = net::kControlBytes;
+          net_->post(notify);
+          ++notifies_sent_;
+        }
+      }
+      // Serve pulls that arrived before the round completed.
+      auto pending = std::move(ss.pending[slice_idx]);
+      ss.pending[slice_idx].clear();
+      for (const auto& p : pending) {
+        if (ss.version[slice_idx] >= p.iteration + 1) {
+          send_params(n, m.slice, p.worker);
+        } else {
+          ss.pending[slice_idx].push_back(p);
+        }
+      }
+    } else if (timeline_ != nullptr) {
+      timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                     "a" + std::to_string(sl.layer + 1));
+    }
+  }
+}
+
+RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
+  if (started_) throw std::logic_error("Cluster::run is single-use");
+  if (measured_iterations <= 0) {
+    throw std::invalid_argument("need at least one measured iteration");
+  }
+  started_ = true;
+  target_iterations_ = warmup_iterations + measured_iterations;
+
+  for (int n = 0; n < total_nodes(); ++n) sim_.spawn(node_demux(n));
+  for (int n = 0; n < cfg_.n_workers; ++n) {
+    sim_.spawn(server_loop(n));
+    sim_.spawn(worker_sender(n));
+    sim_.spawn(worker_loop(n));
+  }
+  const bool finished = sim_.run_while(
+      [this] { return workers_finished_ == cfg_.n_workers; });
+  if (!finished) {
+    throw std::logic_error("simulation deadlocked before workers finished");
+  }
+
+  RunResult result;
+  result.iterations_measured = measured_iterations;
+  TimeS start = 0.0;
+  TimeS end = 0.0;
+  for (const auto& ws : workers_) {
+    const auto& done = ws->iter_done;
+    if (warmup_iterations > 0) {
+      start = std::max(
+          start, done[static_cast<std::size_t>(warmup_iterations - 1)]);
+    }
+    end = std::max(end, done.back());
+  }
+  const double samples = static_cast<double>(cfg_.n_workers) *
+                         workload_.batch_per_worker * measured_iterations;
+  result.total_time = end;
+  result.throughput = samples / (end - start);
+  const auto& w0 = workers_.front()->iter_done;
+  for (int i = warmup_iterations; i < target_iterations_; ++i) {
+    const TimeS prev =
+        i == 0 ? 0.0 : w0[static_cast<std::size_t>(i - 1)];
+    result.iteration_times.push_back(w0[static_cast<std::size_t>(i)] - prev);
+  }
+  double sum = 0.0;
+  for (TimeS t : result.iteration_times) sum += t;
+  result.mean_iteration_time =
+      sum / static_cast<double>(result.iteration_times.size());
+  double stall_sum = 0.0;
+  for (const auto& ws : workers_) {
+    for (int i = warmup_iterations; i < target_iterations_; ++i) {
+      stall_sum += ws->iter_stall[static_cast<std::size_t>(i)];
+    }
+  }
+  result.mean_stall_time = stall_sum / (static_cast<double>(cfg_.n_workers) *
+                                        measured_iterations);
+  return result;
+}
+
+void Cluster::drain() { sim_.run(); }
+
+std::int64_t Cluster::slice_version(std::int64_t slice) const {
+  const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
+  return servers_[static_cast<std::size_t>(sl.server)]
+      ->version[static_cast<std::size_t>(slice)];
+}
+
+std::int64_t Cluster::worker_layer_version(int worker, int layer) const {
+  return workers_[static_cast<std::size_t>(worker)]
+      ->gates[static_cast<std::size_t>(layer)]
+      ->version();
+}
+
+}  // namespace p3::ps

@@ -1,0 +1,241 @@
+// Data-parallel training cluster with a parameter-server synchronization
+// protocol — the substrate the paper modifies (MXNet KVStore / ps-lite) and
+// the P3 mechanism built on it.
+//
+// Each of the `n` machines runs a worker process and a colocated server
+// process (the common practice the paper describes). Per iteration a worker:
+//
+//   forward:  for each layer L in order: wait until L's parameters from the
+//             previous round have arrived, then compute fwd(L);
+//   backward: for each layer L in reverse: compute bwd(L), then enqueue L's
+//             gradient slices into the worker's send queue.
+//
+// A consumer process drains the send queue one message at a time with
+// blocking sends (the paper's producer/consumer design): with priority
+// enabled the most urgent slice is always sent next, preempting queued
+// lower-priority traffic at slice/fragment granularity.
+//
+// Servers aggregate pushes per slice; when gradients from all workers have
+// arrived they apply the update and either broadcast the new parameters
+// immediately (P3) or notify workers, which then issue pull requests
+// (baseline KVStore). TensorFlow-style deferred pulls issue all pull
+// requests at the start of the next iteration instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/slicing.h"
+#include "core/sync_method.h"
+#include "model/compute.h"
+#include "net/network.h"
+#include "sim/queue.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "trace/timeline.h"
+
+namespace p3::ps {
+
+struct ClusterConfig {
+  int n_workers = 4;  ///< one server per worker
+  /// false: servers colocated with workers (the paper's common practice);
+  /// true: servers run on dedicated machines (nodes n..2n-1), so all PS
+  /// traffic crosses the network. Used by the schedule figures and as a
+  /// deployment ablation.
+  bool dedicated_servers = false;
+  core::SyncMethod method = core::SyncMethod::kBaseline;
+
+  // Network (Section 5.3 sweeps `bandwidth` like `tc qdisc`).
+  BitsPerSec bandwidth = gbps(10);
+  /// Ingress rate; 0 = symmetric (AWS-style NIC limit). The paper's
+  /// bandwidth sweep shapes egress only with `tc tbf`, leaving ingress at
+  /// the 100 Gbps InfiniBand line rate — set this to that line rate for
+  /// Figure 7-style experiments.
+  BitsPerSec rx_bandwidth = 0;
+  TimeS latency = us(25);
+
+  // Partitioning.
+  std::int64_t slice_params = 50'000;        ///< P3 slice size (Section 5.7)
+  std::int64_t kvstore_threshold = 1'000'000; ///< KVStore sharding heuristic
+  /// Maximum wire message size. ps-lite ships each shard as one monolithic
+  /// message, so the default is effectively "no fragmentation"; lower it to
+  /// study transport-level chunking as an ablation.
+  Bytes fragment_bytes = gib(1);
+
+  // Server-side aggregation + SGD cost model (effective single-thread
+  // ps-lite throughput including (de)serialization; see EXPERIMENTS.md).
+  double update_bytes_per_sec = 1.5e9;
+  TimeS update_overhead = us(30);
+  /// Worker-side per-message CPU cost (serialization + engine dispatch +
+  /// syscall). This is what makes very small slices expensive (Section
+  /// 5.7's left-hand falloff).
+  TimeS send_overhead = us(10);
+
+  /// Wire compression factor for gradient/parameter payloads (DGC-style
+  /// sparsification: e.g. 50 = payloads shrink 50x on the wire while the
+  /// server still touches the full arrays). 1 = no compression. The paper
+  /// argues P3 composes with compression (Section 6); see ext_compression.
+  double wire_compression = 1.0;
+
+  // Per-iteration compute time multiplier stddev (variable sequence length
+  // in NMT workloads; 0 = deterministic compute).
+  double compute_jitter = 0.0;
+
+  std::uint64_t seed = 42;
+
+  /// Override for the compute profile (used by the schedule figures to pin
+  /// exact per-layer times); empty = derive from the workload.
+  std::vector<TimeS> fwd_times;
+  std::vector<TimeS> bwd_times;
+};
+
+struct RunResult {
+  double throughput = 0.0;        ///< samples/s across the whole cluster
+  TimeS mean_iteration_time = 0;  ///< steady-state per-iteration latency
+  /// Mean time per iteration a worker's forward pass spent blocked waiting
+  /// for parameters — the communication delay P3 attacks (averaged over
+  /// workers and measured iterations).
+  TimeS mean_stall_time = 0;
+  TimeS total_time = 0;           ///< simulated time at measurement end
+  int iterations_measured = 0;
+  std::vector<TimeS> iteration_times;  ///< worker 0, measured window
+};
+
+class Cluster {
+ public:
+  Cluster(model::Workload workload, ClusterConfig config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Run `warmup + measured` iterations on every worker and report
+  /// throughput over the measured window. Single use.
+  RunResult run(int warmup_iterations, int measured_iterations);
+
+  /// After run(): process all in-flight traffic until the simulation is
+  /// fully quiescent (used by conservation tests).
+  void drain();
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *net_; }
+  const core::Partition& partition() const { return partition_; }
+  const model::ComputeProfile& profile() const { return profile_; }
+  const core::SyncConfig& sync_config() const { return sync_; }
+
+  void attach_monitor(net::UtilizationMonitor* monitor) {
+    net_->attach_monitor(monitor);
+  }
+  /// Records NIC spans plus worker compute and server update lanes.
+  void attach_timeline(trace::Timeline* timeline);
+
+  // --- introspection for tests and invariant checks ---
+  std::int64_t slice_version(std::int64_t slice) const;
+  std::int64_t worker_layer_version(int worker, int layer) const;
+  std::int64_t pushes_sent() const { return pushes_sent_; }
+  std::int64_t params_sent() const { return params_sent_; }
+  std::int64_t notifies_sent() const { return notifies_sent_; }
+  std::int64_t pulls_sent() const { return pulls_sent_; }
+  std::int64_t rounds_completed() const { return rounds_completed_; }
+
+ private:
+  struct SendItem {
+    std::int64_t slice = -1;
+    net::MsgKind kind = net::MsgKind::kPushGradient;
+    std::int64_t iteration = -1;
+    Bytes payload = 0;  ///< fragment payload bytes (0 for control messages)
+    int priority = 0;
+    std::int64_t seq = 0;
+  };
+  struct SendOrder {
+    bool operator()(const SendItem& a, const SendItem& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+  struct RxItem {
+    net::Message msg;
+    int priority = 0;
+    std::int64_t seq = 0;
+  };
+  struct RxOrder {
+    bool operator()(const RxItem& a, const RxItem& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct WorkerState {
+    explicit WorkerState(sim::Simulator& sim) : sendq(sim) {}
+    std::vector<std::unique_ptr<sim::VersionGate>> gates;  // per layer
+    std::vector<Bytes> param_bytes;  // received payload this round, per layer
+    std::vector<int> notify_count;   // notifications this round, per layer
+    sim::PriorityQueue<SendItem, SendOrder> sendq;
+    std::int64_t send_seq = 0;
+    std::vector<TimeS> iter_done;
+    std::vector<TimeS> iter_stall;  ///< forward blocking time per iteration
+    Rng rng{0};
+  };
+
+  struct PendingPull {
+    int worker = -1;
+    std::int64_t iteration = -1;
+  };
+
+  struct ServerState {
+    explicit ServerState(sim::Simulator& sim) : rxq(sim) {}
+    sim::PriorityQueue<RxItem, RxOrder> rxq;
+    std::int64_t rx_seq = 0;
+    std::vector<Bytes> round_bytes;            // per slice
+    std::vector<std::int64_t> version;         // per slice
+    std::vector<std::vector<PendingPull>> pending;  // per slice
+  };
+
+  sim::Task worker_loop(int w);
+  sim::Task worker_sender(int w);
+  sim::Task node_demux(int n);
+  sim::Task server_loop(int n);
+
+  /// Node hosting server `s` (== s when colocated, n_workers + s otherwise).
+  int server_node(int server) const {
+    return cfg_.dedicated_servers ? cfg_.n_workers + server : server;
+  }
+  int total_nodes() const {
+    return cfg_.dedicated_servers ? 2 * cfg_.n_workers : cfg_.n_workers;
+  }
+
+  void enqueue_push(int w, std::int64_t slice, std::int64_t iteration);
+  void enqueue_pull(int w, std::int64_t slice, std::int64_t iteration);
+  void worker_on_notify(int w, const net::Message& m);
+  void worker_on_param(int w, const net::Message& m);
+  void send_params(int server, std::int64_t slice, int worker);
+  Bytes wire_payload(Bytes logical) const;
+  int item_priority(std::int64_t slice) const;
+  double jitter_factor(WorkerState& ws);
+
+  model::Workload workload_;
+  ClusterConfig cfg_;
+  core::SyncConfig sync_;
+  core::Partition partition_;
+  model::ComputeProfile profile_;
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::unique_ptr<ServerState>> servers_;
+  trace::Timeline* timeline_ = nullptr;
+
+  std::int64_t target_iterations_ = 0;
+  int workers_finished_ = 0;
+  bool started_ = false;
+
+  std::int64_t pushes_sent_ = 0;
+  std::int64_t params_sent_ = 0;
+  std::int64_t notifies_sent_ = 0;
+  std::int64_t pulls_sent_ = 0;
+  std::int64_t rounds_completed_ = 0;
+};
+
+}  // namespace p3::ps

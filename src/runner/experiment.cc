@@ -1,0 +1,152 @@
+#include "runner/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p3::runner {
+
+double measure_throughput(const model::Workload& workload,
+                          const ps::ClusterConfig& cluster,
+                          const MeasureOptions& opts) {
+  ps::Cluster c(workload, cluster);
+  return c.run(opts.warmup, opts.measured).throughput;
+}
+
+std::vector<Series> bandwidth_sweep(const model::Workload& workload,
+                                    ps::ClusterConfig base,
+                                    const std::vector<core::SyncMethod>& methods,
+                                    const std::vector<double>& bandwidths_gbps,
+                                    const MeasureOptions& opts) {
+  std::vector<Series> out;
+  for (auto method : methods) {
+    Series s;
+    s.name = core::sync_method_name(method);
+    for (double bw : bandwidths_gbps) {
+      base.method = method;
+      base.bandwidth = gbps(bw);
+      s.x.push_back(bw);
+      s.y.push_back(measure_throughput(workload, base, opts));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Series> scalability_sweep(const model::Workload& workload,
+                                      ps::ClusterConfig base,
+                                      const std::vector<core::SyncMethod>& methods,
+                                      const std::vector<int>& cluster_sizes,
+                                      const MeasureOptions& opts) {
+  std::vector<Series> out;
+  for (auto method : methods) {
+    Series s;
+    s.name = core::sync_method_name(method);
+    for (int n : cluster_sizes) {
+      base.method = method;
+      base.n_workers = n;
+      s.x.push_back(static_cast<double>(n));
+      s.y.push_back(measure_throughput(workload, base, opts));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Series slice_size_sweep(const model::Workload& workload,
+                        ps::ClusterConfig base,
+                        const std::vector<std::int64_t>& slice_sizes,
+                        const MeasureOptions& opts) {
+  Series s;
+  s.name = "P3";
+  base.method = core::SyncMethod::kP3;
+  for (auto size : slice_sizes) {
+    base.slice_params = size;
+    s.x.push_back(static_cast<double>(size));
+    s.y.push_back(measure_throughput(workload, base, opts));
+  }
+  return s;
+}
+
+UtilizationTrace utilization_trace(const model::Workload& workload,
+                                   const ps::ClusterConfig& cluster, int node,
+                                   const MeasureOptions& opts) {
+  ps::Cluster c(workload, cluster);
+  net::UtilizationMonitor monitor(cluster.n_workers, 0.010);
+  c.attach_monitor(&monitor);
+  c.run(opts.warmup, opts.measured);
+
+  UtilizationTrace trace;
+  trace.bin_width = monitor.bin_width();
+  const auto n_out = monitor.bins(node, net::Direction::kOut);
+  const auto n_in = monitor.bins(node, net::Direction::kIn);
+  const auto bins = std::max(n_out, n_in);
+  for (std::size_t i = 0; i < bins; ++i) {
+    trace.outbound_gbps.push_back(
+        monitor.bin_rate(node, net::Direction::kOut, i) / 1e9);
+    trace.inbound_gbps.push_back(
+        monitor.bin_rate(node, net::Direction::kIn, i) / 1e9);
+  }
+  const BitsPerSec idle_threshold = cluster.bandwidth * 0.01;
+  trace.idle_fraction_out = monitor.idle_fraction(
+      node, net::Direction::kOut, idle_threshold, 0, bins);
+  trace.idle_fraction_in =
+      monitor.idle_fraction(node, net::Direction::kIn, idle_threshold, 0, bins);
+  trace.peak_out_gbps = monitor.peak_rate(node, net::Direction::kOut) / 1e9;
+  trace.peak_in_gbps = monitor.peak_rate(node, net::Direction::kIn) / 1e9;
+  return trace;
+}
+
+namespace {
+
+sim::Task background_tenant(ps::Cluster& cluster, BitsPerSec offered,
+                            Bytes flow_bytes, std::uint64_t seed) {
+  Rng rng(seed);
+  auto& net = cluster.network();
+  auto& sim = cluster.simulator();
+  const int nodes = net.nodes();
+  const TimeS interval =
+      static_cast<double>(flow_bytes) * kBitsPerByte / offered;
+  for (;;) {
+    const int src = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(nodes)));
+    int dst = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(nodes - 1)));
+    if (dst >= src) ++dst;
+    net::Message m;
+    m.src = src;
+    m.dst = dst;
+    m.kind = net::MsgKind::kBackground;
+    m.bytes = flow_bytes;
+    net.post(m);
+    // Exponential inter-arrivals keep the offered load at `offered` while
+    // producing realistic burstiness.
+    const double u = std::max(1e-12, 1.0 - rng.uniform());
+    co_await sim.sleep(-interval * std::log(u));
+  }
+}
+
+}  // namespace
+
+void inject_background_traffic(ps::Cluster& cluster, BitsPerSec offered,
+                               Bytes flow_bytes, std::uint64_t seed) {
+  if (offered <= 0 || flow_bytes <= 0) {
+    throw std::invalid_argument("non-positive background load");
+  }
+  cluster.simulator().spawn(
+      background_tenant(cluster, offered, flow_bytes, seed));
+}
+
+double max_speedup(const Series& baseline, const Series& improved) {
+  if (baseline.x != improved.x) {
+    throw std::invalid_argument("series x-axes do not match");
+  }
+  double best = 0.0;
+  for (std::size_t i = 0; i < baseline.y.size(); ++i) {
+    if (baseline.y[i] <= 0.0) continue;
+    best = std::max(best, improved.y[i] / baseline.y[i] - 1.0);
+  }
+  return best;
+}
+
+}  // namespace p3::runner

@@ -1,0 +1,78 @@
+// Experiment harness shared by the bench binaries: parameter sweeps over
+// bandwidth / cluster size / slice size, and utilization traces — the four
+// experiment shapes in the paper's evaluation (Sections 5.3–5.5, 5.7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sync_method.h"
+#include "model/compute.h"
+#include "net/monitor.h"
+#include "ps/cluster.h"
+
+namespace p3::runner {
+
+/// One plotted series: (x, y) points plus a legend name.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct MeasureOptions {
+  int warmup = 3;
+  int measured = 12;
+};
+
+/// Throughput (samples/s across the cluster) of one configuration.
+double measure_throughput(const model::Workload& workload,
+                          const ps::ClusterConfig& cluster,
+                          const MeasureOptions& opts = {});
+
+/// Figure 7: throughput vs NIC bandwidth, one series per method.
+std::vector<Series> bandwidth_sweep(const model::Workload& workload,
+                                    ps::ClusterConfig base,
+                                    const std::vector<core::SyncMethod>& methods,
+                                    const std::vector<double>& bandwidths_gbps,
+                                    const MeasureOptions& opts = {});
+
+/// Figure 10: throughput vs cluster size, one series per method.
+std::vector<Series> scalability_sweep(const model::Workload& workload,
+                                      ps::ClusterConfig base,
+                                      const std::vector<core::SyncMethod>& methods,
+                                      const std::vector<int>& cluster_sizes,
+                                      const MeasureOptions& opts = {});
+
+/// Figure 12: P3 throughput vs parameter slice size.
+Series slice_size_sweep(const model::Workload& workload,
+                        ps::ClusterConfig base,
+                        const std::vector<std::int64_t>& slice_sizes,
+                        const MeasureOptions& opts = {});
+
+/// Figures 8/9/13/14: per-10ms inbound/outbound rates of one machine.
+struct UtilizationTrace {
+  TimeS bin_width = 0.010;
+  std::vector<double> outbound_gbps;
+  std::vector<double> inbound_gbps;
+  double idle_fraction_out = 0.0;  ///< bins below 1% of NIC rate
+  double idle_fraction_in = 0.0;
+  double peak_out_gbps = 0.0;
+  double peak_in_gbps = 0.0;
+};
+
+UtilizationTrace utilization_trace(const model::Workload& workload,
+                                   const ps::ClusterConfig& cluster, int node,
+                                   const MeasureOptions& opts = {});
+
+/// Best-vs-baseline speedup across a series pair at matching x.
+double max_speedup(const Series& baseline, const Series& improved);
+
+/// Shared-cluster model: spawn a foreign tenant that keeps posting
+/// `flow_bytes`-sized flows between uniformly random distinct nodes so the
+/// aggregate offered load is `offered` bits/s. Call before Cluster::run();
+/// the traffic contends for the same NICs, the protocol ignores it.
+void inject_background_traffic(ps::Cluster& cluster, BitsPerSec offered,
+                               Bytes flow_bytes, std::uint64_t seed = 99);
+
+}  // namespace p3::runner

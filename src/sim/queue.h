@@ -1,0 +1,205 @@
+// Awaitable queues for coroutine processes.
+//
+// `Queue<T>` is an unbounded FIFO channel; `PriorityQueue<T, Compare>` pops
+// the highest-priority element instead. Both support multiple concurrent
+// consumers (woken FIFO) and synchronous producers. Wakeups are scheduled
+// through the simulator rather than resumed inline, so a push never runs
+// consumer code reentrantly.
+//
+// Semantics: a woken consumer pops at *resume* time (like a thread waking
+// from a condition variable), so several same-instant pushes are all visible
+// and a priority-queue consumer takes the most urgent of them. Items are
+// reserved for woken-but-not-yet-resumed consumers: a late consumer (or
+// try_pop) cannot overtake one that suspended earlier.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace p3::sim {
+
+namespace detail {
+
+/// Waiter bookkeeping shared by both queue flavors.
+template <typename Container>
+class QueueBase {
+ public:
+  explicit QueueBase(Simulator& sim) : sim_(&sim) {}
+  QueueBase(const QueueBase&) = delete;
+  QueueBase& operator=(const QueueBase&) = delete;
+  ~QueueBase() {
+    // Suspended consumers may outlive the queue (their frames are reclaimed
+    // by the Simulator at teardown); mark them so their awaiter destructors
+    // do not touch freed queue state.
+    for (auto* w : waiters_) w->orphaned = true;
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  /// Items not reserved for an already-woken consumer.
+  std::size_t available() const {
+    return items_.size() > reserved_ ? items_.size() - reserved_ : 0;
+  }
+
+ protected:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool woken = false;
+    bool resumed = false;
+    bool orphaned = false;  ///< the queue died while this waiter slept
+  };
+
+  /// Wake one suspended consumer (if any) and reserve an item for it.
+  void wake_one() {
+    if (waiters_.empty()) return;
+    Waiter* w = waiters_.front();
+    waiters_.pop_front();
+    w->woken = true;
+    ++reserved_;
+    sim_->resume_soon(w->handle);
+  }
+
+  void unlink(Waiter* w) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == w) {
+        waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Called from ~PopAwaiter to release bookkeeping on cancellation.
+  void on_waiter_destroyed(Waiter* w) {
+    if (!w->handle) return;
+    if (w->woken && !w->resumed) {
+      --reserved_;  // reservation abandoned
+    } else if (!w->woken) {
+      unlink(w);
+    }
+  }
+
+  Simulator* sim_;
+  Container items_;
+  std::deque<Waiter*> waiters_;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace detail
+
+/// Unbounded FIFO channel.
+template <typename T>
+class Queue : public detail::QueueBase<std::deque<T>> {
+  using Base = detail::QueueBase<std::deque<T>>;
+
+ public:
+  using Base::Base;
+
+  void push(T value) {
+    this->items_.push_back(std::move(value));
+    this->wake_one();
+  }
+
+  /// Awaitable pop; resumes with the front element once available.
+  auto pop() { return PopAwaiter{this}; }
+
+  /// Non-blocking pop of an unreserved item.
+  std::optional<T> try_pop() {
+    if (this->available() == 0) return std::nullopt;
+    T v = std::move(this->items_.front());
+    this->items_.pop_front();
+    return v;
+  }
+
+ private:
+  struct PopAwaiter : Base::Waiter {
+    Queue* q;
+    explicit PopAwaiter(Queue* queue) : q(queue) {}
+    ~PopAwaiter() {
+      if (!this->orphaned) q->on_waiter_destroyed(this);
+    }
+    bool await_ready() {
+      // Fast path only if no consumer is queued or pending wakeup.
+      return q->waiters_.empty() && q->available() > 0;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      this->handle = h;
+      q->waiters_.push_back(this);
+    }
+    T await_resume() {
+      if (this->woken) {
+        this->resumed = true;
+        --q->reserved_;
+      }
+      if (q->items_.empty()) {
+        throw std::logic_error("Queue::pop resumed with no item");
+      }
+      T v = std::move(q->items_.front());
+      q->items_.pop_front();
+      return v;
+    }
+  };
+};
+
+/// Unbounded priority channel. `Compare` follows std::priority_queue
+/// convention: comp(a, b) == true means a ranks below b.
+template <typename T, typename Compare>
+class PriorityQueue
+    : public detail::QueueBase<
+          std::priority_queue<T, std::vector<T>, Compare>> {
+  using Base =
+      detail::QueueBase<std::priority_queue<T, std::vector<T>, Compare>>;
+
+ public:
+  using Base::Base;
+
+  void push(T value) {
+    this->items_.push(std::move(value));
+    this->wake_one();
+  }
+
+  auto pop() { return PopAwaiter{this}; }
+
+  std::optional<T> try_pop() {
+    if (this->available() == 0) return std::nullopt;
+    T v = this->items_.top();
+    this->items_.pop();
+    return v;
+  }
+
+ private:
+  struct PopAwaiter : Base::Waiter {
+    PriorityQueue* q;
+    explicit PopAwaiter(PriorityQueue* queue) : q(queue) {}
+    ~PopAwaiter() {
+      if (!this->orphaned) q->on_waiter_destroyed(this);
+    }
+    bool await_ready() { return q->waiters_.empty() && q->available() > 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      this->handle = h;
+      q->waiters_.push_back(this);
+    }
+    T await_resume() {
+      if (this->woken) {
+        this->resumed = true;
+        --q->reserved_;
+      }
+      if (q->items_.empty()) {
+        throw std::logic_error("PriorityQueue::pop resumed with no item");
+      }
+      T v = q->items_.top();
+      q->items_.pop();
+      return v;
+    }
+  };
+};
+
+}  // namespace p3::sim

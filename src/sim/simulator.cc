@@ -1,0 +1,74 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace p3::sim {
+
+Simulator::~Simulator() {
+  // Destroy any processes still suspended (e.g. servers blocked on their
+  // inbox when the experiment ended). Frames of finished tasks included.
+  for (auto h : tasks_) {
+    if (h) h.destroy();
+  }
+}
+
+void Simulator::schedule(TimeS dt, std::function<void()> fn) {
+  if (dt < 0.0) throw std::invalid_argument("negative event delay");
+  events_.push(Event{now_ + dt, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_at(TimeS t, std::function<void()> fn) {
+  schedule(t > now_ ? t - now_ : 0.0, std::move(fn));
+}
+
+void Simulator::spawn(Task task) {
+  auto h = task.release();
+  tasks_.push_back(h);
+  h.resume();  // run until the first suspension point
+  if (tasks_.size() % 64 == 0) reap_tasks();
+}
+
+bool Simulator::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
+  // copy the small struct instead (std::function copy).
+  Event ev = events_.top();
+  events_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+  reap_tasks();
+}
+
+TimeS Simulator::run_until(TimeS t) {
+  while (!events_.empty() && events_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+  reap_tasks();
+  return now_;
+}
+
+bool Simulator::run_while(const std::function<bool()>& done) {
+  while (!done()) {
+    if (!step()) return false;
+  }
+  reap_tasks();
+  return true;
+}
+
+void Simulator::reap_tasks() {
+  std::erase_if(tasks_, [](Task::Handle h) {
+    if (h.done()) {
+      h.destroy();
+      return true;
+    }
+    return false;
+  });
+}
+
+}  // namespace p3::sim

@@ -1,0 +1,105 @@
+// Deterministic discrete-event simulator.
+//
+// Events are (time, sequence) ordered: ties in time run in scheduling order,
+// which makes every experiment bit-reproducible. Coroutine processes
+// (`sim::Task`) are spawned onto the simulator and suspend via awaitables
+// (`sleep`, and the synchronization primitives in sync.h / queue.h).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace p3::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time in seconds.
+  TimeS now() const { return now_; }
+
+  /// Schedule `fn` to run `dt` seconds from now (dt >= 0).
+  void schedule(TimeS dt, std::function<void()> fn);
+
+  /// Schedule `fn` at absolute time `t` (>= now()).
+  void schedule_at(TimeS t, std::function<void()> fn);
+
+  /// Adopt and start a coroutine process.
+  void spawn(Task task);
+
+  /// Run a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run until the queue drains or simulated time reaches `t`.
+  /// Returns the final simulated time.
+  TimeS run_until(TimeS t);
+
+  /// Run until `done` returns true (checked after every event) or the queue
+  /// drains. Returns true if the predicate fired.
+  bool run_while(const std::function<bool()>& done);
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// True if no events are pending.
+  bool idle() const { return events_.empty(); }
+
+  /// Awaitable: suspend the current task for `dt` simulated seconds.
+  /// A zero delay still yields to other events scheduled at the same time.
+  auto sleep(TimeS dt) {
+    struct Awaiter {
+      Simulator* sim;
+      TimeS dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->schedule(dt, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dt};
+  }
+
+  /// Awaitable: suspend until absolute time `t` (immediately reschedules if
+  /// `t` is in the past).
+  auto sleep_until(TimeS t) { return sleep(t > now_ ? t - now_ : 0.0); }
+
+  /// Resume `h` at current time, after already-queued same-time events.
+  void resume_soon(std::coroutine_handle<> h) {
+    schedule(0.0, [h] { h.resume(); });
+  }
+
+ private:
+  struct Event {
+    TimeS time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void reap_tasks();
+
+  TimeS now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::vector<Task::Handle> tasks_;
+};
+
+}  // namespace p3::sim

@@ -1,0 +1,188 @@
+// Coroutine synchronization primitives: Event, Semaphore, Barrier,
+// VersionGate. All wakeups go through Simulator::resume_soon for
+// deterministic, non-reentrant scheduling.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+#include "sim/simulator.h"
+
+namespace p3::sim {
+
+/// One-shot broadcast event. Waiting after set() completes immediately.
+/// reset() re-arms the event for reuse (any current waiters keep waiting
+/// for the next set()).
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(&sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) sim_->resume_soon(h);
+    waiters_.clear();
+  }
+
+  void reset() { set_ = false; }
+  bool is_set() const { return set_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  auto wait() {
+    struct Awaiter {
+      Event* ev;
+      bool await_ready() const { return ev->set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev->waiters_.push_back(h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::int64_t initial)
+      : sim_(&sim), count_(initial) {
+    if (initial < 0) throw std::invalid_argument("negative semaphore count");
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void release(std::int64_t n = 1) {
+    count_ += n;
+    while (count_ > 0 && !waiters_.empty()) {
+      --count_;
+      sim_->resume_soon(waiters_.front());
+      waiters_.pop_front();
+    }
+  }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* s;
+      bool await_ready() const {
+        if (s->count_ > 0 && s->waiters_.empty()) {
+          --s->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        s->waiters_.push_back(h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+  std::int64_t available() const { return count_; }
+
+ private:
+  Simulator* sim_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Reusable barrier for `parties` participants; generation-counted so it can
+/// be reused across iterations (classic phaser).
+class Barrier {
+ public:
+  Barrier(Simulator& sim, std::size_t parties)
+      : sim_(&sim), parties_(parties) {
+    if (parties == 0) throw std::invalid_argument("barrier of zero parties");
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier* b;
+      bool await_ready() const { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (++b->arrived_ == b->parties_) {
+          b->arrived_ = 0;
+          ++b->generation_;
+          for (auto w : b->waiters_) b->sim_->resume_soon(w);
+          b->waiters_.clear();
+          return false;  // last arriver proceeds immediately
+        }
+        b->waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  Simulator* sim_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Monotonic version counter with awaitable thresholds. Used for "forward of
+/// layer L in iteration i waits until parameter version >= i" gating.
+class VersionGate {
+ public:
+  explicit VersionGate(Simulator& sim) : sim_(&sim) {}
+  VersionGate(const VersionGate&) = delete;
+  VersionGate& operator=(const VersionGate&) = delete;
+
+  std::int64_t version() const { return version_; }
+
+  void advance_to(std::int64_t v) {
+    if (v <= version_) return;
+    version_ = v;
+    std::erase_if(waiters_, [&](Waiter& w) {
+      if (w.needed <= version_) {
+        sim_->resume_soon(w.handle);
+        return true;
+      }
+      return false;
+    });
+  }
+
+  void increment() { advance_to(version_ + 1); }
+
+  /// Awaitable: resume once version() >= needed.
+  auto wait_for(std::int64_t needed) {
+    struct Awaiter {
+      VersionGate* g;
+      std::int64_t needed;
+      bool await_ready() const { return g->version_ >= needed; }
+      void await_suspend(std::coroutine_handle<> h) {
+        g->waiters_.push_back(Waiter{needed, h});
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this, needed};
+  }
+
+ private:
+  struct Waiter {
+    std::int64_t needed;
+    std::coroutine_handle<> handle;
+  };
+
+  Simulator* sim_;
+  std::int64_t version_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace p3::sim

@@ -1,0 +1,52 @@
+// Coroutine task type for simulator processes.
+//
+// A `Task` is a detached, eagerly-started-on-spawn coroutine. Ownership of
+// the frame is transferred to the `Simulator` via `Simulator::spawn`, which
+// destroys completed frames during the run and any still-suspended frames at
+// simulator teardown, so processes blocked forever do not leak.
+//
+// Unhandled exceptions inside a task propagate out of the event loop
+// (`Simulator::run` and friends), which makes test failures loud instead of
+// silently swallowing protocol bugs.
+#pragma once
+
+#include <coroutine>
+#include <utility>
+
+namespace p3::sim {
+
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    // Lazy start: the task body runs only once the simulator adopts it.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Suspend at the end so the simulator can observe `done()` and reclaim.
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    // Let the exception escape through resume() into the event loop.
+    void unhandled_exception() { throw; }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  /// Transfers frame ownership (used by Simulator::spawn).
+  Handle release() { return std::exchange(handle_, {}); }
+
+ private:
+  explicit Task(Handle h) : handle_(h) {}
+  Handle handle_;
+};
+
+}  // namespace p3::sim

@@ -1,0 +1,80 @@
+#include "trace/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace p3::trace {
+
+void Timeline::add(std::string lane, TimeS start, TimeS end,
+                   std::string label) {
+  if (end < start) throw std::invalid_argument("span ends before it starts");
+  spans_.push_back(Span{std::move(lane), start, end, std::move(label)});
+}
+
+std::vector<Span> Timeline::lane_spans(const std::string& lane) const {
+  std::vector<Span> out;
+  for (const auto& s : spans_) {
+    if (s.lane == lane) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.start < b.start; });
+  return out;
+}
+
+std::vector<std::string> Timeline::lanes() const {
+  std::vector<std::string> out;
+  for (const auto& s : spans_) {
+    if (std::find(out.begin(), out.end(), s.lane) == out.end()) {
+      out.push_back(s.lane);
+    }
+  }
+  return out;
+}
+
+TimeS Timeline::end_time() const {
+  TimeS t = 0.0;
+  for (const auto& s : spans_) t = std::max(t, s.end);
+  return t;
+}
+
+std::string Timeline::to_ascii(TimeS unit, TimeS t0, TimeS t1) const {
+  if (unit <= 0.0) throw std::invalid_argument("non-positive time unit");
+  const auto cols = static_cast<std::size_t>(std::ceil((t1 - t0) / unit));
+  const auto all_lanes = lanes();
+
+  std::size_t name_width = 0;
+  for (const auto& l : all_lanes) name_width = std::max(name_width, l.size());
+
+  std::ostringstream out;
+  for (const auto& lane : all_lanes) {
+    std::string row(cols, '.');
+    for (const auto& s : lane_spans(lane)) {
+      if (s.end <= t0 || s.start >= t1) continue;
+      const char glyph = s.label.empty() ? '#' : s.label[0];
+      // Half-open cell coverage; a zero-length span still marks one cell.
+      auto c0 = static_cast<std::size_t>(std::floor((std::max(s.start, t0) - t0) / unit + 1e-9));
+      auto c1 = static_cast<std::size_t>(std::ceil((std::min(s.end, t1) - t0) / unit - 1e-9));
+      c1 = std::max(c1, c0 + 1);
+      for (std::size_t c = c0; c < std::min(c1, cols); ++c) row[c] = glyph;
+    }
+    out << lane << std::string(name_width - lane.size(), ' ') << " |" << row
+        << "|\n";
+  }
+  return out.str();
+}
+
+void Timeline::write_csv(const std::string& path) const {
+  CsvWriter csv(path, {"lane", "start", "end", "label"});
+  for (const auto& s : spans_) {
+    char start[40], end[40];
+    std::snprintf(start, sizeof(start), "%.9f", s.start);
+    std::snprintf(end, sizeof(end), "%.9f", s.end);
+    csv.row({s.lane, start, end, s.label});
+  }
+}
+
+}  // namespace p3::trace

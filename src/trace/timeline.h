@@ -1,0 +1,52 @@
+// Timeline recorder: collects labeled spans on named lanes and renders an
+// ASCII Gantt chart. Used to regenerate the schedule figures (Figs 4 and 6)
+// and available on any experiment for debugging protocol behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace p3::trace {
+
+struct Span {
+  std::string lane;
+  TimeS start = 0.0;
+  TimeS end = 0.0;
+  std::string label;  ///< first character is used as the Gantt fill glyph
+};
+
+class Timeline {
+ public:
+  void add(std::string lane, TimeS start, TimeS end, std::string label);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+  void clear() { spans_.clear(); }
+
+  /// Spans on one lane, sorted by start time.
+  std::vector<Span> lane_spans(const std::string& lane) const;
+
+  /// Lanes in first-seen order.
+  std::vector<std::string> lanes() const;
+
+  /// Latest span end (0 if empty).
+  TimeS end_time() const;
+
+  /// Render [t0, t1) with one character per `unit` seconds. Each lane is a
+  /// row; overlapping spans on one lane overwrite left-to-right by start
+  /// time. Empty cells render '.', span cells render the first label char.
+  std::string to_ascii(TimeS unit, TimeS t0, TimeS t1) const;
+
+  /// Render the whole recorded range.
+  std::string to_ascii(TimeS unit) const { return to_ascii(unit, 0.0, end_time()); }
+
+  /// Dump spans as CSV (lane,start,end,label).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace p3::trace

@@ -1,0 +1,104 @@
+#include "train/data.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace p3::train {
+
+Tensor Dataset::train_batch(std::size_t begin, std::size_t end,
+                            const std::vector<std::size_t>& order) const {
+  if (end > order.size() || begin > end) {
+    throw std::out_of_range("batch range out of bounds");
+  }
+  Tensor batch(end - begin, dim);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t src = order[i];
+    for (std::size_t c = 0; c < dim; ++c) {
+      batch.at(i - begin, c) = train_x.at(src, c);
+    }
+  }
+  return batch;
+}
+
+std::vector<int> Dataset::train_batch_labels(
+    std::size_t begin, std::size_t end,
+    const std::vector<std::size_t>& order) const {
+  std::vector<int> labels(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    labels[i - begin] = train_y[order[i]];
+  }
+  return labels;
+}
+
+Dataset make_gaussian_mixture(const MixtureConfig& config) {
+  Rng rng(config.seed);
+  Dataset ds;
+  ds.classes = config.classes;
+  ds.dim = config.dim;
+
+  // Random unit-ish class centers; per-class random anisotropic scales so
+  // classes overlap unevenly (some easy, some hard).
+  std::vector<Tensor> centers;
+  std::vector<std::vector<double>> scales;
+  for (std::size_t k = 0; k < config.classes; ++k) {
+    Tensor c(1, config.dim);
+    for (std::size_t d = 0; d < config.dim; ++d) {
+      c.at(0, d) = static_cast<float>(rng.normal());
+    }
+    centers.push_back(std::move(c));
+    std::vector<double> s(config.dim);
+    for (auto& v : s) v = config.noise * rng.uniform(0.6, 1.4);
+    scales.push_back(std::move(s));
+  }
+
+  auto fill = [&](Tensor& x, std::vector<int>& y, std::size_t per_class) {
+    x = Tensor(per_class * config.classes, config.dim);
+    y.resize(per_class * config.classes);
+    std::size_t row = 0;
+    for (std::size_t k = 0; k < config.classes; ++k) {
+      for (std::size_t i = 0; i < per_class; ++i, ++row) {
+        for (std::size_t d = 0; d < config.dim; ++d) {
+          x.at(row, d) = centers[k].at(0, d) +
+                         static_cast<float>(rng.normal(0.0, scales[k][d]));
+        }
+        y[row] = static_cast<int>(k);
+      }
+    }
+  };
+  fill(ds.train_x, ds.train_y, config.train_per_class);
+  fill(ds.test_x, ds.test_y, config.test_per_class);
+  return ds;
+}
+
+Dataset make_two_spirals(std::size_t train_per_class,
+                         std::size_t test_per_class, double noise,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.classes = 2;
+  ds.dim = 2;
+
+  auto fill = [&](Tensor& x, std::vector<int>& y, std::size_t per_class) {
+    x = Tensor(2 * per_class, 2);
+    y.resize(2 * per_class);
+    std::size_t row = 0;
+    for (int k = 0; k < 2; ++k) {
+      for (std::size_t i = 0; i < per_class; ++i, ++row) {
+        const double t =
+            rng.uniform(0.15, 1.0) * 3.0 * std::numbers::pi;
+        const double sign = k == 0 ? 1.0 : -1.0;
+        x.at(row, 0) = static_cast<float>(
+            sign * t * std::cos(t) / 10.0 + rng.normal(0.0, noise));
+        x.at(row, 1) = static_cast<float>(
+            sign * t * std::sin(t) / 10.0 + rng.normal(0.0, noise));
+        y[row] = k;
+      }
+    }
+  };
+  fill(ds.train_x, ds.train_y, train_per_class);
+  fill(ds.test_x, ds.test_y, test_per_class);
+  return ds;
+}
+
+}  // namespace p3::train

@@ -1,0 +1,109 @@
+#include "train/dgc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p3::train {
+
+DgcCompressor::DgcCompressor(const std::vector<Param>& params,
+                             DgcConfig config)
+    : cfg_(config) {
+  if (cfg_.sparsity < 0.0 || cfg_.sparsity >= 1.0) {
+    throw std::invalid_argument("sparsity must be in [0, 1)");
+  }
+  for (const auto& p : params) {
+    velocity_.push_back(Tensor::zeros_like(p.value));
+    residual_.push_back(Tensor::zeros_like(p.value));
+  }
+}
+
+double DgcCompressor::sparsity_at_epoch(int epoch) const {
+  if (epoch >= cfg_.warmup_epochs) return cfg_.sparsity;
+  // Exponential ramp from 75% toward the terminal sparsity (the original
+  // paper ramps 75% / 93.75% / 98.4% / 99.6% / 99.9% over 4 epochs).
+  const double start = 0.75;
+  if (cfg_.sparsity <= start) return cfg_.sparsity;
+  const double frac =
+      static_cast<double>(epoch + 1) / static_cast<double>(cfg_.warmup_epochs);
+  const double keep_start = 1.0 - start;
+  const double keep_end = 1.0 - cfg_.sparsity;
+  return 1.0 - keep_start * std::pow(keep_end / keep_start, frac);
+}
+
+std::vector<SparseGrad> DgcCompressor::compress(
+    const std::vector<Param>& params, int epoch) {
+  if (params.size() != residual_.size()) {
+    throw std::invalid_argument("parameter count changed");
+  }
+  const double sparsity = sparsity_at_epoch(epoch);
+  std::vector<SparseGrad> out(params.size());
+
+  for (std::size_t l = 0; l < params.size(); ++l) {
+    auto& v = velocity_[l].raw();
+    auto& u = residual_[l].raw();
+    const auto& g = params[l].grad.raw();
+    // Momentum correction: v = m*v + g; u += v.
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      v[i] = static_cast<float>(cfg_.momentum) * v[i] + g[i];
+      u[i] += v[i];
+    }
+    // Top-k selection on |u|; always send at least one entry per layer.
+    const auto n = u.size();
+    auto k = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(n) * (1.0 - sparsity)));
+    k = std::clamp<std::size_t>(k, 1, n);
+
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     idx.end(), [&](std::size_t a, std::size_t b) {
+                       return std::fabs(u[a]) > std::fabs(u[b]);
+                     });
+    idx.resize(k);
+    std::sort(idx.begin(), idx.end());
+
+    auto& sg = out[l];
+    sg.indices = idx;
+    sg.values.reserve(k);
+    for (auto i : idx) {
+      sg.values.push_back(u[i]);
+      // Local accumulation: clear transmitted entries; momentum factor
+      // masking: clear their velocity too.
+      u[i] = 0.0f;
+      v[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+double DgcCompressor::residual_norm() const {
+  double acc = 0.0;
+  for (const auto& t : residual_) {
+    const double n = t.norm();
+    acc += n * n;
+  }
+  return std::sqrt(acc);
+}
+
+void DgcCompressor::accumulate(const std::vector<SparseGrad>& sparse,
+                               std::vector<Tensor>& out) {
+  if (sparse.size() != out.size()) {
+    throw std::invalid_argument("layer count mismatch");
+  }
+  for (std::size_t l = 0; l < sparse.size(); ++l) {
+    auto& dense = out[l].raw();
+    const auto& sg = sparse[l];
+    if (sg.indices.size() != sg.values.size()) {
+      throw std::invalid_argument("malformed sparse gradient");
+    }
+    for (std::size_t i = 0; i < sg.indices.size(); ++i) {
+      if (sg.indices[i] >= dense.size()) {
+        throw std::out_of_range("sparse index out of range");
+      }
+      dense[sg.indices[i]] += sg.values[i];
+    }
+  }
+}
+
+}  // namespace p3::train

@@ -1,0 +1,132 @@
+#include "train/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p3::train {
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Rng& rng) : dims_(dims) {
+  if (dims.size() < 2) throw std::invalid_argument("need input and output dims");
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    Param w;
+    w.value = Tensor::he_normal(dims[l], dims[l + 1], rng);
+    w.grad = Tensor(dims[l], dims[l + 1]);
+    params_.push_back(std::move(w));
+    Param b;
+    b.value = Tensor(1, dims[l + 1]);
+    b.grad = Tensor(1, dims[l + 1]);
+    params_.push_back(std::move(b));
+  }
+}
+
+std::size_t Mlp::total_params() const {
+  std::size_t total = 0;
+  for (const auto& p : params_) total += p.value.size();
+  return total;
+}
+
+const Tensor& Mlp::forward(const Tensor& batch) {
+  const std::size_t layers = num_layers();
+  activations_.assign(layers + 1, Tensor());
+  activations_[0] = batch;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const Tensor& w = params_[2 * l].value;
+    const Tensor& b = params_[2 * l + 1].value;
+    Tensor z(batch.rows(), w.cols());
+    matmul(activations_[l], w, z);
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      for (std::size_t c = 0; c < z.cols(); ++c) {
+        z.at(r, c) += b.at(0, c);
+        // ReLU on all but the final (logit) layer.
+        if (l + 1 < layers && z.at(r, c) < 0.0f) z.at(r, c) = 0.0f;
+      }
+    }
+    activations_[l + 1] = std::move(z);
+  }
+  // Row-wise softmax with max subtraction for stability.
+  const Tensor& logits = activations_[layers];
+  probs_ = Tensor(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    float mx = logits.at(r, 0);
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      mx = std::max(mx, logits.at(r, c));
+    }
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      const float e = std::exp(logits.at(r, c) - mx);
+      probs_.at(r, c) = e;
+      denom += e;
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) probs_.at(r, c) /= denom;
+  }
+  return probs_;
+}
+
+double Mlp::backward(const Tensor& batch, const std::vector<int>& labels) {
+  if (labels.size() != batch.rows()) {
+    throw std::invalid_argument("label count mismatch");
+  }
+  forward(batch);
+  const std::size_t layers = num_layers();
+  const auto n = static_cast<float>(batch.rows());
+
+  double loss = 0.0;
+  // dL/dlogits = (probs - onehot) / batch.
+  Tensor delta = probs_;
+  for (std::size_t r = 0; r < delta.rows(); ++r) {
+    const auto y = static_cast<std::size_t>(labels[r]);
+    if (y >= delta.cols()) throw std::out_of_range("label out of range");
+    loss -= std::log(std::max(probs_.at(r, y), 1e-12f));
+    delta.at(r, y) -= 1.0f;
+  }
+  delta.scale(1.0f / n);
+
+  for (std::size_t l = layers; l-- > 0;) {
+    Param& w = params_[2 * l];
+    Param& b = params_[2 * l + 1];
+    // Weight and bias gradients.
+    matmul_at_b(activations_[l], delta, w.grad);
+    for (std::size_t c = 0; c < delta.cols(); ++c) {
+      float acc = 0.0f;
+      for (std::size_t r = 0; r < delta.rows(); ++r) acc += delta.at(r, c);
+      b.grad.at(0, c) = acc;
+    }
+    if (l == 0) break;
+    // Propagate through the weight, then the ReLU of the previous layer.
+    Tensor prev_delta(delta.rows(), w.value.rows());
+    matmul_a_bt(delta, w.value, prev_delta);
+    const Tensor& act = activations_[l];
+    for (std::size_t r = 0; r < prev_delta.rows(); ++r) {
+      for (std::size_t c = 0; c < prev_delta.cols(); ++c) {
+        if (act.at(r, c) <= 0.0f) prev_delta.at(r, c) = 0.0f;
+      }
+    }
+    delta = std::move(prev_delta);
+  }
+  return loss / n;
+}
+
+std::vector<int> Mlp::predict(const Tensor& batch) {
+  const Tensor& p = forward(batch);
+  std::vector<int> out(batch.rows());
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < p.cols(); ++c) {
+      if (p.at(r, c) > p.at(r, best)) best = c;
+    }
+    out[r] = static_cast<int>(best);
+  }
+  return out;
+}
+
+double Mlp::accuracy(const Tensor& inputs, const std::vector<int>& labels) {
+  const auto preds = predict(inputs);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace p3::train

@@ -1,0 +1,54 @@
+// Multi-layer perceptron with ReLU activations and a softmax cross-entropy
+// head, with hand-derived backpropagation. Stands in for ResNet-110 in the
+// accuracy experiments: what matters there is that gradients are *real*, so
+// compression (DGC) and staleness (ASGD) have their true algorithmic effect.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "train/tensor.h"
+
+namespace p3::train {
+
+/// One parameter tensor and its gradient (a "layer key" in PS terms).
+struct Param {
+  Tensor value;
+  Tensor grad;
+};
+
+class Mlp {
+ public:
+  /// `dims` = {input, hidden..., classes}. Weights He-initialized.
+  Mlp(const std::vector<std::size_t>& dims, Rng& rng);
+
+  /// Forward pass: returns softmax probabilities (batch x classes).
+  const Tensor& forward(const Tensor& batch);
+
+  /// Backward pass for cross-entropy loss against integer labels; fills
+  /// every Param::grad (averaged over the batch) and returns the mean loss.
+  double backward(const Tensor& batch, const std::vector<int>& labels);
+
+  /// Predicted class per row of the last forward output.
+  std::vector<int> predict(const Tensor& batch);
+
+  /// Mean accuracy on a labeled set.
+  double accuracy(const Tensor& inputs, const std::vector<int>& labels);
+
+  /// Parameter tensors in forward order: [W0, b0, W1, b1, ...].
+  std::vector<Param>& params() { return params_; }
+  const std::vector<Param>& params() const { return params_; }
+
+  std::size_t num_layers() const { return dims_.size() - 1; }
+  std::size_t total_params() const;
+
+ private:
+  std::vector<std::size_t> dims_;
+  std::vector<Param> params_;
+  // Forward-pass caches (per dense layer): pre-activations and activations.
+  std::vector<Tensor> activations_;  // activations_[0] = input copy
+  Tensor probs_;
+};
+
+}  // namespace p3::train

@@ -1,0 +1,107 @@
+#include "train/quantize.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p3::train {
+
+QsgdQuantizer::QsgdQuantizer(int levels, std::size_t bucket_size)
+    : levels_(levels), bucket_size_(bucket_size) {
+  if (levels < 1) throw std::invalid_argument("need at least one level");
+  if (bucket_size < 1) throw std::invalid_argument("need a positive bucket");
+}
+
+std::vector<Tensor> QsgdQuantizer::transform(const std::vector<Param>& params,
+                                             Rng& rng) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  const auto s = static_cast<double>(levels_);
+  for (const auto& p : params) {
+    Tensor q = Tensor::zeros_like(p.value);
+    const auto& g = p.grad.raw();
+    auto& dst = q.raw();
+    for (std::size_t start = 0; start < g.size(); start += bucket_size_) {
+      const std::size_t end = std::min(g.size(), start + bucket_size_);
+      double norm_sq = 0.0;
+      for (std::size_t i = start; i < end; ++i) {
+        norm_sq += static_cast<double>(g[i]) * g[i];
+      }
+      const double norm = std::sqrt(norm_sq);
+      if (norm <= 0.0) continue;
+      for (std::size_t i = start; i < end; ++i) {
+        const double r = std::abs(static_cast<double>(g[i])) / norm * s;
+        const double lo = std::floor(r);
+        // P(round up) = fractional part: makes the estimate unbiased.
+        const double level = (rng.uniform() < r - lo ? lo + 1.0 : lo) / s;
+        dst[i] = static_cast<float>(norm * level *
+                                    (g[i] < 0.0f ? -1.0 : 1.0));
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+double QsgdQuantizer::bits_per_element() const {
+  return 1.0 + std::log2(static_cast<double>(levels_) + 1.0);
+}
+
+OneBitQuantizer::OneBitQuantizer(const std::vector<Param>& params) {
+  for (const auto& p : params) {
+    residual_.push_back(Tensor::zeros_like(p.value));
+  }
+}
+
+std::vector<Tensor> OneBitQuantizer::transform(
+    const std::vector<Param>& params) {
+  if (params.size() != residual_.size()) {
+    throw std::invalid_argument("parameter count changed");
+  }
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (std::size_t l = 0; l < params.size(); ++l) {
+    const auto& g = params[l].grad.raw();
+    auto& err = residual_[l].raw();
+    Tensor q = Tensor::zeros_like(params[l].value);
+    auto& dst = q.raw();
+
+    // Corrected gradient = gradient + carried quantization error.
+    // Reconstruction levels: mean magnitude of each sign group (the
+    // column-wise scalers of the original paper, flattened per tensor).
+    double pos_sum = 0.0;
+    double neg_sum = 0.0;
+    std::size_t pos_n = 0;
+    std::size_t neg_n = 0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double v = static_cast<double>(g[i]) + err[i];
+      if (v >= 0.0) {
+        pos_sum += v;
+        ++pos_n;
+      } else {
+        neg_sum += v;
+        ++neg_n;
+      }
+    }
+    const double pos_level = pos_n ? pos_sum / static_cast<double>(pos_n) : 0;
+    const double neg_level = neg_n ? neg_sum / static_cast<double>(neg_n) : 0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double v = static_cast<double>(g[i]) + err[i];
+      const double recon = v >= 0.0 ? pos_level : neg_level;
+      dst[i] = static_cast<float>(recon);
+      err[i] = static_cast<float>(v - recon);  // error feedback
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+double OneBitQuantizer::residual_norm() const {
+  double acc = 0.0;
+  for (const auto& t : residual_) {
+    const double n = t.norm();
+    acc += n * n;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace p3::train

@@ -1,0 +1,58 @@
+// Gradient quantization baselines from the paper's related work
+// (Section 6): QSGD (Alistarh et al. 2017) and 1-bit SGD (Seide et al.
+// 2014). Together with DGC these cover the "send fewer bits" family P3 is
+// compared against: QSGD is unbiased (convergence guarantees, bounded
+// variance increase), 1-bit SGD is biased but corrects with error
+// feedback.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "train/mlp.h"
+
+namespace p3::train {
+
+/// QSGD: stochastic uniform quantization onto `levels` buckets of the
+/// per-layer l2 ball. Q(v)_i = ||v|| * sgn(v_i) * xi_i where
+/// xi_i in {0, 1/s, ..., 1} is chosen stochastically so E[Q(v)] = v.
+class QsgdQuantizer {
+ public:
+  /// `bucket_size`: elements per normalization bucket (the original paper
+  /// quantizes per bucket, not per tensor, to bound the variance blow-up).
+  explicit QsgdQuantizer(int levels, std::size_t bucket_size = 512);
+
+  /// Quantize-dequantize this iteration's gradients (what the receiver
+  /// reconstructs). Unbiased: no state, no residual.
+  std::vector<Tensor> transform(const std::vector<Param>& params, Rng& rng);
+
+  /// Wire cost per element in bits (log2(levels) + sign, plus the shared
+  /// norm amortized away) — used by examples to report traffic.
+  double bits_per_element() const;
+
+  int levels() const { return levels_; }
+  std::size_t bucket_size() const { return bucket_size_; }
+
+ private:
+  int levels_;
+  std::size_t bucket_size_;
+};
+
+/// 1-bit SGD: transmit sign(residual + gradient), scale by the mean
+/// magnitude of the positive/negative groups, and keep the quantization
+/// error as a residual for the next iteration (error feedback).
+class OneBitQuantizer {
+ public:
+  explicit OneBitQuantizer(const std::vector<Param>& params);
+
+  std::vector<Tensor> transform(const std::vector<Param>& params);
+
+  /// l2 norm of the carried error residual (diagnostics/tests).
+  double residual_norm() const;
+
+ private:
+  std::vector<Tensor> residual_;
+};
+
+}  // namespace p3::train

@@ -1,0 +1,54 @@
+#include "train/sgd.h"
+
+#include <stdexcept>
+
+namespace p3::train {
+
+double Sgd::lr_at_epoch(int epoch) const {
+  double lr = cfg_.lr;
+  for (int decay_epoch : cfg_.decay_epochs) {
+    if (epoch >= decay_epoch) lr *= cfg_.decay_factor;
+  }
+  return lr;
+}
+
+void Sgd::step(std::vector<Param>& params, int epoch) {
+  std::vector<Tensor> grads;
+  grads.reserve(params.size());
+  for (const auto& p : params) grads.push_back(p.grad);
+  step_with(params, grads, epoch);
+}
+
+void Sgd::step_with(std::vector<Param>& params,
+                    const std::vector<Tensor>& grads, int epoch) {
+  if (grads.size() != params.size()) {
+    throw std::invalid_argument("gradient/parameter count mismatch");
+  }
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (const auto& p : params) velocity_.push_back(Tensor::zeros_like(p.value));
+  }
+  const auto lr = static_cast<float>(lr_at_epoch(epoch));
+  const auto mu = static_cast<float>(cfg_.momentum);
+  const auto wd = static_cast<float>(cfg_.weight_decay);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& value = params[i].value.raw();
+    auto& v = velocity_[i].raw();
+    const auto& g = grads[i].raw();
+    if (g.size() != value.size()) {
+      throw std::invalid_argument("gradient shape mismatch");
+    }
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const float grad = g[j] + wd * value[j];
+      v[j] = mu * v[j] + grad;
+      if (cfg_.nesterov) {
+        value[j] -= lr * (grad + mu * v[j]);
+      } else {
+        value[j] -= lr * v[j];
+      }
+    }
+  }
+}
+
+}  // namespace p3::train

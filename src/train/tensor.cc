@@ -1,0 +1,99 @@
+#include "train/tensor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p3::train {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Tensor Tensor::zeros_like(const Tensor& other) {
+  return Tensor(other.rows_, other.cols_);
+}
+
+Tensor Tensor::he_normal(std::size_t rows, std::size_t cols, Rng& rng) {
+  Tensor t(rows, cols);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(rows));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::add_scaled(const Tensor& other, float scale) {
+  if (other.size() != size()) throw std::invalid_argument("shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Tensor::scale(float s) {
+  for (auto& x : data_) x *= s;
+}
+
+double Tensor::norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  if (a.cols() != b.rows() || out.rows() != a.rows() ||
+      out.cols() != b.cols()) {
+    throw std::invalid_argument("matmul shape mismatch");
+  }
+  out.fill(0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+}
+
+void matmul_at_b(const Tensor& a, const Tensor& b, Tensor& out) {
+  if (a.rows() != b.rows() || out.rows() != a.cols() ||
+      out.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_at_b shape mismatch");
+  }
+  out.fill(0.0f);
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = a.at(k, i);
+      if (aki == 0.0f) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out.at(i, j) += aki * b.at(k, j);
+      }
+    }
+  }
+}
+
+void matmul_a_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+  if (a.cols() != b.cols() || out.rows() != a.rows() ||
+      out.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_a_bt shape mismatch");
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += a.at(i, k) * b.at(j, k);
+      }
+      out.at(i, j) = acc;
+    }
+  }
+}
+
+}  // namespace p3::train

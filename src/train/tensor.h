@@ -1,0 +1,58 @@
+// Minimal dense float matrix for the numeric training substrate.
+//
+// The accuracy experiments (Figures 11 and 15) need *real* gradient descent
+// — DGC's sparsification error and ASGD's staleness are algorithmic effects
+// that no performance simulator can fake — so this module implements actual
+// linear algebra. Row-major, float32 (as DNN frameworks use), sized for
+// MLP-scale models; clarity over BLAS-level throughput.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace p3::train {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  static Tensor zeros_like(const Tensor& other);
+  /// He/Kaiming-normal initialization (stddev sqrt(2/fan_in)).
+  static Tensor he_normal(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& raw() { return data_; }
+  const std::vector<float>& raw() const { return data_; }
+
+  void fill(float v);
+  void add_scaled(const Tensor& other, float scale);  ///< this += scale*other
+  void scale(float s);
+
+  /// Frobenius norm and sum (test helpers / convergence diagnostics).
+  double norm() const;
+  double sum() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a(b_rows x k) * b(k x cols): plain triple loop, cache-friendly ikj.
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+/// out = a^T * b.
+void matmul_at_b(const Tensor& a, const Tensor& b, Tensor& out);
+/// out = a * b^T.
+void matmul_a_bt(const Tensor& a, const Tensor& b, Tensor& out);
+
+}  // namespace p3::train

@@ -1,0 +1,225 @@
+#include "train/trainer.h"
+
+#include <stdexcept>
+
+namespace p3::train {
+namespace {
+
+std::vector<std::size_t> model_dims(const Dataset& data,
+                                    const TrainerConfig& cfg) {
+  std::vector<std::size_t> dims;
+  dims.push_back(data.dim);
+  for (auto h : cfg.hidden) dims.push_back(h);
+  dims.push_back(data.classes);
+  return dims;
+}
+
+}  // namespace
+
+ParallelTrainer::ParallelTrainer(const Dataset& data, TrainerConfig config)
+    : data_(data),
+      cfg_(std::move(config)),
+      rng_(cfg_.seed),
+      optimizer_([&] {
+        // DGC moves momentum into the compressor; the server applies plain
+        // SGD on the aggregated sparse gradients.
+        SgdConfig sgd = cfg_.sgd;
+        if (cfg_.mode == AggregationMode::kDgc) sgd.momentum = 0.0;
+        return sgd;
+      }()) {
+  if (cfg_.n_workers <= 0) throw std::invalid_argument("need workers");
+  model_ = std::make_unique<Mlp>(model_dims(data_, cfg_), rng_);
+  order_.resize(data_.train_y.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (cfg_.mode == AggregationMode::kDgc) {
+    for (int w = 0; w < cfg_.n_workers; ++w) {
+      compressors_.push_back(
+          std::make_unique<DgcCompressor>(model_->params(), cfg_.dgc));
+    }
+  } else if (cfg_.mode == AggregationMode::kQsgd) {
+    for (int w = 0; w < cfg_.n_workers; ++w) {
+      qsgd_.push_back(std::make_unique<QsgdQuantizer>(cfg_.qsgd_levels));
+    }
+  } else if (cfg_.mode == AggregationMode::kOneBit) {
+    for (int w = 0; w < cfg_.n_workers; ++w) {
+      onebit_.push_back(std::make_unique<OneBitQuantizer>(model_->params()));
+    }
+  }
+}
+
+double ParallelTrainer::validation_accuracy() {
+  return model_->accuracy(data_.test_x, data_.test_y);
+}
+
+void ParallelTrainer::sync_iteration(std::size_t begin, std::size_t end,
+                                     int epoch, double& loss_acc,
+                                     std::size_t& loss_count) {
+  const std::size_t per_worker =
+      (end - begin + static_cast<std::size_t>(cfg_.n_workers) - 1) /
+      static_cast<std::size_t>(cfg_.n_workers);
+  std::vector<Tensor> agg;
+  for (const auto& p : model_->params()) agg.push_back(Tensor::zeros_like(p.value));
+
+  int contributing = 0;
+  for (int w = 0; w < cfg_.n_workers; ++w) {
+    const std::size_t lo = begin + static_cast<std::size_t>(w) * per_worker;
+    const std::size_t hi = std::min(end, lo + per_worker);
+    if (lo >= hi) break;
+    const Tensor batch = data_.train_batch(lo, hi, order_);
+    const auto labels = data_.train_batch_labels(lo, hi, order_);
+    loss_acc += model_->backward(batch, labels);
+    ++loss_count;
+    ++contributing;
+    for (std::size_t l = 0; l < agg.size(); ++l) {
+      agg[l].add_scaled(model_->params()[l].grad, 1.0f);
+    }
+  }
+  for (auto& g : agg) g.scale(1.0f / static_cast<float>(contributing));
+  optimizer_.step_with(model_->params(), agg, epoch);
+}
+
+void ParallelTrainer::dgc_iteration(std::size_t begin, std::size_t end,
+                                    int epoch, double& loss_acc,
+                                    std::size_t& loss_count) {
+  const std::size_t per_worker =
+      (end - begin + static_cast<std::size_t>(cfg_.n_workers) - 1) /
+      static_cast<std::size_t>(cfg_.n_workers);
+  std::vector<Tensor> agg;
+  for (const auto& p : model_->params()) agg.push_back(Tensor::zeros_like(p.value));
+
+  int contributing = 0;
+  for (int w = 0; w < cfg_.n_workers; ++w) {
+    const std::size_t lo = begin + static_cast<std::size_t>(w) * per_worker;
+    const std::size_t hi = std::min(end, lo + per_worker);
+    if (lo >= hi) break;
+    const Tensor batch = data_.train_batch(lo, hi, order_);
+    const auto labels = data_.train_batch_labels(lo, hi, order_);
+    loss_acc += model_->backward(batch, labels);
+    ++loss_count;
+    ++contributing;
+    const auto sparse =
+        compressors_[static_cast<std::size_t>(w)]->compress(model_->params(),
+                                                            epoch);
+    DgcCompressor::accumulate(sparse, agg);
+  }
+  for (auto& g : agg) g.scale(1.0f / static_cast<float>(contributing));
+  optimizer_.step_with(model_->params(), agg, epoch);
+}
+
+void ParallelTrainer::async_iteration(std::size_t begin, std::size_t end,
+                                      int epoch, int /*tick*/,
+                                      double& loss_acc,
+                                      std::size_t& loss_count) {
+  // One worker applies an update per call, using parameters `staleness`
+  // updates old (clamped to the oldest snapshot available).
+  std::vector<Tensor> current;
+  for (const auto& p : model_->params()) current.push_back(p.value);
+  param_history_.push_back(current);
+  const auto max_hist = static_cast<std::size_t>(cfg_.staleness) + 1;
+  while (param_history_.size() > max_hist) param_history_.pop_front();
+
+  // Compute gradients with stale parameters...
+  const auto& stale = param_history_.front();
+  for (std::size_t l = 0; l < stale.size(); ++l) {
+    model_->params()[l].value = stale[l];
+  }
+  const Tensor batch = data_.train_batch(begin, end, order_);
+  const auto labels = data_.train_batch_labels(begin, end, order_);
+  loss_acc += model_->backward(batch, labels);
+  ++loss_count;
+  std::vector<Tensor> grads;
+  for (const auto& p : model_->params()) grads.push_back(p.grad);
+
+  // ...but apply them to the *current* central parameters.
+  for (std::size_t l = 0; l < current.size(); ++l) {
+    model_->params()[l].value = current[l];
+  }
+  optimizer_.step_with(model_->params(), grads, epoch);
+  ++async_tick_;
+}
+
+void ParallelTrainer::quantized_iteration(std::size_t begin, std::size_t end,
+                                          int epoch, double& loss_acc,
+                                          std::size_t& loss_count) {
+  const std::size_t per_worker =
+      (end - begin + static_cast<std::size_t>(cfg_.n_workers) - 1) /
+      static_cast<std::size_t>(cfg_.n_workers);
+  std::vector<Tensor> agg;
+  for (const auto& p : model_->params()) agg.push_back(Tensor::zeros_like(p.value));
+
+  int contributing = 0;
+  for (int w = 0; w < cfg_.n_workers; ++w) {
+    const std::size_t lo = begin + static_cast<std::size_t>(w) * per_worker;
+    const std::size_t hi = std::min(end, lo + per_worker);
+    if (lo >= hi) break;
+    const Tensor batch = data_.train_batch(lo, hi, order_);
+    const auto labels = data_.train_batch_labels(lo, hi, order_);
+    loss_acc += model_->backward(batch, labels);
+    ++loss_count;
+    ++contributing;
+    const auto approx =
+        cfg_.mode == AggregationMode::kQsgd
+            ? qsgd_[static_cast<std::size_t>(w)]->transform(model_->params(),
+                                                            quant_rng_)
+            : onebit_[static_cast<std::size_t>(w)]->transform(
+                  model_->params());
+    for (std::size_t l = 0; l < agg.size(); ++l) {
+      agg[l].add_scaled(approx[l], 1.0f);
+    }
+  }
+  for (auto& g : agg) g.scale(1.0f / static_cast<float>(contributing));
+  optimizer_.step_with(model_->params(), agg, epoch);
+}
+
+EpochStat ParallelTrainer::train_epoch(int epoch) {
+  rng_.shuffle(order_);
+  double loss_acc = 0.0;
+  std::size_t loss_count = 0;
+  const std::size_t n = order_.size();
+
+  if (cfg_.mode == AggregationMode::kAsync) {
+    // Each tick consumes one worker-batch.
+    const std::size_t step = cfg_.batch_per_worker;
+    for (std::size_t i = 0; i + 1 <= n; i += step) {
+      const std::size_t end = std::min(n, i + step);
+      async_iteration(i, end, epoch, async_tick_, loss_acc, loss_count);
+      if (end == n) break;
+    }
+  } else {
+    const std::size_t step =
+        cfg_.batch_per_worker * static_cast<std::size_t>(cfg_.n_workers);
+    for (std::size_t i = 0; i + 1 <= n; i += step) {
+      const std::size_t end = std::min(n, i + step);
+      switch (cfg_.mode) {
+        case AggregationMode::kFullSync:
+          sync_iteration(i, end, epoch, loss_acc, loss_count);
+          break;
+        case AggregationMode::kDgc:
+          dgc_iteration(i, end, epoch, loss_acc, loss_count);
+          break;
+        case AggregationMode::kQsgd:
+        case AggregationMode::kOneBit:
+          quantized_iteration(i, end, epoch, loss_acc, loss_count);
+          break;
+        case AggregationMode::kAsync:
+          break;  // handled above
+      }
+      if (end == n) break;
+    }
+  }
+
+  EpochStat stat;
+  stat.epoch = epoch;
+  stat.train_loss = loss_count ? loss_acc / static_cast<double>(loss_count) : 0;
+  stat.val_accuracy = validation_accuracy();
+  return stat;
+}
+
+std::vector<EpochStat> ParallelTrainer::train() {
+  std::vector<EpochStat> stats;
+  stats.reserve(static_cast<std::size_t>(cfg_.epochs));
+  for (int e = 0; e < cfg_.epochs; ++e) stats.push_back(train_epoch(e));
+  return stats;
+}
+
+}  // namespace p3::train

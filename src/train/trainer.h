@@ -1,0 +1,95 @@
+// Data-parallel trainer over the numeric substrate.
+//
+// Three aggregation modes, matching the algorithms compared in the paper's
+// accuracy experiments:
+//
+//  * kFullSync — synchronous SGD with full gradient exchange. This is what
+//    both the MXNet baseline and P3 compute (P3 changes *when bytes move*,
+//    never *what is aggregated*, which is why the paper states P3 follows
+//    the exact same training curve as the baseline).
+//  * kDgc — synchronous SGD where each worker transmits only the top-k of
+//    its locally accumulated gradient residual (Deep Gradient Compression);
+//    momentum lives in the compressor, the server applies plain SGD.
+//  * kAsync — asynchronous SGD: workers update central parameters round-
+//    robin using gradients computed from parameters `staleness` updates old
+//    (Appendix B.2).
+//  * kQsgd / kOneBit — the quantization baselines of the related work:
+//    unbiased stochastic quantization and sign quantization with error
+//    feedback respectively (momentum stays at the server, unlike DGC).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "train/data.h"
+#include "train/dgc.h"
+#include "train/mlp.h"
+#include "train/quantize.h"
+#include "train/sgd.h"
+
+namespace p3::train {
+
+enum class AggregationMode { kFullSync = 0, kDgc, kAsync, kQsgd, kOneBit };
+
+struct TrainerConfig {
+  int n_workers = 4;
+  std::size_t batch_per_worker = 32;
+  int epochs = 160;
+  std::vector<std::size_t> hidden = {64, 64};
+  SgdConfig sgd;
+  DgcConfig dgc;
+  AggregationMode mode = AggregationMode::kFullSync;
+  /// kQsgd: quantization levels (wire cost ~ 1 + log2(levels+1) bits/elem).
+  int qsgd_levels = 4;
+  /// kAsync: gradients are computed on parameters this many updates old.
+  int staleness = 3;
+  std::uint64_t seed = 7;
+};
+
+struct EpochStat {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_accuracy = 0.0;
+};
+
+class ParallelTrainer {
+ public:
+  ParallelTrainer(const Dataset& data, TrainerConfig config);
+
+  /// Train all epochs; returns per-epoch loss/accuracy.
+  std::vector<EpochStat> train();
+
+  /// Run a single epoch (exposed for incremental tests); returns its stat.
+  EpochStat train_epoch(int epoch);
+
+  Mlp& model() { return *model_; }
+  double validation_accuracy();
+
+ private:
+  void sync_iteration(std::size_t begin, std::size_t end, int epoch,
+                      double& loss_acc, std::size_t& loss_count);
+  void dgc_iteration(std::size_t begin, std::size_t end, int epoch,
+                     double& loss_acc, std::size_t& loss_count);
+  void quantized_iteration(std::size_t begin, std::size_t end, int epoch,
+                           double& loss_acc, std::size_t& loss_count);
+  void async_iteration(std::size_t begin, std::size_t end, int epoch, int tick,
+                       double& loss_acc, std::size_t& loss_count);
+
+  const Dataset& data_;
+  TrainerConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<Mlp> model_;
+  Sgd optimizer_;
+  std::vector<std::size_t> order_;
+  std::vector<std::unique_ptr<DgcCompressor>> compressors_;  // per worker
+  std::vector<std::unique_ptr<QsgdQuantizer>> qsgd_;          // per worker
+  std::vector<std::unique_ptr<OneBitQuantizer>> onebit_;      // per worker
+  Rng quant_rng_{12345};
+  // kAsync: history of parameter values for stale gradient computation.
+  std::deque<std::vector<Tensor>> param_history_;
+  int async_tick_ = 0;
+};
+
+}  // namespace p3::train

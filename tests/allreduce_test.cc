@@ -1,0 +1,247 @@
+#include "allreduce/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "model/zoo.h"
+
+namespace p3::ar {
+namespace {
+
+model::Workload small_workload(int layers = 4, std::int64_t params = 120'000,
+                               TimeS compute = 0.010) {
+  model::Workload w;
+  w.model = model::toy_uniform(layers, params);
+  w.batch_per_worker = 4;
+  w.iter_compute_time = compute;
+  return w;
+}
+
+ArConfig small_config(ArSchedule schedule, int workers = 4,
+                      double bandwidth_gbps = 1.0) {
+  ArConfig cfg;
+  cfg.n_workers = workers;
+  cfg.schedule = schedule;
+  cfg.bandwidth = gbps(bandwidth_gbps);
+  cfg.latency = us(25);
+  return cfg;
+}
+
+// --- bucketing ---
+
+TEST(MakeBuckets, PerLayerOnePerLayer) {
+  const auto m = model::toy_uniform(5, 1000);
+  const auto buckets = make_buckets(m, ArSchedule::kPerLayer, 0, 0);
+  ASSERT_EQ(buckets.size(), 5u);
+  // Generation order: final layer first, highest priority (rank 0).
+  EXPECT_EQ(buckets[0].layers, std::vector<int>{4});
+  EXPECT_EQ(buckets[0].priority, 0);
+  EXPECT_EQ(buckets[4].layers, std::vector<int>{0});
+  EXPECT_EQ(buckets[4].priority, 4);
+}
+
+TEST(MakeBuckets, FusedRespectsThreshold) {
+  // 6 layers of 4KB; 10KB buckets -> groups of 3 (12KB each).
+  const auto m = model::toy_uniform(6, 1000);
+  const auto buckets = make_buckets(m, ArSchedule::kFused, 10'000, 0);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].layers, (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(buckets[0].bytes, 12'000);
+  EXPECT_EQ(buckets[1].layers, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(MakeBuckets, FusedFlushesTail) {
+  const auto m = model::toy_uniform(5, 1000);
+  const auto buckets = make_buckets(m, ArSchedule::kFused, 8'000, 0);
+  // 4KB layers, 8KB threshold -> {4,3}, {2,1}, {0}.
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[2].layers, std::vector<int>{0});
+}
+
+TEST(MakeBuckets, PrioritySlicedBoundsAndPriorities) {
+  const auto m = model::toy_custom({120'000, 30'000});
+  const auto buckets =
+      make_buckets(m, ArSchedule::kPrioritySliced, 0, 50'000);
+  ASSERT_EQ(buckets.size(), 4u);  // 3 slices for layer 0, 1 for layer 1
+  Bytes total = 0;
+  for (const auto& b : buckets) {
+    EXPECT_LE(b.bytes, 4 * 50'000);
+    EXPECT_EQ(b.priority, b.layers.front());
+    total += b.bytes;
+  }
+  EXPECT_EQ(total, m.total_bytes());
+}
+
+TEST(MakeBuckets, ConserveBytesAcrossSchedules) {
+  const auto m = model::resnet50();
+  for (auto schedule : {ArSchedule::kPerLayer, ArSchedule::kFused,
+                        ArSchedule::kPrioritySliced}) {
+    const auto buckets = make_buckets(m, schedule, mib(25), 50'000);
+    Bytes total = 0;
+    std::set<int> covered;
+    for (const auto& b : buckets) {
+      total += b.bytes;
+      for (int l : b.layers) covered.insert(l);
+    }
+    EXPECT_EQ(total, m.total_bytes()) << ar_schedule_name(schedule);
+    EXPECT_EQ(covered.size(), static_cast<std::size_t>(m.num_layers()));
+  }
+}
+
+TEST(MakeBuckets, InvalidArgumentsThrow) {
+  const auto m = model::toy_uniform(2, 100);
+  EXPECT_THROW(make_buckets(m, ArSchedule::kFused, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_buckets(m, ArSchedule::kPrioritySliced, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_buckets(model::ModelSpec{}, ArSchedule::kPerLayer, 0, 0),
+               std::invalid_argument);
+}
+
+// --- cluster invariants, all schedules x sizes ---
+
+class ArInvariants
+    : public ::testing::TestWithParam<std::tuple<ArSchedule, int>> {};
+
+TEST_P(ArInvariants, EveryLayerAdvancesEveryIteration) {
+  const auto [schedule, workers] = GetParam();
+  ArCluster cluster(small_workload(), small_config(schedule, workers));
+  const int iterations = 4;
+  const auto result = cluster.run(1, iterations - 1);
+  EXPECT_GT(result.throughput, 0.0);
+  for (int w = 0; w < workers; ++w) {
+    for (int l = 0; l < 4; ++l) {
+      EXPECT_GE(cluster.worker_layer_version(w, l), iterations - 1);
+    }
+  }
+}
+
+TEST_P(ArInvariants, EveryBucketRunsOncePerIteration) {
+  const auto [schedule, workers] = GetParam();
+  ArCluster cluster(small_workload(), small_config(schedule, workers));
+  const int iterations = 3;
+  const auto result = cluster.run(0, iterations);
+  // Workers finish their last backward before the engine completes the last
+  // round, so the engine has run at least (iterations-1) full rounds and at
+  // most iterations rounds.
+  const auto per_round =
+      static_cast<std::int64_t>(cluster.buckets().size());
+  EXPECT_GE(result.collectives_run, per_round * (iterations - 1));
+  EXPECT_LE(result.collectives_run, per_round * iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulesByWorkers, ArInvariants,
+    ::testing::Combine(::testing::Values(ArSchedule::kPerLayer,
+                                         ArSchedule::kFused,
+                                         ArSchedule::kPrioritySliced),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      std::string name = ar_schedule_name(std::get<0>(info.param)) + "_w" +
+                         std::to_string(std::get<1>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- behaviour ---
+
+TEST(ArCluster, PriorityExecutesUrgentSlicesEarly) {
+  // Heavy final layer: FIFO must reduce it first (generated first); with
+  // priority scheduling the first layer's slice jumps ahead of remaining
+  // final-layer slices once its gradient is ready.
+  model::Workload w;
+  w.model = model::toy_custom({50'000, 50'000, 400'000});
+  w.batch_per_worker = 4;
+  w.iter_compute_time = 0.010;
+
+  ArConfig cfg = small_config(ArSchedule::kPrioritySliced, 2, 0.5);
+  ArCluster cluster(w, cfg);
+  cluster.run(0, 2);
+  const auto& log = cluster.execution_log();
+  const auto& buckets = cluster.buckets();
+  // Within one round, the layer-0 bucket must not be executed last even
+  // though its gradient is produced last.
+  std::size_t round = buckets.size();
+  ASSERT_GE(log.size(), round);
+  bool layer0_before_end = false;
+  for (std::size_t i = 0; i + 2 < round; ++i) {
+    if (buckets[static_cast<std::size_t>(log[i])].layers.front() == 0) {
+      layer0_before_end = true;
+    }
+  }
+  EXPECT_TRUE(layer0_before_end);
+}
+
+TEST(ArCluster, ComputeBoundAtHighBandwidth) {
+  for (auto schedule : {ArSchedule::kPerLayer, ArSchedule::kFused,
+                        ArSchedule::kPrioritySliced}) {
+    ArCluster cluster(small_workload(), small_config(schedule, 4, 100.0));
+    const auto result = cluster.run(2, 5);
+    const double ideal = 4.0 * 4 / 0.010;
+    EXPECT_GT(result.throughput, 0.8 * ideal) << ar_schedule_name(schedule);
+  }
+}
+
+TEST(ArCluster, FusionBeatsPerLayerForTinyLayers) {
+  // Many small layers: per-layer collectives pay 2(n-1) launch overheads
+  // each; fusion amortizes them.
+  model::Workload w;
+  w.model = model::toy_uniform(64, 2'000);
+  w.batch_per_worker = 4;
+  w.iter_compute_time = 0.004;
+
+  ArConfig per_layer = small_config(ArSchedule::kPerLayer, 4, 1.0);
+  per_layer.step_overhead = us(50);
+  ArConfig fused = per_layer;
+  fused.schedule = ArSchedule::kFused;
+  fused.bucket_bytes = kib(256);
+
+  ArCluster a(w, per_layer);
+  ArCluster b(w, fused);
+  EXPECT_GT(b.run(1, 5).throughput, a.run(1, 5).throughput);
+}
+
+TEST(ArCluster, DeterministicAcrossRuns) {
+  auto once = [] {
+    ArCluster cluster(small_workload(),
+                      small_config(ArSchedule::kPrioritySliced, 4, 1.0));
+    return cluster.run(1, 4).throughput;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(ArCluster, SingleWorkerSkipsNetwork) {
+  ArCluster cluster(small_workload(),
+                    small_config(ArSchedule::kFused, 1, 0.001));
+  const auto result = cluster.run(1, 3);
+  EXPECT_EQ(cluster.network().messages_posted(), 0);
+  EXPECT_GT(result.throughput, 0.0);
+}
+
+TEST(ArCluster, InvalidConfigThrows) {
+  EXPECT_THROW(ArCluster(small_workload(),
+                         small_config(ArSchedule::kFused, 0)),
+               std::invalid_argument);
+  ArConfig bad = small_config(ArSchedule::kFused);
+  bad.reduce_bytes_per_sec = 0;
+  EXPECT_THROW(ArCluster(small_workload(), bad), std::invalid_argument);
+}
+
+TEST(ArCluster, RunIsSingleUse) {
+  ArCluster cluster(small_workload(), small_config(ArSchedule::kFused));
+  cluster.run(0, 1);
+  EXPECT_THROW(cluster.run(0, 1), std::logic_error);
+}
+
+TEST(ArScheduleName, RoundTripNames) {
+  EXPECT_EQ(ar_schedule_name(ArSchedule::kPerLayer), "AR-per-layer");
+  EXPECT_EQ(ar_schedule_name(ArSchedule::kFused), "AR-fused");
+  EXPECT_EQ(ar_schedule_name(ArSchedule::kPrioritySliced), "AR-P3");
+}
+
+}  // namespace
+}  // namespace p3::ar

@@ -1,0 +1,51 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace p3 {
+namespace {
+
+TEST(Log, DefaultLevelIsInfo) {
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST(Log, LevelIsSettable) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
+TEST(Log, MacrosCompileAndStream) {
+  // Smoke test: the macros must accept streamed values of mixed types and
+  // respect the threshold (output goes to stderr; not captured here).
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  P3_DEBUG << "dropped " << 42;       // below threshold: skipped
+  P3_INFO << "dropped " << 1.5;       // below threshold: skipped
+  set_log_level(LogLevel::kDebug);
+  P3_DEBUG << "emitted " << "fine";
+  set_log_level(original);
+  SUCCEED();
+}
+
+TEST(Log, ThresholdShortCircuitsEvaluation) {
+  // The message expression must not be evaluated when filtered out.
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return "x";
+  };
+  P3_DEBUG << count();
+  EXPECT_EQ(evaluations, 0);
+  P3_ERROR << count();
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace p3

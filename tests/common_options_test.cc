@@ -1,0 +1,64 @@
+#include "common/options.h"
+
+#include <gtest/gtest.h>
+
+namespace p3 {
+namespace {
+
+Options make(std::vector<const char*> args,
+             std::map<std::string, std::string> spec) {
+  args.insert(args.begin(), "prog");
+  return Options(static_cast<int>(args.size()), args.data(), std::move(spec));
+}
+
+TEST(Options, DefaultsApply) {
+  auto opts = make({}, {{"bandwidth", "10"}, {"model", "resnet50"}});
+  EXPECT_DOUBLE_EQ(opts.num("bandwidth"), 10.0);
+  EXPECT_EQ(opts.str("model"), "resnet50");
+  EXPECT_FALSE(opts.has("bandwidth"));
+}
+
+TEST(Options, EqualsSyntax) {
+  auto opts = make({"--bandwidth=4.5"}, {{"bandwidth", "10"}});
+  EXPECT_DOUBLE_EQ(opts.num("bandwidth"), 4.5);
+  EXPECT_TRUE(opts.has("bandwidth"));
+}
+
+TEST(Options, SpaceSyntax) {
+  auto opts = make({"--model", "vgg19"}, {{"model", ""}});
+  EXPECT_EQ(opts.str("model"), "vgg19");
+}
+
+TEST(Options, BooleanFlag) {
+  auto opts = make({"--verbose"}, {{"verbose", "0"}});
+  EXPECT_TRUE(opts.flag("verbose"));
+}
+
+TEST(Options, IntegerParsing) {
+  auto opts = make({"--workers=16"}, {{"workers", "4"}});
+  EXPECT_EQ(opts.integer("workers"), 16);
+}
+
+TEST(Options, UnknownOptionThrows) {
+  EXPECT_THROW(make({"--nope=1"}, {{"workers", "4"}}), std::invalid_argument);
+}
+
+TEST(Options, NonNumericThrows) {
+  auto opts = make({"--workers=many"}, {{"workers", "4"}});
+  EXPECT_THROW(opts.num("workers"), std::invalid_argument);
+}
+
+TEST(Options, PositionalCollected) {
+  auto opts = make({"pos1", "--workers=2", "pos2"}, {{"workers", "4"}});
+  ASSERT_EQ(opts.positional().size(), 2u);
+  EXPECT_EQ(opts.positional()[0], "pos1");
+  EXPECT_EQ(opts.positional()[1], "pos2");
+}
+
+TEST(Options, QueryOutsideSpecThrows) {
+  auto opts = make({}, {{"workers", "4"}});
+  EXPECT_THROW(opts.str("missing"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3

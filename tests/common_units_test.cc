@@ -1,0 +1,66 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace p3 {
+namespace {
+
+TEST(Units, RateConversions) {
+  EXPECT_DOUBLE_EQ(gbps(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(gbps(10.0), 1e10);
+  EXPECT_DOUBLE_EQ(mbps(100.0), 1e8);
+}
+
+TEST(Units, SizeConversions) {
+  EXPECT_EQ(kib(1), 1024);
+  EXPECT_EQ(mib(1), 1024 * 1024);
+  EXPECT_EQ(gib(1), 1024LL * 1024 * 1024);
+  EXPECT_EQ(mib(2.5), 2621440);
+}
+
+TEST(Units, TransferTime) {
+  // 1 GB at 8 Gbps = 1 second.
+  EXPECT_DOUBLE_EQ(transfer_time(1'000'000'000, gbps(8)), 1.0);
+  // 125 MB at 1 Gbps = 1 second.
+  EXPECT_DOUBLE_EQ(transfer_time(125'000'000, gbps(1)), 1.0);
+  // Zero bytes transfer instantly.
+  EXPECT_DOUBLE_EQ(transfer_time(0, gbps(1)), 0.0);
+}
+
+TEST(Units, BytesInInterval) {
+  EXPECT_EQ(bytes_in(1.0, gbps(8)), 1'000'000'000);
+  EXPECT_EQ(bytes_in(0.5, gbps(1)), 62'500'000);
+}
+
+TEST(Units, TransferRoundTrip) {
+  const Bytes size = 102'760'544;  // ~VGG-19 fc6 gradient bytes / 4
+  const BitsPerSec rate = gbps(15);
+  EXPECT_NEAR(bytes_in(transfer_time(size, rate), rate),
+              static_cast<double>(size), 1.0);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(ms(10), 0.01);
+  EXPECT_DOUBLE_EQ(us(50), 5e-5);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(1'500), "1.50 KB");
+  EXPECT_EQ(format_bytes(102'760'544), "102.76 MB");
+}
+
+TEST(Units, FormatRate) {
+  EXPECT_EQ(format_rate(gbps(4)), "4.00 Gbps");
+  EXPECT_EQ(format_rate(mbps(250)), "250.00 Mbps");
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(1.5), "1.500 s");
+  EXPECT_EQ(format_time(0.010), "10.00 ms");
+  EXPECT_EQ(format_time(25e-6), "25.00 us");
+  EXPECT_EQ(format_time(3e-9), "3.0 ns");
+}
+
+}  // namespace
+}  // namespace p3

@@ -1,0 +1,154 @@
+#include "core/slicing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "model/zoo.h"
+
+namespace p3::core {
+namespace {
+
+TEST(PartitionKvstore, SmallLayersStayWhole) {
+  Rng rng(1);
+  const auto m = model::toy_custom({100, 200, 300});
+  const auto p = partition_kvstore(m, 4, 1'000'000, rng);
+  EXPECT_EQ(p.num_slices(), 3);
+  for (const auto& s : p.slices) {
+    EXPECT_GE(s.server, 0);
+    EXPECT_LT(s.server, 4);
+  }
+}
+
+TEST(PartitionKvstore, LargeLayersSplitEqually) {
+  Rng rng(1);
+  const auto m = model::toy_custom({4'000'000});
+  const auto p = partition_kvstore(m, 4, 1'000'000, rng);
+  EXPECT_EQ(p.num_slices(), 4);
+  std::set<int> servers;
+  for (const auto& s : p.slices) {
+    EXPECT_EQ(s.params, 1'000'000);
+    servers.insert(s.server);
+  }
+  EXPECT_EQ(servers.size(), 4u);  // one shard per server
+}
+
+TEST(PartitionKvstore, RemainderSpreadsOverFirstShards) {
+  Rng rng(1);
+  const auto m = model::toy_custom({1'000'003});
+  const auto p = partition_kvstore(m, 4, 1'000'000, rng);
+  ASSERT_EQ(p.num_slices(), 4);
+  EXPECT_EQ(p.slices[0].params, 250'001);
+  EXPECT_EQ(p.slices[3].params, 250'000);
+  EXPECT_EQ(p.total_params(), 1'000'003);
+}
+
+TEST(PartitionKvstore, ConservesParameters) {
+  Rng rng(7);
+  for (const auto& m : {model::resnet50(), model::vgg19(), model::sockeye()}) {
+    const auto p = partition_kvstore(m, 4, 1'000'000, rng);
+    EXPECT_EQ(p.total_params(), m.total_params()) << m.name;
+  }
+}
+
+TEST(PartitionKvstore, DeterministicForSeed) {
+  const auto m = model::resnet50();
+  Rng rng_a(5), rng_b(5);
+  const auto pa = partition_kvstore(m, 4, 1'000'000, rng_a);
+  const auto pb = partition_kvstore(m, 4, 1'000'000, rng_b);
+  ASSERT_EQ(pa.num_slices(), pb.num_slices());
+  for (std::int64_t i = 0; i < pa.num_slices(); ++i) {
+    EXPECT_EQ(pa.slices[static_cast<std::size_t>(i)].server,
+              pb.slices[static_cast<std::size_t>(i)].server);
+  }
+}
+
+TEST(PartitionKvstore, Vgg19Fc6ShardsAreCoarse) {
+  // The motivating pathology: on 4 servers, fc6 still produces four
+  // ~25.7M-parameter shards (~103 MB each on the wire).
+  Rng rng(1);
+  const auto p = partition_kvstore(model::vgg19(), 4, 1'000'000, rng);
+  std::int64_t biggest = 0;
+  for (const auto& s : p.slices) biggest = std::max(biggest, s.params);
+  EXPECT_NEAR(static_cast<double>(biggest), 102'764'544 / 4.0, 2.0);
+}
+
+TEST(PartitionP3, RespectsSliceBound) {
+  const auto m = model::vgg19();
+  const auto p = partition_p3(m, 4, 50'000);
+  for (const auto& s : p.slices) {
+    EXPECT_GT(s.params, 0);
+    EXPECT_LE(s.params, 50'000);
+  }
+  EXPECT_EQ(p.total_params(), m.total_params());
+}
+
+TEST(PartitionP3, RoundRobinAssignment) {
+  const auto m = model::toy_custom({150'000});  // 3 slices of 50k
+  const auto p = partition_p3(m, 4, 50'000);
+  ASSERT_EQ(p.num_slices(), 3);
+  EXPECT_EQ(p.slices[0].server, 0);
+  EXPECT_EQ(p.slices[1].server, 1);
+  EXPECT_EQ(p.slices[2].server, 2);
+}
+
+TEST(PartitionP3, RoundRobinContinuesAcrossLayers) {
+  const auto m = model::toy_custom({50'000, 50'000, 50'000, 50'000, 50'000});
+  const auto p = partition_p3(m, 2, 50'000);
+  EXPECT_EQ(p.slices[0].server, 0);
+  EXPECT_EQ(p.slices[1].server, 1);
+  EXPECT_EQ(p.slices[2].server, 0);
+  EXPECT_EQ(p.slices[3].server, 1);
+  EXPECT_EQ(p.slices[4].server, 0);
+}
+
+TEST(PartitionP3, PrioritiesFollowForwardOrder) {
+  const auto m = model::toy_custom({60'000, 60'000, 60'000});
+  const auto p = partition_p3(m, 2, 50'000);
+  for (const auto& s : p.slices) {
+    EXPECT_EQ(s.priority, s.layer);  // layer 0 = most urgent
+  }
+  // First layer's slices beat last layer's.
+  EXPECT_LT(p.slices[p.layer_slices[0][0]].priority,
+            p.slices[p.layer_slices[2][0]].priority);
+}
+
+TEST(PartitionP3, LayerSliceIndexConsistent) {
+  const auto m = model::resnet50();
+  const auto p = partition_p3(m, 4, 50'000);
+  for (int l = 0; l < m.num_layers(); ++l) {
+    for (auto id : p.layer_slices[static_cast<std::size_t>(l)]) {
+      EXPECT_EQ(p.slices[static_cast<std::size_t>(id)].layer, l);
+    }
+  }
+  // Slice ids are dense 0..n-1.
+  for (std::int64_t i = 0; i < p.num_slices(); ++i) {
+    EXPECT_EQ(p.slices[static_cast<std::size_t>(i)].id, i);
+  }
+}
+
+TEST(PartitionP3, Vgg19SliceCount) {
+  const auto p = partition_p3(model::vgg19(), 4, 50'000);
+  // 143.7M params / 50k ≈ 2874 slices plus per-layer rounding.
+  EXPECT_GT(p.num_slices(), 2870);
+  EXPECT_LT(p.num_slices(), 2930);
+}
+
+TEST(PartitionP3, LayerBytes) {
+  const auto m = model::toy_custom({75'000});
+  const auto p = partition_p3(m, 2, 50'000);
+  EXPECT_EQ(p.layer_bytes(0), 4 * 75'000);
+}
+
+TEST(Partition, InvalidArgumentsThrow) {
+  Rng rng(1);
+  const auto m = model::toy_uniform(2, 100);
+  EXPECT_THROW(partition_p3(m, 0, 50'000), std::invalid_argument);
+  EXPECT_THROW(partition_p3(m, 2, 0), std::invalid_argument);
+  EXPECT_THROW(partition_kvstore(m, 2, 0, rng), std::invalid_argument);
+  EXPECT_THROW(partition_kvstore(model::ModelSpec{}, 2, 100, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3::core

@@ -1,0 +1,68 @@
+#include "core/sync_method.h"
+
+#include <gtest/gtest.h>
+
+namespace p3::core {
+namespace {
+
+TEST(SyncMethod, BaselineFlags) {
+  const auto cfg = sync_config(SyncMethod::kBaseline);
+  EXPECT_FALSE(cfg.slicing);
+  EXPECT_FALSE(cfg.priority);
+  EXPECT_FALSE(cfg.immediate_broadcast);
+  EXPECT_FALSE(cfg.deferred_pull);
+}
+
+TEST(SyncMethod, SlicingOnlyFlags) {
+  // "Slicing" = the P3 implementation with priority disabled: slicing and
+  // immediate broadcast, FIFO ordering.
+  const auto cfg = sync_config(SyncMethod::kSlicingOnly);
+  EXPECT_TRUE(cfg.slicing);
+  EXPECT_FALSE(cfg.priority);
+  EXPECT_TRUE(cfg.immediate_broadcast);
+}
+
+TEST(SyncMethod, P3Flags) {
+  const auto cfg = sync_config(SyncMethod::kP3);
+  EXPECT_TRUE(cfg.slicing);
+  EXPECT_TRUE(cfg.priority);
+  EXPECT_TRUE(cfg.immediate_broadcast);
+  EXPECT_FALSE(cfg.deferred_pull);
+}
+
+TEST(SyncMethod, TensorFlowStyleFlags) {
+  const auto cfg = sync_config(SyncMethod::kTensorFlowStyle);
+  EXPECT_FALSE(cfg.slicing);
+  EXPECT_TRUE(cfg.deferred_pull);
+}
+
+TEST(SyncMethod, PoseidonMatchesBaselineTransport) {
+  const auto a = sync_config(SyncMethod::kBaseline);
+  const auto b = sync_config(SyncMethod::kPoseidonWFBP);
+  EXPECT_EQ(a.slicing, b.slicing);
+  EXPECT_EQ(a.priority, b.priority);
+  EXPECT_EQ(a.immediate_broadcast, b.immediate_broadcast);
+  EXPECT_EQ(a.deferred_pull, b.deferred_pull);
+}
+
+TEST(SyncMethod, NamesRoundTrip) {
+  for (SyncMethod m :
+       {SyncMethod::kBaseline, SyncMethod::kSlicingOnly, SyncMethod::kP3,
+        SyncMethod::kTensorFlowStyle, SyncMethod::kPoseidonWFBP}) {
+    EXPECT_EQ(parse_sync_method(sync_method_name(m)), m);
+  }
+}
+
+TEST(SyncMethod, PaperSeriesNames) {
+  EXPECT_EQ(sync_method_name(SyncMethod::kBaseline), "Baseline");
+  EXPECT_EQ(sync_method_name(SyncMethod::kSlicingOnly), "Slicing");
+  EXPECT_EQ(sync_method_name(SyncMethod::kP3), "P3");
+}
+
+TEST(SyncMethod, ParseUnknownThrows) {
+  EXPECT_THROW(parse_sync_method("nonsense"), std::invalid_argument);
+  EXPECT_THROW(parse_sync_method("baseline"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3::core

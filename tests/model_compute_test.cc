@@ -1,0 +1,77 @@
+#include "model/compute.h"
+
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+
+namespace p3::model {
+namespace {
+
+TEST(ComputeProfile, TotalMatchesBudget) {
+  const auto m = resnet50();
+  const auto p = make_profile(m, 0.305);
+  EXPECT_EQ(p.num_layers(), m.num_layers());
+  EXPECT_NEAR(p.total(), 0.305, 1e-9);
+}
+
+TEST(ComputeProfile, ForwardBackwardRatio) {
+  GpuModelConfig cfg;
+  cfg.bwd_ratio = 2.0;
+  cfg.layer_overhead = 0.0;
+  const auto p = make_profile(toy_uniform(4, 100), 0.3, cfg);
+  EXPECT_NEAR(p.total_fwd(), 0.1, 1e-12);
+  EXPECT_NEAR(p.total_bwd(), 0.2, 1e-12);
+}
+
+TEST(ComputeProfile, ProportionalToFlops) {
+  GpuModelConfig cfg;
+  cfg.layer_overhead = 0.0;
+  const auto m = toy_custom({1, 1, 1}, {1.0, 3.0, 1.0});
+  const auto p = make_profile(m, 1.0, cfg);
+  EXPECT_NEAR(p.fwd[1], 3.0 * p.fwd[0], 1e-12);
+  EXPECT_NEAR(p.bwd[1], 3.0 * p.bwd[0], 1e-12);
+}
+
+TEST(ComputeProfile, OverheadFloorsEachLayer) {
+  GpuModelConfig cfg;
+  cfg.layer_overhead = us(25);
+  const auto m = toy_custom({1, 1}, {0.0, 1.0});  // layer 0 has zero flops
+  const auto p = make_profile(m, 0.01, cfg);
+  EXPECT_GE(p.fwd[0], us(25));
+  EXPECT_GE(p.bwd[0], us(25));
+}
+
+TEST(ComputeProfile, OverheadDominatedModelClamps) {
+  GpuModelConfig cfg;
+  cfg.layer_overhead = ms(1);
+  // 100 layers * 2 passes * 1ms = 0.2s of overhead > 0.1s budget.
+  const auto p = make_profile(toy_uniform(100, 1), 0.1, cfg);
+  EXPECT_NEAR(p.total(), 0.2, 1e-9);  // clamped to overhead floor
+}
+
+TEST(ComputeProfile, InvalidArgumentsThrow) {
+  EXPECT_THROW(make_profile(ModelSpec{}, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_profile(toy_uniform(2, 1), 0.0), std::invalid_argument);
+}
+
+TEST(Workloads, PlateauThroughputsMatchFigure7) {
+  // Plateau = 4 workers * batch / iter_compute_time.
+  const auto r = workload_resnet50();
+  EXPECT_NEAR(4.0 * r.batch_per_worker / r.iter_compute_time, 105.0, 2.0);
+  const auto i = workload_inception_v3();
+  EXPECT_NEAR(4.0 * i.batch_per_worker / i.iter_compute_time, 70.0, 1.0);
+  const auto v = workload_vgg19();
+  EXPECT_NEAR(4.0 * v.batch_per_worker / v.iter_compute_time, 56.0, 1.0);
+  const auto s = workload_sockeye();
+  EXPECT_NEAR(4.0 * s.batch_per_worker / s.iter_compute_time, 160.0, 1.0);
+}
+
+TEST(Workloads, ModelsAttached) {
+  EXPECT_EQ(workload_resnet50().model.name, "ResNet-50");
+  EXPECT_EQ(workload_inception_v3().model.name, "InceptionV3");
+  EXPECT_EQ(workload_vgg19().model.name, "VGG-19");
+  EXPECT_EQ(workload_sockeye().model.name, "Sockeye");
+}
+
+}  // namespace
+}  // namespace p3::model

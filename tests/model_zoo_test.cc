@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+
+namespace p3::model {
+namespace {
+
+TEST(Zoo, Resnet50ParameterCount) {
+  const auto m = resnet50();
+  // Published count: 25,557,032 (weights + biases + BN scale/shift).
+  EXPECT_EQ(m.total_params(), 25'557'032);
+}
+
+TEST(Zoo, Resnet50LayerStructure) {
+  const auto m = resnet50();
+  // conv1+bn1, 16 bottlenecks (6 or 8 tensors each: 4 downsampled), fc.
+  EXPECT_EQ(m.num_layers(), 2 + 16 * 6 + 4 * 2 + 1);
+  EXPECT_EQ(m.layers.front().name, "conv1");
+  EXPECT_EQ(m.layers.back().name, "fc");
+}
+
+TEST(Zoo, Resnet50HeaviestLayerIsModest) {
+  // Figure 5a: ResNet-50's parameter distribution peaks around 2.4M (the
+  // deep 3x3 512-channel convolutions), i.e. no dominant layer.
+  const auto m = resnet50();
+  const auto& heavy = m.layers[static_cast<std::size_t>(m.heaviest_layer())];
+  EXPECT_EQ(heavy.params, 2'359'296);  // 3x3 512->512 conv
+  EXPECT_LT(m.heaviest_fraction(), 0.10);
+}
+
+TEST(Zoo, Vgg19ParameterCount) {
+  const auto m = vgg19();
+  // Published count for configuration E: 143,667,240.
+  EXPECT_EQ(m.total_params(), 143'667'240);
+}
+
+TEST(Zoo, Vgg19Fc6Dominates) {
+  const auto m = vgg19();
+  const int heavy = m.heaviest_layer();
+  EXPECT_EQ(m.layers[static_cast<std::size_t>(heavy)].name, "fc6");
+  EXPECT_EQ(m.layers[static_cast<std::size_t>(heavy)].params, 102'764'544);
+  // The paper: "71.5% of all the parameters in the entire network".
+  EXPECT_NEAR(m.heaviest_fraction(), 0.715, 0.001);
+}
+
+TEST(Zoo, Vgg19LayerCount) {
+  EXPECT_EQ(vgg19().num_layers(), 19);  // 16 conv + 3 fc
+}
+
+TEST(Zoo, InceptionV3ParameterCount) {
+  const auto m = inception_v3();
+  // ~23.8M (aux classifier excluded); allow small tolerance for BN tensors.
+  EXPECT_GT(m.total_params(), 23'000'000);
+  EXPECT_LT(m.total_params(), 25'000'000);
+}
+
+TEST(Zoo, InceptionV3HasManySmallLayers) {
+  const auto m = inception_v3();
+  EXPECT_GT(m.num_layers(), 150);
+  // Figure 5a analog: no layer above 2.5M params.
+  EXPECT_LT(m.layers[static_cast<std::size_t>(m.heaviest_layer())].params,
+            2'500'000);
+}
+
+TEST(Zoo, SockeyeHeavyInitialLayer) {
+  const auto m = sockeye();
+  // "Unlike image classification models, the heaviest layer in this model
+  // is the initial layer."
+  EXPECT_EQ(m.heaviest_layer(), 0);
+  EXPECT_EQ(m.layers[0].name, "encoder.embed");
+  EXPECT_NEAR(static_cast<double>(m.layers[0].params), 8.5e6, 0.2e6);
+}
+
+TEST(Zoo, SockeyeTotalParams) {
+  const auto m = sockeye();
+  EXPECT_GT(m.total_params(), 30'000'000);
+  EXPECT_LT(m.total_params(), 42'000'000);
+  EXPECT_EQ(m.sample_unit, "sentences");
+}
+
+TEST(Zoo, Resnet110ParameterCount) {
+  const auto m = resnet110_cifar();
+  // ~1.73M for CIFAR ResNet-110.
+  EXPECT_GT(m.total_params(), 1'600'000);
+  EXPECT_LT(m.total_params(), 1'900'000);
+}
+
+TEST(Zoo, TransformerShape) {
+  const auto m = transformer_base();
+  EXPECT_GT(m.total_params(), 55'000'000);
+  EXPECT_LT(m.total_params(), 66'000'000);
+  // Heavy tied embedding sits at the very front.
+  EXPECT_EQ(m.heaviest_layer(), 0);
+  EXPECT_EQ(m.layers[0].params, 32'000LL * 512);
+  EXPECT_EQ(m.sample_unit, "sentences");
+}
+
+TEST(Zoo, AlexnetSkew) {
+  const auto m = alexnet();
+  EXPECT_GT(m.total_params(), 60'000'000);
+  EXPECT_LT(m.total_params(), 63'000'000);
+  const int heavy = m.heaviest_layer();
+  EXPECT_EQ(m.layers[static_cast<std::size_t>(heavy)].name, "fc6");
+  EXPECT_GT(m.heaviest_fraction(), 0.60);
+}
+
+TEST(Zoo, ToyUniform) {
+  const auto m = toy_uniform(3, 1000);
+  ASSERT_EQ(m.num_layers(), 3);
+  EXPECT_EQ(m.total_params(), 3000);
+  EXPECT_EQ(m.layers[0].name, "L1");
+  for (const auto& l : m.layers) EXPECT_DOUBLE_EQ(l.fwd_flops, 1.0);
+}
+
+TEST(Zoo, ToyCustom) {
+  const auto m = toy_custom({100, 300, 100}, {1.0, 3.0, 1.0});
+  ASSERT_EQ(m.num_layers(), 3);
+  EXPECT_EQ(m.layers[1].params, 300);
+  EXPECT_DOUBLE_EQ(m.layers[1].fwd_flops, 3.0);
+  EXPECT_EQ(m.heaviest_layer(), 1);
+}
+
+TEST(Zoo, ToyCustomValidation) {
+  EXPECT_THROW(toy_custom({}), std::invalid_argument);
+  EXPECT_THROW(toy_custom({1, 2}, {1.0}), std::invalid_argument);
+}
+
+TEST(Zoo, LayerBytesAreFp32) {
+  const auto m = toy_uniform(2, 50'000);
+  EXPECT_EQ(m.layer_bytes(0), 200'000);
+  EXPECT_EQ(m.total_bytes(), 400'000);
+}
+
+TEST(Zoo, GradientSizesMatchPaperScale) {
+  // "each worker machine generates and synchronizes hundreds of megabytes
+  // of gradient values" — VGG-19 is ~574 MB, ResNet-50 ~102 MB.
+  EXPECT_NEAR(static_cast<double>(vgg19().total_bytes()), 574.7e6, 1e6);
+  EXPECT_NEAR(static_cast<double>(resnet50().total_bytes()), 102.2e6, 0.5e6);
+}
+
+}  // namespace
+}  // namespace p3::model

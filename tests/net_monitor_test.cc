@@ -1,0 +1,76 @@
+#include "net/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace p3::net {
+namespace {
+
+TEST(Monitor, SingleBinTransfer) {
+  UtilizationMonitor mon(1, 0.010);
+  mon.record(0, Direction::kOut, 0.001, 0.005, 4000);
+  EXPECT_DOUBLE_EQ(mon.bin_bytes(0, Direction::kOut, 0), 4000.0);
+  EXPECT_DOUBLE_EQ(mon.total_bytes(0, Direction::kOut), 4000.0);
+}
+
+TEST(Monitor, SpreadsAcrossBinsProportionally) {
+  UtilizationMonitor mon(1, 0.010);
+  // 30 ms transfer starting at 5 ms: bins 0..3 get 5/10/10/5 ms worth.
+  mon.record(0, Direction::kIn, 0.005, 0.035, 3000);
+  EXPECT_NEAR(mon.bin_bytes(0, Direction::kIn, 0), 500.0, 1e-6);
+  EXPECT_NEAR(mon.bin_bytes(0, Direction::kIn, 1), 1000.0, 1e-6);
+  EXPECT_NEAR(mon.bin_bytes(0, Direction::kIn, 2), 1000.0, 1e-6);
+  EXPECT_NEAR(mon.bin_bytes(0, Direction::kIn, 3), 500.0, 1e-6);
+  EXPECT_NEAR(mon.total_bytes(0, Direction::kIn), 3000.0, 1e-6);
+}
+
+TEST(Monitor, BinRate) {
+  UtilizationMonitor mon(1, 0.010);
+  // 1.25 MB in one 10 ms bin = 1 Gbps.
+  mon.record(0, Direction::kOut, 0.010, 0.020, 1'250'000);
+  EXPECT_NEAR(mon.bin_rate(0, Direction::kOut, 1), gbps(1), 1.0);
+}
+
+TEST(Monitor, InstantaneousTransferAccounted) {
+  UtilizationMonitor mon(1, 0.010);
+  mon.record(0, Direction::kOut, 0.021, 0.021, 999);
+  EXPECT_DOUBLE_EQ(mon.bin_bytes(0, Direction::kOut, 2), 999.0);
+}
+
+TEST(Monitor, ZeroBytesIgnored) {
+  UtilizationMonitor mon(1, 0.010);
+  mon.record(0, Direction::kOut, 0.0, 1.0, 0);
+  EXPECT_EQ(mon.bins(0, Direction::kOut), 0u);
+}
+
+TEST(Monitor, IdleFraction) {
+  UtilizationMonitor mon(1, 0.010);
+  // Busy bins 0 and 2; idle bins 1 and 3.
+  mon.record(0, Direction::kOut, 0.000, 0.010, 1'250'000);
+  mon.record(0, Direction::kOut, 0.020, 0.030, 1'250'000);
+  mon.record(0, Direction::kOut, 0.030, 0.040, 1);  // ~idle
+  EXPECT_NEAR(mon.idle_fraction(0, Direction::kOut, mbps(1), 0, 4), 0.5,
+              1e-9);
+}
+
+TEST(Monitor, PeakRate) {
+  UtilizationMonitor mon(1, 0.010);
+  mon.record(0, Direction::kIn, 0.000, 0.010, 1'250'000);   // 1 Gbps
+  mon.record(0, Direction::kIn, 0.010, 0.020, 5'000'000);   // 4 Gbps
+  EXPECT_NEAR(mon.peak_rate(0, Direction::kIn), gbps(4), 1.0);
+}
+
+TEST(Monitor, PerNodeIsolation) {
+  UtilizationMonitor mon(3, 0.010);
+  mon.record(1, Direction::kOut, 0.0, 0.010, 100);
+  EXPECT_DOUBLE_EQ(mon.total_bytes(0, Direction::kOut), 0.0);
+  EXPECT_DOUBLE_EQ(mon.total_bytes(1, Direction::kOut), 100.0);
+  EXPECT_DOUBLE_EQ(mon.total_bytes(2, Direction::kOut), 0.0);
+}
+
+TEST(Monitor, BadConstructionThrows) {
+  EXPECT_THROW(UtilizationMonitor(0), std::invalid_argument);
+  EXPECT_THROW(UtilizationMonitor(1, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3::net

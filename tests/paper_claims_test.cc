@@ -1,0 +1,164 @@
+// Regression guards for the paper's headline claims: scaled-down versions
+// of the figure experiments with loose qualitative assertions, so a change
+// that silently breaks a reproduced result fails CI rather than only
+// showing up when someone reruns the benches. Each test names the paper
+// claim it pins.
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+#include "allreduce/ring.h"
+#include "runner/experiment.h"
+#include "train/trainer.h"
+
+namespace p3 {
+namespace {
+
+runner::MeasureOptions fast() {
+  runner::MeasureOptions opts;
+  opts.warmup = 2;
+  opts.measured = 6;
+  return opts;
+}
+
+double throughput(const model::Workload& w, core::SyncMethod method,
+                  double bandwidth_gbps, int workers = 4) {
+  ps::ClusterConfig cfg;
+  cfg.n_workers = workers;
+  cfg.method = method;
+  cfg.bandwidth = gbps(bandwidth_gbps);
+  cfg.rx_bandwidth = gbps(100);
+  return runner::measure_throughput(w, cfg, fast());
+}
+
+// "P3 can improve the training throughput of ResNet-50 ... by as much as
+// 25%" at constrained bandwidth (Fig 7a).
+TEST(PaperClaims, Fig7ResNetP3WinsAtFourGbps) {
+  const auto w = model::workload_resnet50();
+  const double base = throughput(w, core::SyncMethod::kBaseline, 4);
+  const double p3 = throughput(w, core::SyncMethod::kP3, 4);
+  EXPECT_GT(p3, 1.20 * base);
+}
+
+// "the baseline throughput starts to drop in ResNet-50 below 6Gbps. At the
+// same time, P3 maintains the linear throughput until ... 4Gbps" (Fig 7a).
+TEST(PaperClaims, Fig7ResNetP3HoldsLinearLonger) {
+  const auto w = model::workload_resnet50();
+  const double plateau = 4.0 * w.batch_per_worker / w.iter_compute_time;
+  EXPECT_GT(throughput(w, core::SyncMethod::kP3, 4), 0.95 * plateau);
+  EXPECT_LT(throughput(w, core::SyncMethod::kBaseline, 4), 0.80 * plateau);
+}
+
+// "At 30Gbps, parameter slicing can provide [considerable] speedup on
+// VGG-19. The speedup is further improved with P3" (Fig 7c).
+TEST(PaperClaims, Fig7VggOrderingBaselineSlicingP3) {
+  const auto w = model::workload_vgg19();
+  const double base = throughput(w, core::SyncMethod::kBaseline, 15);
+  const double slicing = throughput(w, core::SyncMethod::kSlicingOnly, 15);
+  const double p3 = throughput(w, core::SyncMethod::kP3, 15);
+  EXPECT_GT(slicing, 1.10 * base);
+  EXPECT_GT(p3, 1.10 * slicing);
+  EXPECT_GT(p3, 1.40 * base);  // paper: up to 66%
+}
+
+// "these models do not benefit from parameter slicing, as the layer sizes
+// are relatively small in these DNNs" (Fig 7a/b commentary).
+TEST(PaperClaims, Fig7ResNetSlicingAloneBuysLittle) {
+  const auto w = model::workload_resnet50();
+  const double base = throughput(w, core::SyncMethod::kBaseline, 4);
+  const double slicing = throughput(w, core::SyncMethod::kSlicingOnly, 4);
+  const double p3 = throughput(w, core::SyncMethod::kP3, 4);
+  // Slicing's edge over baseline is small compared to P3's edge.
+  EXPECT_LT(slicing - base, 0.5 * (p3 - base));
+}
+
+// "P3 always performs better than the baseline" (Section 5.3).
+TEST(PaperClaims, Fig7P3NeverLoses) {
+  for (const auto& w : {model::workload_resnet50(), model::workload_vgg19(),
+                        model::workload_sockeye()}) {
+    for (double bw : {2.0, 8.0, 30.0}) {
+      EXPECT_GE(throughput(w, core::SyncMethod::kP3, bw),
+                0.99 * throughput(w, core::SyncMethod::kBaseline, bw))
+          << w.model.name << " @ " << bw;
+    }
+  }
+}
+
+// "P3 significantly improves the network utilization compared to the
+// baseline" (Section 5.4, Figs 8/9).
+TEST(PaperClaims, Fig89P3ReducesIdleTime) {
+  const auto w = model::workload_vgg19();
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.bandwidth = gbps(15);
+  cfg.rx_bandwidth = gbps(100);
+  cfg.method = core::SyncMethod::kBaseline;
+  const auto base = runner::utilization_trace(w, cfg, 0, fast());
+  cfg.method = core::SyncMethod::kP3;
+  const auto p3 = runner::utilization_trace(w, cfg, 0, fast());
+  EXPECT_LT(p3.idle_fraction_out, base.idle_fraction_out);
+  EXPECT_LT(p3.idle_fraction_in, base.idle_fraction_in);
+}
+
+// "we use a maximum granularity of 50,000 parameters per slice as it is
+// found to be optimal empirically" (Section 5.7, Fig 12).
+TEST(PaperClaims, Fig12FiftyThousandNearOptimal) {
+  const auto w = model::workload_resnet50();
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.bandwidth = gbps(4);
+  cfg.rx_bandwidth = gbps(100);
+  const auto sweep = runner::slice_size_sweep(
+      w, cfg, {1'000, 50'000, 1'000'000}, fast());
+  // The 50k point beats both extremes.
+  EXPECT_GT(sweep.y[1], sweep.y[0]);
+  EXPECT_GT(sweep.y[1], sweep.y[2]);
+}
+
+// "P3 always communicates full gradients and does not affect model
+// convergence" vs DGC's approximation risk (Section 5.6, Fig 11) — at the
+// aggressive 99.9% sparsity, full sync must not lose to DGC by more than
+// noise, and must converge to the task ceiling.
+TEST(PaperClaims, Fig11FullSyncIsSafe) {
+  train::MixtureConfig mix;
+  mix.noise = 1.6;
+  const auto data = train::make_gaussian_mixture(mix);
+  auto final_acc = [&](train::AggregationMode mode) {
+    train::TrainerConfig cfg;
+    cfg.n_workers = 4;
+    cfg.batch_per_worker = 32;
+    cfg.epochs = 40;
+    cfg.hidden = {48, 48};
+    cfg.sgd.lr = 0.1;
+    cfg.sgd.momentum = 0.9;
+    cfg.sgd.decay_epochs = {20, 30};
+    cfg.mode = mode;
+    cfg.dgc.sparsity = 0.999;
+    cfg.dgc.momentum = 0.9;
+    cfg.dgc.warmup_epochs = 4;
+    train::ParallelTrainer trainer(data, cfg);
+    return trainer.train().back().val_accuracy;
+  };
+  const double sync = final_acc(train::AggregationMode::kFullSync);
+  const double dgc = final_acc(train::AggregationMode::kDgc);
+  EXPECT_GT(sync, 0.90);
+  EXPECT_GE(sync, dgc - 0.01);
+}
+
+// Section 6 extension claim: the principles carry to ring allreduce.
+TEST(PaperClaims, Section6AllreduceP3BeatsFused) {
+  const auto w = model::workload_vgg19();
+  auto ar_throughput = [&](ar::ArSchedule schedule) {
+    ar::ArConfig cfg;
+    cfg.n_workers = 4;
+    cfg.schedule = schedule;
+    cfg.bandwidth = gbps(10);
+    cfg.rx_bandwidth = gbps(100);
+    ar::ArCluster cluster(w, cfg);
+    return cluster.run(2, 6).throughput;
+  };
+  EXPECT_GT(ar_throughput(ar::ArSchedule::kPrioritySliced),
+            1.15 * ar_throughput(ar::ArSchedule::kFused));
+}
+
+}  // namespace
+}  // namespace p3

@@ -1,0 +1,155 @@
+#include "runner/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+
+namespace p3::runner {
+namespace {
+
+model::Workload tiny_workload() {
+  model::Workload w;
+  w.model = model::toy_uniform(3, 100'000);
+  w.batch_per_worker = 4;
+  w.iter_compute_time = 0.010;
+  return w;
+}
+
+ps::ClusterConfig tiny_config() {
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 2;
+  cfg.bandwidth = gbps(2);
+  return cfg;
+}
+
+MeasureOptions fast_opts() {
+  MeasureOptions opts;
+  opts.warmup = 1;
+  opts.measured = 4;
+  return opts;
+}
+
+TEST(MeasureThroughput, PositiveAndDeterministic) {
+  const double a = measure_throughput(tiny_workload(), tiny_config(), fast_opts());
+  const double b = measure_throughput(tiny_workload(), tiny_config(), fast_opts());
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(BandwidthSweep, OneSeriesPerMethodAlignedX) {
+  const std::vector<core::SyncMethod> methods = {core::SyncMethod::kBaseline,
+                                                 core::SyncMethod::kP3};
+  const auto series = bandwidth_sweep(tiny_workload(), tiny_config(), methods,
+                                      {1.0, 4.0}, fast_opts());
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].name, "Baseline");
+  EXPECT_EQ(series[1].name, "P3");
+  EXPECT_EQ(series[0].x, (std::vector<double>{1.0, 4.0}));
+  EXPECT_EQ(series[0].x, series[1].x);
+  for (const auto& s : series) {
+    for (double y : s.y) EXPECT_GT(y, 0.0);
+  }
+}
+
+TEST(BandwidthSweep, MonotoneForP3) {
+  const auto series = bandwidth_sweep(tiny_workload(), tiny_config(),
+                                      {core::SyncMethod::kP3},
+                                      {0.5, 1.0, 2.0, 8.0}, fast_opts());
+  for (std::size_t i = 1; i < series[0].y.size(); ++i) {
+    EXPECT_GE(series[0].y[i], series[0].y[i - 1] * 0.999);
+  }
+}
+
+TEST(ScalabilitySweep, ThroughputGrowsWithWorkers) {
+  ps::ClusterConfig cfg = tiny_config();
+  cfg.bandwidth = gbps(10);
+  const auto series = scalability_sweep(tiny_workload(), cfg,
+                                        {core::SyncMethod::kP3}, {1, 2, 4},
+                                        fast_opts());
+  ASSERT_EQ(series[0].y.size(), 3u);
+  EXPECT_GT(series[0].y[1], series[0].y[0]);
+  EXPECT_GT(series[0].y[2], series[0].y[1]);
+}
+
+TEST(SliceSizeSweep, CoversRequestedSizes) {
+  const auto series = slice_size_sweep(tiny_workload(), tiny_config(),
+                                       {10'000, 50'000}, fast_opts());
+  EXPECT_EQ(series.x, (std::vector<double>{10'000, 50'000}));
+  EXPECT_EQ(series.y.size(), 2u);
+}
+
+TEST(UtilizationTrace, AccountsTraffic) {
+  const auto trace =
+      utilization_trace(tiny_workload(), tiny_config(), 0, fast_opts());
+  EXPECT_EQ(trace.bin_width, 0.010);
+  EXPECT_FALSE(trace.outbound_gbps.empty());
+  double total_out = 0.0;
+  for (double g : trace.outbound_gbps) total_out += g;
+  EXPECT_GT(total_out, 0.0);
+  EXPECT_LE(trace.peak_out_gbps, 2.0 * 1.01);  // never above the NIC rate
+  EXPECT_GE(trace.idle_fraction_out, 0.0);
+  EXPECT_LE(trace.idle_fraction_out, 1.0);
+}
+
+TEST(BackgroundTraffic, ContendsForBandwidth) {
+  // Injected foreign flows must slow training down under tight bandwidth.
+  auto run = [](double load_gbps) {
+    ps::ClusterConfig cfg = tiny_config();
+    cfg.n_workers = 4;
+    cfg.method = core::SyncMethod::kP3;
+    cfg.bandwidth = gbps(1);
+    ps::Cluster cluster(tiny_workload(), cfg);
+    if (load_gbps > 0) {
+      inject_background_traffic(cluster, gbps(load_gbps), mib(1));
+    }
+    return cluster.run(1, 5).throughput;
+  };
+  const double quiet = run(0.0);
+  const double busy = run(2.0);
+  EXPECT_LT(busy, 0.95 * quiet);
+}
+
+TEST(BackgroundTraffic, ProtocolSurvivesForeignFlows) {
+  ps::ClusterConfig cfg = tiny_config();
+  cfg.n_workers = 3;
+  cfg.method = core::SyncMethod::kBaseline;
+  ps::Cluster cluster(tiny_workload(), cfg);
+  inject_background_traffic(cluster, gbps(1), kib(256));
+  const int iterations = 3;
+  cluster.run(0, iterations);
+  // Foreign traffic must not corrupt round accounting.
+  for (std::int64_t s = 0; s < cluster.partition().num_slices(); ++s) {
+    EXPECT_LE(cluster.slice_version(s), iterations);
+    EXPECT_GE(cluster.slice_version(s), iterations - 1);
+  }
+}
+
+TEST(BackgroundTraffic, InvalidLoadThrows) {
+  ps::ClusterConfig cfg = tiny_config();
+  ps::Cluster cluster(tiny_workload(), cfg);
+  EXPECT_THROW(inject_background_traffic(cluster, 0.0, mib(1)),
+               std::invalid_argument);
+  EXPECT_THROW(inject_background_traffic(cluster, gbps(1), 0),
+               std::invalid_argument);
+}
+
+TEST(MaxSpeedup, ComputesBestRatio) {
+  Series base{"base", {1, 2}, {10.0, 20.0}};
+  Series better{"p3", {1, 2}, {12.0, 30.0}};
+  EXPECT_NEAR(max_speedup(base, better), 0.5, 1e-12);
+}
+
+TEST(MaxSpeedup, MismatchedAxesThrow) {
+  Series a{"a", {1}, {10.0}};
+  Series b{"b", {2}, {10.0}};
+  EXPECT_THROW(max_speedup(a, b), std::invalid_argument);
+}
+
+TEST(MaxSpeedup, SkipsZeroBaseline) {
+  Series base{"base", {1, 2}, {0.0, 10.0}};
+  Series better{"p3", {1, 2}, {5.0, 11.0}};
+  EXPECT_NEAR(max_speedup(base, better), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace p3::runner

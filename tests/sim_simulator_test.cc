@@ -1,0 +1,193 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace p3::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  bool ran = false;
+  sim.schedule_at(1.0, [&] { ran = true; });  // in the past
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule(0.5, recurse);
+  };
+  sim.schedule(0.5, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(static_cast<double>(i), [&] { ++count; });
+  }
+  sim.run_until(5.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(7.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.5);
+}
+
+TEST(Simulator, RunWhilePredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(static_cast<double>(i), [&] { ++count; });
+  }
+  EXPECT_TRUE(sim.run_while([&] { return count >= 3; }));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(sim.run_while([] { return false; }));  // queue drains
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+// --- coroutine task tests ---
+
+Task sleeper(Simulator& sim, TimeS dt, std::vector<TimeS>& wakeups) {
+  co_await sim.sleep(dt);
+  wakeups.push_back(sim.now());
+}
+
+TEST(SimulatorTask, SleepResumesAtRightTime) {
+  Simulator sim;
+  std::vector<TimeS> wakeups;
+  sim.spawn(sleeper(sim, 2.5, wakeups));
+  sim.run();
+  ASSERT_EQ(wakeups.size(), 1u);
+  EXPECT_DOUBLE_EQ(wakeups[0], 2.5);
+}
+
+Task multi_sleep(Simulator& sim, std::vector<TimeS>& trace) {
+  for (int i = 0; i < 4; ++i) {
+    co_await sim.sleep(1.0);
+    trace.push_back(sim.now());
+  }
+}
+
+TEST(SimulatorTask, SequentialSleepsAccumulate) {
+  Simulator sim;
+  std::vector<TimeS> trace;
+  sim.spawn(multi_sleep(sim, trace));
+  sim.run();
+  EXPECT_EQ(trace, (std::vector<TimeS>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(SimulatorTask, ZeroSleepYields) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(0.0, [&] { order.push_back(1); });
+  sim.spawn([](Simulator& s, std::vector<int>& ord) -> Task {
+    ord.push_back(0);  // runs eagerly on spawn
+    co_await s.sleep(0.0);
+    ord.push_back(2);  // resumes after already-queued same-time event
+  }(sim, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+Task thrower(Simulator& sim) {
+  co_await sim.sleep(1.0);
+  throw std::runtime_error("task failure");
+}
+
+TEST(SimulatorTask, ExceptionPropagatesOutOfRun) {
+  Simulator sim;
+  sim.spawn(thrower(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(SimulatorTask, BlockedTasksAreReclaimedAtTeardown) {
+  // A task suspended forever must not leak (checked under ASan builds);
+  // here we just ensure destruction is safe.
+  auto sim = std::make_unique<Simulator>();
+  sim->spawn([](Simulator& s) -> Task {
+    co_await s.sleep(1e9);  // never reached within the run window
+  }(*sim));
+  sim->run_until(1.0);
+  sim.reset();  // must not crash
+  SUCCEED();
+}
+
+TEST(SimulatorTask, ManyTasksInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.spawn([](Simulator& s, std::vector<int>& ord, int id) -> Task {
+      co_await s.sleep(1.0 + (id % 5) * 0.25);
+      ord.push_back(id);
+    }(sim, order, i));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  // Same delay => spawn order preserved; groups ordered by delay.
+  std::vector<int> expected;
+  for (int d = 0; d < 5; ++d) {
+    for (int i = 0; i < 50; ++i) {
+      if (i % 5 == d) expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace p3::sim

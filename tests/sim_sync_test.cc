@@ -1,0 +1,179 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace p3::sim {
+namespace {
+
+TEST(Event, WaitAfterSetIsImmediate) {
+  Simulator sim;
+  Event ev(sim);
+  ev.set();
+  bool resumed = false;
+  sim.spawn([](Event& e, bool& flag) -> Task {
+    co_await e.wait();
+    flag = true;
+  }(ev, resumed));
+  sim.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Event, BroadcastsToAllWaiters) {
+  Simulator sim;
+  Event ev(sim);
+  int resumed = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn([](Event& e, int& count) -> Task {
+      co_await e.wait();
+      ++count;
+    }(ev, resumed));
+  }
+  sim.run();
+  EXPECT_EQ(resumed, 0);
+  ev.set();
+  sim.run();
+  EXPECT_EQ(resumed, 5);
+}
+
+TEST(Event, ResetReArms) {
+  Simulator sim;
+  Event ev(sim);
+  ev.set();
+  ev.reset();
+  EXPECT_FALSE(ev.is_set());
+  bool resumed = false;
+  sim.spawn([](Event& e, bool& flag) -> Task {
+    co_await e.wait();
+    flag = true;
+  }(ev, resumed));
+  sim.run();
+  EXPECT_FALSE(resumed);
+  ev.set();
+  sim.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Semaphore, AcquireAvailable) {
+  Simulator sim;
+  Semaphore s(sim, 2);
+  int acquired = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Semaphore& sem, int& count) -> Task {
+      co_await sem.acquire();
+      ++count;
+    }(s, acquired));
+  }
+  sim.run();
+  EXPECT_EQ(acquired, 2);
+  s.release();
+  sim.run();
+  EXPECT_EQ(acquired, 3);
+}
+
+TEST(Semaphore, MutualExclusion) {
+  Simulator sim;
+  Semaphore mutex(sim, 1);
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Simulator& s, Semaphore& m, int& in, int& max_in) -> Task {
+      co_await m.acquire();
+      ++in;
+      max_in = std::max(max_in, in);
+      co_await s.sleep(1.0);
+      --in;
+      m.release();
+    }(sim, mutex, inside, max_inside));
+  }
+  sim.run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Barrier, ReleasesWhenAllArrive) {
+  Simulator sim;
+  Barrier b(sim, 3);
+  std::vector<TimeS> release_times;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Simulator& s, Barrier& bar, std::vector<TimeS>& out,
+                 int id) -> Task {
+      co_await s.sleep(static_cast<double>(id));  // staggered arrival
+      co_await bar.arrive_and_wait();
+      out.push_back(s.now());
+    }(sim, b, release_times, i));
+  }
+  sim.run();
+  ASSERT_EQ(release_times.size(), 3u);
+  for (TimeS t : release_times) EXPECT_DOUBLE_EQ(t, 2.0);
+  EXPECT_EQ(b.generation(), 1u);
+}
+
+TEST(Barrier, ReusableAcrossGenerations) {
+  Simulator sim;
+  Barrier b(sim, 2);
+  std::vector<TimeS> times;
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](Simulator& s, Barrier& bar, std::vector<TimeS>& out,
+                 int id) -> Task {
+      for (int round = 0; round < 3; ++round) {
+        co_await s.sleep(id == 0 ? 1.0 : 2.0);
+        co_await bar.arrive_and_wait();
+        if (id == 0) out.push_back(s.now());
+      }
+    }(sim, b, times, i));
+  }
+  sim.run();
+  EXPECT_EQ(times, (std::vector<TimeS>{2.0, 4.0, 6.0}));
+  EXPECT_EQ(b.generation(), 3u);
+}
+
+TEST(VersionGate, ImmediateWhenAlreadyReached) {
+  Simulator sim;
+  VersionGate g(sim);
+  g.advance_to(5);
+  bool resumed = false;
+  sim.spawn([](VersionGate& gate, bool& flag) -> Task {
+    co_await gate.wait_for(3);
+    flag = true;
+  }(g, resumed));
+  sim.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(VersionGate, WakesInThresholdOrder) {
+  Simulator sim;
+  VersionGate g(sim);
+  std::vector<int> woken;
+  for (int v : {3, 1, 2}) {
+    sim.spawn([](VersionGate& gate, std::vector<int>& out, int version)
+                  -> Task {
+      co_await gate.wait_for(version);
+      out.push_back(version);
+    }(g, woken, v));
+  }
+  sim.run();
+  EXPECT_TRUE(woken.empty());
+  g.advance_to(1);
+  sim.run();
+  EXPECT_EQ(woken, (std::vector<int>{1}));
+  g.advance_to(3);
+  sim.run();
+  ASSERT_EQ(woken.size(), 3u);
+  EXPECT_EQ(woken[1], 3);  // registration order among those released together
+  EXPECT_EQ(woken[2], 2);
+}
+
+TEST(VersionGate, AdvanceIsMonotonic) {
+  Simulator sim;
+  VersionGate g(sim);
+  g.advance_to(10);
+  g.advance_to(5);  // ignored
+  EXPECT_EQ(g.version(), 10);
+  g.increment();
+  EXPECT_EQ(g.version(), 11);
+}
+
+}  // namespace
+}  // namespace p3::sim

@@ -1,0 +1,129 @@
+#include "train/data.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace p3::train {
+namespace {
+
+TEST(GaussianMixture, Shapes) {
+  MixtureConfig cfg;
+  cfg.classes = 5;
+  cfg.dim = 8;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 10;
+  const Dataset ds = make_gaussian_mixture(cfg);
+  EXPECT_EQ(ds.train_x.rows(), 100u);
+  EXPECT_EQ(ds.train_x.cols(), 8u);
+  EXPECT_EQ(ds.train_y.size(), 100u);
+  EXPECT_EQ(ds.test_x.rows(), 50u);
+  EXPECT_EQ(ds.classes, 5u);
+  EXPECT_EQ(ds.dim, 8u);
+}
+
+TEST(GaussianMixture, AllClassesPresent) {
+  MixtureConfig cfg;
+  cfg.classes = 10;
+  cfg.train_per_class = 5;
+  cfg.test_per_class = 2;
+  const Dataset ds = make_gaussian_mixture(cfg);
+  std::set<int> train_classes(ds.train_y.begin(), ds.train_y.end());
+  EXPECT_EQ(train_classes.size(), 10u);
+}
+
+TEST(GaussianMixture, DeterministicForSeed) {
+  MixtureConfig cfg;
+  cfg.seed = 99;
+  const Dataset a = make_gaussian_mixture(cfg);
+  const Dataset b = make_gaussian_mixture(cfg);
+  EXPECT_EQ(a.train_x.raw(), b.train_x.raw());
+  cfg.seed = 100;
+  const Dataset c = make_gaussian_mixture(cfg);
+  EXPECT_NE(a.train_x.raw(), c.train_x.raw());
+}
+
+TEST(GaussianMixture, NoiseControlsOverlap) {
+  // Nearest-centroid accuracy should degrade with noise.
+  auto centroid_accuracy = [](double noise) {
+    MixtureConfig cfg;
+    cfg.noise = noise;
+    cfg.train_per_class = 50;
+    cfg.test_per_class = 50;
+    const Dataset ds = make_gaussian_mixture(cfg);
+    // Compute class centroids from train set.
+    std::vector<std::vector<double>> cent(cfg.classes,
+                                          std::vector<double>(cfg.dim, 0.0));
+    std::vector<int> counts(cfg.classes, 0);
+    for (std::size_t r = 0; r < ds.train_x.rows(); ++r) {
+      const int y = ds.train_y[r];
+      ++counts[static_cast<std::size_t>(y)];
+      for (std::size_t d = 0; d < cfg.dim; ++d) {
+        cent[static_cast<std::size_t>(y)][d] += ds.train_x.at(r, d);
+      }
+    }
+    for (std::size_t k = 0; k < cfg.classes; ++k) {
+      for (auto& v : cent[k]) v /= counts[k];
+    }
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < ds.test_x.rows(); ++r) {
+      double best = 1e300;
+      int arg = -1;
+      for (std::size_t k = 0; k < cfg.classes; ++k) {
+        double d2 = 0.0;
+        for (std::size_t d = 0; d < cfg.dim; ++d) {
+          const double diff = ds.test_x.at(r, d) - cent[k][d];
+          d2 += diff * diff;
+        }
+        if (d2 < best) {
+          best = d2;
+          arg = static_cast<int>(k);
+        }
+      }
+      if (arg == ds.test_y[r]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(ds.test_x.rows());
+  };
+  EXPECT_GT(centroid_accuracy(0.2), 0.99);
+  EXPECT_LT(centroid_accuracy(2.5), centroid_accuracy(0.2));
+}
+
+TEST(Dataset, BatchExtractionFollowsOrder) {
+  MixtureConfig cfg;
+  cfg.classes = 2;
+  cfg.dim = 3;
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 1;
+  const Dataset ds = make_gaussian_mixture(cfg);
+  std::vector<std::size_t> order = {7, 0, 3, 1, 2, 4, 5, 6};
+  const Tensor batch = ds.train_batch(1, 3, order);
+  EXPECT_EQ(batch.rows(), 2u);
+  EXPECT_FLOAT_EQ(batch.at(0, 0), ds.train_x.at(0, 0));
+  EXPECT_FLOAT_EQ(batch.at(1, 0), ds.train_x.at(3, 0));
+  const auto labels = ds.train_batch_labels(1, 3, order);
+  EXPECT_EQ(labels[0], ds.train_y[0]);
+  EXPECT_EQ(labels[1], ds.train_y[3]);
+}
+
+TEST(Dataset, BatchOutOfRangeThrows) {
+  MixtureConfig cfg;
+  cfg.classes = 2;
+  cfg.train_per_class = 2;
+  cfg.test_per_class = 1;
+  const Dataset ds = make_gaussian_mixture(cfg);
+  std::vector<std::size_t> order = {0, 1, 2, 3};
+  EXPECT_THROW(ds.train_batch(0, 5, order), std::out_of_range);
+}
+
+TEST(TwoSpirals, ShapesAndLabels) {
+  const Dataset ds = make_two_spirals(30, 10, 0.01, 5);
+  EXPECT_EQ(ds.train_x.rows(), 60u);
+  EXPECT_EQ(ds.test_x.rows(), 20u);
+  EXPECT_EQ(ds.classes, 2u);
+  EXPECT_EQ(ds.dim, 2u);
+  std::set<int> labels(ds.train_y.begin(), ds.train_y.end());
+  EXPECT_EQ(labels.size(), 2u);
+}
+
+}  // namespace
+}  // namespace p3::train

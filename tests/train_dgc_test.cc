@@ -1,0 +1,169 @@
+#include "train/dgc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p3::train {
+namespace {
+
+std::vector<Param> make_params(std::size_t n) {
+  std::vector<Param> params(1);
+  params[0].value = Tensor(1, n);
+  params[0].grad = Tensor(1, n);
+  return params;
+}
+
+TEST(Dgc, SelectsTopKByMagnitude) {
+  auto params = make_params(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    params[0].grad.raw()[i] = static_cast<float>(i) - 4.5f;  // |.| max at ends
+  }
+  DgcConfig cfg;
+  cfg.sparsity = 0.8;  // keep 2 of 10
+  cfg.momentum = 0.0;
+  cfg.warmup_epochs = 0;
+  DgcCompressor comp(params, cfg);
+  const auto sparse = comp.compress(params, 10);
+  ASSERT_EQ(sparse.size(), 1u);
+  ASSERT_EQ(sparse[0].indices.size(), 2u);
+  EXPECT_EQ(sparse[0].indices[0], 0u);  // -4.5
+  EXPECT_EQ(sparse[0].indices[1], 9u);  // +4.5
+}
+
+TEST(Dgc, AlwaysSendsAtLeastOneEntry) {
+  auto params = make_params(5);
+  params[0].grad.fill(0.1f);
+  DgcConfig cfg;
+  cfg.sparsity = 0.999;  // 0.005 of 5 -> rounds to >= 1
+  cfg.warmup_epochs = 0;
+  DgcCompressor comp(params, cfg);
+  const auto sparse = comp.compress(params, 10);
+  EXPECT_EQ(sparse[0].indices.size(), 1u);
+}
+
+TEST(Dgc, ResidualAccumulatesUnsentMass) {
+  auto params = make_params(4);
+  params[0].grad.raw() = {1.0f, 0.1f, 0.1f, 0.1f};
+  DgcConfig cfg;
+  cfg.sparsity = 0.75;  // keep 1
+  cfg.momentum = 0.0;
+  cfg.warmup_epochs = 0;
+  DgcCompressor comp(params, cfg);
+  const auto sparse = comp.compress(params, 10);
+  EXPECT_EQ(sparse[0].indices[0], 0u);
+  // The three 0.1 entries stay in the residual.
+  EXPECT_NEAR(comp.residual_norm(), std::sqrt(3 * 0.01), 1e-6);
+}
+
+TEST(Dgc, ResidualEventuallyTransmitted) {
+  // Error feedback: a small persistent gradient must eventually be sent.
+  auto params = make_params(4);
+  DgcConfig cfg;
+  cfg.sparsity = 0.75;
+  cfg.momentum = 0.0;
+  cfg.warmup_epochs = 0;
+  DgcCompressor comp(params, cfg);
+  bool index3_sent = false;
+  for (int it = 0; it < 20 && !index3_sent; ++it) {
+    params[0].grad.raw() = {1.0f, 0.0f, 0.0f, 0.1f};
+    const auto sparse = comp.compress(params, 10);
+    for (auto idx : sparse[0].indices) {
+      if (idx == 3) index3_sent = true;
+    }
+  }
+  EXPECT_TRUE(index3_sent);
+}
+
+TEST(Dgc, NoGradientLossWithoutSparsity) {
+  // sparsity 0 transmits everything: residual must stay empty.
+  auto params = make_params(8);
+  DgcConfig cfg;
+  cfg.sparsity = 0.0;
+  cfg.momentum = 0.0;
+  cfg.warmup_epochs = 0;
+  DgcCompressor comp(params, cfg);
+  params[0].grad.raw() = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto sparse = comp.compress(params, 10);
+  EXPECT_EQ(sparse[0].indices.size(), 8u);
+  EXPECT_NEAR(comp.residual_norm(), 0.0, 1e-9);
+}
+
+TEST(Dgc, MomentumCorrectionCompoundsUnsentEntries) {
+  // An entry held back by sparsification accumulates *velocity*, not just
+  // raw gradient: after two rounds of grad 0.1 with momentum 0.5 the
+  // residual holds v1 + v2 = 0.1 + 0.15 = 0.25 (momentum correction),
+  // whereas plain accumulation would hold 0.2.
+  auto params = make_params(2);
+  DgcConfig cfg;
+  cfg.sparsity = 0.5;  // keep 1 of 2: index 0 (large) wins every round
+  cfg.momentum = 0.5;
+  cfg.warmup_epochs = 0;
+  DgcCompressor comp(params, cfg);
+  for (int i = 0; i < 2; ++i) {
+    params[0].grad.raw() = {1.0f, 0.1f};
+    comp.compress(params, 10);
+  }
+  EXPECT_NEAR(comp.residual_norm(), 0.25, 1e-6);
+}
+
+TEST(Dgc, MomentumFactorMaskingClearsSentVelocity) {
+  auto params = make_params(1);
+  DgcConfig cfg;
+  cfg.sparsity = 0.0;
+  cfg.momentum = 0.9;
+  cfg.warmup_epochs = 0;
+  DgcCompressor comp(params, cfg);
+  for (int i = 0; i < 5; ++i) {
+    params[0].grad.fill(1.0f);
+    const auto s = comp.compress(params, 10);
+    // With masking every round, velocity never compounds: always exactly 1.
+    EXPECT_FLOAT_EQ(s[0].values[0], 1.0f);
+  }
+}
+
+TEST(Dgc, WarmupRampsSparsity) {
+  auto params = make_params(1000);
+  DgcConfig cfg;
+  cfg.sparsity = 0.999;
+  cfg.warmup_epochs = 4;
+  DgcCompressor comp(params, cfg);
+  EXPECT_LT(comp.sparsity_at_epoch(0), 0.999);
+  EXPECT_GE(comp.sparsity_at_epoch(0), 0.75);
+  EXPECT_LT(comp.sparsity_at_epoch(0), comp.sparsity_at_epoch(2));
+  EXPECT_DOUBLE_EQ(comp.sparsity_at_epoch(4), 0.999);
+  EXPECT_DOUBLE_EQ(comp.sparsity_at_epoch(100), 0.999);
+}
+
+TEST(Dgc, AccumulateRebuildsDense) {
+  std::vector<SparseGrad> sparse(1);
+  sparse[0].indices = {1, 3};
+  sparse[0].values = {2.0f, -1.0f};
+  std::vector<Tensor> dense{Tensor(1, 4)};
+  DgcCompressor::accumulate(sparse, dense);
+  DgcCompressor::accumulate(sparse, dense);  // accumulates, not overwrites
+  EXPECT_FLOAT_EQ(dense[0].raw()[1], 4.0f);
+  EXPECT_FLOAT_EQ(dense[0].raw()[3], -2.0f);
+  EXPECT_FLOAT_EQ(dense[0].raw()[0], 0.0f);
+}
+
+TEST(Dgc, AccumulateValidatesInput) {
+  std::vector<SparseGrad> sparse(1);
+  sparse[0].indices = {9};
+  sparse[0].values = {1.0f};
+  std::vector<Tensor> dense{Tensor(1, 4)};
+  EXPECT_THROW(DgcCompressor::accumulate(sparse, dense), std::out_of_range);
+  sparse[0].indices = {1, 2};
+  EXPECT_THROW(DgcCompressor::accumulate(sparse, dense),
+               std::invalid_argument);
+}
+
+TEST(Dgc, InvalidSparsityThrows) {
+  auto params = make_params(4);
+  DgcConfig cfg;
+  cfg.sparsity = 1.0;
+  EXPECT_THROW(DgcCompressor(params, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3::train

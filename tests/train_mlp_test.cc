@@ -1,0 +1,133 @@
+#include "train/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/data.h"
+#include "train/sgd.h"
+
+namespace p3::train {
+namespace {
+
+TEST(Mlp, ParameterLayout) {
+  Rng rng(1);
+  Mlp net({4, 8, 3}, rng);
+  ASSERT_EQ(net.params().size(), 4u);  // W0 b0 W1 b1
+  EXPECT_EQ(net.params()[0].value.rows(), 4u);
+  EXPECT_EQ(net.params()[0].value.cols(), 8u);
+  EXPECT_EQ(net.params()[1].value.cols(), 8u);
+  EXPECT_EQ(net.params()[2].value.rows(), 8u);
+  EXPECT_EQ(net.total_params(), 4 * 8 + 8 + 8 * 3 + 3);
+}
+
+TEST(Mlp, ForwardProducesProbabilities) {
+  Rng rng(2);
+  Mlp net({5, 6, 4}, rng);
+  Tensor batch = Tensor::he_normal(7, 5, rng);
+  const Tensor& probs = net.forward(batch);
+  EXPECT_EQ(probs.rows(), 7u);
+  EXPECT_EQ(probs.cols(), 4u);
+  for (std::size_t r = 0; r < 7; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_GE(probs.at(r, c), 0.0f);
+      row_sum += probs.at(r, c);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Mlp, BackwardLossIsCrossEntropy) {
+  Rng rng(3);
+  Mlp net({3, 2}, rng);  // linear softmax classifier
+  Tensor batch(1, 3, 0.0f);
+  const double loss = net.backward(batch, {0});
+  // Zero input, zero bias -> uniform probabilities -> loss = ln(2).
+  EXPECT_NEAR(loss, std::log(2.0), 1e-5);
+}
+
+// Gradient check: analytic gradients vs central finite differences.
+TEST(Mlp, GradientsMatchFiniteDifferences) {
+  Rng rng(4);
+  Mlp net({4, 5, 3}, rng);
+  Tensor batch = Tensor::he_normal(6, 4, rng);
+  std::vector<int> labels = {0, 1, 2, 1, 0, 2};
+
+  net.backward(batch, labels);
+  // Snapshot analytic gradients.
+  std::vector<Tensor> analytic;
+  for (const auto& p : net.params()) analytic.push_back(p.grad);
+
+  const float eps = 1e-3f;
+  for (std::size_t l = 0; l < net.params().size(); ++l) {
+    auto& value = net.params()[l].value.raw();
+    // Spot-check a handful of coordinates per tensor.
+    for (std::size_t j = 0; j < value.size(); j += std::max<std::size_t>(1, value.size() / 5)) {
+      const float orig = value[j];
+      value[j] = orig + eps;
+      const double lp = net.backward(batch, labels);
+      value[j] = orig - eps;
+      const double lm = net.backward(batch, labels);
+      value[j] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(analytic[l].raw()[j], numeric, 5e-3)
+          << "param " << l << " index " << j;
+    }
+  }
+}
+
+TEST(Mlp, PredictsArgmax) {
+  Rng rng(5);
+  Mlp net({2, 3}, rng);
+  // Craft weights so class 2 dominates for positive x0.
+  net.params()[0].value.fill(0.0f);
+  net.params()[0].value.at(0, 2) = 5.0f;
+  net.params()[1].value.fill(0.0f);
+  Tensor batch(1, 2, 0.0f);
+  batch.at(0, 0) = 1.0f;
+  EXPECT_EQ(net.predict(batch)[0], 2);
+}
+
+TEST(Mlp, TrainsToSeparateEasyData) {
+  // Low-noise mixture: a few epochs of SGD should exceed 90% accuracy.
+  MixtureConfig mc;
+  mc.classes = 4;
+  mc.dim = 8;
+  mc.train_per_class = 100;
+  mc.test_per_class = 50;
+  mc.noise = 0.3;
+  const Dataset ds = make_gaussian_mixture(mc);
+
+  Rng rng(6);
+  Mlp net({8, 16, 4}, rng);
+  Sgd opt(SgdConfig{.lr = 0.1, .momentum = 0.9});
+  std::vector<std::size_t> order(ds.train_y.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng shuffle_rng(7);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    shuffle_rng.shuffle(order);
+    for (std::size_t i = 0; i + 32 <= order.size(); i += 32) {
+      const Tensor batch = ds.train_batch(i, i + 32, order);
+      const auto labels = ds.train_batch_labels(i, i + 32, order);
+      net.backward(batch, labels);
+      opt.step(net.params(), epoch);
+    }
+  }
+  EXPECT_GT(net.accuracy(ds.test_x, ds.test_y), 0.90);
+}
+
+TEST(Mlp, InvalidConstructionThrows) {
+  Rng rng(1);
+  EXPECT_THROW(Mlp({5}, rng), std::invalid_argument);
+}
+
+TEST(Mlp, LabelMismatchThrows) {
+  Rng rng(1);
+  Mlp net({2, 2}, rng);
+  Tensor batch(3, 2);
+  EXPECT_THROW(net.backward(batch, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3::train

@@ -1,0 +1,174 @@
+#include "train/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/data.h"
+#include "train/trainer.h"
+
+namespace p3::train {
+namespace {
+
+std::vector<Param> one_layer(std::vector<float> grads) {
+  std::vector<Param> params(1);
+  params[0].value = Tensor(1, grads.size());
+  params[0].grad = Tensor(1, grads.size());
+  params[0].grad.raw() = std::move(grads);
+  return params;
+}
+
+TEST(Qsgd, PreservesSign) {
+  auto params = one_layer({1.0f, -2.0f, 0.5f, -0.1f});
+  QsgdQuantizer q(4);
+  Rng rng(1);
+  const auto out = q.transform(params, rng);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const float orig = params[0].grad.raw()[i];
+    const float quant = out[0].raw()[i];
+    if (quant != 0.0f) {
+      EXPECT_GT(quant * orig, 0.0f) << "index " << i;
+    }
+  }
+}
+
+TEST(Qsgd, ZeroGradientStaysZero) {
+  auto params = one_layer({0.0f, 0.0f});
+  QsgdQuantizer q(4);
+  Rng rng(1);
+  const auto out = q.transform(params, rng);
+  EXPECT_DOUBLE_EQ(out[0].norm(), 0.0);
+}
+
+TEST(Qsgd, UnbiasedOverManyDraws) {
+  // E[Q(v)] = v: average many independent quantizations.
+  auto params = one_layer({0.3f, -0.7f, 0.05f, 0.9f});
+  QsgdQuantizer q(2);
+  Rng rng(7);
+  Tensor mean(1, 4);
+  const int trials = 20'000;
+  for (int t = 0; t < trials; ++t) {
+    const auto out = q.transform(params, rng);
+    mean.add_scaled(out[0], 1.0f / trials);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(mean.raw()[i], params[0].grad.raw()[i], 0.02) << i;
+  }
+}
+
+TEST(Qsgd, ValuesOnQuantizationGrid) {
+  auto params = one_layer({0.6f, -0.3f, 0.2f});
+  const int s = 4;
+  QsgdQuantizer q(s);
+  Rng rng(3);
+  const double norm = params[0].grad.norm();
+  const auto out = q.transform(params, rng);
+  for (float v : out[0].raw()) {
+    const double level = std::abs(v) / norm * s;
+    EXPECT_NEAR(level, std::round(level), 1e-5);
+  }
+}
+
+TEST(Qsgd, BitsPerElement) {
+  EXPECT_NEAR(QsgdQuantizer(1).bits_per_element(), 2.0, 1e-12);
+  EXPECT_NEAR(QsgdQuantizer(3).bits_per_element(), 3.0, 1e-12);
+}
+
+TEST(Qsgd, InvalidLevelsThrow) {
+  EXPECT_THROW(QsgdQuantizer(0), std::invalid_argument);
+}
+
+TEST(OneBit, TwoLevelOutput) {
+  auto params = one_layer({1.0f, 2.0f, -3.0f, -1.0f});
+  OneBitQuantizer q(params);
+  const auto out = q.transform(params);
+  // Positive entries -> mean(1,2)=1.5; negative -> mean(-3,-1)=-2.
+  EXPECT_FLOAT_EQ(out[0].raw()[0], 1.5f);
+  EXPECT_FLOAT_EQ(out[0].raw()[1], 1.5f);
+  EXPECT_FLOAT_EQ(out[0].raw()[2], -2.0f);
+  EXPECT_FLOAT_EQ(out[0].raw()[3], -2.0f);
+}
+
+TEST(OneBit, ErrorFeedbackCarriesResidual) {
+  auto params = one_layer({1.0f, 2.0f});
+  OneBitQuantizer q(params);
+  q.transform(params);
+  // Residual = (1-1.5, 2-1.5) = (-0.5, 0.5); norm = sqrt(0.5).
+  EXPECT_NEAR(q.residual_norm(), std::sqrt(0.5), 1e-6);
+}
+
+TEST(OneBit, ResidualCorrectsOverTime) {
+  // With constant gradient (1, 3), the long-run *sum* of reconstructions
+  // must track the true sum (error feedback guarantees no drift).
+  auto params = one_layer({1.0f, 3.0f});
+  OneBitQuantizer q(params);
+  double recon_sum0 = 0.0;
+  double recon_sum1 = 0.0;
+  const int iters = 200;
+  for (int i = 0; i < iters; ++i) {
+    params[0].grad.raw() = {1.0f, 3.0f};
+    const auto out = q.transform(params);
+    recon_sum0 += out[0].raw()[0];
+    recon_sum1 += out[0].raw()[1];
+  }
+  EXPECT_NEAR(recon_sum0 / iters, 1.0, 0.05);
+  EXPECT_NEAR(recon_sum1 / iters, 3.0, 0.05);
+}
+
+TEST(QuantizedTraining, BothModesConverge) {
+  MixtureConfig mc;
+  mc.classes = 4;
+  mc.dim = 8;
+  mc.train_per_class = 64;
+  mc.test_per_class = 32;
+  mc.noise = 0.4;
+  const Dataset ds = make_gaussian_mixture(mc);
+
+  for (auto mode : {AggregationMode::kQsgd, AggregationMode::kOneBit}) {
+    TrainerConfig cfg;
+    cfg.n_workers = 4;
+    cfg.batch_per_worker = 16;
+    cfg.epochs = 20;
+    cfg.hidden = {16};
+    cfg.sgd.lr = 0.05;
+    cfg.sgd.momentum = 0.9;
+    cfg.mode = mode;
+    cfg.qsgd_levels = 4;
+    ParallelTrainer trainer(ds, cfg);
+    const auto stats = trainer.train();
+    EXPECT_GT(stats.back().val_accuracy, 0.85)
+        << (mode == AggregationMode::kQsgd ? "qsgd" : "onebit");
+  }
+}
+
+TEST(QuantizedTraining, MoreLevelsTrackSyncCloser) {
+  MixtureConfig mc;
+  mc.classes = 4;
+  mc.dim = 8;
+  mc.train_per_class = 64;
+  mc.test_per_class = 32;
+  mc.noise = 0.4;
+  const Dataset ds = make_gaussian_mixture(mc);
+
+  auto final_loss = [&](AggregationMode mode, int levels) {
+    TrainerConfig cfg;
+    cfg.n_workers = 4;
+    cfg.batch_per_worker = 16;
+    cfg.epochs = 12;
+    cfg.hidden = {16};
+    cfg.sgd.lr = 0.05;
+    cfg.sgd.momentum = 0.9;
+    cfg.mode = mode;
+    cfg.qsgd_levels = levels;
+    ParallelTrainer trainer(ds, cfg);
+    return trainer.train().back().train_loss;
+  };
+  const double sync = final_loss(AggregationMode::kFullSync, 0);
+  const double q16 = final_loss(AggregationMode::kQsgd, 16);
+  const double q1 = final_loss(AggregationMode::kQsgd, 1);
+  // Finer quantization lands closer to the exact-gradient loss.
+  EXPECT_LT(std::abs(q16 - sync), std::abs(q1 - sync) + 0.02);
+}
+
+}  // namespace
+}  // namespace p3::train

@@ -1,0 +1,76 @@
+#include "train/sgd.h"
+
+#include <gtest/gtest.h>
+
+namespace p3::train {
+namespace {
+
+std::vector<Param> one_param(float value, float grad) {
+  std::vector<Param> params(1);
+  params[0].value = Tensor(1, 1, value);
+  params[0].grad = Tensor(1, 1, grad);
+  return params;
+}
+
+TEST(Sgd, PlainStep) {
+  Sgd opt(SgdConfig{.lr = 0.1, .momentum = 0.0});
+  auto params = one_param(1.0f, 0.5f);
+  opt.step(params, 0);
+  EXPECT_NEAR(params[0].value.at(0, 0), 1.0f - 0.1f * 0.5f, 1e-7);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Sgd opt(SgdConfig{.lr = 1.0, .momentum = 0.5});
+  auto params = one_param(0.0f, 1.0f);
+  opt.step(params, 0);  // v=1, x=-1
+  EXPECT_NEAR(params[0].value.at(0, 0), -1.0f, 1e-7);
+  params[0].grad.fill(1.0f);
+  opt.step(params, 0);  // v=1.5, x=-2.5
+  EXPECT_NEAR(params[0].value.at(0, 0), -2.5f, 1e-6);
+}
+
+TEST(Sgd, NesterovLookahead) {
+  Sgd opt(SgdConfig{.lr = 1.0, .momentum = 0.5, .nesterov = true});
+  auto params = one_param(0.0f, 1.0f);
+  opt.step(params, 0);  // v=1, update = g + mu*v = 1.5
+  EXPECT_NEAR(params[0].value.at(0, 0), -1.5f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Sgd opt(SgdConfig{.lr = 0.1, .momentum = 0.0, .weight_decay = 0.1});
+  auto params = one_param(10.0f, 0.0f);
+  opt.step(params, 0);
+  EXPECT_LT(params[0].value.at(0, 0), 10.0f);
+}
+
+TEST(Sgd, StepDecaySchedule) {
+  SgdConfig cfg;
+  cfg.lr = 0.1;
+  cfg.decay_epochs = {80, 120};
+  cfg.decay_factor = 0.1;
+  Sgd opt(cfg);
+  EXPECT_DOUBLE_EQ(opt.lr_at_epoch(0), 0.1);
+  EXPECT_DOUBLE_EQ(opt.lr_at_epoch(79), 0.1);
+  EXPECT_DOUBLE_EQ(opt.lr_at_epoch(80), 0.01);
+  EXPECT_NEAR(opt.lr_at_epoch(150), 0.001, 1e-12);
+}
+
+TEST(Sgd, StepWithExternalGradients) {
+  Sgd opt(SgdConfig{.lr = 0.5, .momentum = 0.0});
+  auto params = one_param(2.0f, 999.0f);  // stored grad must be ignored
+  std::vector<Tensor> external{Tensor(1, 1, 1.0f)};
+  opt.step_with(params, external, 0);
+  EXPECT_NEAR(params[0].value.at(0, 0), 1.5f, 1e-7);
+}
+
+TEST(Sgd, MismatchedGradientsThrow) {
+  Sgd opt(SgdConfig{});
+  auto params = one_param(0, 0);
+  std::vector<Tensor> wrong_count;
+  EXPECT_THROW(opt.step_with(params, wrong_count, 0), std::invalid_argument);
+  std::vector<Tensor> wrong_shape{Tensor(2, 2)};
+  EXPECT_THROW(opt.step_with(params, wrong_shape, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3::train

@@ -1,0 +1,109 @@
+#include "train/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace p3::train {
+namespace {
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 1.5f);
+  t.at(1, 2) = 9.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 9.0f);
+}
+
+TEST(Tensor, ZerosLike) {
+  Tensor a(3, 4, 7.0f);
+  Tensor z = Tensor::zeros_like(a);
+  EXPECT_EQ(z.rows(), 3u);
+  EXPECT_EQ(z.cols(), 4u);
+  EXPECT_DOUBLE_EQ(z.sum(), 0.0);
+}
+
+TEST(Tensor, HeNormalStatistics) {
+  Rng rng(3);
+  Tensor w = Tensor::he_normal(200, 100, rng);
+  // stddev should be ~sqrt(2/200) = 0.1.
+  const double var = w.norm() * w.norm() / static_cast<double>(w.size());
+  EXPECT_NEAR(var, 0.01, 0.002);
+  EXPECT_NEAR(w.sum() / static_cast<double>(w.size()), 0.0, 0.005);
+}
+
+TEST(Tensor, AddScaledAndScale) {
+  Tensor a(1, 3);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(0, 2) = 3;
+  Tensor b(1, 3, 1.0f);
+  a.add_scaled(b, 2.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 3.0f);
+  a.scale(0.5f);
+  EXPECT_FLOAT_EQ(a.at(0, 2), 2.5f);
+}
+
+TEST(Tensor, AddScaledShapeMismatchThrows) {
+  Tensor a(1, 3), b(1, 4);
+  EXPECT_THROW(a.add_scaled(b, 1.0f), std::invalid_argument);
+}
+
+TEST(Tensor, NormKnownValue) {
+  Tensor a(1, 2);
+  a.at(0, 0) = 3;
+  a.at(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Matmul, KnownProduct) {
+  Tensor a(2, 2), b(2, 2), out(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  matmul(a, b, out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 19);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 22);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 43);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 50);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  Rng rng(9);
+  Tensor a = Tensor::he_normal(4, 3, rng);
+  Tensor b = Tensor::he_normal(4, 5, rng);
+  // a^T b via matmul_at_b vs explicit transpose + matmul.
+  Tensor at(3, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Tensor expected(3, 5), got(3, 5);
+  matmul(at, b, expected);
+  matmul_at_b(a, b, got);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.raw()[i], expected.raw()[i], 1e-6);
+  }
+}
+
+TEST(Matmul, ABTransposedAgrees) {
+  Rng rng(11);
+  Tensor a = Tensor::he_normal(4, 3, rng);
+  Tensor b = Tensor::he_normal(5, 3, rng);
+  Tensor bt(3, 5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) bt.at(c, r) = b.at(r, c);
+  }
+  Tensor expected(4, 5), got(4, 5);
+  matmul(a, bt, expected);
+  matmul_a_bt(a, b, got);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.raw()[i], expected.raw()[i], 1e-6);
+  }
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  Tensor a(2, 3), b(4, 2), out(2, 2);
+  EXPECT_THROW(matmul(a, b, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3::train

@@ -1,0 +1,148 @@
+#include "train/trainer.h"
+
+#include <gtest/gtest.h>
+
+namespace p3::train {
+namespace {
+
+Dataset easy_dataset(std::uint64_t seed = 1) {
+  MixtureConfig cfg;
+  cfg.classes = 4;
+  cfg.dim = 8;
+  cfg.train_per_class = 64;
+  cfg.test_per_class = 32;
+  cfg.noise = 0.4;
+  cfg.seed = seed;
+  return make_gaussian_mixture(cfg);
+}
+
+TrainerConfig base_config() {
+  TrainerConfig cfg;
+  cfg.n_workers = 4;
+  cfg.batch_per_worker = 16;
+  cfg.epochs = 15;
+  cfg.hidden = {16};
+  cfg.sgd.lr = 0.1;
+  cfg.sgd.momentum = 0.9;
+  return cfg;
+}
+
+TEST(ParallelTrainer, FullSyncConverges) {
+  const Dataset ds = easy_dataset();
+  ParallelTrainer trainer(ds, base_config());
+  const auto stats = trainer.train();
+  ASSERT_EQ(stats.size(), 15u);
+  EXPECT_GT(stats.back().val_accuracy, 0.9);
+  // Loss should drop substantially.
+  EXPECT_LT(stats.back().train_loss, 0.5 * stats.front().train_loss);
+}
+
+TEST(ParallelTrainer, FullSyncMatchesSingleWorkerBigBatch) {
+  // Averaging per-worker gradients over equal shards is mathematically
+  // identical to one worker with the union batch: P3/baseline never change
+  // the computation, only the communication schedule.
+  const Dataset ds = easy_dataset(3);
+  TrainerConfig multi = base_config();
+  multi.epochs = 3;
+  TrainerConfig single = multi;
+  single.n_workers = 1;
+  single.batch_per_worker = multi.batch_per_worker * 4;
+
+  ParallelTrainer a(ds, multi);
+  ParallelTrainer b(ds, single);
+  const auto sa = a.train();
+  const auto sb = b.train();
+  for (std::size_t e = 0; e < sa.size(); ++e) {
+    EXPECT_NEAR(sa[e].val_accuracy, sb[e].val_accuracy, 1e-9) << "epoch " << e;
+    EXPECT_NEAR(sa[e].train_loss, sb[e].train_loss, 1e-4) << "epoch " << e;
+  }
+}
+
+TEST(ParallelTrainer, DeterministicForSeed) {
+  const Dataset ds = easy_dataset();
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 3;
+  ParallelTrainer a(ds, cfg);
+  ParallelTrainer b(ds, cfg);
+  const auto sa = a.train();
+  const auto sb = b.train();
+  for (std::size_t e = 0; e < sa.size(); ++e) {
+    EXPECT_DOUBLE_EQ(sa[e].train_loss, sb[e].train_loss);
+    EXPECT_DOUBLE_EQ(sa[e].val_accuracy, sb[e].val_accuracy);
+  }
+}
+
+TEST(ParallelTrainer, DgcConvergesCloseToSync) {
+  const Dataset ds = easy_dataset();
+  TrainerConfig sync_cfg = base_config();
+  sync_cfg.epochs = 20;
+  TrainerConfig dgc_cfg = sync_cfg;
+  dgc_cfg.mode = AggregationMode::kDgc;
+  dgc_cfg.dgc.sparsity = 0.95;
+  dgc_cfg.dgc.momentum = dgc_cfg.sgd.momentum;
+  dgc_cfg.dgc.warmup_epochs = 4;
+
+  ParallelTrainer sync(ds, sync_cfg);
+  ParallelTrainer dgc(ds, dgc_cfg);
+  const double acc_sync = sync.train().back().val_accuracy;
+  const double acc_dgc = dgc.train().back().val_accuracy;
+  EXPECT_GT(acc_dgc, 0.8);                  // still learns
+  EXPECT_GE(acc_sync, acc_dgc - 0.03);      // sync at least as good (±noise)
+}
+
+TEST(ParallelTrainer, ExtremeSparsityHurtsMore) {
+  const Dataset ds = easy_dataset();
+  TrainerConfig mild = base_config();
+  mild.epochs = 10;
+  mild.mode = AggregationMode::kDgc;
+  mild.dgc.sparsity = 0.5;
+  mild.dgc.warmup_epochs = 0;
+  TrainerConfig extreme = mild;
+  extreme.dgc.sparsity = 0.999;
+
+  ParallelTrainer a(ds, mild);
+  ParallelTrainer b(ds, extreme);
+  const double acc_mild = a.train().back().val_accuracy;
+  const double acc_extreme = b.train().back().val_accuracy;
+  EXPECT_GE(acc_mild, acc_extreme - 0.02);
+}
+
+TEST(ParallelTrainer, AsyncConvergesButTrailsSync) {
+  const Dataset ds = easy_dataset();
+  TrainerConfig sync_cfg = base_config();
+  sync_cfg.epochs = 12;
+  sync_cfg.sgd.lr = 0.2;
+  TrainerConfig async_cfg = sync_cfg;
+  async_cfg.mode = AggregationMode::kAsync;
+  async_cfg.staleness = 3;
+
+  ParallelTrainer sync(ds, sync_cfg);
+  ParallelTrainer async_t(ds, async_cfg);
+  const double acc_sync = sync.train().back().val_accuracy;
+  const double acc_async = async_t.train().back().val_accuracy;
+  EXPECT_GT(acc_async, 0.5);  // learns something
+  EXPECT_GE(acc_sync + 1e-9, acc_async);  // stale updates never help here
+}
+
+TEST(ParallelTrainer, EpochStatsWellFormed) {
+  const Dataset ds = easy_dataset();
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 2;
+  ParallelTrainer trainer(ds, cfg);
+  const auto stats = trainer.train();
+  EXPECT_EQ(stats[0].epoch, 0);
+  EXPECT_EQ(stats[1].epoch, 1);
+  EXPECT_GT(stats[0].train_loss, 0.0);
+  EXPECT_GE(stats[0].val_accuracy, 0.0);
+  EXPECT_LE(stats[0].val_accuracy, 1.0);
+}
+
+TEST(ParallelTrainer, InvalidWorkerCountThrows) {
+  const Dataset ds = easy_dataset();
+  TrainerConfig cfg = base_config();
+  cfg.n_workers = 0;
+  EXPECT_THROW(ParallelTrainer(ds, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3::train
