@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_p3_components.dir/ablation_p3_components.cc.o"
+  "CMakeFiles/ablation_p3_components.dir/ablation_p3_components.cc.o.d"
+  "ablation_p3_components"
+  "ablation_p3_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_p3_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

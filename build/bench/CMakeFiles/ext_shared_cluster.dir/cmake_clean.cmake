@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_shared_cluster.dir/ext_shared_cluster.cc.o"
+  "CMakeFiles/ext_shared_cluster.dir/ext_shared_cluster.cc.o.d"
+  "ext_shared_cluster"
+  "ext_shared_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_shared_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

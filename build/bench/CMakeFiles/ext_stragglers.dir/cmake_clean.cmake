@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_stragglers.dir/ext_stragglers.cc.o"
+  "CMakeFiles/ext_stragglers.dir/ext_stragglers.cc.o.d"
+  "ext_stragglers"
+  "ext_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_schedule.dir/fig04_schedule.cc.o"
+  "CMakeFiles/fig04_schedule.dir/fig04_schedule.cc.o.d"
+  "fig04_schedule"
+  "fig04_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

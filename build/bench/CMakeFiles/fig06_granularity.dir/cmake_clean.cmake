@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_granularity.dir/fig06_granularity.cc.o"
+  "CMakeFiles/fig06_granularity.dir/fig06_granularity.cc.o.d"
+  "fig06_granularity"
+  "fig06_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

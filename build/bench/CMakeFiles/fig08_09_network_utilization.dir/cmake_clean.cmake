@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_09_network_utilization.dir/fig08_09_network_utilization.cc.o"
+  "CMakeFiles/fig08_09_network_utilization.dir/fig08_09_network_utilization.cc.o.d"
+  "fig08_09_network_utilization"
+  "fig08_09_network_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_09_network_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_14_other_frameworks.dir/fig13_14_other_frameworks.cc.o"
+  "CMakeFiles/fig13_14_other_frameworks.dir/fig13_14_other_frameworks.cc.o.d"
+  "fig13_14_other_frameworks"
+  "fig13_14_other_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_other_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_asgd_accuracy.dir/fig15_asgd_accuracy.cc.o"
+  "CMakeFiles/fig15_asgd_accuracy.dir/fig15_asgd_accuracy.cc.o.d"
+  "fig15_asgd_accuracy"
+  "fig15_asgd_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_asgd_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

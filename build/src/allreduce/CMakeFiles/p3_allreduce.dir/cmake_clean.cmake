@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3_allreduce.dir/ring.cc.o"
+  "CMakeFiles/p3_allreduce.dir/ring.cc.o.d"
+  "libp3_allreduce.a"
+  "libp3_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

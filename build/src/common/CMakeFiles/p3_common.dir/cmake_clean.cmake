@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3_common.dir/csv.cc.o"
+  "CMakeFiles/p3_common.dir/csv.cc.o.d"
+  "CMakeFiles/p3_common.dir/log.cc.o"
+  "CMakeFiles/p3_common.dir/log.cc.o.d"
+  "CMakeFiles/p3_common.dir/options.cc.o"
+  "CMakeFiles/p3_common.dir/options.cc.o.d"
+  "CMakeFiles/p3_common.dir/rng.cc.o"
+  "CMakeFiles/p3_common.dir/rng.cc.o.d"
+  "CMakeFiles/p3_common.dir/stats.cc.o"
+  "CMakeFiles/p3_common.dir/stats.cc.o.d"
+  "CMakeFiles/p3_common.dir/table.cc.o"
+  "CMakeFiles/p3_common.dir/table.cc.o.d"
+  "CMakeFiles/p3_common.dir/units.cc.o"
+  "CMakeFiles/p3_common.dir/units.cc.o.d"
+  "libp3_common.a"
+  "libp3_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

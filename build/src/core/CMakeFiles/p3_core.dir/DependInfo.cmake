@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/slicing.cc" "src/core/CMakeFiles/p3_core.dir/slicing.cc.o" "gcc" "src/core/CMakeFiles/p3_core.dir/slicing.cc.o.d"
+  "/root/repo/src/core/sync_method.cc" "src/core/CMakeFiles/p3_core.dir/sync_method.cc.o" "gcc" "src/core/CMakeFiles/p3_core.dir/sync_method.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/p3_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

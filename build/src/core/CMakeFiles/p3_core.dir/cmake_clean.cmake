@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3_core.dir/slicing.cc.o"
+  "CMakeFiles/p3_core.dir/slicing.cc.o.d"
+  "CMakeFiles/p3_core.dir/sync_method.cc.o"
+  "CMakeFiles/p3_core.dir/sync_method.cc.o.d"
+  "libp3_core.a"
+  "libp3_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

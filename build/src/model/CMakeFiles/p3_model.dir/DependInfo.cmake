@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/compute.cc" "src/model/CMakeFiles/p3_model.dir/compute.cc.o" "gcc" "src/model/CMakeFiles/p3_model.dir/compute.cc.o.d"
+  "/root/repo/src/model/model.cc" "src/model/CMakeFiles/p3_model.dir/model.cc.o" "gcc" "src/model/CMakeFiles/p3_model.dir/model.cc.o.d"
+  "/root/repo/src/model/zoo_alexnet.cc" "src/model/CMakeFiles/p3_model.dir/zoo_alexnet.cc.o" "gcc" "src/model/CMakeFiles/p3_model.dir/zoo_alexnet.cc.o.d"
+  "/root/repo/src/model/zoo_inception.cc" "src/model/CMakeFiles/p3_model.dir/zoo_inception.cc.o" "gcc" "src/model/CMakeFiles/p3_model.dir/zoo_inception.cc.o.d"
+  "/root/repo/src/model/zoo_resnet.cc" "src/model/CMakeFiles/p3_model.dir/zoo_resnet.cc.o" "gcc" "src/model/CMakeFiles/p3_model.dir/zoo_resnet.cc.o.d"
+  "/root/repo/src/model/zoo_sockeye.cc" "src/model/CMakeFiles/p3_model.dir/zoo_sockeye.cc.o" "gcc" "src/model/CMakeFiles/p3_model.dir/zoo_sockeye.cc.o.d"
+  "/root/repo/src/model/zoo_toy.cc" "src/model/CMakeFiles/p3_model.dir/zoo_toy.cc.o" "gcc" "src/model/CMakeFiles/p3_model.dir/zoo_toy.cc.o.d"
+  "/root/repo/src/model/zoo_transformer.cc" "src/model/CMakeFiles/p3_model.dir/zoo_transformer.cc.o" "gcc" "src/model/CMakeFiles/p3_model.dir/zoo_transformer.cc.o.d"
+  "/root/repo/src/model/zoo_vgg.cc" "src/model/CMakeFiles/p3_model.dir/zoo_vgg.cc.o" "gcc" "src/model/CMakeFiles/p3_model.dir/zoo_vgg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

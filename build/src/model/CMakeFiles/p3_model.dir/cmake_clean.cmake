@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3_model.dir/compute.cc.o"
+  "CMakeFiles/p3_model.dir/compute.cc.o.d"
+  "CMakeFiles/p3_model.dir/model.cc.o"
+  "CMakeFiles/p3_model.dir/model.cc.o.d"
+  "CMakeFiles/p3_model.dir/zoo_alexnet.cc.o"
+  "CMakeFiles/p3_model.dir/zoo_alexnet.cc.o.d"
+  "CMakeFiles/p3_model.dir/zoo_inception.cc.o"
+  "CMakeFiles/p3_model.dir/zoo_inception.cc.o.d"
+  "CMakeFiles/p3_model.dir/zoo_resnet.cc.o"
+  "CMakeFiles/p3_model.dir/zoo_resnet.cc.o.d"
+  "CMakeFiles/p3_model.dir/zoo_sockeye.cc.o"
+  "CMakeFiles/p3_model.dir/zoo_sockeye.cc.o.d"
+  "CMakeFiles/p3_model.dir/zoo_toy.cc.o"
+  "CMakeFiles/p3_model.dir/zoo_toy.cc.o.d"
+  "CMakeFiles/p3_model.dir/zoo_transformer.cc.o"
+  "CMakeFiles/p3_model.dir/zoo_transformer.cc.o.d"
+  "CMakeFiles/p3_model.dir/zoo_vgg.cc.o"
+  "CMakeFiles/p3_model.dir/zoo_vgg.cc.o.d"
+  "libp3_model.a"
+  "libp3_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3_net.dir/monitor.cc.o"
+  "CMakeFiles/p3_net.dir/monitor.cc.o.d"
+  "CMakeFiles/p3_net.dir/network.cc.o"
+  "CMakeFiles/p3_net.dir/network.cc.o.d"
+  "libp3_net.a"
+  "libp3_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

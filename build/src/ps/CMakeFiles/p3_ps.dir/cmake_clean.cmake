@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3_ps.dir/cluster.cc.o"
+  "CMakeFiles/p3_ps.dir/cluster.cc.o.d"
+  "libp3_ps.a"
+  "libp3_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

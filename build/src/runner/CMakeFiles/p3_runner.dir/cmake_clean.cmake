@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3_runner.dir/experiment.cc.o"
+  "CMakeFiles/p3_runner.dir/experiment.cc.o.d"
+  "libp3_runner.a"
+  "libp3_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

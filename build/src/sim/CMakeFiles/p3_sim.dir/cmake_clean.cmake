@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3_sim.dir/simulator.cc.o"
+  "CMakeFiles/p3_sim.dir/simulator.cc.o.d"
+  "libp3_sim.a"
+  "libp3_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

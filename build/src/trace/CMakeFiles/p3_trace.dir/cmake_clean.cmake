@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3_trace.dir/timeline.cc.o"
+  "CMakeFiles/p3_trace.dir/timeline.cc.o.d"
+  "libp3_trace.a"
+  "libp3_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/data.cc" "src/train/CMakeFiles/p3_train.dir/data.cc.o" "gcc" "src/train/CMakeFiles/p3_train.dir/data.cc.o.d"
+  "/root/repo/src/train/dgc.cc" "src/train/CMakeFiles/p3_train.dir/dgc.cc.o" "gcc" "src/train/CMakeFiles/p3_train.dir/dgc.cc.o.d"
+  "/root/repo/src/train/mlp.cc" "src/train/CMakeFiles/p3_train.dir/mlp.cc.o" "gcc" "src/train/CMakeFiles/p3_train.dir/mlp.cc.o.d"
+  "/root/repo/src/train/quantize.cc" "src/train/CMakeFiles/p3_train.dir/quantize.cc.o" "gcc" "src/train/CMakeFiles/p3_train.dir/quantize.cc.o.d"
+  "/root/repo/src/train/sgd.cc" "src/train/CMakeFiles/p3_train.dir/sgd.cc.o" "gcc" "src/train/CMakeFiles/p3_train.dir/sgd.cc.o.d"
+  "/root/repo/src/train/tensor.cc" "src/train/CMakeFiles/p3_train.dir/tensor.cc.o" "gcc" "src/train/CMakeFiles/p3_train.dir/tensor.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/train/CMakeFiles/p3_train.dir/trainer.cc.o" "gcc" "src/train/CMakeFiles/p3_train.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3_train.dir/data.cc.o"
+  "CMakeFiles/p3_train.dir/data.cc.o.d"
+  "CMakeFiles/p3_train.dir/dgc.cc.o"
+  "CMakeFiles/p3_train.dir/dgc.cc.o.d"
+  "CMakeFiles/p3_train.dir/mlp.cc.o"
+  "CMakeFiles/p3_train.dir/mlp.cc.o.d"
+  "CMakeFiles/p3_train.dir/quantize.cc.o"
+  "CMakeFiles/p3_train.dir/quantize.cc.o.d"
+  "CMakeFiles/p3_train.dir/sgd.cc.o"
+  "CMakeFiles/p3_train.dir/sgd.cc.o.d"
+  "CMakeFiles/p3_train.dir/tensor.cc.o"
+  "CMakeFiles/p3_train.dir/tensor.cc.o.d"
+  "CMakeFiles/p3_train.dir/trainer.cc.o"
+  "CMakeFiles/p3_train.dir/trainer.cc.o.d"
+  "libp3_train.a"
+  "libp3_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_csv_table_test.dir/common_csv_table_test.cc.o"
+  "CMakeFiles/common_csv_table_test.dir/common_csv_table_test.cc.o.d"
+  "common_csv_table_test"
+  "common_csv_table_test.pdb"
+  "common_csv_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_csv_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_slicing_test.dir/core_slicing_test.cc.o"
+  "CMakeFiles/core_slicing_test.dir/core_slicing_test.cc.o.d"
+  "core_slicing_test"
+  "core_slicing_test.pdb"
+  "core_slicing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_slicing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

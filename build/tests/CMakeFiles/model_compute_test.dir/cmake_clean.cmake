@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_compute_test.dir/model_compute_test.cc.o"
+  "CMakeFiles/model_compute_test.dir/model_compute_test.cc.o.d"
+  "model_compute_test"
+  "model_compute_test.pdb"
+  "model_compute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_compute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

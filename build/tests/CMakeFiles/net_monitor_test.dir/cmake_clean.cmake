@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_monitor_test.dir/net_monitor_test.cc.o"
+  "CMakeFiles/net_monitor_test.dir/net_monitor_test.cc.o.d"
+  "net_monitor_test"
+  "net_monitor_test.pdb"
+  "net_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_cluster_test.dir/ps_cluster_test.cc.o"
+  "CMakeFiles/ps_cluster_test.dir/ps_cluster_test.cc.o.d"
+  "ps_cluster_test"
+  "ps_cluster_test.pdb"
+  "ps_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_properties_test.dir/ps_properties_test.cc.o"
+  "CMakeFiles/ps_properties_test.dir/ps_properties_test.cc.o.d"
+  "ps_properties_test"
+  "ps_properties_test.pdb"
+  "ps_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

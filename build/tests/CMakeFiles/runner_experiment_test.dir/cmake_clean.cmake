@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_experiment_test.dir/runner_experiment_test.cc.o"
+  "CMakeFiles/runner_experiment_test.dir/runner_experiment_test.cc.o.d"
+  "runner_experiment_test"
+  "runner_experiment_test.pdb"
+  "runner_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

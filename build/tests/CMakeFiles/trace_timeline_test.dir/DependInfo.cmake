@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_timeline_test.cc" "tests/CMakeFiles/trace_timeline_test.dir/trace_timeline_test.cc.o" "gcc" "tests/CMakeFiles/trace_timeline_test.dir/trace_timeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/allreduce/CMakeFiles/p3_allreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/p3_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/p3_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/p3_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/p3_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/p3_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_sgd_test.dir/train_sgd_test.cc.o"
+  "CMakeFiles/train_sgd_test.dir/train_sgd_test.cc.o.d"
+  "train_sgd_test"
+  "train_sgd_test.pdb"
+  "train_sgd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_sgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
