@@ -1,0 +1,111 @@
+#include "net/faults.h"
+
+#include <stdexcept>
+
+namespace p3::net {
+
+namespace {
+
+bool endpoint_matches(int pattern, int node) {
+  return pattern < 0 || pattern == node;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t fallback_seed)
+    : plan_(std::move(plan)),
+      rng_(plan_.seed != 0 ? plan_.seed : fallback_seed) {
+  if (plan_.drop_prob < 0.0 || plan_.drop_prob > 1.0) {
+    throw std::invalid_argument("drop probability outside [0, 1]");
+  }
+  for (const auto& d : plan_.link_drops) {
+    if (d.probability < 0.0 || d.probability > 1.0) {
+      throw std::invalid_argument("link drop probability outside [0, 1]");
+    }
+  }
+  for (const auto& d : plan_.degradations) {
+    if (d.bandwidth_factor <= 0.0 || d.bandwidth_factor > 1.0) {
+      throw std::invalid_argument("degradation factor outside (0, 1]");
+    }
+    if (d.extra_latency < 0.0) {
+      throw std::invalid_argument("negative degradation latency");
+    }
+  }
+  for (const auto& p : plan_.pauses) {
+    if (p.duration < 0.0) throw std::invalid_argument("negative pause");
+  }
+}
+
+double FaultInjector::drop_probability(int src, int dst) const {
+  for (const auto& d : plan_.link_drops) {
+    if (endpoint_matches(d.src, src) && endpoint_matches(d.dst, dst)) {
+      return d.probability;
+    }
+  }
+  return plan_.drop_prob;
+}
+
+bool FaultInjector::in_blackout(int src, int dst, TimeS t) const {
+  for (const auto& f : plan_.flaps) {
+    if (endpoint_matches(f.src, src) && endpoint_matches(f.dst, dst) &&
+        t >= f.start && t < f.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::should_drop(const Message& m, TimeS tx_start) {
+  if (m.src == m.dst) return false;  // loopback never touches the wire
+  if (in_blackout(m.src, m.dst, tx_start)) {
+    ++drops_;
+    return true;
+  }
+  const double p = drop_probability(m.src, m.dst);
+  if (p <= 0.0) return false;
+  if (p >= 1.0 || rng_.uniform() < p) {
+    ++drops_;
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::bandwidth_factor(int node, TimeS t) const {
+  double factor = 1.0;
+  for (const auto& d : plan_.degradations) {
+    if (endpoint_matches(d.node, node) && t >= d.start && t < d.end) {
+      factor *= d.bandwidth_factor;
+    }
+  }
+  return factor;
+}
+
+TimeS FaultInjector::extra_latency(int node, TimeS t) const {
+  TimeS extra = 0.0;
+  for (const auto& d : plan_.degradations) {
+    if (endpoint_matches(d.node, node) && t >= d.start && t < d.end) {
+      extra += d.extra_latency;
+    }
+  }
+  return extra;
+}
+
+TimeS FaultInjector::pause_release(int node, TimeS t) const {
+  // A release can land inside another pause window, so iterate to a fixed
+  // point (windows are few; overlapping windows converge in <= n passes).
+  TimeS release = t;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& p : plan_.pauses) {
+      if (endpoint_matches(p.node, node) && release >= p.start &&
+          release < p.start + p.duration) {
+        release = p.start + p.duration;
+        moved = true;
+      }
+    }
+  }
+  return release;
+}
+
+}  // namespace p3::net

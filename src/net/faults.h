@@ -1,0 +1,114 @@
+// Deterministic, seeded fault injection for the network substrate.
+//
+// A `FaultPlan` declares what goes wrong on the wire — probabilistic message
+// drops, timed link blackouts (flaps), `tc netem`-style degradation windows
+// (bandwidth dip + latency spike) and node pauses (straggler freezes). A
+// `FaultInjector` evaluates the plan per message; all randomness flows
+// through the library `Rng`, so a run is bit-reproducible from its seed.
+//
+// Scope: faults model the *wire*. Loopback traffic between colocated
+// processes (src == dst) is process-local memory movement and is never
+// faulted. Recovering from injected faults is the job of the reliability
+// layer in `ps::Cluster` (ack / timeout / retransmit / dedup; see
+// docs/PROTOCOL.md) — the network itself stays fire-and-forget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/message.h"
+
+namespace p3::net {
+
+/// Per-link drop-probability override; -1 endpoints are wildcards.
+struct LinkDrop {
+  int src = -1;
+  int dst = -1;
+  double probability = 0.0;
+};
+
+/// Link blackout (flap): every message entering the wire on a matching link
+/// during [start, end) is lost. -1 endpoints are wildcards, so a flap of one
+/// node's NIC is {node, -1} plus {-1, node}.
+struct LinkFlap {
+  int src = -1;
+  int dst = -1;
+  TimeS start = 0.0;
+  TimeS end = 0.0;
+};
+
+/// `tc netem`-style degradation window on a node's egress: messages starting
+/// TX during [start, end) serialize at rate * bandwidth_factor and pay
+/// extra_latency of added propagation delay. node == -1 degrades every node.
+struct Degradation {
+  int node = -1;
+  TimeS start = 0.0;
+  TimeS end = 0.0;
+  double bandwidth_factor = 1.0;  ///< (0, 1]; 0.1 = 90% bandwidth dip
+  TimeS extra_latency = 0.0;
+};
+
+/// Straggler freeze: the node's NIC is frozen during [start, start+duration)
+/// — TX reservations and RX serialization wait for the pause to end.
+struct NodePause {
+  int node = -1;
+  TimeS start = 0.0;
+  TimeS duration = 0.0;
+};
+
+struct FaultPlan {
+  /// Cluster-wide per-message drop probability (every remote link).
+  double drop_prob = 0.0;
+  /// Per-link overrides; the first matching entry wins over `drop_prob`.
+  std::vector<LinkDrop> link_drops;
+  std::vector<LinkFlap> flaps;
+  std::vector<Degradation> degradations;
+  std::vector<NodePause> pauses;
+  /// Seed for drop sampling; 0 = derive from the attaching cluster's seed.
+  std::uint64_t seed = 0;
+
+  /// True if the plan can affect any message (the reliability layer in
+  /// ps::Cluster is armed exactly when this holds).
+  bool active() const {
+    return drop_prob > 0.0 || !link_drops.empty() || !flaps.empty() ||
+           !degradations.empty() || !pauses.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan,
+                         std::uint64_t fallback_seed = 0x51cede7e11ab1eULL);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decide the fate of one message entering the wire at `tx_start`.
+  /// Deterministic in call order: the RNG is consumed only when the matched
+  /// drop probability is in (0, 1). Never drops loopback (src == dst).
+  bool should_drop(const Message& m, TimeS tx_start);
+
+  /// Egress bandwidth multiplier for `node` at time `t` (product of all
+  /// matching degradation windows; 1.0 when clear).
+  double bandwidth_factor(int node, TimeS t) const;
+
+  /// Added propagation delay for `node`'s egress at time `t`.
+  TimeS extra_latency(int node, TimeS t) const;
+
+  /// Earliest time >= `t` at which `node` is not paused.
+  TimeS pause_release(int node, TimeS t) const;
+
+  /// Messages this injector decided to drop.
+  std::int64_t drops() const { return drops_; }
+
+ private:
+  double drop_probability(int src, int dst) const;
+  bool in_blackout(int src, int dst, TimeS t) const;
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace p3::net

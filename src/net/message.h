@@ -20,6 +20,7 @@ enum class MsgKind : std::uint8_t {
   kPullRequest = 2,   ///< worker -> server: parameter pull control message
   kParams = 3,        ///< server -> worker: updated parameter payload
   kBackground = 4,    ///< foreign tenant traffic (dropped by the protocol)
+  kAck = 5,           ///< reliability layer: per-message acknowledgement
 };
 
 struct Message {
@@ -36,11 +37,17 @@ struct Message {
   /// does its accounting on this while the network serializes `bytes`.
   /// 0 = same as the wire payload.
   Bytes logical = 0;
+  /// Reliable-delivery sequence number; retransmissions reuse the original
+  /// id so receivers can deduplicate. -1 = unreliable (fire-and-forget);
+  /// for kAck it names the message being acknowledged.
+  std::int64_t msg_id = -1;
 };
 
 /// Fixed per-message header overhead (ps-lite style key+meta).
 constexpr Bytes kHeaderBytes = 64;
 /// Size of control messages (notify / pull request).
 constexpr Bytes kControlBytes = 256;
+/// Size of reliability acknowledgements (header only).
+constexpr Bytes kAckBytes = 64;
 
 }  // namespace p3::net

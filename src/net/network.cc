@@ -43,22 +43,55 @@ TimeS Network::post(Message m) {
     bytes_remote_ += m.bytes;
     Nic& src = nics_[static_cast<std::size_t>(m.src)];
     Nic& dst = nics_[static_cast<std::size_t>(m.dst)];
-    const TimeS tx_start = std::max(now, src.tx_free);
-    tx_end = tx_start + transfer_time(m.bytes, src.tx_rate);
+    TimeS earliest_tx = now;
+    BitsPerSec tx_rate = src.tx_rate;
+    TimeS latency = config_.latency;
+    if (faults_ != nullptr) {
+      // A paused node's NIC is frozen: nothing starts serializing until the
+      // pause releases. Degradation (bandwidth dip + latency spike) is
+      // evaluated at the moment this message enters the wire.
+      earliest_tx = faults_->pause_release(m.src, now);
+    }
+    const TimeS tx_start = std::max(earliest_tx, src.tx_free);
+    if (faults_ != nullptr) {
+      tx_rate *= faults_->bandwidth_factor(m.src, tx_start);
+      latency += faults_->extra_latency(m.src, tx_start);
+    }
+    tx_end = tx_start + transfer_time(m.bytes, tx_rate);
     src.tx_free = tx_end;
 
-    const TimeS rx_start = std::max(tx_end + config_.latency, dst.rx_free);
+    if (monitor_ != nullptr) {
+      monitor_->record(m.src, Direction::kOut, tx_start, tx_end, m.bytes);
+    }
+    if (timeline_ != nullptr) {
+      timeline_->add("n" + std::to_string(m.src) + ".tx", tx_start, tx_end,
+                     message_label(m));
+    }
+
+    if (faults_ != nullptr && faults_->should_drop(m, tx_start)) {
+      // Lost in the fabric: the sender paid TX, the receiver never sees it.
+      ++dropped_;
+      bytes_dropped_ += m.bytes;
+      if (timeline_ != nullptr) {
+        timeline_->add("n" + std::to_string(m.src) + ".drop", tx_start, tx_end,
+                       "x" + message_label(m));
+      }
+      return tx_end;
+    }
+
+    TimeS rx_earliest = tx_end + latency;
+    if (faults_ != nullptr) {
+      rx_earliest = faults_->pause_release(m.dst, rx_earliest);
+    }
+    const TimeS rx_start = std::max(rx_earliest, dst.rx_free);
     const TimeS rx_end = rx_start + transfer_time(m.bytes, dst.rx_rate);
     dst.rx_free = rx_end;
     deliver_at = rx_end;
 
     if (monitor_ != nullptr) {
-      monitor_->record(m.src, Direction::kOut, tx_start, tx_end, m.bytes);
       monitor_->record(m.dst, Direction::kIn, rx_start, rx_end, m.bytes);
     }
     if (timeline_ != nullptr) {
-      timeline_->add("n" + std::to_string(m.src) + ".tx", tx_start, tx_end,
-                     message_label(m));
       timeline_->add("n" + std::to_string(m.dst) + ".rx", rx_start, rx_end,
                      message_label(m));
     }
@@ -111,6 +144,9 @@ std::string message_label(const Message& m) {
       break;
     case MsgKind::kBackground:
       return "bg";
+    case MsgKind::kAck:
+      prefix = "k";  // acknowledgement
+      break;
   }
   return prefix + "L" + std::to_string(m.layer);
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "net/faults.h"
 #include "net/message.h"
 #include "net/monitor.h"
 #include "sim/queue.h"
@@ -80,13 +81,21 @@ class Network {
   /// Optional observers.
   void attach_monitor(UtilizationMonitor* monitor) { monitor_ = monitor; }
   void attach_timeline(trace::Timeline* timeline) { timeline_ = timeline; }
+  /// Attach a fault injector (nullptr = perfectly reliable wire). Faults
+  /// apply to remote messages only; the sender still pays TX serialization
+  /// for a dropped message (the bits left the NIC and died in the fabric).
+  void attach_faults(FaultInjector* faults) { faults_ = faults; }
 
   /// Counters for conservation checks in tests.
   std::int64_t messages_posted() const { return posted_; }
   std::int64_t messages_delivered() const { return delivered_; }
+  /// Messages lost to injected faults (posted == delivered + dropped once
+  /// the simulation quiesces).
+  std::int64_t messages_dropped() const { return dropped_; }
   Bytes bytes_posted() const { return bytes_posted_; }
   /// Bytes that actually crossed a NIC (excludes loopback).
   Bytes bytes_posted_remote() const { return bytes_remote_; }
+  Bytes bytes_dropped() const { return bytes_dropped_; }
 
  private:
   struct Nic {
@@ -103,10 +112,13 @@ class Network {
   std::vector<std::unique_ptr<sim::Queue<Message>>> inboxes_;
   UtilizationMonitor* monitor_ = nullptr;
   trace::Timeline* timeline_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   std::int64_t posted_ = 0;
   std::int64_t delivered_ = 0;
+  std::int64_t dropped_ = 0;
   Bytes bytes_posted_ = 0;
   Bytes bytes_remote_ = 0;
+  Bytes bytes_dropped_ = 0;
 };
 
 /// Human-readable label for timeline spans ("push L3", "param L1", ...).

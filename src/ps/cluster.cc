@@ -29,6 +29,15 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   if (cfg_.wire_compression < 1.0) {
     throw std::invalid_argument("compression factor below 1");
   }
+  if (cfg_.min_rto <= 0.0) {
+    throw std::invalid_argument("non-positive retransmission timeout");
+  }
+  if (cfg_.rto_backoff < 1.0) {
+    throw std::invalid_argument("retransmission backoff below 1");
+  }
+  if (cfg_.fixed_rto < 0.0) {
+    throw std::invalid_argument("negative retransmission timeout");
+  }
 
   Rng placement_rng(cfg_.seed);
   partition_ =
@@ -54,6 +63,17 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   net_cfg.rx_rate = cfg_.rx_bandwidth;
   net_cfg.latency = cfg_.latency;
   net_ = std::make_unique<net::Network>(sim_, total_nodes(), net_cfg);
+
+  if (cfg_.faults.active()) {
+    faults_ = std::make_unique<net::FaultInjector>(
+        cfg_.faults, cfg_.seed ^ 0xfa0175eedULL);
+    net_->attach_faults(faults_.get());
+  }
+  // The ack/retransmit/dedup layer arms itself exactly when something can
+  // go wrong (or when forced); a fault-free run posts the pre-reliability
+  // event sequence bit for bit.
+  reliable_ = cfg_.faults.active() || cfg_.reliable_transport;
+  seen_.resize(static_cast<std::size_t>(total_nodes()));
 
   const int layers = workload_.model.num_layers();
   for (int w = 0; w < cfg_.n_workers; ++w) {
@@ -100,6 +120,95 @@ double Cluster::jitter_factor(WorkerState& ws) {
   return std::max(0.2, ws.rng.normal(1.0, cfg_.compute_jitter));
 }
 
+TimeS Cluster::initial_rto(const net::Message& m) const {
+  if (cfg_.fixed_rto > 0.0) return cfg_.fixed_rto;
+  // Generous floor: a round trip plus one full serialization of this
+  // message per incast participant (n pushes can queue ahead of it at the
+  // server's RX channel). A spurious timeout is safe — dedup makes
+  // retransmission idempotent — but wastes wire bytes, so err high and let
+  // exponential backoff absorb real congestion.
+  return cfg_.min_rto + 2.0 * cfg_.latency +
+         static_cast<double>(cfg_.n_workers + 2) *
+             transfer_time(m.bytes, cfg_.bandwidth);
+}
+
+void Cluster::arm_reliable(net::Message& m, int via_worker) {
+  m.msg_id = next_msg_id_++;
+  PendingTx pending;
+  pending.msg = m;
+  pending.rto = initial_rto(m);
+  pending.via_worker = via_worker;
+  pending_tx_.emplace(m.msg_id, std::move(pending));
+}
+
+void Cluster::schedule_retx_timer(std::int64_t msg_id, TimeS delay) {
+  sim_.schedule(delay, [this, msg_id] { on_retx_timeout(msg_id); });
+}
+
+void Cluster::on_retx_timeout(std::int64_t msg_id) {
+  const auto it = pending_tx_.find(msg_id);
+  if (it == pending_tx_.end()) return;  // acked; the timer is a no-op
+  ++timeouts_fired_;
+  PendingTx& pending = it->second;
+  pending.rto *= cfg_.rto_backoff;
+  if (pending.via_worker >= 0) {
+    if (pending.queued) return;  // defensive: already awaiting the sender
+    pending.queued = true;
+    auto& ws = *workers_[static_cast<std::size_t>(pending.via_worker)];
+    SendItem item;
+    item.slice = pending.msg.slice;
+    item.kind = pending.msg.kind;
+    item.iteration = pending.msg.iteration;
+    item.priority = pending.msg.priority;
+    item.seq = ws.send_seq++;
+    item.retx_id = msg_id;
+    ws.sendq.push(item);
+    // No timer while queued; the sender arms one when the copy hits the
+    // wire, so send-queue backlog never counts against the RTO.
+  } else {
+    ++retransmits_;
+    if (timeline_ != nullptr) {
+      timeline_->add(lane("n", pending.msg.src, ".rtx"), sim_.now(),
+                     sim_.now(), "r" + net::message_label(pending.msg));
+    }
+    net_->post(pending.msg);
+    schedule_retx_timer(msg_id, pending.rto);
+  }
+}
+
+bool Cluster::accept_reliable(int node, const net::Message& m) {
+  if (!reliable_ || m.msg_id < 0) return true;
+  // Always ack, even duplicates: the previous ack may itself have been
+  // dropped, and the sender keeps retransmitting until one gets through.
+  net::Message ack;
+  ack.src = node;
+  ack.dst = m.src;
+  ack.kind = net::MsgKind::kAck;
+  ack.slice = m.slice;
+  ack.layer = m.layer;
+  ack.worker = m.worker;
+  ack.msg_id = m.msg_id;
+  ack.bytes = net::kAckBytes;
+  net_->post(ack);
+  ++acks_sent_;
+  if (!seen_[static_cast<std::size_t>(node)].insert(m.msg_id).second) {
+    ++duplicates_suppressed_;
+    return false;
+  }
+  return true;
+}
+
+void Cluster::post_tracked(net::Message m) {
+  if (reliable_ && m.src != m.dst) {
+    arm_reliable(m, -1);
+    const TimeS rto = pending_tx_.at(m.msg_id).rto;
+    net_->post(m);
+    schedule_retx_timer(m.msg_id, rto);
+  } else {
+    net_->post(m);
+  }
+}
+
 void Cluster::enqueue_push(int w, std::int64_t slice, std::int64_t iteration) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
   const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
@@ -134,7 +243,7 @@ void Cluster::enqueue_pull(int w, std::int64_t slice, std::int64_t iteration) {
   m.iteration = iteration;
   m.worker = w;
   m.bytes = net::kControlBytes;
-  net_->post(m);
+  post_tracked(m);
   ++pulls_sent_;
 }
 
@@ -192,6 +301,27 @@ sim::Task Cluster::worker_sender(int w) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
   for (;;) {
     SendItem item = co_await ws.sendq.pop();
+    if (item.retx_id >= 0) {
+      // Retransmission: it competed in the priority queue at the original
+      // slice priority, so urgent traffic still preempts it under loss.
+      auto it = pending_tx_.find(item.retx_id);
+      if (it == pending_tx_.end()) continue;  // acked while queued
+      it->second.queued = false;
+      const net::Message m = it->second.msg;
+      ++retransmits_;
+      if (timeline_ != nullptr) {
+        timeline_->add(lane("n", m.src, ".rtx"), sim_.now(), sim_.now(),
+                       "r" + net::message_label(m));
+      }
+      if (cfg_.send_overhead > 0.0) co_await sim_.sleep(cfg_.send_overhead);
+      co_await net_->send(m);
+      // Only re-arm the timer if the ack didn't land mid-send.
+      const auto it2 = pending_tx_.find(item.retx_id);
+      if (it2 != pending_tx_.end()) {
+        schedule_retx_timer(item.retx_id, it2->second.rto);
+      }
+      continue;
+    }
     const auto& sl = partition_.slices[static_cast<std::size_t>(item.slice)];
     net::Message m;
     m.src = w;
@@ -204,12 +334,19 @@ sim::Task Cluster::worker_sender(int w) {
     m.worker = w;
     m.logical = item.payload;
     m.bytes = wire_payload(item.payload) + net::kHeaderBytes;
+    if (reliable_ && m.src != m.dst) arm_reliable(m, w);
     ++pushes_sent_;
     // Per-message CPU cost on the sender thread, then a blocking send: the
     // consumer only dequeues the next (highest priority) item once this
     // message has fully serialized onto the NIC.
     if (cfg_.send_overhead > 0.0) co_await sim_.sleep(cfg_.send_overhead);
     co_await net_->send(m);
+    if (m.msg_id >= 0) {
+      const auto it = pending_tx_.find(m.msg_id);
+      if (it != pending_tx_.end()) {
+        schedule_retx_timer(m.msg_id, it->second.rto);
+      }
+    }
   }
 }
 
@@ -219,6 +356,16 @@ sim::Task Cluster::node_demux(int n) {
   const int server_idx = cfg_.dedicated_servers ? n - cfg_.n_workers : n;
   for (;;) {
     net::Message m = co_await net_->inbox(n).pop();
+    if (m.kind == net::MsgKind::kAck) {
+      // Delivery confirmed: retire the sender-side retransmission state
+      // (any outstanding timer becomes a no-op).
+      pending_tx_.erase(m.msg_id);
+      continue;
+    }
+    if (m.kind != net::MsgKind::kBackground) {
+      if (!accept_reliable(n, m)) continue;  // duplicate suppressed
+      goodput_bytes_ += m.bytes;
+    }
     switch (m.kind) {
       case net::MsgKind::kPushGradient:
       case net::MsgKind::kPullRequest: {
@@ -239,6 +386,8 @@ sim::Task Cluster::node_demux(int n) {
         break;
       case net::MsgKind::kBackground:
         break;  // foreign tenant traffic: consumed bandwidth, nothing else
+      case net::MsgKind::kAck:
+        break;  // handled above
     }
   }
 }
@@ -282,7 +431,7 @@ void Cluster::send_params(int server, std::int64_t slice, int worker) {
     m.worker = worker;
     m.logical = payload;
     m.bytes = wire_payload(payload) + net::kHeaderBytes;
-    net_->post(m);
+    post_tracked(m);
     ++params_sent_;
     remaining -= payload;
   }
@@ -345,7 +494,7 @@ sim::Task Cluster::server_loop(int n) {
           notify.priority = item_priority(m.slice);
           notify.iteration = m.iteration;
           notify.bytes = net::kControlBytes;
-          net_->post(notify);
+          post_tracked(notify);
           ++notifies_sent_;
         }
       }
@@ -420,6 +569,12 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   }
   result.mean_stall_time = stall_sum / (static_cast<double>(cfg_.n_workers) *
                                         measured_iterations);
+  result.messages_dropped = net_->messages_dropped();
+  result.retransmits = retransmits_;
+  result.timeouts_fired = timeouts_fired_;
+  result.duplicates_suppressed = duplicates_suppressed_;
+  result.goodput_bytes = goodput_bytes_;
+  result.wire_bytes = net_->bytes_posted();
   return result;
 }
 

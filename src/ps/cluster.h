@@ -24,6 +24,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -31,6 +33,7 @@
 #include "core/slicing.h"
 #include "core/sync_method.h"
 #include "model/compute.h"
+#include "net/faults.h"
 #include "net/network.h"
 #include "sim/queue.h"
 #include "sim/simulator.h"
@@ -84,6 +87,24 @@ struct ClusterConfig {
   // in NMT workloads; 0 = deterministic compute).
   double compute_jitter = 0.0;
 
+  // --- fault injection + reliable delivery (docs/PROTOCOL.md) ---
+  /// Wire faults to inject; an empty (inactive) plan keeps the network
+  /// perfectly reliable and the reliability layer disarmed, so fault-free
+  /// runs are byte-identical to a build without this subsystem.
+  net::FaultPlan faults;
+  /// Arm the ack/timeout/retransmit layer even without faults (used by
+  /// tests to exercise dedup under spurious retransmissions).
+  bool reliable_transport = false;
+  /// Floor of the per-message retransmission timeout. The initial RTO also
+  /// scales with the message's serialization time and the cluster's incast
+  /// depth, and backs off by `rto_backoff` on every expiry.
+  TimeS min_rto = ms(50);
+  double rto_backoff = 2.0;
+  /// > 0: use exactly this initial RTO for every message instead of the
+  /// adaptive formula. Deliberately tiny values force spurious
+  /// retransmissions, which tests use to prove dedup idempotency.
+  TimeS fixed_rto = 0.0;
+
   std::uint64_t seed = 42;
 
   /// Override for the compute profile (used by the schedule figures to pin
@@ -102,6 +123,16 @@ struct RunResult {
   TimeS total_time = 0;           ///< simulated time at measurement end
   int iterations_measured = 0;
   std::vector<TimeS> iteration_times;  ///< worker 0, measured window
+
+  // Degradation observability (all zero on a fault-free run).
+  std::int64_t messages_dropped = 0;      ///< lost to injected faults
+  std::int64_t retransmits = 0;           ///< copies re-posted after timeout
+  std::int64_t timeouts_fired = 0;        ///< retransmission timer expiries
+  std::int64_t duplicates_suppressed = 0; ///< deliveries deduped by msg id
+  /// Unique protocol bytes accepted by receivers (dedup survivors).
+  Bytes goodput_bytes = 0;
+  /// Everything posted on the wire: originals + retransmits + acks.
+  Bytes wire_bytes = 0;
 };
 
 class Cluster {
@@ -139,6 +170,16 @@ class Cluster {
   std::int64_t notifies_sent() const { return notifies_sent_; }
   std::int64_t pulls_sent() const { return pulls_sent_; }
   std::int64_t rounds_completed() const { return rounds_completed_; }
+  // Reliability-layer counters (all zero while the layer is disarmed).
+  bool reliable_transport_armed() const { return reliable_; }
+  std::int64_t acks_sent() const { return acks_sent_; }
+  std::int64_t retransmits() const { return retransmits_; }
+  std::int64_t timeouts_fired() const { return timeouts_fired_; }
+  std::int64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  std::int64_t reliable_in_flight() const {
+    return static_cast<std::int64_t>(pending_tx_.size());
+  }
+  Bytes goodput_bytes() const { return goodput_bytes_; }
 
  private:
   struct SendItem {
@@ -148,6 +189,9 @@ class Cluster {
     Bytes payload = 0;  ///< fragment payload bytes (0 for control messages)
     int priority = 0;
     std::int64_t seq = 0;
+    /// >= 0: retransmission of this pending msg id (competes in the priority
+    /// queue at the original slice priority, so preemption holds under loss).
+    std::int64_t retx_id = -1;
   };
   struct SendOrder {
     bool operator()(const SendItem& a, const SendItem& b) const {
@@ -184,6 +228,14 @@ class Cluster {
     std::int64_t iteration = -1;
   };
 
+  /// Sender-side state of one unacknowledged reliable message.
+  struct PendingTx {
+    net::Message msg;     ///< full copy, re-posted verbatim on timeout
+    TimeS rto = 0.0;      ///< delay of the *next* timer to be armed
+    int via_worker = -1;  ///< >= 0: retransmit through this worker's sendq
+    bool queued = false;  ///< a retransmit item is sitting in the sendq
+  };
+
   struct ServerState {
     explicit ServerState(sim::Simulator& sim) : rxq(sim) {}
     sim::PriorityQueue<RxItem, RxOrder> rxq;
@@ -215,6 +267,21 @@ class Cluster {
   int item_priority(std::int64_t slice) const;
   double jitter_factor(WorkerState& ws);
 
+  // --- reliable delivery (ack / timeout / retransmit / dedup) ---
+  /// Register `m` for acknowledged delivery: assigns its msg id and records
+  /// the sender-side retransmission state. `via_worker` >= 0 routes
+  /// retransmissions through that worker's priority send queue.
+  void arm_reliable(net::Message& m, int via_worker);
+  /// Post `m` directly, arming the reliability layer when it applies
+  /// (server->worker params/notify and worker pull requests).
+  void post_tracked(net::Message m);
+  TimeS initial_rto(const net::Message& m) const;
+  void schedule_retx_timer(std::int64_t msg_id, TimeS delay);
+  void on_retx_timeout(std::int64_t msg_id);
+  /// Demux-side reliability front-end: acks `m` and deduplicates. Returns
+  /// false when `m` is a duplicate that must not reach the protocol.
+  bool accept_reliable(int node, const net::Message& m);
+
   model::Workload workload_;
   ClusterConfig cfg_;
   core::SyncConfig sync_;
@@ -223,6 +290,7 @@ class Cluster {
 
   sim::Simulator sim_;
   std::unique_ptr<net::Network> net_;
+  std::unique_ptr<net::FaultInjector> faults_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<std::unique_ptr<ServerState>> servers_;
   trace::Timeline* timeline_ = nullptr;
@@ -236,6 +304,16 @@ class Cluster {
   std::int64_t notifies_sent_ = 0;
   std::int64_t pulls_sent_ = 0;
   std::int64_t rounds_completed_ = 0;
+
+  bool reliable_ = false;
+  std::int64_t next_msg_id_ = 0;
+  std::unordered_map<std::int64_t, PendingTx> pending_tx_;
+  std::vector<std::unordered_set<std::int64_t>> seen_;  ///< per-node dedup
+  std::int64_t acks_sent_ = 0;
+  std::int64_t retransmits_ = 0;
+  std::int64_t timeouts_fired_ = 0;
+  std::int64_t duplicates_suppressed_ = 0;
+  Bytes goodput_bytes_ = 0;
 };
 
 }  // namespace p3::ps

@@ -37,8 +37,10 @@ class QueueBase {
   ~QueueBase() {
     // Suspended consumers may outlive the queue (their frames are reclaimed
     // by the Simulator at teardown); mark them so their awaiter destructors
-    // do not touch freed queue state.
+    // do not touch freed queue state. Woken-but-not-yet-resumed consumers
+    // left waiters_ in wake_one() and need the same treatment.
     for (auto* w : waiters_) w->orphaned = true;
+    for (auto* w : woken_) w->orphaned = true;
   }
 
   bool empty() const { return items_.empty(); }
@@ -64,17 +66,25 @@ class QueueBase {
     Waiter* w = waiters_.front();
     waiters_.pop_front();
     w->woken = true;
+    woken_.push_back(w);
     ++reserved_;
     sim_->resume_soon(w->handle);
   }
 
-  void unlink(Waiter* w) {
-    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+  static void unlink(std::deque<Waiter*>& list, Waiter* w) {
+    for (auto it = list.begin(); it != list.end(); ++it) {
       if (*it == w) {
-        waiters_.erase(it);
+        list.erase(it);
         return;
       }
     }
+  }
+
+  /// Called at a woken consumer's resume to release its reservation.
+  void on_waiter_resumed(Waiter* w) {
+    w->resumed = true;
+    --reserved_;
+    unlink(woken_, w);
   }
 
   /// Called from ~PopAwaiter to release bookkeeping on cancellation.
@@ -82,14 +92,16 @@ class QueueBase {
     if (!w->handle) return;
     if (w->woken && !w->resumed) {
       --reserved_;  // reservation abandoned
+      unlink(woken_, w);
     } else if (!w->woken) {
-      unlink(w);
+      unlink(waiters_, w);
     }
   }
 
   Simulator* sim_;
   Container items_;
   std::deque<Waiter*> waiters_;
+  std::deque<Waiter*> woken_;  ///< woken but not yet resumed/destroyed
   std::size_t reserved_ = 0;
 };
 
@@ -135,10 +147,7 @@ class Queue : public detail::QueueBase<std::deque<T>> {
       q->waiters_.push_back(this);
     }
     T await_resume() {
-      if (this->woken) {
-        this->resumed = true;
-        --q->reserved_;
-      }
+      if (this->woken) q->on_waiter_resumed(this);
       if (q->items_.empty()) {
         throw std::logic_error("Queue::pop resumed with no item");
       }
@@ -188,10 +197,7 @@ class PriorityQueue
       q->waiters_.push_back(this);
     }
     T await_resume() {
-      if (this->woken) {
-        this->resumed = true;
-        --q->reserved_;
-      }
+      if (this->woken) q->on_waiter_resumed(this);
       if (q->items_.empty()) {
         throw std::logic_error("PriorityQueue::pop resumed with no item");
       }

@@ -1,0 +1,277 @@
+#include "net/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace p3::net {
+namespace {
+
+NetworkConfig test_config(BitsPerSec rate = gbps(1), TimeS latency = 0.0) {
+  NetworkConfig cfg;
+  cfg.rate = rate;
+  cfg.latency = latency;
+  cfg.loopback_rate = gbps(400);
+  cfg.loopback_latency = 0.0;
+  return cfg;
+}
+
+Message msg(int src, int dst, Bytes bytes,
+            MsgKind kind = MsgKind::kPushGradient) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  m.kind = kind;
+  return m;
+}
+
+/// Deliver everything pending and count what arrived at `node`.
+int drain_inbox(sim::Simulator& sim, Network& net, int node) {
+  sim.run();
+  int count = 0;
+  while (net.inbox(node).try_pop()) ++count;
+  return count;
+}
+
+TEST(FaultPlan, ActiveDetectsAnyConfiguredFault) {
+  EXPECT_FALSE(FaultPlan{}.active());
+  FaultPlan drop;
+  drop.drop_prob = 0.01;
+  EXPECT_TRUE(drop.active());
+  FaultPlan flap;
+  flap.flaps.push_back({0, 1, 1.0, 2.0});
+  EXPECT_TRUE(flap.active());
+  FaultPlan degrade;
+  degrade.degradations.push_back({0, 0.0, 1.0, 0.5, 0.0});
+  EXPECT_TRUE(degrade.active());
+  FaultPlan pause;
+  pause.pauses.push_back({0, 0.0, 1.0});
+  EXPECT_TRUE(pause.active());
+}
+
+TEST(FaultInjector, InvalidPlansThrow) {
+  FaultPlan bad_prob;
+  bad_prob.drop_prob = 1.5;
+  EXPECT_THROW(FaultInjector{bad_prob}, std::invalid_argument);
+  FaultPlan bad_factor;
+  bad_factor.degradations.push_back({0, 0.0, 1.0, 0.0, 0.0});
+  EXPECT_THROW(FaultInjector{bad_factor}, std::invalid_argument);
+  FaultPlan bad_pause;
+  bad_pause.pauses.push_back({0, 0.0, -1.0});
+  EXPECT_THROW(FaultInjector{bad_pause}, std::invalid_argument);
+}
+
+TEST(FaultInjector, DropSamplingIsDeterministic) {
+  FaultPlan plan;
+  plan.drop_prob = 0.3;
+  plan.seed = 7;
+  auto sample = [&plan] {
+    FaultInjector inj(plan);
+    std::vector<bool> out;
+    Message m = msg(0, 1, 100);
+    for (int i = 0; i < 200; ++i) out.push_back(inj.should_drop(m, 0.0));
+    return out;
+  };
+  EXPECT_EQ(sample(), sample());
+}
+
+TEST(FaultInjector, DropRateMatchesProbability) {
+  FaultPlan plan;
+  plan.drop_prob = 0.25;
+  plan.seed = 11;
+  FaultInjector inj(plan);
+  Message m = msg(0, 1, 100);
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) (void)inj.should_drop(m, 0.0);
+  EXPECT_NEAR(static_cast<double>(inj.drops()) / n, 0.25, 0.02);
+}
+
+TEST(FaultInjector, PerLinkOverrideBeatsGlobalProbability) {
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  plan.link_drops.push_back({0, 1, 0.0});  // this link is perfect
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.should_drop(msg(0, 1, 100), 0.0));
+  EXPECT_TRUE(inj.should_drop(msg(1, 0, 100), 0.0));
+}
+
+TEST(FaultInjector, LoopbackIsNeverDropped) {
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.should_drop(msg(2, 2, 100), 0.0));
+  EXPECT_EQ(inj.drops(), 0);
+}
+
+TEST(FaultInjector, BlackoutDropsOnlyDuringWindow) {
+  FaultPlan plan;
+  plan.flaps.push_back({0, -1, 1.0, 2.0});  // node 0 egress down [1, 2)
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.should_drop(msg(0, 1, 100), 0.5));
+  EXPECT_TRUE(inj.should_drop(msg(0, 1, 100), 1.0));
+  EXPECT_TRUE(inj.should_drop(msg(0, 2, 100), 1.999));
+  EXPECT_FALSE(inj.should_drop(msg(0, 1, 100), 2.0));
+  EXPECT_FALSE(inj.should_drop(msg(1, 0, 100), 1.5));  // other direction up
+}
+
+TEST(FaultInjector, PauseReleaseChainsOverlappingWindows) {
+  FaultPlan plan;
+  plan.pauses.push_back({3, 1.0, 1.0});  // [1, 2)
+  plan.pauses.push_back({3, 1.5, 1.0});  // [1.5, 2.5): release chains
+  FaultInjector inj(plan);
+  EXPECT_DOUBLE_EQ(inj.pause_release(3, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(inj.pause_release(3, 1.2), 2.5);
+  EXPECT_DOUBLE_EQ(inj.pause_release(2, 1.2), 1.2);  // other node untouched
+}
+
+// ---------------------------------------------------------------------------
+// Network integration.
+// ---------------------------------------------------------------------------
+
+TEST(NetworkFaults, DroppedMessageNeverDelivered) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config());
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  // Sender still pays TX serialization for the lost message.
+  const TimeS tx_done = net.post(msg(0, 1, 125'000'000));
+  EXPECT_DOUBLE_EQ(tx_done, 1.0);
+  EXPECT_EQ(drain_inbox(sim, net, 1), 0);
+  EXPECT_EQ(net.messages_posted(), 1);
+  EXPECT_EQ(net.messages_delivered(), 0);
+  EXPECT_EQ(net.messages_dropped(), 1);
+  EXPECT_EQ(net.bytes_dropped(), 125'000'000);
+}
+
+TEST(NetworkFaults, PostedEqualsDeliveredPlusDropped) {
+  sim::Simulator sim;
+  Network net(sim, 3, test_config());
+  FaultPlan plan;
+  plan.drop_prob = 0.5;
+  plan.seed = 3;
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  for (int i = 0; i < 100; ++i) net.post(msg(0, 1 + (i % 2), 1000));
+  sim.run();
+  EXPECT_EQ(net.messages_posted(), 100);
+  EXPECT_EQ(net.messages_delivered() + net.messages_dropped(), 100);
+  EXPECT_GT(net.messages_dropped(), 0);
+  EXPECT_GT(net.messages_delivered(), 0);
+}
+
+TEST(NetworkFaults, DegradationWindowSlowsAndDelays) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  // Node 0 egress at 50% bandwidth with +0.25 s latency during [0, 10).
+  plan.degradations.push_back({0, 0.0, 10.0, 0.5, 0.25});
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  const TimeS tx_done = net.post(msg(0, 1, 125'000'000));
+  EXPECT_DOUBLE_EQ(tx_done, 2.0);  // 1 s at half rate = 2 s
+  TimeS arrival = -1;
+  sim.spawn([](Network& n, TimeS& out) -> sim::Task {
+    (void)co_await n.inbox(1).pop();
+    out = n.simulator().now();
+  }(net, arrival));
+  sim.run();
+  // 2 s TX + 0.25 s latency spike + 1 s RX (RX rate undegraded).
+  EXPECT_DOUBLE_EQ(arrival, 3.25);
+}
+
+TEST(NetworkFaults, DegradationOutsideWindowIsFree) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  plan.degradations.push_back({0, 5.0, 6.0, 0.1, 1.0});
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  EXPECT_DOUBLE_EQ(net.post(msg(0, 1, 125'000'000)), 1.0);
+}
+
+TEST(NetworkFaults, NodePauseFreezesNic) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  plan.pauses.push_back({0, 0.0, 3.0});  // node 0 frozen [0, 3)
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  // TX cannot start until the pause releases.
+  EXPECT_DOUBLE_EQ(net.post(msg(0, 1, 125'000'000)), 4.0);
+}
+
+TEST(NetworkFaults, ReceiverPauseDefersRxSerialization) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  plan.pauses.push_back({1, 0.0, 5.0});  // receiver frozen [0, 5)
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  net.post(msg(0, 1, 125'000'000));  // TX [0, 1]
+  TimeS arrival = -1;
+  sim.spawn([](Network& n, TimeS& out) -> sim::Task {
+    (void)co_await n.inbox(1).pop();
+    out = n.simulator().now();
+  }(net, arrival));
+  sim.run();
+  EXPECT_DOUBLE_EQ(arrival, 6.0);  // RX starts at release (5) + 1 s
+}
+
+TEST(NetworkFaults, LoopbackBypassesFaults) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config());
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  plan.pauses.push_back({0, 0.0, 100.0});
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  net.post(msg(0, 0, 1000));
+  EXPECT_EQ(drain_inbox(sim, net, 0), 1);
+  EXPECT_EQ(net.messages_dropped(), 0);
+}
+
+TEST(NetworkFaults, TimelineRecordsDropSpans) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  trace::Timeline tl;
+  net.attach_timeline(&tl);
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  Message m = msg(0, 1, 125'000'000);
+  m.layer = 3;
+  net.post(m);
+  sim.run();
+  const auto drops = tl.lane_spans("n0.drop");
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].label, "xgL3");
+  EXPECT_DOUBLE_EQ(drops[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(drops[0].end, 1.0);
+  // The TX span still exists (sender serialized it); no RX span.
+  EXPECT_EQ(tl.lane_spans("n0.tx").size(), 1u);
+  EXPECT_TRUE(tl.lane_spans("n1.rx").empty());
+}
+
+TEST(NetworkFaults, MonitorOnlyRecordsOutboundForDrops) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  UtilizationMonitor mon(2, 0.010);
+  net.attach_monitor(&mon);
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  net.post(msg(0, 1, 125'000'000));
+  sim.run();
+  EXPECT_NEAR(mon.total_bytes(0, Direction::kOut), 125e6, 1.0);
+  EXPECT_NEAR(mon.total_bytes(1, Direction::kIn), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace p3::net

@@ -128,6 +128,35 @@ TEST(Network, PerNodeRateThrottling) {
   EXPECT_DOUBLE_EQ(tx_done, 1.0);  // throttled TX
 }
 
+TEST(Network, SetNodeRateMidTransferHonorsReservations) {
+  // Mid-experiment `tc` throttling: a rate change applies to messages
+  // posted afterwards, but channel time already reserved by an in-flight
+  // transfer is honored — the new transfer queues behind it.
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(10), 0.0));
+  // In flight at 10 Gbps: TX [0, 0.1], RX [0.1, 0.2].
+  const TimeS first_tx = net.post(msg(0, 1, 125'000'000));
+  EXPECT_DOUBLE_EQ(first_tx, 0.1);
+  net.set_node_rate(0, gbps(1));  // throttle while the transfer is running
+  // The second message starts where the first reservation ends and
+  // serializes at the new rate.
+  const TimeS second_tx = net.post(msg(0, 1, 125'000'000));
+  EXPECT_DOUBLE_EQ(second_tx, 0.1 + 1.0);
+  std::vector<TimeS> arrivals;
+  sim.spawn([](Network& n, std::vector<TimeS>& out) -> sim::Task {
+    for (int i = 0; i < 2; ++i) {
+      (void)co_await n.inbox(1).pop();
+      out.push_back(n.simulator().now());
+    }
+  }(net, arrivals));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // First delivery is unchanged by the throttle (RX rate untouched)...
+  EXPECT_DOUBLE_EQ(arrivals[0], 0.2);
+  // ...second RX starts after its slow TX and runs at node 1's RX rate.
+  EXPECT_DOUBLE_EQ(arrivals[1], 1.2);
+}
+
 TEST(Network, BlockingSendResumesAtTxCompletion) {
   sim::Simulator sim;
   Network net(sim, 2, test_config(gbps(1), 0.0));

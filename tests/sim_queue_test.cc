@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -161,6 +162,22 @@ TEST(PriorityQueue, TryPop) {
   q.push({2, 2});
   EXPECT_EQ(q.try_pop()->priority, 2);
   EXPECT_EQ(q.try_pop()->priority, 5);
+}
+
+// A push wakes a consumer through the event loop; if the run ends before
+// the wakeup fires, the consumer is woken-but-not-resumed. Destroying the
+// queue and then the simulator (which reclaims the suspended frame, running
+// ~PopAwaiter) must not touch freed queue state.
+TEST(Queue, WokenWaiterMaySurviveQueueDestruction) {
+  Simulator sim;
+  auto q = std::make_unique<Queue<int>>(sim);
+  std::vector<int> out;
+  sim.spawn(consume_n(sim, *q, 1, out));
+  sim.run();    // consumer suspends in pop()
+  q->push(7);   // wakes it via resume_soon, but we never run the event
+  EXPECT_EQ(q->waiters(), 0u);
+  q.reset();    // queue dies first, orphaning the woken waiter
+  // ~Simulator destroys the frame; must not crash (asserted under asan).
 }
 
 TEST(Queue, SizeAndWaiters) {
