@@ -7,23 +7,21 @@
 // workloads (ResNet-50: many small layers; VGG-19: one dominant layer) at
 // their constrained-bandwidth operating points, plus the effect of
 // transport-level fragmentation alone and of dedicated (non-colocated)
-// parameter servers.
+// parameter servers. The per-model configurations are independent clusters,
+// so they fan across the ParallelExecutor (--threads).
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "model/zoo.h"
-#include "runner/experiment.h"
 
 namespace {
 
 using namespace p3;
-
-double run(const model::Workload& w, ps::ClusterConfig cfg) {
-  runner::MeasureOptions opts;
-  opts.warmup = 3;
-  opts.measured = 8;
-  return runner::measure_throughput(w, cfg, opts);
-}
 
 ps::ClusterConfig base_config(double bandwidth_gbps) {
   ps::ClusterConfig cfg;
@@ -33,42 +31,36 @@ ps::ClusterConfig base_config(double bandwidth_gbps) {
   return cfg;
 }
 
-void ablate(const char* title, const model::Workload& w,
-            double bandwidth_gbps) {
+void ablate(const char* title, const model::Workload& w, double bandwidth_gbps,
+            const runner::MeasureOptions& opts) {
   std::printf("--- %s @ %.0f Gbps ---\n", title, bandwidth_gbps);
-  Table table({"configuration", "throughput", "vs baseline"});
 
-  const double baseline =
-      run(w, base_config(bandwidth_gbps));  // kBaseline default
-  auto add = [&](const char* name, double value) {
-    table.add_row({name, Table::num(value, 1),
-                   Table::num(100.0 * (value / baseline - 1.0), 1) + "%"});
-  };
-  add("baseline (MXNet KVStore)", baseline);
-
+  std::vector<std::pair<std::string, ps::ClusterConfig>> cases;
+  cases.emplace_back("baseline (MXNet KVStore)",
+                     base_config(bandwidth_gbps));  // kBaseline default
   {
     // Fragmentation only: baseline protocol, 4MB wire chunks.
     auto cfg = base_config(bandwidth_gbps);
     cfg.fragment_bytes = mib(4);
-    add("+ 4MB transport fragmentation", run(w, cfg));
+    cases.emplace_back("+ 4MB transport fragmentation", cfg);
   }
   {
     // Slicing + immediate broadcast, FIFO (the paper's "Slicing").
     auto cfg = base_config(bandwidth_gbps);
     cfg.method = core::SyncMethod::kSlicingOnly;
-    add("+ slicing + broadcast (FIFO)", run(w, cfg));
+    cases.emplace_back("+ slicing + broadcast (FIFO)", cfg);
   }
   {
     auto cfg = base_config(bandwidth_gbps);
     cfg.method = core::SyncMethod::kP3;
-    add("+ priority (= P3)", run(w, cfg));
+    cases.emplace_back("+ priority (= P3)", cfg);
   }
   {
     // P3 with coarse slices: isolates how much the 50k granularity matters.
     auto cfg = base_config(bandwidth_gbps);
     cfg.method = core::SyncMethod::kP3;
     cfg.slice_params = 1'000'000;
-    add("P3 with 1M-param slices", run(w, cfg));
+    cases.emplace_back("P3 with 1M-param slices", cfg);
   }
   {
     // Deployment ablation: dedicated server machines double the cluster's
@@ -76,7 +68,22 @@ void ablate(const char* title, const model::Workload& w,
     auto cfg = base_config(bandwidth_gbps);
     cfg.method = core::SyncMethod::kP3;
     cfg.dedicated_servers = true;
-    add("P3, dedicated PS machines", run(w, cfg));
+    cases.emplace_back("P3, dedicated PS machines", cfg);
+  }
+
+  std::vector<std::function<double()>> jobs;
+  for (const auto& [name, cfg] : cases) {
+    jobs.push_back(
+        [&w, cfg, &opts] { return runner::measure_throughput(w, cfg, opts); });
+  }
+  runner::ParallelExecutor executor(opts.threads);
+  const auto values = executor.map(std::move(jobs));
+
+  Table table({"configuration", "throughput", "vs baseline"});
+  const double baseline = values.front();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    table.add_row({cases[i].first, Table::num(values[i], 1),
+                   Table::num(100.0 * (values[i] / baseline - 1.0), 1) + "%"});
   }
   table.print();
   std::printf("\n");
@@ -84,10 +91,12 @@ void ablate(const char* title, const model::Workload& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/3,
+                           /*default_measured=*/8);
   std::printf("== Ablation: P3 component contributions ==\n\n");
-  ablate("ResNet-50", model::workload_resnet50(), 4);
-  ablate("VGG-19", model::workload_vgg19(), 15);
-  ablate("Sockeye", model::workload_sockeye(), 4);
+  ablate("ResNet-50", model::workload_resnet50(), 4, opts.measure());
+  ablate("VGG-19", model::workload_vgg19(), 15, opts.measure());
+  ablate("Sockeye", model::workload_sockeye(), 4, opts.measure());
   return 0;
 }

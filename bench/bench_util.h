@@ -1,17 +1,68 @@
 // Shared helpers for the figure-reproduction binaries.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/csv.h"
+#include "common/options.h"
 #include "common/table.h"
 #include "runner/experiment.h"
+#include "runner/parallel.h"
 
 namespace p3::bench {
+
+/// Shared argv handling for every bench binary (instead of each one
+/// hand-rolling its spec): all binaries accept
+///   --warmup N / --measured N   iteration counts (per-binary defaults)
+///   --threads N                 sweep fan-out; 0 (default) = one pool
+///                               thread per hardware core. Results are
+///                               bit-identical at any thread count.
+///   --smoke                     quick sanity pass: warmup 1, measured
+///                               capped at 3 (CSV values change; shapes
+///                               survive)
+/// plus any binary-specific options passed via `extra`, reachable through
+/// raw().
+class BenchOptions {
+ public:
+  BenchOptions(int argc, const char* const* argv, int default_warmup,
+               int default_measured,
+               std::map<std::string, std::string> extra = {})
+      : raw_(argc, argv, merged_spec(default_warmup, default_measured,
+                                     std::move(extra))),
+        smoke_(raw_.flag("smoke")) {
+    measure_.warmup = static_cast<int>(raw_.integer("warmup"));
+    measure_.measured = static_cast<int>(raw_.integer("measured"));
+    measure_.threads = static_cast<int>(raw_.integer("threads"));
+    if (smoke_) {
+      measure_.warmup = std::min(measure_.warmup, 1);
+      measure_.measured = std::min(measure_.measured, 3);
+    }
+  }
+
+  const runner::MeasureOptions& measure() const { return measure_; }
+  bool smoke() const { return smoke_; }
+  const Options& raw() const { return raw_; }
+
+ private:
+  static std::map<std::string, std::string> merged_spec(
+      int warmup, int measured, std::map<std::string, std::string> extra) {
+    extra.emplace("warmup", std::to_string(warmup));
+    extra.emplace("measured", std::to_string(measured));
+    extra.emplace("threads", "0");
+    extra.emplace("smoke", "");
+    return extra;
+  }
+
+  Options raw_;
+  bool smoke_;
+  runner::MeasureOptions measure_;
+};
 
 /// CSV output path under ./results (created on first use), keeping data
 /// files out of the binary directory.

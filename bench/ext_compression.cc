@@ -62,10 +62,9 @@ void run_model(const char* title, const model::Workload& workload,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"warmup", "3"}, {"measured", "8"}});
-  runner::MeasureOptions m;
-  m.warmup = static_cast<int>(opts.integer("warmup"));
-  m.measured = static_cast<int>(opts.integer("measured"));
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/3,
+                           /*default_measured=*/8);
+  const runner::MeasureOptions& m = opts.measure();
 
   std::printf("== Extension: P3 composed with gradient compression ==\n\n");
   run_model("VGG-19", model::workload_vgg19(), {0.5, 1, 2.5, 5, 10, 15},

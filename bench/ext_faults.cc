@@ -8,15 +8,19 @@
 // throughput is the wire overhead — bytes on the wire per byte of goodput —
 // which is the price of reliability (retransmits + acks).
 //
+// Each sweep point owns a private cluster, so the (method x fault) grid is
+// fanned across the ParallelExecutor; results come back in submission order
+// and identical seeds reproduce identical CSVs at any --threads value.
+//
 // Expected shape: both methods degrade with loss since synchronous SGD
 // cannot finish a round without the retransmitted stragglers, but P3's
 // priority queue keeps urgent retransmits ahead of bulk backlog, so its
-// advantage persists (and preemption still works under loss). Identical
-// seeds reproduce identical CSVs.
+// advantage persists (and preemption still works under loss).
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "bench_util.h"
-#include "common/options.h"
 #include "model/zoo.h"
 
 namespace {
@@ -37,17 +41,36 @@ double wire_overhead(const ps::RunResult& r) {
          static_cast<double>(r.goodput_bytes);
 }
 
+/// Run one cluster per config, fanned across `threads` pool threads, with
+/// results in config order.
+std::vector<ps::RunResult> run_grid(const model::Workload& workload,
+                                    std::vector<ps::ClusterConfig> configs,
+                                    int warmup, int measured, int threads) {
+  std::vector<std::function<ps::RunResult()>> jobs;
+  jobs.reserve(configs.size());
+  for (auto& cfg : configs) {
+    jobs.push_back([&workload, cfg = std::move(cfg), warmup, measured] {
+      return run_once(workload, cfg, warmup, measured);
+    });
+  }
+  runner::ParallelExecutor executor(threads);
+  return executor.map(std::move(jobs));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"warmup", "2"}, {"measured", "8"}});
-  const int warmup = static_cast<int>(opts.integer("warmup"));
-  const int measured = static_cast<int>(opts.integer("measured"));
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/2,
+                           /*default_measured=*/8);
+  const int warmup = opts.measure().warmup;
+  const int measured = opts.measure().measured;
+  const int threads = opts.measure().threads;
 
   std::printf("== Extension: fault injection (ResNet-50, 4 workers, "
               "10 Gbps) ==\n\n");
   const auto workload = model::workload_resnet50();
-  const auto methods = {core::SyncMethod::kBaseline, core::SyncMethod::kP3};
+  const std::vector<core::SyncMethod> methods = {core::SyncMethod::kBaseline,
+                                                 core::SyncMethod::kP3};
 
   auto base_config = [](core::SyncMethod method) {
     ps::ClusterConfig cfg;
@@ -61,18 +84,28 @@ int main(int argc, char** argv) {
   // --- (a) uniform loss sweep ---
   const std::vector<double> loss_pct = {0.0, 0.1, 1.0, 5.0};
   {
-    std::vector<runner::Series> tput;
-    std::vector<runner::Series> overhead;
+    // Flatten (method x loss) into one job grid; unflatten below.
+    std::vector<ps::ClusterConfig> configs;
     for (auto method : methods) {
-      runner::Series t, o;
-      t.name = o.name = core::sync_method_name(method);
       for (double pct : loss_pct) {
         ps::ClusterConfig cfg = base_config(method);
         cfg.faults.drop_prob = pct / 100.0;
-        const auto r = run_once(workload, cfg, warmup, measured);
-        t.x.push_back(pct);
+        configs.push_back(cfg);
+      }
+    }
+    const auto results =
+        run_grid(workload, std::move(configs), warmup, measured, threads);
+
+    std::vector<runner::Series> tput;
+    std::vector<runner::Series> overhead;
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      runner::Series t, o;
+      t.name = o.name = core::sync_method_name(methods[m]);
+      for (std::size_t i = 0; i < loss_pct.size(); ++i) {
+        const auto& r = results[m * loss_pct.size() + i];
+        t.x.push_back(loss_pct[i]);
         t.y.push_back(r.throughput);
-        o.x.push_back(pct);
+        o.x.push_back(loss_pct[i]);
         o.y.push_back(wire_overhead(r));
       }
       tput.push_back(std::move(t));
@@ -90,10 +123,8 @@ int main(int argc, char** argv) {
   // starting mid-backward of the first measured iteration (t = 1 s) ---
   const std::vector<double> flap_ms = {0.0, 100.0, 250.0, 500.0};
   {
-    std::vector<runner::Series> tput;
+    std::vector<ps::ClusterConfig> configs;
     for (auto method : methods) {
-      runner::Series t;
-      t.name = core::sync_method_name(method);
       for (double d : flap_ms) {
         ps::ClusterConfig cfg = base_config(method);
         if (d > 0.0) {
@@ -101,9 +132,19 @@ int main(int argc, char** argv) {
           cfg.faults.flaps.push_back({1, -1, start, start + ms(d)});
           cfg.faults.flaps.push_back({-1, 1, start, start + ms(d)});
         }
-        const auto r = run_once(workload, cfg, 0, warmup + measured);
-        t.x.push_back(d);
-        t.y.push_back(r.throughput);
+        configs.push_back(cfg);
+      }
+    }
+    const auto results =
+        run_grid(workload, std::move(configs), 0, warmup + measured, threads);
+
+    std::vector<runner::Series> tput;
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      runner::Series t;
+      t.name = core::sync_method_name(methods[m]);
+      for (std::size_t i = 0; i < flap_ms.size(); ++i) {
+        t.x.push_back(flap_ms[i]);
+        t.y.push_back(results[m * flap_ms.size() + i].throughput);
       }
       tput.push_back(std::move(t));
     }

@@ -65,10 +65,9 @@ void run_model(const char* title, const model::Workload& workload,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"warmup", "3"}, {"measured", "8"}});
-  runner::MeasureOptions m;
-  m.warmup = static_cast<int>(opts.integer("warmup"));
-  m.measured = static_cast<int>(opts.integer("measured"));
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/3,
+                           /*default_measured=*/8);
+  const runner::MeasureOptions& m = opts.measure();
 
   std::printf("== Extension: shared cluster with a foreign tenant ==\n\n");
   // Fabrics sized so each model is near its scaling knee when idle.

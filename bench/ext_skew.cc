@@ -6,11 +6,16 @@
 // Transformer). For comparability each model is measured at the bandwidth
 // where its communication/computation ratio is ~1 (the knee where
 // scheduling matters most): bw = wire_bytes_per_iter * 8 / compute_time.
+// Every (model, method) cell is an independent cluster and fans across the
+// ParallelExecutor (--threads).
 #include <cstdio>
+#include <functional>
+#include <utility>
+#include <vector>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "model/zoo.h"
-#include "runner/experiment.h"
 
 namespace {
 
@@ -28,13 +33,14 @@ double knee_bandwidth_gbps(const model::Workload& w, int workers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOptions bopts(argc, argv, /*default_warmup=*/3,
+                            /*default_measured=*/8);
+  const runner::MeasureOptions& opts = bopts.measure();
+
   std::printf("== Extension: P3 gain vs parameter skew (4 workers, "
               "comm/compute ~ 1) ==\n\n");
 
-  struct Entry {
-    model::Workload workload;
-  };
   std::vector<model::Workload> workloads = {
       model::workload_resnet50(),
       model::workload_inception_v3(),
@@ -44,25 +50,34 @@ int main() {
       model::Workload{model::alexnet(), 8, 0.180},  // fast conv trunk
   };
 
-  runner::MeasureOptions opts;
-  opts.warmup = 3;
-  opts.measured = 8;
+  // Flatten to a (model x method) job grid: baseline at 2i, P3 at 2i+1.
+  std::vector<double> knees;
+  std::vector<std::function<double()>> jobs;
+  for (const auto& w : workloads) {
+    const double bw = knee_bandwidth_gbps(w, 4);
+    knees.push_back(bw);
+    for (auto method : {core::SyncMethod::kBaseline, core::SyncMethod::kP3}) {
+      ps::ClusterConfig cfg;
+      cfg.n_workers = 4;
+      cfg.bandwidth = gbps(bw);
+      cfg.rx_bandwidth = gbps(100);
+      cfg.method = method;
+      jobs.push_back(
+          [&w, cfg, &opts] { return runner::measure_throughput(w, cfg, opts); });
+    }
+  }
+  runner::ParallelExecutor executor(opts.threads);
+  const auto values = executor.map(std::move(jobs));
 
   Table table({"model", "heaviest layer", "knee bw", "Baseline", "P3",
                "P3 gain"});
-  for (const auto& w : workloads) {
-    const double bw = knee_bandwidth_gbps(w, 4);
-    ps::ClusterConfig cfg;
-    cfg.n_workers = 4;
-    cfg.bandwidth = gbps(bw);
-    cfg.rx_bandwidth = gbps(100);
-    cfg.method = core::SyncMethod::kBaseline;
-    const double base = runner::measure_throughput(w, cfg, opts);
-    cfg.method = core::SyncMethod::kP3;
-    const double p3 = runner::measure_throughput(w, cfg, opts);
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto& w = workloads[i];
+    const double base = values[2 * i];
+    const double p3 = values[2 * i + 1];
     table.add_row({w.model.name,
                    Table::num(100.0 * w.model.heaviest_fraction(), 1) + "%",
-                   Table::num(bw, 1) + " Gbps", Table::num(base, 1),
+                   Table::num(knees[i], 1) + " Gbps", Table::num(base, 1),
                    Table::num(p3, 1),
                    Table::num(100.0 * (p3 / base - 1.0), 1) + "%"});
   }

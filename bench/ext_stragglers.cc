@@ -24,10 +24,9 @@ using namespace p3;
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"warmup", "3"}, {"measured", "10"}});
-  runner::MeasureOptions m;
-  m.warmup = static_cast<int>(opts.integer("warmup"));
-  m.measured = static_cast<int>(opts.integer("measured"));
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/3,
+                           /*default_measured=*/10);
+  const runner::MeasureOptions& m = opts.measure();
 
   std::printf("== Extension: straggler sensitivity (Sockeye, 4 workers) ==\n\n");
   const auto workload = model::workload_sockeye();

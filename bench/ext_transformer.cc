@@ -21,10 +21,9 @@ using namespace p3;
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"warmup", "3"}, {"measured", "8"}});
-  runner::MeasureOptions m;
-  m.warmup = static_cast<int>(opts.integer("warmup"));
-  m.measured = static_cast<int>(opts.integer("measured"));
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/3,
+                           /*default_measured=*/8);
+  const runner::MeasureOptions& m = opts.measure();
 
   const auto workload = model::workload_transformer();
   std::printf("== Extension: Transformer-base NMT (%.1fM params, heaviest "

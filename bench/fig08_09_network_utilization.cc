@@ -31,16 +31,13 @@ void sparkline(const char* label, const std::vector<double>& series,
 
 void run_case(const char* title, const model::Workload& workload,
               double bandwidth_gbps, core::SyncMethod method,
-              const char* csv_path) {
+              const char* csv_path, const runner::MeasureOptions& opts) {
   ps::ClusterConfig cfg;
   cfg.n_workers = 4;
   cfg.method = method;
   cfg.bandwidth = gbps(bandwidth_gbps);
   cfg.rx_bandwidth = gbps(100);
 
-  runner::MeasureOptions opts;
-  opts.warmup = 3;
-  opts.measured = 6;
   const auto trace = runner::utilization_trace(workload, cfg, 0, opts);
 
   CsvWriter csv(bench::out(csv_path), {"time_10ms", "outbound_gbps", "inbound_gbps"});
@@ -66,24 +63,28 @@ void run_case(const char* title, const model::Workload& workload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/3,
+                           /*default_measured=*/6);
+  const runner::MeasureOptions& m = opts.measure();
+
   std::printf("== Figures 8/9: network utilization, baseline vs P3 ==\n\n");
   const auto resnet = model::workload_resnet50();
   const auto vgg = model::workload_vgg19();
   const auto sockeye = model::workload_sockeye();
 
   run_case("Fig 8(a) ResNet-50", resnet, 4, core::SyncMethod::kBaseline,
-           "fig08_resnet50_baseline.csv");
+           "fig08_resnet50_baseline.csv", m);
   run_case("Fig 9(a) ResNet-50", resnet, 4, core::SyncMethod::kP3,
-           "fig09_resnet50_p3.csv");
+           "fig09_resnet50_p3.csv", m);
   run_case("Fig 8(b) VGG-19", vgg, 15, core::SyncMethod::kBaseline,
-           "fig08_vgg19_baseline.csv");
+           "fig08_vgg19_baseline.csv", m);
   run_case("Fig 9(b) VGG-19", vgg, 15, core::SyncMethod::kP3,
-           "fig09_vgg19_p3.csv");
+           "fig09_vgg19_p3.csv", m);
   run_case("Fig 8(c) Sockeye", sockeye, 4, core::SyncMethod::kBaseline,
-           "fig08_sockeye_baseline.csv");
+           "fig08_sockeye_baseline.csv", m);
   run_case("Fig 9(c) Sockeye", sockeye, 4, core::SyncMethod::kP3,
-           "fig09_sockeye_p3.csv");
+           "fig09_sockeye_p3.csv", m);
 
   std::printf("paper: baseline shows bursty peaks and dominant idle time "
               "(esp. VGG/Sockeye);\n       P3 reduces idle time and "

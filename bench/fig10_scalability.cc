@@ -36,10 +36,9 @@ void run_model(const char* title, model::Workload workload,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"warmup", "3"}, {"measured", "10"}});
-  runner::MeasureOptions m;
-  m.warmup = static_cast<int>(opts.integer("warmup"));
-  m.measured = static_cast<int>(opts.integer("measured"));
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/3,
+                           /*default_measured=*/10);
+  const runner::MeasureOptions& m = opts.measure();
 
   std::printf("== Figure 10: scalability at 10 Gbps (AWS-style) ==\n\n");
   run_model("Fig 10(a) ResNet-50", model::workload_resnet50(), 0.0,

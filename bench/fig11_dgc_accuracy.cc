@@ -69,9 +69,15 @@ Band run_mode(const train::Dataset& data, AggregationMode mode, int epochs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"epochs", "160"}, {"record-from", "100"}});
-  const int epochs = static_cast<int>(opts.integer("epochs"));
-  const int record_from = static_cast<int>(opts.integer("record-from"));
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/0,
+                           /*default_measured=*/0,
+                           {{"epochs", "160"}, {"record-from", "100"}});
+  int epochs = static_cast<int>(opts.raw().integer("epochs"));
+  int record_from = static_cast<int>(opts.raw().integer("record-from"));
+  if (opts.smoke()) {
+    epochs = std::min(epochs, 12);
+    record_from = std::min(record_from, epochs / 2);
+  }
 
   std::printf("== Figure 11: P3 vs DGC validation accuracy ==\n");
   std::printf("(substitute task: MLP on 10-class Gaussian mixture; 5 "

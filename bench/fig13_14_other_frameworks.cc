@@ -32,16 +32,13 @@ void sparkline(const char* label, const std::vector<double>& series,
 
 void run_case(const char* title, const model::Workload& workload,
               double bandwidth_gbps, core::SyncMethod method,
-              const char* csv_path) {
+              const char* csv_path, const runner::MeasureOptions& opts) {
   ps::ClusterConfig cfg;
   cfg.n_workers = 4;
   cfg.method = method;
   cfg.bandwidth = gbps(bandwidth_gbps);
   cfg.rx_bandwidth = gbps(100);
 
-  runner::MeasureOptions opts;
-  opts.warmup = 3;
-  opts.measured = 6;
   const auto trace = runner::utilization_trace(workload, cfg, 0, opts);
 
   CsvWriter csv(bench::out(csv_path), {"time_10ms", "outbound_gbps", "inbound_gbps"});
@@ -64,13 +61,17 @@ void run_case(const char* title, const model::Workload& workload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/3,
+                           /*default_measured=*/6);
+  const runner::MeasureOptions& m = opts.measure();
+
   std::printf("== Figures 13/14: other frameworks' network utilization ==\n\n");
   run_case("Fig 13 TensorFlow-style, ResNet-50", model::workload_resnet50(),
-           4, core::SyncMethod::kTensorFlowStyle, "fig13_tensorflow.csv");
+           4, core::SyncMethod::kTensorFlowStyle, "fig13_tensorflow.csv", m);
   run_case("Fig 14 Poseidon (WFBP), InceptionV3",
            model::workload_inception_v3(), 1, core::SyncMethod::kPoseidonWFBP,
-           "fig14_poseidon.csv");
+           "fig14_poseidon.csv", m);
   std::printf("paper: similar to MXNet, these frameworks also utilize the "
               "network poorly under bandwidth constraints\n");
   return 0;

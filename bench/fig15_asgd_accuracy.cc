@@ -101,8 +101,10 @@ double time_to_accuracy(const Curve& c, double target) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"epochs", "100"}});
-  const int epochs = static_cast<int>(opts.integer("epochs"));
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/0,
+                           /*default_measured=*/0, {{"epochs", "100"}});
+  const int epochs =
+      opts.smoke() ? 10 : static_cast<int>(opts.raw().integer("epochs"));
 
   std::printf("== Figure 15: ASGD vs P3, accuracy over time ==\n\n");
   const auto times = simulate_iteration_times();

@@ -97,11 +97,25 @@ TimeS Network::post(Message m) {
     }
   }
 
-  sim_->schedule_at(deliver_at, [this, m = std::move(m)] {
-    ++delivered_;
-    inbox(m.dst).push(m);
-  });
+  sim_->schedule_at(deliver_at, DeliverFn{this, acquire(std::move(m))});
   return tx_end;
+}
+
+Message* Network::acquire(Message&& m) {
+  if (free_.empty()) {
+    pool_.push_back(std::move(m));
+    return &pool_.back();
+  }
+  Message* slot = free_.back();
+  free_.pop_back();
+  *slot = std::move(m);
+  return slot;
+}
+
+void Network::deliver(Message* msg) {
+  ++delivered_;
+  inbox(msg->dst).push(*msg);
+  free_.push_back(msg);
 }
 
 void Network::set_node_rate(int node, BitsPerSec tx_rate,

@@ -19,6 +19,7 @@
 // throttling mid-experiment (Section 5.3 uses this to sweep bandwidth).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -106,10 +107,26 @@ class Network {
     TimeS loop_free = 0.0;
   };
 
+  /// Delivery event on the transfer hot path: 16 bytes, fits EventFn's
+  /// inline buffer (capturing the 80-byte Message directly would force a
+  /// heap allocation per in-flight message).
+  struct DeliverFn {
+    Network* net;
+    Message* msg;
+    void operator()() const { net->deliver(msg); }
+  };
+
+  /// Park `m` in the in-flight pool (pointers stable, slots recycled after
+  /// delivery — sustained traffic does no per-message allocation).
+  Message* acquire(Message&& m);
+  void deliver(Message* msg);
+
   sim::Simulator* sim_;
   NetworkConfig config_;
   std::vector<Nic> nics_;
   std::vector<std::unique_ptr<sim::Queue<Message>>> inboxes_;
+  std::deque<Message> pool_;     ///< in-flight message slots
+  std::vector<Message*> free_;   ///< recycled pool slots
   UtilizationMonitor* monitor_ = nullptr;
   trace::Timeline* timeline_ = nullptr;
   FaultInjector* faults_ = nullptr;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
+
+#include "runner/parallel.h"
 
 namespace p3::runner {
 
@@ -13,21 +16,51 @@ double measure_throughput(const model::Workload& workload,
   return c.run(opts.warmup, opts.measured).throughput;
 }
 
+namespace {
+
+/// Fan the (method x grid-point) job list across the executor. Each job
+/// owns a private config copy, so points are independent; submission order
+/// makes the flattened result vector deterministic at any thread count.
+std::vector<double> measure_grid(
+    const model::Workload& workload,
+    std::vector<ps::ClusterConfig> configs,
+    const MeasureOptions& opts) {
+  std::vector<std::function<double()>> jobs;
+  jobs.reserve(configs.size());
+  for (auto& cfg : configs) {
+    jobs.push_back([workload, cfg = std::move(cfg), opts] {
+      return measure_throughput(workload, cfg, opts);
+    });
+  }
+  ParallelExecutor executor(opts.threads);
+  return executor.map(std::move(jobs));
+}
+
+}  // namespace
+
 std::vector<Series> bandwidth_sweep(const model::Workload& workload,
                                     ps::ClusterConfig base,
                                     const std::vector<core::SyncMethod>& methods,
                                     const std::vector<double>& bandwidths_gbps,
                                     const MeasureOptions& opts) {
-  std::vector<Series> out;
+  std::vector<ps::ClusterConfig> configs;
   for (auto method : methods) {
-    Series s;
-    s.name = core::sync_method_name(method);
     for (double bw : bandwidths_gbps) {
       base.method = method;
       base.bandwidth = gbps(bw);
-      s.x.push_back(bw);
-      s.y.push_back(measure_throughput(workload, base, opts));
+      configs.push_back(base);
     }
+  }
+  const std::vector<double> ys = measure_grid(workload, std::move(configs), opts);
+
+  std::vector<Series> out;
+  const std::size_t nx = bandwidths_gbps.size();
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    Series s;
+    s.name = core::sync_method_name(methods[m]);
+    s.x = bandwidths_gbps;
+    s.y.assign(ys.begin() + static_cast<std::ptrdiff_t>(m * nx),
+               ys.begin() + static_cast<std::ptrdiff_t>((m + 1) * nx));
     out.push_back(std::move(s));
   }
   return out;
@@ -38,16 +71,24 @@ std::vector<Series> scalability_sweep(const model::Workload& workload,
                                       const std::vector<core::SyncMethod>& methods,
                                       const std::vector<int>& cluster_sizes,
                                       const MeasureOptions& opts) {
-  std::vector<Series> out;
+  std::vector<ps::ClusterConfig> configs;
   for (auto method : methods) {
-    Series s;
-    s.name = core::sync_method_name(method);
     for (int n : cluster_sizes) {
       base.method = method;
       base.n_workers = n;
-      s.x.push_back(static_cast<double>(n));
-      s.y.push_back(measure_throughput(workload, base, opts));
+      configs.push_back(base);
     }
+  }
+  const std::vector<double> ys = measure_grid(workload, std::move(configs), opts);
+
+  std::vector<Series> out;
+  const std::size_t nx = cluster_sizes.size();
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    Series s;
+    s.name = core::sync_method_name(methods[m]);
+    for (int n : cluster_sizes) s.x.push_back(static_cast<double>(n));
+    s.y.assign(ys.begin() + static_cast<std::ptrdiff_t>(m * nx),
+               ys.begin() + static_cast<std::ptrdiff_t>((m + 1) * nx));
     out.push_back(std::move(s));
   }
   return out;
@@ -57,14 +98,16 @@ Series slice_size_sweep(const model::Workload& workload,
                         ps::ClusterConfig base,
                         const std::vector<std::int64_t>& slice_sizes,
                         const MeasureOptions& opts) {
-  Series s;
-  s.name = "P3";
   base.method = core::SyncMethod::kP3;
+  std::vector<ps::ClusterConfig> configs;
   for (auto size : slice_sizes) {
     base.slice_params = size;
-    s.x.push_back(static_cast<double>(size));
-    s.y.push_back(measure_throughput(workload, base, opts));
+    configs.push_back(base);
   }
+  Series s;
+  s.name = "P3";
+  for (auto size : slice_sizes) s.x.push_back(static_cast<double>(size));
+  s.y = measure_grid(workload, std::move(configs), opts);
   return s;
 }
 
@@ -141,12 +184,18 @@ double max_speedup(const Series& baseline, const Series& improved) {
   if (baseline.x != improved.x) {
     throw std::invalid_argument("series x-axes do not match");
   }
+  if (baseline.y.size() != baseline.x.size() ||
+      improved.y.size() != improved.x.size()) {
+    // A y/x length mismatch would silently misalign points (or read out of
+    // bounds) if we only compared the x grids.
+    throw std::invalid_argument("series y length does not match its x grid");
+  }
   double best = 0.0;
   for (std::size_t i = 0; i < baseline.y.size(); ++i) {
-    if (baseline.y[i] <= 0.0) continue;
+    if (baseline.y[i] <= 0.0) continue;  // no division by zero
     best = std::max(best, improved.y[i] / baseline.y[i] - 1.0);
   }
-  return best;
+  return best;  // 0.0 for empty series or an all-zero baseline
 }
 
 }  // namespace p3::runner

@@ -23,6 +23,12 @@ struct Series {
 struct MeasureOptions {
   int warmup = 3;
   int measured = 12;
+  /// Sweep-point fan-out: 1 = serial in the calling thread (default),
+  /// 0 = one pool thread per hardware core, N = exactly N pool threads.
+  /// Every sweep point owns a private Simulator/Cluster and results are
+  /// collected in submission order, so output is bit-identical at any
+  /// setting (tests/runner_parallel_test.cc enforces this).
+  int threads = 1;
 };
 
 /// Throughput (samples/s across the cluster) of one configuration.

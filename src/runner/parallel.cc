@@ -1,0 +1,57 @@
+#include "runner/parallel.h"
+
+#include <cstdlib>
+
+namespace p3::runner {
+
+int default_threads() {
+  if (const char* env = std::getenv("P3_THREADS"); env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ParallelExecutor::ParallelExecutor(int threads)
+    : n_threads_(threads <= 0 ? default_threads() : threads) {
+  if (n_threads_ <= 1) return;  // inline mode, no pool
+  workers_.reserve(static_cast<std::size_t>(n_threads_));
+  for (int i = 0; i < n_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    queue_.clear();  // abandoned jobs (e.g. after a map() exception)
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelExecutor::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ParallelExecutor::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to steal
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // packaged_task: exceptions land in the caller's future
+  }
+}
+
+}  // namespace p3::runner

@@ -1,0 +1,80 @@
+// Parallel experiment executor.
+//
+// The paper's evaluation is an embarrassingly parallel grid of independent
+// simulations (bandwidth x cluster size x slice size x method); every sweep
+// point owns a private `Simulator`/`Cluster`, so fanning points across
+// hardware threads changes wall-clock only, never results.
+//
+// `ParallelExecutor` is a small thread pool with a shared work queue (idle
+// workers steal the next unclaimed job) and *submission-ordered* result
+// collection: `map()` returns results indexed exactly like its input, and
+// job exceptions are rethrown deterministically in submission order — so a
+// parallel sweep is bit-identical to a serial one at any thread count.
+//
+// Determinism contract: jobs must not share mutable state (the library has
+// no mutable globals; each job builds its own simulation world).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p3::runner {
+
+/// Thread count that `threads <= 0` resolves to: the `P3_THREADS`
+/// environment variable if set to a positive integer, else the number of
+/// hardware threads (at least 1).
+int default_threads();
+
+class ParallelExecutor {
+ public:
+  /// threads <= 0: default_threads(); 1: run jobs inline in the calling
+  /// thread (no pool); >= 2: that many pool threads.
+  explicit ParallelExecutor(int threads = 0);
+  ~ParallelExecutor();
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  int threads() const { return n_threads_; }
+
+  /// Run every job and return their results in submission order. The first
+  /// (by submission index) job exception is rethrown after all jobs finish
+  /// or are abandoned.
+  template <typename T>
+  std::vector<T> map(std::vector<std::function<T()>> jobs) {
+    std::vector<T> out;
+    out.reserve(jobs.size());
+    if (n_threads_ <= 1 || jobs.size() <= 1) {
+      for (auto& job : jobs) out.push_back(job());
+      return out;
+    }
+    std::vector<std::future<T>> futures;
+    futures.reserve(jobs.size());
+    for (auto& job : jobs) {
+      auto task =
+          std::make_shared<std::packaged_task<T()>>(std::move(job));
+      futures.push_back(task->get_future());
+      submit([task] { (*task)(); });
+    }
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  }
+
+ private:
+  void submit(std::function<void()> job);
+  void worker_loop();
+
+  int n_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace p3::runner

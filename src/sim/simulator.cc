@@ -1,8 +1,14 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace p3::sim {
+
+// The event queue is a 4-ary min-heap over trivially copyable entries:
+// half the depth of a binary heap, sift moves that compile to plain
+// stores, and the four children of a node share a cache line.
 
 Simulator::~Simulator() {
   // Destroy any processes still suspended (e.g. servers blocked on their
@@ -12,13 +18,62 @@ Simulator::~Simulator() {
   }
 }
 
-void Simulator::schedule(TimeS dt, std::function<void()> fn) {
-  if (dt < 0.0) throw std::invalid_argument("negative event delay");
-  events_.push(Event{now_ + dt, next_seq_++, std::move(fn)});
+std::uint32_t Simulator::acquire_slot() {
+  if (free_slots_.empty()) {
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
 }
 
-void Simulator::schedule_at(TimeS t, std::function<void()> fn) {
-  schedule(t > now_ ? t - now_ : 0.0, std::move(fn));
+void Simulator::enqueue(TimeS t, std::uint32_t slot) {
+  const Entry e{t, next_seq_++, slot};
+  if (dispatching_ && t == now_) {
+    // Same-time event scheduled from inside the open batch: its seq exceeds
+    // every event already in the batch and the heap holds nothing at this
+    // time, so appending preserves FIFO tie order and skips the heap.
+    batch_.push_back(e);
+    return;
+  }
+  heap_push(e);
+}
+
+void Simulator::heap_push(const Entry& e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+Simulator::Entry Simulator::heap_pop() {
+  const Entry top = heap_.front();
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
 }
 
 void Simulator::spawn(Task task) {
@@ -28,26 +83,61 @@ void Simulator::spawn(Task task) {
   if (tasks_.size() % 64 == 0) reap_tasks();
 }
 
-bool Simulator::step() {
-  if (events_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
-  // copy the small struct instead (std::function copy).
-  Event ev = events_.top();
-  events_.pop();
-  now_ = ev.time;
+void Simulator::run_entry(const Entry& e) {
   ++executed_;
-  ev.fn();
+  // Move the callback out before invoking: the callback may schedule new
+  // events and reallocate the slab.
+  EventFn fn = std::move(slots_[e.slot]);
+  free_slots_.push_back(e.slot);
+  fn();
+}
+
+bool Simulator::step() {
+  if (heap_.empty()) return false;
+  const Entry e = heap_pop();
+  now_ = e.time;
+  run_entry(e);
+  return true;
+}
+
+bool Simulator::dispatch_batch() {
+  if (heap_.empty()) return false;
+  const TimeS t = heap_.front().time;
+  batch_.clear();
+  while (!heap_.empty() && heap_.front().time == t) {
+    batch_.push_back(heap_pop());
+  }
+  now_ = t;
+  dispatching_ = true;
+  // batch_ may grow while we iterate: same-time events scheduled by a batch
+  // member append behind it (see enqueue()). Index, don't iterate.
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    try {
+      run_entry(batch_[i]);
+    } catch (...) {
+      // Keep the queue consistent: the unexecuted remainder of the batch
+      // goes back on the heap so a caller that catches can keep running.
+      for (std::size_t j = i + 1; j < batch_.size(); ++j) {
+        heap_push(batch_[j]);
+      }
+      batch_.clear();
+      dispatching_ = false;
+      throw;
+    }
+  }
+  batch_.clear();
+  dispatching_ = false;
   return true;
 }
 
 void Simulator::run() {
-  while (step()) {
+  while (dispatch_batch()) {
   }
   reap_tasks();
 }
 
 TimeS Simulator::run_until(TimeS t) {
-  while (!events_.empty() && events_.top().time <= t) step();
+  while (!heap_.empty() && heap_.front().time <= t) dispatch_batch();
   if (now_ < t) now_ = t;
   reap_tasks();
   return now_;

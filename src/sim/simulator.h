@@ -4,15 +4,33 @@
 // which makes every experiment bit-reproducible. Coroutine processes
 // (`sim::Task`) are spawned onto the simulator and suspend via awaitables
 // (`sleep`, and the synchronization primitives in sync.h / queue.h).
+//
+// Hot-path design (the simulator is itself a measured artifact, see
+// bench/perf_smoke and BENCH_perf.json):
+//   * callbacks are `EventFn` — small-buffer-optimized with a dedicated
+//     coroutine-handle representation, so steady-state scheduling does no
+//     heap allocation (see event.h);
+//   * the priority queue holds 24-byte POD entries (time, seq, slot); the
+//     callback itself sits in a recycled slab and never moves during heap
+//     sifts, so each event costs exactly two EventFn moves (in and out)
+//     however deep the queue gets;
+//   * `run()` dispatches same-time events as one batch: zero-delay events
+//     scheduled *during* the batch (queue wakeups, resume_soon — the
+//     dominant pattern) append straight to the batch and never touch the
+//     heap. FIFO tie order is preserved because an appended event's
+//     sequence number exceeds every event already in the batch, and the
+//     heap holds no events at the batch time while one is open.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/event.h"
 #include "sim/task.h"
 
 namespace p3::sim {
@@ -27,11 +45,27 @@ class Simulator {
   /// Current simulated time in seconds.
   TimeS now() const { return now_; }
 
-  /// Schedule `fn` to run `dt` seconds from now (dt >= 0).
-  void schedule(TimeS dt, std::function<void()> fn);
+  /// Schedule `fn` to run `dt` seconds from now (dt >= 0). The callable is
+  /// constructed directly into its slab slot — no temporary EventFn.
+  template <typename F>
+  void schedule(TimeS dt, F&& fn) {
+    if (dt < 0.0) throw std::invalid_argument("negative event delay");
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot] = std::forward<F>(fn);
+    enqueue(now_ + dt, slot);
+  }
 
-  /// Schedule `fn` at absolute time `t` (>= now()).
-  void schedule_at(TimeS t, std::function<void()> fn);
+  /// Schedule `fn` at absolute time `t`; a past `t` clamps to now() (the
+  /// event runs after already-queued same-time events, in FIFO tie order).
+  template <typename F>
+  void schedule_at(TimeS t, F&& fn) {
+    schedule(t > now_ ? t - now_ : 0.0, std::forward<F>(fn));
+  }
+
+  /// Fast path: resume coroutine `h` after `dt` seconds.
+  void schedule_resume(TimeS dt, std::coroutine_handle<> h) {
+    schedule(dt, h);
+  }
 
   /// Adopt and start a coroutine process.
   void spawn(Task task);
@@ -43,18 +77,19 @@ class Simulator {
   void run();
 
   /// Run until the queue drains or simulated time reaches `t`.
-  /// Returns the final simulated time.
+  /// Events at exactly `t` run (the whole tie-time batch); events after `t`
+  /// stay queued. Returns the final simulated time.
   TimeS run_until(TimeS t);
 
   /// Run until `done` returns true (checked after every event) or the queue
   /// drains. Returns true if the predicate fired.
   bool run_while(const std::function<bool()>& done);
 
-  /// Number of events executed so far.
+  /// Number of events executed so far (each batched event counts once).
   std::uint64_t events_executed() const { return executed_; }
 
   /// True if no events are pending.
-  bool idle() const { return events_.empty(); }
+  bool idle() const { return heap_.empty() && !dispatching_; }
 
   /// Awaitable: suspend the current task for `dt` simulated seconds.
   /// A zero delay still yields to other events scheduled at the same time.
@@ -64,7 +99,7 @@ class Simulator {
       TimeS dt;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        sim->schedule(dt, [h] { h.resume(); });
+        sim->schedule_resume(dt, h);
       }
       void await_resume() const noexcept {}
     };
@@ -76,29 +111,42 @@ class Simulator {
   auto sleep_until(TimeS t) { return sleep(t > now_ ? t - now_ : 0.0); }
 
   /// Resume `h` at current time, after already-queued same-time events.
-  void resume_soon(std::coroutine_handle<> h) {
-    schedule(0.0, [h] { h.resume(); });
-  }
+  void resume_soon(std::coroutine_handle<> h) { schedule_resume(0.0, h); }
 
  private:
-  struct Event {
+  /// Heap entry: trivially copyable so sift moves compile to plain stores.
+  /// `slot` indexes the callback slab.
+  struct Entry {
     TimeS time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// Strict total order on events: (time, seq) — seq values are unique.
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
 
+  std::uint32_t acquire_slot();
+  /// Heap-or-batch insert of a parked callback (non-template backend of
+  /// schedule()).
+  void enqueue(TimeS t, std::uint32_t slot);
+  void heap_push(const Entry& e);
+  Entry heap_pop();
+  void run_entry(const Entry& e);
+  /// Pop the earliest batch of tie-time events and run it (FIFO by seq).
+  /// Returns false if the queue was empty.
+  bool dispatch_batch();
   void reap_tasks();
 
   TimeS now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::vector<Entry> heap_;
+  std::vector<EventFn> slots_;            ///< parked callbacks
+  std::vector<std::uint32_t> free_slots_; ///< recycled slab indices
+  std::vector<Entry> batch_;  ///< reused dispatch buffer
+  bool dispatching_ = false;  ///< a batch at time now_ is being run
   std::vector<Task::Handle> tasks_;
 };
 

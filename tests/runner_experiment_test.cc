@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "model/zoo.h"
 
 namespace p3::runner {
@@ -149,6 +151,39 @@ TEST(MaxSpeedup, SkipsZeroBaseline) {
   Series base{"base", {1, 2}, {0.0, 10.0}};
   Series better{"p3", {1, 2}, {5.0, 11.0}};
   EXPECT_NEAR(max_speedup(base, better), 0.1, 1e-12);
+}
+
+TEST(MaxSpeedup, EmptySeriesYieldZero) {
+  Series a{"a", {}, {}};
+  Series b{"b", {}, {}};
+  EXPECT_EQ(max_speedup(a, b), 0.0);
+}
+
+TEST(MaxSpeedup, AllZeroBaselineYieldsZeroNotInf) {
+  Series base{"base", {1, 2}, {0.0, 0.0}};
+  Series better{"p3", {1, 2}, {5.0, 11.0}};
+  const double s = max_speedup(base, better);
+  EXPECT_EQ(s, 0.0);
+  EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(MaxSpeedup, NegativeBaselineIsSkippedLikeZero) {
+  Series base{"base", {1, 2}, {-3.0, 10.0}};
+  Series better{"p3", {1, 2}, {5.0, 12.0}};
+  EXPECT_NEAR(max_speedup(base, better), 0.2, 1e-12);
+}
+
+TEST(MaxSpeedup, BaselineYLengthMismatchThrows) {
+  // Same x grid, but the baseline lost a y point: comparing would misalign.
+  Series base{"base", {1, 2}, {10.0}};
+  Series better{"p3", {1, 2}, {11.0, 12.0}};
+  EXPECT_THROW(max_speedup(base, better), std::invalid_argument);
+}
+
+TEST(MaxSpeedup, ImprovedYLengthMismatchThrows) {
+  Series base{"base", {1, 2}, {10.0, 20.0}};
+  Series better{"p3", {1, 2}, {11.0}};
+  EXPECT_THROW(max_speedup(base, better), std::invalid_argument);
 }
 
 }  // namespace

@@ -101,6 +101,100 @@ TEST(Simulator, CountsExecutedEvents) {
   EXPECT_EQ(sim.events_executed(), 5u);
 }
 
+// --- batched same-time dispatch regressions ---
+
+TEST(Simulator, RunUntilRunsTheWholeTieTimeBatchAtTheBoundary) {
+  Simulator sim;
+  int at_five = 0;
+  int after = 0;
+  for (int i = 0; i < 4; ++i) sim.schedule(5.0, [&] { ++at_five; });
+  sim.schedule(5.0, [&] {
+    ++at_five;
+    // Zero-delay event scheduled from inside the boundary batch: it is
+    // part of time 5.0 and must also run before run_until returns.
+    sim.schedule(0.0, [&] { ++at_five; });
+  });
+  sim.schedule(5.0 + 1e-9, [&] { ++after; });
+  sim.run_until(5.0);
+  EXPECT_EQ(at_five, 6);
+  EXPECT_EQ(after, 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(after, 1);
+}
+
+TEST(Simulator, CountsEventsAppendedToAnOpenBatch) {
+  Simulator sim;
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule(1.0, [&] { sim.schedule(0.0, [] {}); });
+  }
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 6u);
+}
+
+TEST(Simulator, ZeroDelayChainsPreserveFifoOrderUnderStress) {
+  // 10k zero-delay events at the same timestamp, half scheduled up front
+  // and half appended from inside the running batch; (time, seq) order
+  // means strict FIFO either way.
+  Simulator sim;
+  std::vector<int> order;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    sim.schedule(0.0, [&order, &sim, i] {
+      order.push_back(i);
+      sim.schedule(0.0, [&order, i] { order.push_back(kN + i); });
+    });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 2u * kN);
+  for (int i = 0; i < 2 * kN; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(sim.events_executed(), 2u * kN);
+}
+
+TEST(Simulator, ScheduleAtPastDuringDispatchRunsAfterQueuedTies) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(2.0, [&] {
+    order.push_back(0);
+    sim.schedule_at(1.0, [&] { order.push_back(2); });  // past -> now, FIFO
+  });
+  sim.schedule(2.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, ThrowingEventLeavesRemainingBatchRunnable) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(1.0, [&] { ++ran; });
+  sim.schedule(1.0, [] { throw std::runtime_error("boom"); });
+  sim.schedule(1.0, [&] { ++ran; });
+  sim.schedule(2.0, [&] { ++ran; });
+  EXPECT_THROW(sim.run(), std::runtime_error);
+  EXPECT_EQ(ran, 1);       // only the event before the throw ran
+  EXPECT_FALSE(sim.idle());
+  sim.run();               // the re-queued remainder is still runnable
+  EXPECT_EQ(ran, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, LargeCallbacksFallBackToTheHeapCorrectly) {
+  // A capture bigger than EventFn's inline buffer must still run correctly
+  // (boxed path) and in order with inline-stored neighbours.
+  Simulator sim;
+  std::vector<int> order;
+  struct Big {
+    double pad[12];  // 96 bytes > kInlineBytes
+    std::vector<int>* order;
+    void operator()() const { order->push_back(1); }
+  };
+  sim.schedule(1.0, [&] { order.push_back(0); });
+  sim.schedule(1.0, Big{{}, &order});
+  sim.schedule(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 // --- coroutine task tests ---
 
 Task sleeper(Simulator& sim, TimeS dt, std::vector<TimeS>& wakeups) {
