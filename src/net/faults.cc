@@ -12,28 +12,50 @@ bool endpoint_matches(int pattern, int node) {
 
 }  // namespace
 
-FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t fallback_seed)
-    : plan_(std::move(plan)),
-      rng_(plan_.seed != 0 ? plan_.seed : fallback_seed) {
-  if (plan_.drop_prob < 0.0 || plan_.drop_prob > 1.0) {
+void FaultPlan::validate() const {
+  if (drop_prob < 0.0 || drop_prob > 1.0) {
     throw std::invalid_argument("drop probability outside [0, 1]");
   }
-  for (const auto& d : plan_.link_drops) {
+  for (const auto& d : link_drops) {
     if (d.probability < 0.0 || d.probability > 1.0) {
       throw std::invalid_argument("link drop probability outside [0, 1]");
     }
   }
-  for (const auto& d : plan_.degradations) {
+  for (const auto& f : flaps) {
+    if (f.start < 0.0) throw std::invalid_argument("negative flap start");
+    if (f.end < f.start) {
+      throw std::invalid_argument("inverted flap window (end before start)");
+    }
+  }
+  for (const auto& d : degradations) {
     if (d.bandwidth_factor <= 0.0 || d.bandwidth_factor > 1.0) {
       throw std::invalid_argument("degradation factor outside (0, 1]");
     }
     if (d.extra_latency < 0.0) {
       throw std::invalid_argument("negative degradation latency");
     }
+    if (d.start < 0.0) {
+      throw std::invalid_argument("negative degradation start");
+    }
+    if (d.end < d.start) {
+      throw std::invalid_argument(
+          "inverted degradation window (end before start)");
+    }
   }
-  for (const auto& p : plan_.pauses) {
+  for (const auto& p : pauses) {
+    if (p.start < 0.0) throw std::invalid_argument("negative pause start");
     if (p.duration < 0.0) throw std::invalid_argument("negative pause");
   }
+  for (const auto& c : crashes) {
+    if (c.node < 0) throw std::invalid_argument("crash without a victim node");
+    if (c.at < 0.0) throw std::invalid_argument("negative crash time");
+  }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t fallback_seed)
+    : plan_(std::move(plan)),
+      rng_(plan_.seed != 0 ? plan_.seed : fallback_seed) {
+  plan_.validate();
 }
 
 double FaultInjector::drop_probability(int src, int dst) const {
@@ -88,6 +110,23 @@ TimeS FaultInjector::extra_latency(int node, TimeS t) const {
     }
   }
   return extra;
+}
+
+bool FaultInjector::crashed(int node, TimeS t) const {
+  for (const auto& c : plan_.crashes) {
+    if (c.node == node && c.down_at(t)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::down_during(int node, TimeS t0, TimeS t1) const {
+  for (const auto& c : plan_.crashes) {
+    if (c.node != node) continue;
+    // Down window [at, restart) overlaps [t0, t1]?
+    if (c.at > t1) continue;
+    if (!c.restarts() || c.restart_time() > t0) return true;
+  }
+  return false;
 }
 
 TimeS FaultInjector::pause_release(int node, TimeS t) const {

@@ -58,6 +58,25 @@ struct NodePause {
   TimeS duration = 0.0;
 };
 
+/// Process death: the node crashes at `at`, losing all in-memory state and
+/// tearing down in-flight transfers (messages serializing to or from it die
+/// in the fabric). `restart_after >= 0` brings a fresh process up at
+/// `at + restart_after` (recovery is the protocol layer's job:
+/// checkpoint rehydration for servers, rejoin for workers);
+/// `restart_after < 0` means the node never returns.
+struct NodeCrash {
+  int node = -1;
+  TimeS at = 0.0;
+  TimeS restart_after = -1.0;
+
+  bool restarts() const { return restart_after >= 0.0; }
+  TimeS restart_time() const { return at + restart_after; }
+  /// True if the node is down at time `t`.
+  bool down_at(TimeS t) const {
+    return t >= at && (!restarts() || t < restart_time());
+  }
+};
+
 struct FaultPlan {
   /// Cluster-wide per-message drop probability (every remote link).
   double drop_prob = 0.0;
@@ -66,6 +85,7 @@ struct FaultPlan {
   std::vector<LinkFlap> flaps;
   std::vector<Degradation> degradations;
   std::vector<NodePause> pauses;
+  std::vector<NodeCrash> crashes;
   /// Seed for drop sampling; 0 = derive from the attaching cluster's seed.
   std::uint64_t seed = 0;
 
@@ -73,8 +93,16 @@ struct FaultPlan {
   /// ps::Cluster is armed exactly when this holds).
   bool active() const {
     return drop_prob > 0.0 || !link_drops.empty() || !flaps.empty() ||
-           !degradations.empty() || !pauses.empty();
+           !degradations.empty() || !pauses.empty() || !crashes.empty();
   }
+
+  /// Reject nonsense plans at attach time with a descriptive
+  /// std::invalid_argument instead of silently simulating garbage:
+  /// probabilities outside [0, 1], negative or inverted windows,
+  /// `bandwidth_factor` outside (0, 1], crashes with negative times or on
+  /// anonymous nodes. Wildcard (-1) endpoints stay legal everywhere except
+  /// `NodeCrash::node` (a crash must name its victim).
+  void validate() const;
 };
 
 class FaultInjector {
@@ -98,6 +126,13 @@ class FaultInjector {
 
   /// Earliest time >= `t` at which `node` is not paused.
   TimeS pause_release(int node, TimeS t) const;
+
+  /// True if a planned crash has `node` down at time `t`.
+  bool crashed(int node, TimeS t) const;
+
+  /// True if `node` is down at any point of [t0, t1] (a transfer whose RX
+  /// window overlaps a down window is torn down with the node).
+  bool down_during(int node, TimeS t0, TimeS t1) const;
 
   /// Messages this injector decided to drop.
   std::int64_t drops() const { return drops_; }

@@ -21,6 +21,14 @@ enum class MsgKind : std::uint8_t {
   kParams = 3,        ///< server -> worker: updated parameter payload
   kBackground = 4,    ///< foreign tenant traffic (dropped by the protocol)
   kAck = 5,           ///< reliability layer: per-message acknowledgement
+  // --- crash recovery / elastic membership (docs/PROTOCOL.md) ---
+  kHeartbeat = 6,     ///< node -> node: liveness beacon (fire-and-forget)
+  kReplicate = 7,     ///< primary -> backup: shard update propagation
+  kNewPrimary = 8,    ///< new primary -> all: leadership announcement
+  kJoinRequest = 9,   ///< restarted worker -> servers: rejoin + param sync
+  kSyncRequest = 10,  ///< restarted server -> group peers: state delta ask
+  kSyncData = 11,     ///< group leader -> restarted server: state delta
+  kRecheck = 12,      ///< internal server wakeup; never crosses the wire
 };
 
 struct Message {
@@ -41,6 +49,13 @@ struct Message {
   /// id so receivers can deduplicate. -1 = unreliable (fire-and-forget);
   /// for kAck it names the message being acknowledged.
   std::int64_t msg_id = -1;
+  /// Shard-state version this message carries or refers to: the parameter
+  /// version of a kParams/kReplicate/kSyncData payload, the requester's
+  /// checkpointed version in a kSyncRequest. -1 = versionless message.
+  /// Receivers deduplicate parameter payloads on this, which makes crash
+  /// recovery (re-pushes, failover re-sends, rejoin syncs) idempotent even
+  /// across distinct msg_ids.
+  std::int64_t version = -1;
 };
 
 /// Fixed per-message header overhead (ps-lite style key+meta).
@@ -49,5 +64,7 @@ constexpr Bytes kHeaderBytes = 64;
 constexpr Bytes kControlBytes = 256;
 /// Size of reliability acknowledgements (header only).
 constexpr Bytes kAckBytes = 64;
+/// Size of a heartbeat beacon (header only).
+constexpr Bytes kHeartbeatBytes = 64;
 
 }  // namespace p3::net

@@ -68,8 +68,12 @@ TimeS Network::post(Message m) {
                      message_label(m));
     }
 
-    if (faults_ != nullptr && faults_->should_drop(m, tx_start)) {
+    if (faults_ != nullptr &&
+        (faults_->should_drop(m, tx_start) || faults_->crashed(m.src, tx_start))) {
       // Lost in the fabric: the sender paid TX, the receiver never sees it.
+      // A crashed sender's NIC emits nothing, but retransmission timers
+      // armed before the crash can still try to post on its behalf — those
+      // bits die here too.
       ++dropped_;
       bytes_dropped_ += m.bytes;
       if (timeline_ != nullptr) {
@@ -85,6 +89,20 @@ TimeS Network::post(Message m) {
     }
     const TimeS rx_start = std::max(rx_earliest, dst.rx_free);
     const TimeS rx_end = rx_start + transfer_time(m.bytes, dst.rx_rate);
+
+    if (faults_ != nullptr && faults_->down_during(m.dst, rx_start, rx_end)) {
+      // The receiver is (or goes) down while this transfer would serialize
+      // on its NIC: the in-flight transfer is torn down with the process.
+      // The RX channel is not reserved — a dead NIC serves nobody.
+      ++dropped_;
+      bytes_dropped_ += m.bytes;
+      if (timeline_ != nullptr) {
+        timeline_->add("n" + std::to_string(m.dst) + ".drop", rx_start, rx_end,
+                       "x" + message_label(m));
+      }
+      return tx_end;
+    }
+
     dst.rx_free = rx_end;
     deliver_at = rx_end;
 
@@ -161,6 +179,21 @@ std::string message_label(const Message& m) {
     case MsgKind::kAck:
       prefix = "k";  // acknowledgement
       break;
+    case MsgKind::kHeartbeat:
+      return "hb";
+    case MsgKind::kReplicate:
+      prefix = "R";  // shard replication
+      break;
+    case MsgKind::kNewPrimary:
+      return "NP";
+    case MsgKind::kJoinRequest:
+      return "J";
+    case MsgKind::kSyncRequest:
+      return "sq";
+    case MsgKind::kSyncData:
+      return "sd";
+    case MsgKind::kRecheck:
+      return "rc";  // internal; never posted
   }
   return prefix + "L" + std::to_string(m.layer);
 }

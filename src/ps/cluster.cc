@@ -38,6 +38,27 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   if (cfg_.fixed_rto < 0.0) {
     throw std::invalid_argument("negative retransmission timeout");
   }
+  if (cfg_.max_rto < cfg_.min_rto) {
+    throw std::invalid_argument("retransmission ceiling below the floor");
+  }
+  if (cfg_.rto_jitter < 0.0 || cfg_.rto_jitter > 1.0) {
+    throw std::invalid_argument("retransmission jitter outside [0, 1]");
+  }
+  if (cfg_.replication < 1 || cfg_.replication > cfg_.n_workers) {
+    throw std::invalid_argument("replication factor outside [1, n_servers]");
+  }
+  if (cfg_.checkpoint_period < 0.0) {
+    throw std::invalid_argument("negative checkpoint period");
+  }
+  if (cfg_.checkpoint_bytes_per_sec <= 0.0) {
+    throw std::invalid_argument("non-positive checkpoint rate");
+  }
+  if (cfg_.rejoin_slack < 0) {
+    throw std::invalid_argument("negative rejoin slack");
+  }
+  if (cfg_.max_sim_time < 0.0) {
+    throw std::invalid_argument("negative simulation time limit");
+  }
 
   Rng placement_rng(cfg_.seed);
   partition_ =
@@ -64,6 +85,7 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   net_cfg.latency = cfg_.latency;
   net_ = std::make_unique<net::Network>(sim_, total_nodes(), net_cfg);
 
+  cfg_.faults.validate();
   if (cfg_.faults.active()) {
     faults_ = std::make_unique<net::FaultInjector>(
         cfg_.faults, cfg_.seed ^ 0xfa0175eedULL);
@@ -74,8 +96,18 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   // event sequence bit for bit.
   reliable_ = cfg_.faults.active() || cfg_.reliable_transport;
   seen_.resize(static_cast<std::size_t>(total_nodes()));
+  rto_rng_ = Rng(cfg_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // The membership plane (heartbeats, replication, failover, rejoin) arms
+  // exactly when a crash is planned, shards are replicated, or a test
+  // forces it — otherwise nothing new is spawned and runs stay
+  // bit-identical to the pre-membership engine.
+  membership_on_ = cfg_.force_membership || cfg_.replication > 1 ||
+                   !cfg_.faults.crashes.empty();
+  node_state_.resize(static_cast<std::size_t>(total_nodes()));
 
   const int layers = workload_.model.num_layers();
+  const auto n_slices = static_cast<std::size_t>(partition_.num_slices());
   for (int w = 0; w < cfg_.n_workers; ++w) {
     auto ws = std::make_unique<WorkerState>(sim_);
     ws->gates.reserve(static_cast<std::size_t>(layers));
@@ -85,14 +117,44 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
     ws->param_bytes.assign(static_cast<std::size_t>(layers), 0);
     ws->notify_count.assign(static_cast<std::size_t>(layers), 0);
     ws->rng = Rng(cfg_.seed + 1000003ULL * static_cast<std::uint64_t>(w + 1));
+    ws->recv_version.assign(n_slices, 0);  // 0 = initial weights in hand
+    ws->recv_bytes.assign(n_slices, 0);
+    ws->recv_inflight.assign(n_slices, -1);
+    ws->last_push_iter.assign(n_slices, -1);
+    if (membership_on_) {
+      ws->notify_version.assign(n_slices, -1);
+      ws->pulled_round.assign(static_cast<std::size_t>(layers), -1);
+    }
     workers_.push_back(std::move(ws));
 
     auto ss = std::make_unique<ServerState>(sim_);
-    const auto n_slices = static_cast<std::size_t>(partition_.num_slices());
     ss->round_bytes.assign(n_slices, 0);
     ss->version.assign(n_slices, 0);
     ss->pending.resize(n_slices);
+    if (membership_on_) {
+      ss->contrib.assign(n_slices,
+                         std::vector<Bytes>(
+                             static_cast<std::size_t>(cfg_.n_workers), 0));
+      ss->active_from.assign(
+          n_slices, std::vector<std::int64_t>(
+                        static_cast<std::size_t>(cfg_.n_workers), 0));
+      ss->sync_epoch.assign(n_slices, -1);
+    }
     servers_.push_back(std::move(ss));
+  }
+
+  if (membership_on_) {
+    MembershipConfig mcfg;
+    mcfg.n_nodes = total_nodes();
+    mcfg.heartbeat_period = cfg_.heartbeat_period;
+    mcfg.suspicion_timeout = cfg_.suspicion_timeout;
+    for (int n = 0; n < total_nodes(); ++n) {
+      membership_.push_back(std::make_unique<Membership>(mcfg, n));
+      leadership_.push_back(
+          std::make_unique<ShardLeadership>(n_servers(), cfg_.replication));
+    }
+    ckpt_versions_.assign(static_cast<std::size_t>(n_servers()),
+                          std::vector<std::int64_t>(n_slices, 0));
   }
 }
 
@@ -101,6 +163,12 @@ Cluster::~Cluster() = default;
 void Cluster::attach_timeline(trace::Timeline* timeline) {
   timeline_ = timeline;
   net_->attach_timeline(timeline);
+}
+
+void Cluster::mem_mark(int node, const char* label) {
+  if (timeline_ != nullptr) {
+    timeline_->add(lane("n", node, ".mem"), sim_.now(), sim_.now(), label);
+  }
 }
 
 Bytes Cluster::wire_payload(Bytes logical) const {
@@ -132,6 +200,26 @@ TimeS Cluster::initial_rto(const net::Message& m) const {
              transfer_time(m.bytes, cfg_.bandwidth);
 }
 
+bool Cluster::reachable(int node) const {
+  if (!membership_on_) return true;
+  const auto& ns = node_state_[static_cast<std::size_t>(node)];
+  if (ns.up) return true;
+  // Down but restarting: the retransmission layer bridges the outage.
+  return !permanently_down(node);
+}
+
+bool Cluster::permanently_down(int node) const {
+  const auto& ns = node_state_[static_cast<std::size_t>(node)];
+  if (ns.up) return false;
+  for (const auto& c : cfg_.faults.crashes) {
+    if (c.node == node && c.restarts() &&
+        c.restart_time() > ns.down_since) {
+      return false;  // a restart is still scheduled
+    }
+  }
+  return true;
+}
+
 void Cluster::arm_reliable(net::Message& m, int via_worker) {
   m.msg_id = next_msg_id_++;
   PendingTx pending;
@@ -142,6 +230,9 @@ void Cluster::arm_reliable(net::Message& m, int via_worker) {
 }
 
 void Cluster::schedule_retx_timer(std::int64_t msg_id, TimeS delay) {
+  if (cfg_.rto_jitter > 0.0) {
+    delay += delay * cfg_.rto_jitter * rto_rng_.uniform();
+  }
   sim_.schedule(delay, [this, msg_id] { on_retx_timeout(msg_id); });
 }
 
@@ -150,7 +241,9 @@ void Cluster::on_retx_timeout(std::int64_t msg_id) {
   if (it == pending_tx_.end()) return;  // acked; the timer is a no-op
   ++timeouts_fired_;
   PendingTx& pending = it->second;
-  pending.rto *= cfg_.rto_backoff;
+  // Exponential backoff to a bounded ceiling: a node down for seconds keeps
+  // being probed at max_rto rate instead of the timer doubling away.
+  pending.rto = std::min(pending.rto * cfg_.rto_backoff, cfg_.max_rto);
   if (pending.via_worker >= 0) {
     if (pending.queued) return;  // defensive: already awaiting the sender
     pending.queued = true;
@@ -177,7 +270,11 @@ void Cluster::on_retx_timeout(std::int64_t msg_id) {
 }
 
 bool Cluster::accept_reliable(int node, const net::Message& m) {
-  if (!reliable_ || m.msg_id < 0) return true;
+  // The sender decides: only tracked messages carry a msg_id, and every
+  // tracked message must be acked — commit_round arms kReplicate copies
+  // even when the loss-recovery layer itself is disarmed (fault-free runs
+  // with replication > 1 still need the commit barrier to come down).
+  if (m.msg_id < 0) return true;
   // Always ack, even duplicates: the previous ack may itself have been
   // dropped, and the sender keeps retransmitting until one gets through.
   net::Message ack;
@@ -199,6 +296,7 @@ bool Cluster::accept_reliable(int node, const net::Message& m) {
 }
 
 void Cluster::post_tracked(net::Message m) {
+  if (membership_on_ && !reachable(m.dst)) return;  // nobody to deliver to
   if (reliable_ && m.src != m.dst) {
     arm_reliable(m, -1);
     const TimeS rto = pending_tx_.at(m.msg_id).rto;
@@ -212,6 +310,7 @@ void Cluster::post_tracked(net::Message m) {
 void Cluster::enqueue_push(int w, std::int64_t slice, std::int64_t iteration) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
   const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
+  ws.last_push_iter[static_cast<std::size_t>(slice)] = iteration;
   Bytes remaining = sl.payload_bytes();
   // Fragment large shards (ps-lite serialization); each fragment is a
   // separate message, so priority preemption also works mid-layer.
@@ -228,6 +327,13 @@ void Cluster::enqueue_push(int w, std::int64_t slice, std::int64_t iteration) {
   }
 }
 
+int Cluster::slice_dst_node(int worker, std::int64_t slice) const {
+  const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
+  if (!membership_on_) return server_node(sl.server);
+  return server_node(
+      leadership_[static_cast<std::size_t>(worker)]->primary(sl.server));
+}
+
 void Cluster::enqueue_pull(int w, std::int64_t slice, std::int64_t iteration) {
   // Pull requests are tiny control messages; like TCP small packets they
   // interleave with bulk data rather than queueing behind it, so they are
@@ -235,7 +341,7 @@ void Cluster::enqueue_pull(int w, std::int64_t slice, std::int64_t iteration) {
   const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
   net::Message m;
   m.src = w;
-  m.dst = server_node(sl.server);
+  m.dst = slice_dst_node(w, slice);
   m.kind = net::MsgKind::kPullRequest;
   m.slice = slice;
   m.layer = sl.layer;
@@ -247,10 +353,12 @@ void Cluster::enqueue_pull(int w, std::int64_t slice, std::int64_t iteration) {
   ++pulls_sent_;
 }
 
-sim::Task Cluster::worker_loop(int w) {
+sim::Task Cluster::worker_loop(int w, std::int64_t start_iter) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
+  const auto wn = static_cast<std::size_t>(w);
+  const std::int64_t my_epoch = node_state_[wn].epoch;
   const int layers = workload_.model.num_layers();
-  for (std::int64_t iter = 0; iter < target_iterations_; ++iter) {
+  for (std::int64_t iter = start_iter; iter < target_iterations_; ++iter) {
     const double jitter = jitter_factor(ws);
     TimeS stall = 0.0;
     // --- forward propagation ---
@@ -258,10 +366,12 @@ sim::Task Cluster::worker_loop(int w) {
       if (!partition_.layer_slices[static_cast<std::size_t>(l)].empty()) {
         const TimeS wait_from = sim_.now();
         co_await ws.gates[static_cast<std::size_t>(l)]->wait_for(iter);
+        if (node_state_[wn].epoch != my_epoch) co_return;  // crashed
         stall += sim_.now() - wait_from;
       }
       const TimeS t0 = sim_.now();
       co_await sim_.sleep(profile_.fwd[static_cast<std::size_t>(l)] * jitter);
+      if (node_state_[wn].epoch != my_epoch) co_return;
       if (timeline_ != nullptr) {
         timeline_->add(lane("w", w, ".cmp"), t0, sim_.now(),
                        "F" + std::to_string(l + 1));
@@ -271,6 +381,7 @@ sim::Task Cluster::worker_loop(int w) {
     for (int l = layers - 1; l >= 0; --l) {
       const TimeS t0 = sim_.now();
       co_await sim_.sleep(profile_.bwd[static_cast<std::size_t>(l)] * jitter);
+      if (node_state_[wn].epoch != my_epoch) co_return;
       if (timeline_ != nullptr) {
         timeline_->add(lane("w", w, ".cmp"), t0, sim_.now(),
                        "B" + std::to_string(l + 1));
@@ -294,13 +405,18 @@ sim::Task Cluster::worker_loop(int w) {
     ws.iter_done.push_back(sim_.now());
     ws.iter_stall.push_back(stall);
   }
-  ++workers_finished_;
+  if (!ws.finished) {
+    ws.finished = true;
+    ++workers_finished_;
+  }
 }
 
 sim::Task Cluster::worker_sender(int w) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
+  const auto wn = static_cast<std::size_t>(w);
   for (;;) {
     SendItem item = co_await ws.sendq.pop();
+    if (membership_on_ && !node_state_[wn].up) continue;  // dead process
     if (item.retx_id >= 0) {
       // Retransmission: it competed in the priority queue at the original
       // slice priority, so urgent traffic still preempts it under loss.
@@ -325,7 +441,7 @@ sim::Task Cluster::worker_sender(int w) {
     const auto& sl = partition_.slices[static_cast<std::size_t>(item.slice)];
     net::Message m;
     m.src = w;
-    m.dst = server_node(sl.server);
+    m.dst = slice_dst_node(w, item.slice);  // current leader in w's view
     m.kind = item.kind;
     m.slice = item.slice;
     m.layer = sl.layer;
@@ -334,6 +450,7 @@ sim::Task Cluster::worker_sender(int w) {
     m.worker = w;
     m.logical = item.payload;
     m.bytes = wire_payload(item.payload) + net::kHeaderBytes;
+    if (membership_on_ && !reachable(m.dst)) continue;
     if (reliable_ && m.src != m.dst) arm_reliable(m, w);
     ++pushes_sent_;
     // Per-message CPU cost on the sender thread, then a blocking send: the
@@ -350,16 +467,40 @@ sim::Task Cluster::worker_sender(int w) {
   }
 }
 
+void Cluster::on_replicate_ack(std::int64_t msg_id) {
+  const auto it = replicate_wait_.find(msg_id);
+  if (it == replicate_wait_.end()) return;
+  const std::int64_t key = it->second;
+  replicate_wait_.erase(it);
+  const auto cit = commits_.find(key);
+  if (cit == commits_.end()) return;
+  CommitState& cs = cit->second;
+  if (--cs.outstanding > 0) return;
+  // Commit barrier down: every live backup holds the new state, so losing
+  // the primary can no longer roll the round back. Release to workers.
+  const CommitState done = cs;
+  commits_.erase(cit);
+  release_round(done.server, done.slice, done.round);
+}
+
 sim::Task Cluster::node_demux(int n) {
   // Colocated mode: node n hosts worker n and server n. Dedicated mode:
   // nodes [0, n_workers) host workers, [n_workers, 2*n_workers) servers.
-  const int server_idx = cfg_.dedicated_servers ? n - cfg_.n_workers : n;
+  const int server_idx = server_of_node(n);
+  const auto nn = static_cast<std::size_t>(n);
   for (;;) {
     net::Message m = co_await net_->inbox(n).pop();
+    if (membership_on_ && !node_state_[nn].up) continue;  // dead process
     if (m.kind == net::MsgKind::kAck) {
       // Delivery confirmed: retire the sender-side retransmission state
       // (any outstanding timer becomes a no-op).
       pending_tx_.erase(m.msg_id);
+      if (membership_on_) on_replicate_ack(m.msg_id);
+      continue;
+    }
+    if (m.kind == net::MsgKind::kHeartbeat) {
+      // Beacons are fire-and-forget and not protocol goodput.
+      membership_[nn]->record_heartbeat(m.src, m.iteration, sim_.now());
       continue;
     }
     if (m.kind != net::MsgKind::kBackground) {
@@ -384,10 +525,111 @@ sim::Task Cluster::node_demux(int n) {
       case net::MsgKind::kParams:
         worker_on_param(n, m);
         break;
+      case net::MsgKind::kReplicate: {
+        // Backup copy of a completed round: versioned state replacement,
+        // idempotent under retransmission (stale versions are no-ops).
+        if (server_idx < 0) throw std::logic_error("replica at worker node");
+        auto& ss = *servers_[static_cast<std::size_t>(server_idx)];
+        const auto si = static_cast<std::size_t>(m.slice);
+        if (m.version > ss.version[si]) ss.version[si] = m.version;
+        break;
+      }
+      case net::MsgKind::kNewPrimary: {
+        // m.slice = group, m.iteration = epoch, m.worker = primary server.
+        // One adoption per node: the leadership view is shared by every
+        // role the node hosts, so adopt once and, if the transition moved
+        // the view and the node hosts a worker, trigger its re-push.
+        const bool moved = leadership_[nn]->adopt(static_cast<int>(m.slice),
+                                                  m.iteration, m.worker);
+        if (moved && n < cfg_.n_workers) {
+          worker_repush_group(n, static_cast<int>(m.slice));
+        }
+        break;
+      }
+      case net::MsgKind::kJoinRequest: {
+        // A restarted worker asks to re-enter sync; every group this server
+        // currently leads replies with fresh params and a bounded-staleness
+        // expectation window.
+        if (server_idx < 0) break;  // worker nodes ignore join broadcasts
+        auto& ss = *servers_[static_cast<std::size_t>(server_idx)];
+        const auto& lead = *leadership_[nn];
+        for (std::int64_t s = 0; s < partition_.num_slices(); ++s) {
+          const auto& sl = partition_.slices[static_cast<std::size_t>(s)];
+          if (lead.primary(sl.server) != server_idx) continue;
+          const auto si = static_cast<std::size_t>(s);
+          ss.active_from[si][static_cast<std::size_t>(m.worker)] =
+              ss.version[si] + cfg_.rejoin_slack;
+          send_params(server_idx, s, m.worker);
+        }
+        break;
+      }
+      case net::MsgKind::kSyncRequest: {
+        // A restarted server asks its group for the post-checkpoint delta.
+        // Only the node that currently believes it leads the group answers,
+        // so a rehydrating server can never adopt state from a stale
+        // backup.
+        if (server_idx < 0) break;
+        const int group =
+            partition_.slices[static_cast<std::size_t>(m.slice)].server;
+        const auto& lease = leadership_[nn]->lease(group);
+        if (lease.primary != server_idx) break;
+        auto& ss = *servers_[static_cast<std::size_t>(server_idx)];
+        const auto si = static_cast<std::size_t>(m.slice);
+        net::Message reply;
+        reply.src = n;
+        reply.dst = m.src;
+        reply.kind = net::MsgKind::kSyncData;
+        reply.slice = m.slice;
+        reply.layer = m.layer;
+        reply.worker = server_idx;        // current leader
+        reply.iteration = lease.epoch;    // leadership epoch
+        reply.version = ss.version[si];
+        const Bytes payload =
+            m.version < ss.version[si]
+                ? partition_.slices[si].payload_bytes()
+                : 0;  // requester already current: header-only reply
+        reply.logical = payload;
+        reply.bytes = (payload > 0 ? wire_payload(payload) : 0) +
+                      net::kControlBytes;
+        post_tracked(reply);
+        break;
+      }
+      case net::MsgKind::kSyncData: {
+        if (server_idx < 0) break;
+        auto& ss = *servers_[static_cast<std::size_t>(server_idx)];
+        const auto si = static_cast<std::size_t>(m.slice);
+        if (m.version > ss.version[si]) ss.version[si] = m.version;
+        const int group = partition_.slices[si].server;
+        leadership_[nn]->adopt(group, m.iteration, m.worker);
+        ss.sync_epoch[si] = node_state_[nn].epoch;
+        rehydration_bytes_ += m.logical;
+        break;
+      }
       case net::MsgKind::kBackground:
         break;  // foreign tenant traffic: consumed bandwidth, nothing else
       case net::MsgKind::kAck:
-        break;  // handled above
+      case net::MsgKind::kHeartbeat:
+      case net::MsgKind::kRecheck:
+        break;  // handled above / never on the wire
+    }
+  }
+}
+
+void Cluster::worker_repush_group(int w, int group) {
+  // Leadership moved: deterministically re-push every slice of the group
+  // whose resulting parameters have not come back yet — the new primary
+  // restarted those rounds from empty accumulators (or, if the round did
+  // commit before the failover, answers the stale re-push with current
+  // parameters). PR 1 dedup plus the per-round contribution cap make this
+  // idempotent.
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  if (!node_state_[static_cast<std::size_t>(w)].up) return;
+  for (std::int64_t s = 0; s < partition_.num_slices(); ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    if (partition_.slices[si].server != group) continue;
+    const std::int64_t pushed = ws.last_push_iter[si];
+    if (pushed >= 0 && ws.recv_version[si] <= pushed) {
+      enqueue_push(w, s, pushed);
     }
   }
 }
@@ -396,28 +638,87 @@ void Cluster::worker_on_notify(int w, const net::Message& m) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
   const auto layer = static_cast<std::size_t>(m.layer);
   const auto& slices = partition_.layer_slices[layer];
-  if (++ws.notify_count[layer] ==
-      static_cast<int>(slices.size())) {
-    // MXNet issues the pull only once every slice of the layer has been
-    // notified (the behaviour P3 removes, Section 4.2).
-    ws.notify_count[layer] = 0;
-    for (auto slice : slices) enqueue_pull(w, slice, m.iteration);
+  if (!membership_on_) {
+    if (++ws.notify_count[layer] ==
+        static_cast<int>(slices.size())) {
+      // MXNet issues the pull only once every slice of the layer has been
+      // notified (the behaviour P3 removes, Section 4.2).
+      ws.notify_count[layer] = 0;
+      for (auto slice : slices) enqueue_pull(w, slice, m.iteration);
+    }
+    return;
+  }
+  auto& nv = ws.notify_version[static_cast<std::size_t>(m.slice)];
+  nv = std::max(nv, m.iteration);
+  maybe_pull_layer(w, static_cast<int>(layer));
+}
+
+void Cluster::maybe_pull_layer(int w, int layer) {
+  if (sync_.immediate_broadcast || sync_.deferred_pull) return;
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  const auto& slices = partition_.layer_slices[static_cast<std::size_t>(layer)];
+  // The round the worker is waiting on is the one it pushed; every slice of
+  // a layer is pushed in the same iteration.
+  std::int64_t round = -1;
+  for (auto s : slices) {
+    const std::int64_t pushed = ws.last_push_iter[static_cast<std::size_t>(s)];
+    if (pushed < 0) return;  // layer not pushed since (re)start
+    round = std::max(round, pushed);
+  }
+  for (auto s : slices) {
+    const auto si = static_cast<std::size_t>(s);
+    if (ws.notify_version[si] >= round) continue;  // notified complete
+    if (ws.recv_version[si] > round) continue;     // params already in hand
+    return;  // no evidence yet that slice s's round finished
+  }
+  auto& pulled = ws.pulled_round[static_cast<std::size_t>(layer)];
+  if (pulled >= round) return;  // this round's pulls already went out
+  pulled = round;
+  for (auto s : slices) {
+    if (ws.recv_version[static_cast<std::size_t>(s)] <= round) {
+      enqueue_pull(w, s, round);
+    }
   }
 }
 
 void Cluster::worker_on_param(int w, const net::Message& m) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
-  const auto layer = static_cast<std::size_t>(m.layer);
-  ws.param_bytes[layer] += m.logical;
-  if (ws.param_bytes[layer] >= partition_.layer_bytes(m.layer)) {
-    ws.param_bytes[layer] = 0;
-    // All parameters of the layer are fresh: unblock the next forward pass.
-    ws.gates[layer]->increment();
+  const auto si = static_cast<std::size_t>(m.slice);
+  // Versioned receipt: fragments of one parameter version accumulate until
+  // the slice payload is complete; anything at or below the version already
+  // held is a duplicate delivery (failover re-send, stale-push reply) and
+  // is dropped here, which keeps recovery paths idempotent.
+  if (m.version <= ws.recv_version[si]) return;
+  if (ws.recv_inflight[si] != m.version) {
+    ws.recv_inflight[si] = m.version;
+    ws.recv_bytes[si] = 0;
   }
+  ws.recv_bytes[si] += m.logical;
+  if (ws.recv_bytes[si] <
+      partition_.slices[si].payload_bytes()) {
+    return;
+  }
+  ws.recv_version[si] = m.version;
+  ws.recv_inflight[si] = -1;
+  ws.recv_bytes[si] = 0;
+  // The layer's forward gate opens at the oldest complete slice version
+  // (identical to the byte-count trigger when deliveries are exactly-once).
+  const auto layer = static_cast<std::size_t>(m.layer);
+  std::int64_t layer_min = m.version;
+  for (auto s : partition_.layer_slices[layer]) {
+    layer_min = std::min(layer_min,
+                         ws.recv_version[static_cast<std::size_t>(s)]);
+  }
+  ws.gates[layer]->advance_to(layer_min);
+  // Recovery-path params (stale-push replies, failover re-sends) count as
+  // round-completion evidence: a layer whose notify died with a crashed
+  // server can still pull its remaining slices.
+  if (membership_on_) maybe_pull_layer(w, static_cast<int>(layer));
 }
 
 void Cluster::send_params(int server, std::int64_t slice, int worker) {
   const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
+  const auto& ss = *servers_[static_cast<std::size_t>(server)];
   Bytes remaining = sl.payload_bytes();
   while (remaining > 0) {
     const Bytes payload = std::min(remaining, cfg_.fragment_bytes);
@@ -431,87 +732,659 @@ void Cluster::send_params(int server, std::int64_t slice, int worker) {
     m.worker = worker;
     m.logical = payload;
     m.bytes = wire_payload(payload) + net::kHeaderBytes;
+    m.version = ss.version[static_cast<std::size_t>(slice)];
     post_tracked(m);
     ++params_sent_;
     remaining -= payload;
   }
 }
 
+bool Cluster::round_complete(int server, std::int64_t slice) const {
+  const auto& ss = *servers_[static_cast<std::size_t>(server)];
+  const auto si = static_cast<std::size_t>(slice);
+  const Bytes payload = partition_.slices[si].payload_bytes();
+  const auto& view = *membership_[static_cast<std::size_t>(server_node(server))];
+  bool any = false;
+  for (int w = 0; w < cfg_.n_workers; ++w) {
+    const auto wi = static_cast<std::size_t>(w);
+    const bool done = ss.contrib[si][wi] >= payload;
+    any = any || done;
+    const bool expected =
+        view.alive(w) && ss.active_from[si][wi] <= ss.version[si];
+    if (expected && !done) return false;
+  }
+  return any;  // never complete an empty round
+}
+
+void Cluster::release_round(int server, std::int64_t slice,
+                            std::int64_t round) {
+  // The round is durable (replicated to every live backup, or R == 1):
+  // release parameters to the workers.
+  auto& ss = *servers_[static_cast<std::size_t>(server)];
+  const auto si = static_cast<std::size_t>(slice);
+  const auto& sl = partition_.slices[si];
+  if (sync_.immediate_broadcast) {
+    // P3Server: broadcast updated parameters without notify+pull.
+    for (int w = 0; w < cfg_.n_workers; ++w) send_params(server, slice, w);
+  } else if (!sync_.deferred_pull) {
+    for (int w = 0; w < cfg_.n_workers; ++w) {
+      net::Message notify;
+      notify.src = server_node(server);
+      notify.dst = w;
+      notify.kind = net::MsgKind::kNotify;
+      notify.slice = slice;
+      notify.layer = sl.layer;
+      notify.priority = item_priority(slice);
+      notify.iteration = round;
+      notify.bytes = net::kControlBytes;
+      post_tracked(notify);
+      ++notifies_sent_;
+    }
+  }
+  // Serve pulls that arrived before the round completed.
+  auto pending = std::move(ss.pending[si]);
+  ss.pending[si].clear();
+  for (const auto& p : pending) {
+    if (ss.version[si] >= p.iteration + 1) {
+      send_params(server, slice, p.worker);
+    } else {
+      ss.pending[si].push_back(p);
+    }
+  }
+}
+
+void Cluster::commit_round(int server, std::int64_t slice,
+                           std::int64_t round) {
+  // Chain replication with a commit barrier: copy the new state to every
+  // live backup and withhold the worker release until each copy is acked —
+  // once a worker can observe version v, every surviving replica holds v,
+  // so a primary death never rolls an observed round back.
+  auto& ss = *servers_[static_cast<std::size_t>(server)];
+  const auto si = static_cast<std::size_t>(slice);
+  const auto& sl = partition_.slices[si];
+  const int group = sl.server;
+  const auto& lead = *leadership_[static_cast<std::size_t>(server_node(server))];
+  const auto& view = *membership_[static_cast<std::size_t>(server_node(server))];
+  int sent = 0;
+  const std::int64_t key =
+      static_cast<std::int64_t>(server) * partition_.num_slices() + slice;
+  for (int k = 0; k < cfg_.replication; ++k) {
+    const int replica = lead.member(group, k);
+    if (replica == server) continue;
+    const int rnode = server_node(replica);
+    if (!view.alive(rnode) || !reachable(rnode)) continue;
+    net::Message m;
+    m.src = server_node(server);
+    m.dst = rnode;
+    m.kind = net::MsgKind::kReplicate;
+    m.slice = slice;
+    m.layer = sl.layer;
+    m.priority = item_priority(slice);
+    m.iteration = round;
+    m.version = ss.version[si];
+    m.logical = sl.payload_bytes();
+    m.bytes = wire_payload(sl.payload_bytes()) + net::kHeaderBytes;
+    arm_reliable(m, -1);
+    replicate_wait_.emplace(m.msg_id, key);
+    const TimeS rto = pending_tx_.at(m.msg_id).rto;
+    net_->post(m);
+    schedule_retx_timer(m.msg_id, rto);
+    ++sent;
+  }
+  if (sent == 0) {
+    release_round(server, slice, round);
+    return;
+  }
+  CommitState cs;
+  cs.server = server;
+  cs.slice = slice;
+  cs.round = round;
+  cs.outstanding = sent;
+  commits_[key] = cs;
+}
+
+void Cluster::redirect_to_leader(int server, const net::Message& m) {
+  // Worker addressed a replica that no longer (or does not yet) believe it
+  // leads: tell it who does; adoption at the worker re-pushes anything in
+  // flight. The payload itself is intentionally dropped — the true leader
+  // got (or will get) its own copy via the adoption re-push.
+  const int n = server_node(server);
+  const int group = partition_.slices[static_cast<std::size_t>(m.slice)].server;
+  const auto& lease = leadership_[static_cast<std::size_t>(n)]->lease(group);
+  net::Message redirect;
+  redirect.src = n;
+  redirect.dst = m.src;
+  redirect.kind = net::MsgKind::kNewPrimary;
+  redirect.slice = group;
+  redirect.iteration = lease.epoch;
+  redirect.worker = lease.primary;
+  redirect.bytes = net::kControlBytes;
+  post_tracked(redirect);
+}
+
 sim::Task Cluster::server_loop(int n) {
   // `n` is the *server index*; its NIC is node server_node(n).
   auto& ss = *servers_[static_cast<std::size_t>(n)];
+  const auto node = static_cast<std::size_t>(server_node(n));
   for (;;) {
     RxItem item = co_await ss.rxq.pop();
+    if (membership_on_ && !node_state_[node].up) continue;  // dead process
     const net::Message& m = item.msg;
-    const auto slice_idx = static_cast<std::size_t>(m.slice);
-    const auto& sl = partition_.slices[slice_idx];
-    if (sl.server != n) {
-      throw std::logic_error("slice routed to wrong server");
+
+    // Membership plane: a death notice shrank the expected set (or a
+    // takeover re-seeded it); sweep every slice this server leads for
+    // rounds that are now completable without the dead workers.
+    std::vector<std::int64_t> recheck;
+    if (m.kind == net::MsgKind::kRecheck) {
+      const auto& lead = *leadership_[node];
+      for (std::int64_t s = 0; s < partition_.num_slices(); ++s) {
+        const int group = partition_.slices[static_cast<std::size_t>(s)].server;
+        if (lead.primary(group) == n) recheck.push_back(s);
+      }
     }
 
-    if (m.kind == net::MsgKind::kPullRequest) {
-      if (ss.version[slice_idx] >= m.iteration + 1) {
-        send_params(n, m.slice, m.worker);
+    if (m.kind == net::MsgKind::kPullRequest ||
+        m.kind == net::MsgKind::kPushGradient) {
+      const auto slice_idx = static_cast<std::size_t>(m.slice);
+      const auto& sl = partition_.slices[slice_idx];
+      if (!membership_on_) {
+        if (sl.server != n) {
+          throw std::logic_error("slice routed to wrong server");
+        }
       } else {
-        ss.pending[slice_idx].push_back(PendingPull{m.worker, m.iteration});
-      }
-      continue;
-    }
-
-    // Gradient push: aggregate (memory-bound add over the full-precision
-    // array; compression saves wire bytes, not server arithmetic).
-    const Bytes payload = m.logical;
-    const TimeS t0 = sim_.now();
-    co_await sim_.sleep(static_cast<double>(payload) /
-                        cfg_.update_bytes_per_sec);
-    ss.round_bytes[slice_idx] += payload;
-
-    const Bytes round_target = sl.payload_bytes() * cfg_.n_workers;
-    if (ss.round_bytes[slice_idx] >= round_target) {
-      // All workers contributed: run the optimizer step on the shard.
-      ss.round_bytes[slice_idx] = 0;
-      co_await sim_.sleep(
-          static_cast<double>(sl.payload_bytes()) / cfg_.update_bytes_per_sec +
-          cfg_.update_overhead);
-      ++ss.version[slice_idx];
-      ++rounds_completed_;
-      if (timeline_ != nullptr) {
-        timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
-                       "U" + std::to_string(sl.layer + 1));
-      }
-
-      if (sync_.immediate_broadcast) {
-        // P3Server: broadcast updated parameters without notify+pull.
-        for (int w = 0; w < cfg_.n_workers; ++w) send_params(n, m.slice, w);
-      } else if (!sync_.deferred_pull) {
-        for (int w = 0; w < cfg_.n_workers; ++w) {
-          net::Message notify;
-          notify.src = server_node(n);
-          notify.dst = w;
-          notify.kind = net::MsgKind::kNotify;
-          notify.slice = m.slice;
-          notify.layer = sl.layer;
-          notify.priority = item_priority(m.slice);
-          notify.iteration = m.iteration;
-          notify.bytes = net::kControlBytes;
-          post_tracked(notify);
-          ++notifies_sent_;
+        if (leadership_[node]->chain_offset(sl.server, n) < 0) {
+          throw std::logic_error("slice routed outside its replica group");
+        }
+        if (leadership_[node]->primary(sl.server) != n) {
+          redirect_to_leader(n, m);
+          continue;
         }
       }
-      // Serve pulls that arrived before the round completed.
-      auto pending = std::move(ss.pending[slice_idx]);
-      ss.pending[slice_idx].clear();
-      for (const auto& p : pending) {
-        if (ss.version[slice_idx] >= p.iteration + 1) {
-          send_params(n, m.slice, p.worker);
+
+      if (m.kind == net::MsgKind::kPullRequest) {
+        if (ss.version[slice_idx] >= m.iteration + 1) {
+          send_params(n, m.slice, m.worker);
         } else {
-          ss.pending[slice_idx].push_back(p);
+          ss.pending[slice_idx].push_back(PendingPull{m.worker, m.iteration});
+        }
+        continue;
+      }
+
+      if (membership_on_) {
+        // Stale push: the round already committed cluster-wide (this is a
+        // post-failover or post-rejoin re-push). Answer with the current
+        // parameters so the sender unblocks — this reply IS the recovery
+        // path for rounds that committed just before a primary died.
+        if (m.iteration + 1 <= ss.version[slice_idx]) {
+          ++stale_pushes_;
+          send_params(n, m.slice, m.worker);
+          continue;
+        }
+        // Future push: the sender's params are newer than this replica's
+        // state (possible only when every fresher replica was lost and this
+        // one rehydrated from an old checkpoint). The workers' copies are
+        // the surviving truth: fast-forward to their round.
+        if (m.iteration > ss.version[slice_idx]) {
+          ss.version[slice_idx] = m.iteration;
+          ss.round_bytes[slice_idx] = 0;
+          for (auto& c : ss.contrib[slice_idx]) c = 0;
         }
       }
-    } else if (timeline_ != nullptr) {
-      timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
-                     "a" + std::to_string(sl.layer + 1));
+
+      // Gradient push: aggregate (memory-bound add over the full-precision
+      // array; compression saves wire bytes, not server arithmetic).
+      const Bytes payload = m.logical;
+      const TimeS t0 = sim_.now();
+      co_await sim_.sleep(static_cast<double>(payload) /
+                          cfg_.update_bytes_per_sec);
+      if (membership_on_ && !node_state_[node].up) continue;  // died mid-add
+      if (!membership_on_) {
+        ss.round_bytes[slice_idx] += payload;
+        const Bytes round_target = sl.payload_bytes() * cfg_.n_workers;
+        if (ss.round_bytes[slice_idx] >= round_target) {
+          // All workers contributed: run the optimizer step on the shard.
+          ss.round_bytes[slice_idx] = 0;
+          co_await sim_.sleep(
+              static_cast<double>(sl.payload_bytes()) /
+                  cfg_.update_bytes_per_sec +
+              cfg_.update_overhead);
+          ++ss.version[slice_idx];
+          ++rounds_completed_;
+          if (timeline_ != nullptr) {
+            timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                           "U" + std::to_string(sl.layer + 1));
+          }
+          release_round(n, m.slice, m.iteration);
+        } else if (timeline_ != nullptr) {
+          timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                         "a" + std::to_string(sl.layer + 1));
+        }
+        continue;
+      }
+
+      // Membership path: per-worker contribution ledger, capped at one
+      // payload per worker per round so re-pushed fragments merge exactly
+      // once.
+      auto& contrib = ss.contrib[slice_idx][static_cast<std::size_t>(m.worker)];
+      const Bytes room = sl.payload_bytes() - contrib;
+      if (room <= 0) {
+        ++duplicates_suppressed_;
+        if (timeline_ != nullptr) {
+          timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                         "d" + std::to_string(sl.layer + 1));
+        }
+        continue;
+      }
+      contrib += std::min(payload, room);
+      if (timeline_ != nullptr && !round_complete(n, m.slice)) {
+        timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                       "a" + std::to_string(sl.layer + 1));
+      }
+      recheck.push_back(m.slice);
     }
+
+    // Complete every round the triggering event made ready.
+    for (const std::int64_t s : recheck) {
+      const auto si = static_cast<std::size_t>(s);
+      const auto& sl = partition_.slices[si];
+      while (leadership_[node]->primary(sl.server) == n &&
+             round_complete(n, s)) {
+        const std::int64_t round = ss.version[si];
+        const TimeS t0 = sim_.now();
+        co_await sim_.sleep(
+            static_cast<double>(sl.payload_bytes()) /
+                cfg_.update_bytes_per_sec +
+            cfg_.update_overhead);
+        if (!node_state_[node].up) break;  // died mid-optimizer-step
+        for (auto& c : ss.contrib[si]) c = 0;
+        ++ss.version[si];
+        ++rounds_completed_;
+        if (timeline_ != nullptr) {
+          timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                         "U" + std::to_string(sl.layer + 1));
+        }
+        if (cfg_.replication > 1) {
+          commit_round(n, s, round);
+        } else {
+          release_round(n, s, round);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Membership plane: beacons, failure detection, failover, crash execution.
+// ---------------------------------------------------------------------------
+
+sim::Task Cluster::heartbeat_loop(int n) {
+  const auto nn = static_cast<std::size_t>(n);
+  for (;;) {
+    co_await sim_.sleep(cfg_.heartbeat_period);
+    if (stopping_) co_return;
+    if (!node_state_[nn].up) continue;  // a dead process neither sends nor
+                                        // suspects; the loop outlives it
+    for (int peer = 0; peer < total_nodes(); ++peer) {
+      if (peer == n) continue;
+      net::Message hb;
+      hb.src = n;
+      hb.dst = peer;
+      hb.kind = net::MsgKind::kHeartbeat;
+      hb.iteration = node_state_[nn].epoch;  // incarnation
+      hb.bytes = net::kHeartbeatBytes;
+      net_->post(hb);
+      ++heartbeats_sent_;
+    }
+    for (const int dead : membership_[nn]->check(sim_.now())) {
+      on_peer_dead(n, dead);
+    }
+  }
+}
+
+void Cluster::on_peer_dead(int observer_node, int dead_node) {
+  mem_mark(observer_node, "X");
+  const auto on = static_cast<std::size_t>(observer_node);
+  const int dead_server = server_of_node(dead_node);
+  const int my_server = server_of_node(observer_node);
+  auto& lead = *leadership_[on];
+  const auto& view = *membership_[on];
+  if (dead_server >= 0) {
+    for (int g = 0; g < n_servers(); ++g) {
+      const auto& lease = lead.lease(g);
+      if (lease.primary != dead_server) continue;
+      // The believed leader of group g died: find the first live replica in
+      // chain order. Every observer runs the same scan over its own view,
+      // so converged views elect the same successor.
+      int successor = -1;
+      for (int k = 0; k < cfg_.replication; ++k) {
+        const int candidate = lead.member(g, k);
+        if (view.alive(server_node(candidate))) {
+          successor = candidate;
+          break;
+        }
+      }
+      if (successor < 0) {
+        // Nobody visible. If ground truth agrees the whole group is gone
+        // for good, the shard is unrecoverable — fail loudly rather than
+        // heartbeat forever.
+        bool truly_lost = true;
+        for (int k = 0; k < cfg_.replication; ++k) {
+          if (!permanently_down(server_node(lead.member(g, k)))) {
+            truly_lost = false;
+            break;
+          }
+        }
+        if (truly_lost) {
+          throw std::runtime_error(
+              "shard group " + std::to_string(g) +
+              " lost every replica (replication " +
+              std::to_string(cfg_.replication) +
+              "); raise the replication factor or restart a server");
+        }
+        continue;  // views disagree with truth; wait for beacons
+      }
+      if (successor == my_server) takeover_group(my_server, g);
+    }
+  }
+  // A server's expected worker set shrank: re-evaluate open rounds.
+  if (my_server >= 0 && node_state_[on].up) inject_recheck(my_server);
+}
+
+void Cluster::takeover_group(int server, int group) {
+  const auto node = static_cast<std::size_t>(server_node(server));
+  auto& lead = *leadership_[node];
+  const std::int64_t epoch = lead.epoch(group) + 1;
+  if (!lead.adopt(group, epoch, server)) return;
+  ++failovers_;
+  mem_mark(server_node(server), "F");
+  // Open rounds restart from empty accumulators under the new epoch;
+  // workers re-push on adoption, and rounds that committed before the old
+  // primary died are answered from the replicated state (stale-push reply).
+  auto& ss = *servers_[static_cast<std::size_t>(server)];
+  for (std::int64_t s = 0; s < partition_.num_slices(); ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    if (partition_.slices[si].server != group) continue;
+    for (auto& c : ss.contrib[si]) c = 0;
+  }
+  announce_primary(server, group, epoch);
+  // The announcement skips this node, but a colocated worker shares the
+  // adopted view and must re-push like every other worker.
+  if (static_cast<int>(node) < cfg_.n_workers) {
+    worker_repush_group(static_cast<int>(node), group);
+  }
+}
+
+void Cluster::announce_primary(int from_server, int group,
+                               std::int64_t epoch) {
+  const int src = server_node(from_server);
+  for (int peer = 0; peer < total_nodes(); ++peer) {
+    if (peer == src) continue;
+    if (!reachable(peer)) continue;
+    net::Message m;
+    m.src = src;
+    m.dst = peer;
+    m.kind = net::MsgKind::kNewPrimary;
+    m.slice = group;
+    m.iteration = epoch;
+    m.worker = from_server;
+    m.bytes = net::kControlBytes;
+    post_tracked(m);
+  }
+}
+
+void Cluster::inject_recheck(int server) {
+  auto& ss = *servers_[static_cast<std::size_t>(server)];
+  RxItem item;
+  item.msg.kind = net::MsgKind::kRecheck;
+  item.priority = -1;  // ahead of all wire traffic
+  item.seq = ss.rx_seq++;
+  ss.rxq.push(item);
+}
+
+Bytes Cluster::replicated_state_bytes(int server) const {
+  // Parameters plus same-sized optimizer state (momentum) for every slice
+  // whose group this server replicates.
+  const auto& lead = *leadership_[static_cast<std::size_t>(server_node(server))];
+  Bytes total = 0;
+  for (std::int64_t s = 0; s < partition_.num_slices(); ++s) {
+    const auto& sl = partition_.slices[static_cast<std::size_t>(s)];
+    if (lead.chain_offset(sl.server, server) < 0) continue;
+    total += 2 * sl.payload_bytes();
+  }
+  return total;
+}
+
+sim::Task Cluster::checkpoint_loop(int s) {
+  auto& ss = *servers_[static_cast<std::size_t>(s)];
+  const auto node = static_cast<std::size_t>(server_node(s));
+  for (;;) {
+    co_await sim_.sleep(cfg_.checkpoint_period);
+    if (stopping_) co_return;
+    if (!node_state_[node].up) continue;
+    const std::int64_t epoch = node_state_[node].epoch;
+    // Snapshot versions now; the write commits only if the process survives
+    // the full (simulated) storage write — a crash mid-write keeps the
+    // previous checkpoint (atomic rename semantics).
+    std::vector<std::int64_t> snapshot = ss.version;
+    const Bytes bytes = replicated_state_bytes(s);
+    const TimeS t0 = sim_.now();
+    co_await sim_.sleep(static_cast<double>(bytes) /
+                        cfg_.checkpoint_bytes_per_sec);
+    if (node_state_[node].epoch != epoch) continue;  // torn write discarded
+    ckpt_versions_[static_cast<std::size_t>(s)] = std::move(snapshot);
+    ++checkpoints_written_;
+    checkpoint_bytes_ += bytes;
+    if (timeline_ != nullptr) {
+      timeline_->add(lane("n", server_node(s), ".ckpt"), t0, sim_.now(), "ck");
+    }
+  }
+}
+
+sim::Task Cluster::server_rehydrate(int s, std::int64_t epoch) {
+  auto& ss = *servers_[static_cast<std::size_t>(s)];
+  const auto node = static_cast<std::size_t>(server_node(s));
+  const TimeS t0 = sim_.now();
+  // Load the last completed checkpoint from stable storage.
+  const Bytes ckpt_bytes = replicated_state_bytes(s);
+  co_await sim_.sleep(static_cast<double>(ckpt_bytes) /
+                      cfg_.checkpoint_bytes_per_sec);
+  if (node_state_[node].epoch != epoch) co_return;  // crashed again
+  const auto& lead = *leadership_[node];
+  std::vector<std::int64_t> mine;
+  for (std::int64_t sl = 0; sl < partition_.num_slices(); ++sl) {
+    const auto si = static_cast<std::size_t>(sl);
+    const int group = partition_.slices[si].server;
+    if (lead.chain_offset(group, s) < 0) continue;
+    ss.version[si] = ckpt_versions_[static_cast<std::size_t>(s)][si];
+    mine.push_back(sl);
+  }
+  // Delta-sync: ask the group peers for everything newer than the
+  // checkpoint; only the current leader answers, so stale backups cannot
+  // poison the rehydrated state. Retry on a suspicion-timeout cadence until
+  // every slice answered or no live peer remains to ask.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    bool asked = false;
+    for (const std::int64_t sl : mine) {
+      const auto si = static_cast<std::size_t>(sl);
+      if (ss.sync_epoch[si] == node_state_[node].epoch) continue;
+      const int group = partition_.slices[si].server;
+      for (int k = 0; k < cfg_.replication; ++k) {
+        const int peer = lead.member(group, k);
+        if (peer == s) continue;
+        const int pnode = server_node(peer);
+        if (!membership_[node]->alive(pnode) || !reachable(pnode)) continue;
+        net::Message m;
+        m.src = server_node(s);
+        m.dst = pnode;
+        m.kind = net::MsgKind::kSyncRequest;
+        m.slice = sl;
+        m.layer = partition_.slices[si].layer;
+        m.version = ss.version[si];
+        m.bytes = net::kControlBytes;
+        post_tracked(m);
+        asked = true;
+      }
+    }
+    if (!asked) break;  // nothing left to ask (all synced or all peers gone)
+    co_await sim_.sleep(cfg_.suspicion_timeout);
+    if (node_state_[node].epoch != epoch || stopping_) co_return;
+    bool all = true;
+    for (const std::int64_t sl : mine) {
+      if (ss.sync_epoch[static_cast<std::size_t>(sl)] !=
+          node_state_[node].epoch) {
+        all = false;
+        break;
+      }
+    }
+    if (all) break;
+  }
+  ++rehydrations_;
+  rehydration_time_sum_ += sim_.now() - t0;
+  if (timeline_ != nullptr) {
+    timeline_->add(lane("n", server_node(s), ".ckpt"), t0, sim_.now(), "rehy");
+  }
+  // Re-assert leadership of every group this server still believes it
+  // leads (nobody announced a newer epoch during the sync): a bumped epoch
+  // makes the workers re-push the rounds whose pushes died with the old
+  // process.
+  for (int g = 0; g < n_servers(); ++g) {
+    auto& l = *leadership_[node];
+    if (l.primary(g) != s) continue;
+    const std::int64_t e = l.epoch(g) + 1;
+    l.adopt(g, e, s);
+    announce_primary(s, g, e);
+  }
+  inject_recheck(s);
+}
+
+sim::Task Cluster::worker_rejoin(int w, std::int64_t epoch) {
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  const auto wn = static_cast<std::size_t>(w);
+  const TimeS t0 = sim_.now();
+  for (;;) {
+    // Broadcast the join to every reachable server node; current group
+    // leaders answer with fresh parameters and open a bounded-staleness
+    // window before the aggregation rounds wait on this worker again.
+    for (int s = 0; s < n_servers(); ++s) {
+      const int snode = server_node(s);
+      if (snode == w) continue;  // own (restarted) colocated server
+      if (!reachable(snode)) continue;
+      net::Message m;
+      m.src = w;
+      m.dst = snode;
+      m.kind = net::MsgKind::kJoinRequest;
+      m.worker = w;
+      m.iteration = node_state_[wn].epoch;  // incarnation
+      m.bytes = net::kControlBytes;
+      post_tracked(m);
+    }
+    // Colocated self-serve: the local server (once rehydrated) answers the
+    // join inline — no wire hop for the local shard.
+    if (!cfg_.dedicated_servers) {
+      const int s = w;
+      auto& ss = *servers_[static_cast<std::size_t>(s)];
+      const auto& lead = *leadership_[wn];
+      for (std::int64_t sl = 0; sl < partition_.num_slices(); ++sl) {
+        const auto si = static_cast<std::size_t>(sl);
+        if (lead.primary(partition_.slices[si].server) != s) continue;
+        ss.active_from[si][wn] = ss.version[si] + cfg_.rejoin_slack;
+        send_params(s, sl, w);
+      }
+    }
+    co_await sim_.sleep(cfg_.suspicion_timeout);
+    if (node_state_[wn].epoch != epoch || stopping_) co_return;
+    bool complete = true;
+    std::int64_t start_iter = target_iterations_;
+    for (std::int64_t sl = 0; sl < partition_.num_slices(); ++sl) {
+      const std::int64_t v = ws.recv_version[static_cast<std::size_t>(sl)];
+      if (v < 0) {
+        complete = false;
+        break;
+      }
+      start_iter = std::min(start_iter, v);
+    }
+    if (!complete) continue;
+    ++worker_rejoins_;
+    max_rejoin_lag_ = std::max(max_rejoin_lag_, sim_.now() - t0);
+    mem_mark(w, "J");
+    sim_.spawn(worker_loop(w, start_iter));
+    co_return;
+  }
+}
+
+void Cluster::execute_crash(const net::NodeCrash& c) {
+  const auto nn = static_cast<std::size_t>(c.node);
+  if (c.node >= total_nodes()) return;  // plan names a node we don't have
+  auto& ns = node_state_[nn];
+  if (!ns.up) return;  // already down (overlapping plans)
+  ns.up = false;
+  ns.epoch += 1;
+  ns.down_since = sim_.now();
+  ++crashes_;
+  mem_mark(c.node, "X");
+  // All in-memory state dies with the process.
+  seen_[nn].clear();
+  while (net_->inbox(c.node).try_pop()) {
+  }
+  if (!cfg_.dedicated_servers || c.node < cfg_.n_workers) {
+    auto& ws = *workers_[nn];
+    while (ws.sendq.try_pop()) {
+    }
+    ws.param_bytes.assign(ws.param_bytes.size(), 0);
+    ws.notify_count.assign(ws.notify_count.size(), 0);
+    ws.notify_version.assign(ws.notify_version.size(), -1);
+    ws.pulled_round.assign(ws.pulled_round.size(), -1);
+    ws.recv_version.assign(ws.recv_version.size(), -1);  // holds nothing
+    ws.recv_bytes.assign(ws.recv_bytes.size(), 0);
+    ws.recv_inflight.assign(ws.recv_inflight.size(), -1);
+  }
+  const int s = server_of_node(c.node);
+  if (s >= 0) {
+    auto& ss = *servers_[static_cast<std::size_t>(s)];
+    while (ss.rxq.try_pop()) {
+    }
+    ss.round_bytes.assign(ss.round_bytes.size(), 0);
+    for (auto& row : ss.contrib) std::fill(row.begin(), row.end(), 0);
+    for (auto& p : ss.pending) p.clear();
+    // Commit barriers owned by the dead primary die with it; the replicated
+    // copies (if any landed) survive at the backups.
+    for (auto it = commits_.begin(); it != commits_.end();) {
+      it = it->second.server == s ? commits_.erase(it) : std::next(it);
+    }
+  }
+  // The dead process no longer retransmits anything it sent, and — when it
+  // will never return — nothing addressed to it can ever be delivered, so
+  // those timers must not probe forever.
+  const bool forever = permanently_down(c.node);
+  for (auto it = pending_tx_.begin(); it != pending_tx_.end();) {
+    const net::Message& m = it->second.msg;
+    if (m.src == c.node || (forever && m.dst == c.node)) {
+      const std::int64_t id = it->first;
+      it = pending_tx_.erase(it);
+      on_replicate_ack(id);  // a dead backup cannot hold a barrier hostage
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Cluster::execute_restart(const net::NodeCrash& c) {
+  const auto nn = static_cast<std::size_t>(c.node);
+  if (c.node >= total_nodes()) return;
+  auto& ns = node_state_[nn];
+  if (ns.up) return;
+  ns.up = true;
+  ns.epoch += 1;
+  ns.down_since = -1.0;
+  ++restarts_;
+  mem_mark(c.node, "R");
+  // Fresh process: optimistic liveness view, empty dedup memory (msg ids
+  // are globally unique, so re-learning them is safe).
+  membership_[nn]->reset(sim_.now());
+  const int s = server_of_node(c.node);
+  if (s >= 0) sim_.spawn(server_rehydrate(s, ns.epoch));
+  if (!cfg_.dedicated_servers || c.node < cfg_.n_workers) {
+    sim_.spawn(worker_rejoin(c.node, ns.epoch));
   }
 }
 
@@ -527,48 +1400,149 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   for (int n = 0; n < cfg_.n_workers; ++n) {
     sim_.spawn(server_loop(n));
     sim_.spawn(worker_sender(n));
-    sim_.spawn(worker_loop(n));
+    sim_.spawn(worker_loop(n, 0));
+  }
+  finish_target_ = cfg_.n_workers;
+  if (membership_on_) {
+    for (int n = 0; n < total_nodes(); ++n) sim_.spawn(heartbeat_loop(n));
+    if (cfg_.checkpoint_period > 0.0) {
+      for (int s = 0; s < n_servers(); ++s) sim_.spawn(checkpoint_loop(s));
+    }
+    for (const auto& c : cfg_.faults.crashes) {
+      if (c.node < 0 || c.node >= total_nodes()) {
+        throw std::invalid_argument("crash plan names a node outside cluster");
+      }
+      sim_.schedule_at(c.at, [this, c] { execute_crash(c); });
+      if (c.restarts()) {
+        sim_.schedule_at(c.restart_time(), [this, c] { execute_restart(c); });
+      }
+      // A worker that never comes back can never reach the iteration
+      // target; the run ends when every survivor does.
+      if (!c.restarts() &&
+          (!cfg_.dedicated_servers || c.node < cfg_.n_workers)) {
+        finish_target_ -= 1;
+      }
+    }
+    const TimeS deadline =
+        cfg_.max_sim_time > 0.0 ? cfg_.max_sim_time : 3600.0;
+    sim_.schedule_at(deadline, [this] {
+      if (!stopping_) {
+        throw std::runtime_error(
+            "simulation exceeded max_sim_time; recovery is likely stuck");
+      }
+    });
   }
   const bool finished = sim_.run_while(
-      [this] { return workers_finished_ == cfg_.n_workers; });
+      [this] { return workers_finished_ >= finish_target_; });
+  stopping_ = true;  // lets heartbeat/checkpoint loops retire during drain()
   if (!finished) {
     throw std::logic_error("simulation deadlocked before workers finished");
   }
 
   RunResult result;
   result.iterations_measured = measured_iterations;
-  TimeS start = 0.0;
-  TimeS end = 0.0;
-  for (const auto& ws : workers_) {
-    const auto& done = ws->iter_done;
-    if (warmup_iterations > 0) {
-      start = std::max(
-          start, done[static_cast<std::size_t>(warmup_iterations - 1)]);
+  result.crashes = crashes_;
+  result.restarts = restarts_;
+  result.failovers = failovers_;
+  result.worker_rejoins = worker_rejoins_;
+  result.checkpoints_written = checkpoints_written_;
+  result.checkpoint_bytes = checkpoint_bytes_;
+  result.rehydrations = rehydrations_;
+  result.rehydration_bytes = rehydration_bytes_;
+  result.mean_rehydration_time =
+      rehydrations_ > 0
+          ? rehydration_time_sum_ / static_cast<double>(rehydrations_)
+          : 0.0;
+  result.max_rejoin_lag = max_rejoin_lag_;
+  result.heartbeats_sent = heartbeats_sent_;
+  result.stale_pushes = stale_pushes_;
+
+  if (crashes_ == 0) {
+    // Crash-free path: the exact pre-membership arithmetic, so results stay
+    // bit-identical to the seed engine.
+    TimeS start = 0.0;
+    TimeS end = 0.0;
+    for (const auto& ws : workers_) {
+      const auto& done = ws->iter_done;
+      if (warmup_iterations > 0) {
+        start = std::max(
+            start, done[static_cast<std::size_t>(warmup_iterations - 1)]);
+      }
+      end = std::max(end, done.back());
     }
-    end = std::max(end, done.back());
-  }
-  const double samples = static_cast<double>(cfg_.n_workers) *
-                         workload_.batch_per_worker * measured_iterations;
-  result.total_time = end;
-  result.throughput = samples / (end - start);
-  const auto& w0 = workers_.front()->iter_done;
-  for (int i = warmup_iterations; i < target_iterations_; ++i) {
-    const TimeS prev =
-        i == 0 ? 0.0 : w0[static_cast<std::size_t>(i - 1)];
-    result.iteration_times.push_back(w0[static_cast<std::size_t>(i)] - prev);
-  }
-  double sum = 0.0;
-  for (TimeS t : result.iteration_times) sum += t;
-  result.mean_iteration_time =
-      sum / static_cast<double>(result.iteration_times.size());
-  double stall_sum = 0.0;
-  for (const auto& ws : workers_) {
+    const double samples = static_cast<double>(cfg_.n_workers) *
+                           workload_.batch_per_worker * measured_iterations;
+    result.total_time = end;
+    result.throughput = samples / (end - start);
+    const auto& w0 = workers_.front()->iter_done;
     for (int i = warmup_iterations; i < target_iterations_; ++i) {
-      stall_sum += ws->iter_stall[static_cast<std::size_t>(i)];
+      const TimeS prev =
+          i == 0 ? 0.0 : w0[static_cast<std::size_t>(i - 1)];
+      result.iteration_times.push_back(w0[static_cast<std::size_t>(i)] - prev);
+    }
+    double sum = 0.0;
+    for (TimeS t : result.iteration_times) sum += t;
+    result.mean_iteration_time =
+        sum / static_cast<double>(result.iteration_times.size());
+    double stall_sum = 0.0;
+    for (const auto& ws : workers_) {
+      for (int i = warmup_iterations; i < target_iterations_; ++i) {
+        stall_sum += ws->iter_stall[static_cast<std::size_t>(i)];
+      }
+    }
+    result.mean_stall_time = stall_sum /
+                             (static_cast<double>(cfg_.n_workers) *
+                              measured_iterations);
+  } else {
+    // Crash runs: workers may have shorter (crashed early) or longer
+    // (restarted mid-run) histories. The measurement window is anchored on
+    // workers that never crashed — a rejoined worker's history restarts
+    // mid-run, and anchoring on it would shrink the window and inflate
+    // throughput — then every completion inside the window counts,
+    // whichever worker produced it.
+    TimeS start = 0.0;
+    TimeS end = 0.0;
+    for (int w = 0; w < cfg_.n_workers; ++w) {
+      const auto& done = workers_[static_cast<std::size_t>(w)]->iter_done;
+      if (done.empty()) continue;
+      end = std::max(end, done.back());
+      const bool ever_crashed = node_state_[static_cast<std::size_t>(w)].epoch > 0;
+      if (!ever_crashed && warmup_iterations > 0 &&
+          done.size() >= static_cast<std::size_t>(warmup_iterations)) {
+        start = std::max(
+            start, done[static_cast<std::size_t>(warmup_iterations - 1)]);
+      }
+    }
+    std::int64_t measured_iters = 0;
+    double stall_sum = 0.0;
+    for (const auto& ws : workers_) {
+      for (std::size_t i = 0; i < ws->iter_done.size(); ++i) {
+        if (ws->iter_done[i] <= start) continue;
+        ++measured_iters;
+        if (i < ws->iter_stall.size()) stall_sum += ws->iter_stall[i];
+      }
+    }
+    result.total_time = end;
+    const double samples = static_cast<double>(measured_iters) *
+                           workload_.batch_per_worker;
+    result.throughput = end > start ? samples / (end - start) : 0.0;
+    const auto& w0 = workers_.front()->iter_done;
+    for (std::size_t i = static_cast<std::size_t>(warmup_iterations);
+         i < w0.size(); ++i) {
+      const TimeS prev = i == 0 ? 0.0 : w0[i - 1];
+      result.iteration_times.push_back(w0[i] - prev);
+    }
+    if (!result.iteration_times.empty()) {
+      double sum = 0.0;
+      for (TimeS t : result.iteration_times) sum += t;
+      result.mean_iteration_time =
+          sum / static_cast<double>(result.iteration_times.size());
+    }
+    if (measured_iters > 0) {
+      result.mean_stall_time =
+          stall_sum / static_cast<double>(measured_iters);
     }
   }
-  result.mean_stall_time = stall_sum / (static_cast<double>(cfg_.n_workers) *
-                                        measured_iterations);
   result.messages_dropped = net_->messages_dropped();
   result.retransmits = retransmits_;
   result.timeouts_fired = timeouts_fired_;
@@ -578,12 +1552,28 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   return result;
 }
 
-void Cluster::drain() { sim_.run(); }
+void Cluster::drain() {
+  stopping_ = true;
+  sim_.run();
+}
 
 std::int64_t Cluster::slice_version(std::int64_t slice) const {
   const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
-  return servers_[static_cast<std::size_t>(sl.server)]
-      ->version[static_cast<std::size_t>(slice)];
+  if (!membership_on_ || cfg_.replication == 1) {
+    return servers_[static_cast<std::size_t>(sl.server)]
+        ->version[static_cast<std::size_t>(slice)];
+  }
+  // Replicated shard: the authoritative version lives at whichever replica
+  // is furthest ahead (the current leader; backups trail by in-flight
+  // replication only).
+  std::int64_t best = 0;
+  const auto& lead = *leadership_.front();
+  for (int k = 0; k < cfg_.replication; ++k) {
+    const int replica = lead.member(sl.server, k);
+    best = std::max(best, servers_[static_cast<std::size_t>(replica)]
+                              ->version[static_cast<std::size_t>(slice)]);
+  }
+  return best;
 }
 
 std::int64_t Cluster::worker_layer_version(int worker, int layer) const {

@@ -20,6 +20,22 @@
 // immediately (P3) or notify workers, which then issue pull requests
 // (baseline KVStore). TensorFlow-style deferred pulls issue all pull
 // requests at the start of the next iteration instead.
+//
+// Crash recovery (docs/PROTOCOL.md): when a fault plan schedules node
+// crashes — or `replication > 1` / `force_membership` is set — the cluster
+// additionally runs a membership plane: every node gossips heartbeat beacons
+// and keeps an independent liveness view (`ps::Membership`); each server
+// shard is replicated on `replication` consecutive servers with
+// primary-backup propagation and a commit barrier (parameters are released
+// to workers only after every live backup acknowledged the replicated
+// state); on primary death the first live replica in chain order takes over
+// with a bumped epoch and workers deterministically re-push un-acknowledged
+// rounds; servers periodically checkpoint shard+optimizer state and restart
+// by rehydrating checkpoint + delta-sync from the current leader; crashed
+// workers rejoin under a bounded-staleness window. All of it is driven by
+// the simulated clock and the seeded RNGs, so crash runs are bit-identical
+// across runner thread counts, and a run without crashes posts the exact
+// pre-membership event sequence.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +51,7 @@
 #include "model/compute.h"
 #include "net/faults.h"
 #include "net/network.h"
+#include "ps/membership.h"
 #include "sim/queue.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
@@ -100,10 +117,48 @@ struct ClusterConfig {
   /// depth, and backs off by `rto_backoff` on every expiry.
   TimeS min_rto = ms(50);
   double rto_backoff = 2.0;
+  /// Ceiling of the backed-off RTO: a long outage (node down for seconds
+  /// awaiting restart) keeps probing at this bounded rate instead of
+  /// doubling into minutes. Defaults high enough that loss-only fault runs
+  /// never touch it.
+  TimeS max_rto = 10.0;
+  /// > 0: add `uniform(0, rto_jitter * rto)` of seeded jitter to every
+  /// armed retransmission timer — decorrelates synchronized retry storms
+  /// after a blackout. The jitter RNG is consumed only when enabled.
+  double rto_jitter = 0.0;
   /// > 0: use exactly this initial RTO for every message instead of the
   /// adaptive formula. Deliberately tiny values force spurious
   /// retransmissions, which tests use to prove dedup idempotency.
   TimeS fixed_rto = 0.0;
+
+  // --- crash recovery / elastic membership (docs/PROTOCOL.md) ---
+  /// Replicate each server shard on this many consecutive servers (chain
+  /// order on the server ring). 1 = no replication; a crash of the shard's
+  /// only server is then unrecoverable unless it restarts.
+  int replication = 1;
+  /// Liveness beacon interval per node (membership plane only).
+  TimeS heartbeat_period = ms(10);
+  /// Silence threshold before a peer is suspected dead. Must exceed several
+  /// heartbeat periods or wire loss alone triggers false failovers.
+  TimeS suspicion_timeout = ms(60);
+  /// > 0: every server snapshots the shard+optimizer state it replicates to
+  /// simulated stable storage at this interval; a restarted server
+  /// rehydrates from its last completed checkpoint plus a delta from the
+  /// current group leader.
+  TimeS checkpoint_period = 0.0;
+  /// Simulated stable-storage write/read rate for checkpoints.
+  double checkpoint_bytes_per_sec = 4e9;
+  /// Bounded-staleness window for rejoining workers: a rejoined worker is
+  /// not *expected* (waited for) by the aggregation rounds until
+  /// `current version + rejoin_slack`, though earlier contributions still
+  /// merge when they arrive.
+  std::int64_t rejoin_slack = 1;
+  /// Arm the membership plane even without crashes or replication (tests).
+  bool force_membership = false;
+  /// Watchdog: abort a membership run that exceeds this much simulated time
+  /// (stuck recovery would otherwise heartbeat forever). 0 = 3600 s when
+  /// the membership plane is armed; ignored otherwise.
+  TimeS max_sim_time = 0.0;
 
   std::uint64_t seed = 42;
 
@@ -133,6 +188,20 @@ struct RunResult {
   Bytes goodput_bytes = 0;
   /// Everything posted on the wire: originals + retransmits + acks.
   Bytes wire_bytes = 0;
+
+  // Recovery observability (all zero without a membership plane).
+  std::int64_t crashes = 0;            ///< node crash events executed
+  std::int64_t restarts = 0;           ///< node restart events executed
+  std::int64_t failovers = 0;          ///< shard leadership takeovers
+  std::int64_t worker_rejoins = 0;     ///< completed worker rejoin handshakes
+  std::int64_t checkpoints_written = 0;
+  Bytes checkpoint_bytes = 0;          ///< total bytes written to "disk"
+  std::int64_t rehydrations = 0;       ///< completed server rehydrations
+  Bytes rehydration_bytes = 0;         ///< delta-sync payload bytes pulled
+  TimeS mean_rehydration_time = 0;     ///< restart -> serving again
+  TimeS max_rejoin_lag = 0;            ///< worst restart -> rejoined delay
+  std::int64_t heartbeats_sent = 0;
+  std::int64_t stale_pushes = 0;       ///< re-pushes answered with params
 };
 
 class Cluster {
@@ -180,6 +249,25 @@ class Cluster {
     return static_cast<std::int64_t>(pending_tx_.size());
   }
   Bytes goodput_bytes() const { return goodput_bytes_; }
+  // Membership-plane introspection (null/zero while disarmed).
+  bool membership_armed() const { return membership_on_; }
+  bool node_up(int node) const {
+    return node_state_[static_cast<std::size_t>(node)].up;
+  }
+  std::int64_t crashes_executed() const { return crashes_; }
+  std::int64_t restarts_executed() const { return restarts_; }
+  std::int64_t failovers() const { return failovers_; }
+  std::int64_t worker_rejoins() const { return worker_rejoins_; }
+  std::int64_t rehydrations() const { return rehydrations_; }
+  std::int64_t checkpoints_written() const { return checkpoints_written_; }
+  std::int64_t heartbeats_sent() const { return heartbeats_sent_; }
+  /// Local liveness view of `node` (membership plane must be armed).
+  const Membership& membership_view(int node) const {
+    return *membership_[static_cast<std::size_t>(node)];
+  }
+  const ShardLeadership& leadership_view(int node) const {
+    return *leadership_[static_cast<std::size_t>(node)];
+  }
 
  private:
   struct SendItem {
@@ -221,6 +309,26 @@ class Cluster {
     std::vector<TimeS> iter_done;
     std::vector<TimeS> iter_stall;  ///< forward blocking time per iteration
     Rng rng{0};
+    // Versioned parameter receipt, per slice. `recv_version[s]` is the
+    // newest complete parameter version held for slice s (0 = initial
+    // weights, -1 = crashed process holding nothing); `recv_bytes` /
+    // `recv_inflight` accumulate the fragments of one in-flight version.
+    std::vector<std::int64_t> recv_version;
+    std::vector<Bytes> recv_bytes;
+    std::vector<std::int64_t> recv_inflight;
+    /// Last iteration pushed per slice (-1 = none). Drives deterministic
+    /// re-push after a leadership change: any slice whose resulting params
+    /// were not yet received is re-sent to the new primary.
+    std::vector<std::int64_t> last_push_iter;
+    /// Membership-mode notify bookkeeping (sized only when the plane is
+    /// armed). `notify_version[s]` is the newest round slice s was notified
+    /// complete for; `pulled_round[l]` is the last round layer l's pulls
+    /// were issued for. Versioned evidence replaces the raw notify counter
+    /// so a notify that died with a crashed server cannot wedge the layer:
+    /// parameters received through a recovery path count as evidence too.
+    std::vector<std::int64_t> notify_version;
+    std::vector<std::int64_t> pulled_round;
+    bool finished = false;  ///< reached the iteration target (counted once)
   };
 
   struct PendingPull {
@@ -243,12 +351,46 @@ class Cluster {
     std::vector<Bytes> round_bytes;            // per slice
     std::vector<std::int64_t> version;         // per slice
     std::vector<std::vector<PendingPull>> pending;  // per slice
+    // Membership plane only:
+    /// Per-slice per-worker bytes contributed to the current round —
+    /// replaces the single `round_bytes` counter so completion can be
+    /// re-evaluated against the live expected set and re-pushes merge
+    /// exactly once (capped at the slice payload per worker per round).
+    std::vector<std::vector<Bytes>> contrib;
+    /// Per-slice per-worker round index from which the worker is *expected*
+    /// (waited for); earlier rounds complete without it.
+    std::vector<std::vector<std::int64_t>> active_from;
+    /// Node epoch at the last kSyncData receipt per slice (rehydration
+    /// completion tracking; -1 = never).
+    std::vector<std::int64_t> sync_epoch;
   };
 
-  sim::Task worker_loop(int w);
+  /// Truth-side (simulator) node lifecycle; views may lag this.
+  struct NodeState {
+    bool up = true;
+    /// Bumps on every crash *and* restart; loops capture it at spawn and
+    /// abandon work when it moves. Doubles as the beacon incarnation.
+    std::int64_t epoch = 0;
+    TimeS down_since = -1.0;
+  };
+
+  /// Commit barrier for one replicated round: the parameter release to
+  /// workers is withheld until every live backup acked its kReplicate.
+  struct CommitState {
+    int server = -1;
+    std::int64_t slice = -1;
+    std::int64_t round = -1;  ///< iteration index the round aggregated
+    int outstanding = 0;      ///< unacked kReplicate copies
+  };
+
+  sim::Task worker_loop(int w, std::int64_t start_iter);
   sim::Task worker_sender(int w);
   sim::Task node_demux(int n);
   sim::Task server_loop(int n);
+  sim::Task heartbeat_loop(int n);
+  sim::Task checkpoint_loop(int s);
+  sim::Task worker_rejoin(int w, std::int64_t epoch);
+  sim::Task server_rehydrate(int s, std::int64_t epoch);
 
   /// Node hosting server `s` (== s when colocated, n_workers + s otherwise).
   int server_node(int server) const {
@@ -257,6 +399,12 @@ class Cluster {
   int total_nodes() const {
     return cfg_.dedicated_servers ? 2 * cfg_.n_workers : cfg_.n_workers;
   }
+  /// Server hosted on node `n`, or -1 if `n` is worker-only.
+  int server_of_node(int n) const {
+    if (!cfg_.dedicated_servers) return n;
+    return n >= cfg_.n_workers ? n - cfg_.n_workers : -1;
+  }
+  int n_servers() const { return cfg_.n_workers; }
 
   void enqueue_push(int w, std::int64_t slice, std::int64_t iteration);
   void enqueue_pull(int w, std::int64_t slice, std::int64_t iteration);
@@ -282,6 +430,35 @@ class Cluster {
   /// false when `m` is a duplicate that must not reach the protocol.
   bool accept_reliable(int node, const net::Message& m);
 
+  // --- membership plane ---
+  /// True while a message can still usefully be addressed to `node`: it is
+  /// up, or down but scheduled to restart (retransmission bridges the gap).
+  bool reachable(int node) const;
+  bool permanently_down(int node) const;
+  void execute_crash(const net::NodeCrash& c);
+  void execute_restart(const net::NodeCrash& c);
+  void on_peer_dead(int observer_node, int dead_node);
+  void takeover_group(int server, int group);
+  void announce_primary(int from_server, int group, std::int64_t epoch);
+  /// Re-push every slice of `group` whose parameters have not returned to
+  /// worker `w` yet; called after the node's leadership view moves.
+  void worker_repush_group(int w, int group);
+  /// Membership-mode pull trigger: issue the layer's pulls once every slice
+  /// has evidence its round completed (a notify, or parameters that arrived
+  /// through a recovery path). Fires at the same event as the legacy notify
+  /// counter in fault-free runs.
+  void maybe_pull_layer(int w, int layer);
+  /// The node a worker should address for `slice` (its view's leader).
+  int slice_dst_node(int worker, std::int64_t slice) const;
+  bool round_complete(int server, std::int64_t slice) const;
+  void commit_round(int server, std::int64_t slice, std::int64_t round);
+  void release_round(int server, std::int64_t slice, std::int64_t round);
+  void on_replicate_ack(std::int64_t msg_id);
+  void inject_recheck(int server);
+  void redirect_to_leader(int server, const net::Message& m);
+  Bytes replicated_state_bytes(int server) const;
+  void mem_mark(int node, const char* label);
+
   model::Workload workload_;
   ClusterConfig cfg_;
   core::SyncConfig sync_;
@@ -297,7 +474,9 @@ class Cluster {
 
   std::int64_t target_iterations_ = 0;
   int workers_finished_ = 0;
+  int finish_target_ = 0;
   bool started_ = false;
+  bool stopping_ = false;
 
   std::int64_t pushes_sent_ = 0;
   std::int64_t params_sent_ = 0;
@@ -314,6 +493,28 @@ class Cluster {
   std::int64_t timeouts_fired_ = 0;
   std::int64_t duplicates_suppressed_ = 0;
   Bytes goodput_bytes_ = 0;
+  Rng rto_rng_{0};  ///< consumed only when rto_jitter > 0
+
+  // Membership plane (sized only when armed).
+  bool membership_on_ = false;
+  std::vector<NodeState> node_state_;
+  std::vector<std::unique_ptr<Membership>> membership_;    // per node
+  std::vector<std::unique_ptr<ShardLeadership>> leadership_;  // per node
+  std::unordered_map<std::int64_t, std::int64_t> replicate_wait_;  // msg->key
+  std::unordered_map<std::int64_t, CommitState> commits_;  // key -> barrier
+  std::vector<std::vector<std::int64_t>> ckpt_versions_;   // per server "disk"
+  std::int64_t crashes_ = 0;
+  std::int64_t restarts_ = 0;
+  std::int64_t failovers_ = 0;
+  std::int64_t worker_rejoins_ = 0;
+  std::int64_t checkpoints_written_ = 0;
+  Bytes checkpoint_bytes_ = 0;
+  std::int64_t rehydrations_ = 0;
+  Bytes rehydration_bytes_ = 0;
+  double rehydration_time_sum_ = 0.0;
+  TimeS max_rejoin_lag_ = 0.0;
+  std::int64_t heartbeats_sent_ = 0;
+  std::int64_t stale_pushes_ = 0;
 };
 
 }  // namespace p3::ps

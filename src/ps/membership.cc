@@ -1,0 +1,91 @@
+#include "ps/membership.h"
+
+#include <stdexcept>
+
+namespace p3::ps {
+
+Membership::Membership(const MembershipConfig& config, int self)
+    : cfg_(config), self_(self) {
+  if (config.n_nodes <= 0) {
+    throw std::invalid_argument("membership needs at least one node");
+  }
+  if (self < 0 || self >= config.n_nodes) {
+    throw std::invalid_argument("membership self index out of range");
+  }
+  if (config.heartbeat_period <= 0.0) {
+    throw std::invalid_argument("non-positive heartbeat period");
+  }
+  if (config.suspicion_timeout <= config.heartbeat_period) {
+    throw std::invalid_argument(
+        "suspicion timeout must exceed the heartbeat period");
+  }
+  peers_.resize(static_cast<std::size_t>(config.n_nodes));
+}
+
+void Membership::record_heartbeat(int node, std::int64_t incarnation,
+                                  TimeS now) {
+  if (node < 0 || node >= n_nodes()) {
+    throw std::out_of_range("heartbeat from unknown node");
+  }
+  Peer& p = peers_[static_cast<std::size_t>(node)];
+  // Beacons from an older incarnation are ghosts of a process already known
+  // to have died; they must not revive the peer or refresh its timer.
+  if (incarnation < p.incarnation) return;
+  p.incarnation = incarnation;
+  if (now > p.last_heard) p.last_heard = now;
+  p.alive = true;
+}
+
+std::vector<int> Membership::check(TimeS now) {
+  std::vector<int> newly_dead;
+  for (int node = 0; node < n_nodes(); ++node) {
+    if (node == self_) continue;  // a node never suspects itself
+    Peer& p = peers_[static_cast<std::size_t>(node)];
+    if (!p.alive) continue;
+    if (now - p.last_heard > cfg_.suspicion_timeout) {
+      p.alive = false;
+      newly_dead.push_back(node);
+    }
+  }
+  return newly_dead;
+}
+
+ShardLeadership::ShardLeadership(int n_servers, int replication)
+    : n_servers_(n_servers), replication_(replication) {
+  if (n_servers <= 0) {
+    throw std::invalid_argument("leadership needs at least one server");
+  }
+  if (replication < 1 || replication > n_servers) {
+    throw std::invalid_argument(
+        "replication factor outside [1, n_servers]");
+  }
+  leases_.resize(static_cast<std::size_t>(n_servers));
+  for (int g = 0; g < n_servers; ++g) {
+    leases_[static_cast<std::size_t>(g)].primary = g;  // chain head leads
+  }
+}
+
+int ShardLeadership::chain_offset(int group, int server) const {
+  const int offset = (server - group + n_servers_) % n_servers_;
+  return offset < replication_ ? offset : -1;
+}
+
+bool ShardLeadership::adopt(int group, std::int64_t epoch, int primary) {
+  if (group < 0 || group >= n_servers_) {
+    throw std::out_of_range("leadership group out of range");
+  }
+  if (chain_offset(group, primary) < 0) {
+    throw std::invalid_argument("adopted primary is not a group replica");
+  }
+  Lease& cur = leases_[static_cast<std::size_t>(group)];
+  const bool newer =
+      epoch > cur.epoch ||
+      (epoch == cur.epoch &&
+       chain_offset(group, primary) > chain_offset(group, cur.primary));
+  if (!newer) return false;
+  cur.epoch = epoch;
+  cur.primary = primary;
+  return true;
+}
+
+}  // namespace p3::ps

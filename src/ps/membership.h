@@ -1,0 +1,137 @@
+// Heartbeat-driven failure detection and shard leadership.
+//
+// Every node in the cluster gossips fixed-size heartbeat beacons on the
+// ordinary message plane (no side channel: beacons compete for NIC time
+// like any other traffic). Each node feeds the beacons it receives into its
+// own `Membership` view — a simplified phi-accrual detector collapsed to a
+// single deterministic threshold over the simulated clock: a peer whose
+// silence exceeds `suspicion_timeout` transitions to *dead*; a later beacon
+// (the peer was merely slow, or it restarted with a higher incarnation)
+// transitions it back to *alive*. Views are per-node and independent: two
+// observers may disagree transiently, exactly like production detectors,
+// and the protocol layers above are built to converge despite that.
+//
+// `ShardLeadership` is the failover half: each shard group (a server shard
+// and its R-1 chain replicas) has a monotonically increasing leadership
+// epoch. Leadership changes only by announcement (`kNewPrimary` messages in
+// ps::Cluster); `adopt` enforces monotonicity so stale announcements and
+// out-of-order deliveries cannot move a view backwards, and equal-epoch
+// conflicts (two backups claiming succession after a cascade of failures)
+// deterministically resolve toward the later chain offset.
+//
+// Everything here is plain state driven by the simulator clock — no events
+// are scheduled and no randomness is consumed, so membership adds zero
+// perturbation to runs that never enable it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace p3::ps {
+
+struct MembershipConfig {
+  int n_nodes = 0;
+  /// Beacon interval; every node broadcasts one heartbeat per period.
+  TimeS heartbeat_period = ms(5);
+  /// Silence threshold: a peer unheard for longer than this is suspected
+  /// dead. Must comfortably exceed `heartbeat_period` (several consecutive
+  /// beacons must be lost before suspicion) or wire loss alone produces
+  /// false failovers.
+  TimeS suspicion_timeout = ms(50);
+};
+
+/// One node's local liveness view of every peer.
+class Membership {
+ public:
+  Membership(const MembershipConfig& config, int self);
+
+  int self() const { return self_; }
+  int n_nodes() const { return static_cast<int>(peers_.size()); }
+
+  /// Feed one received beacon. A beacon from a suspected-dead peer revives
+  /// it; a higher incarnation records that the peer restarted (its previous
+  /// process, and all state it held, is gone).
+  void record_heartbeat(int node, std::int64_t incarnation, TimeS now);
+
+  /// Evaluate suspicion at `now`; returns peers that transitioned
+  /// alive -> dead during this evaluation (each transition reported once).
+  std::vector<int> check(TimeS now);
+
+  /// Fresh-process reset (node restart): the new process starts optimistic,
+  /// treating every peer as alive and freshly heard so stale pre-crash
+  /// timers cannot fire instant false suspicions. Learned incarnations are
+  /// kept — they are monotonic and only make the ghost-beacon guard safer.
+  void reset(TimeS now) {
+    for (Peer& p : peers_) {
+      p.last_heard = now;
+      p.alive = true;
+    }
+  }
+
+  bool alive(int node) const {
+    return peers_[static_cast<std::size_t>(node)].alive;
+  }
+  std::int64_t incarnation(int node) const {
+    return peers_[static_cast<std::size_t>(node)].incarnation;
+  }
+  TimeS last_heard(int node) const {
+    return peers_[static_cast<std::size_t>(node)].last_heard;
+  }
+  const MembershipConfig& config() const { return cfg_; }
+
+ private:
+  struct Peer {
+    TimeS last_heard = 0.0;
+    std::int64_t incarnation = 0;
+    bool alive = true;
+  };
+
+  MembershipConfig cfg_;
+  int self_ = -1;
+  std::vector<Peer> peers_;
+};
+
+/// One node's view of who currently leads each shard group. Group `g` is
+/// the set of servers {g, g+1, ..., g+R-1} (mod n_servers) hosting replicas
+/// of the slices owned by server g; the chain order is that fixed ring.
+class ShardLeadership {
+ public:
+  struct Lease {
+    std::int64_t epoch = 0;  ///< bumps on every leadership change
+    int primary = -1;        ///< server index currently leading the group
+  };
+
+  ShardLeadership(int n_servers, int replication);
+
+  int n_servers() const { return n_servers_; }
+  int replication() const { return replication_; }
+
+  const Lease& lease(int group) const {
+    return leases_[static_cast<std::size_t>(group)];
+  }
+  int primary(int group) const { return lease(group).primary; }
+  std::int64_t epoch(int group) const { return lease(group).epoch; }
+
+  /// Position of `server` in group `g`'s chain (0 = original owner), or -1
+  /// if the server does not replicate the group.
+  int chain_offset(int group, int server) const;
+
+  /// Replica at chain offset `k` of group `g`.
+  int member(int group, int k) const {
+    return (group + k) % n_servers_;
+  }
+
+  /// Monotonic adoption of an announced lease. Returns true if the view
+  /// moved. Equal epochs resolve toward the later chain offset, so cascaded
+  /// same-epoch claims converge identically at every observer.
+  bool adopt(int group, std::int64_t epoch, int primary);
+
+ private:
+  int n_servers_ = 0;
+  int replication_ = 1;
+  std::vector<Lease> leases_;
+};
+
+}  // namespace p3::ps

@@ -273,5 +273,129 @@ TEST(NetworkFaults, MonitorOnlyRecordsOutboundForDrops) {
   EXPECT_NEAR(mon.total_bytes(1, Direction::kIn), 0.0, 1e-9);
 }
 
+// ---------------------------------------------------------------------------
+// Plan validation: each class of nonsense is rejected on its own, with the
+// injector never constructed (attach-time contract, one case per rejection).
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanValidate, RejectsGlobalDropProbabilityOutsideUnitInterval) {
+  FaultPlan plan;
+  plan.drop_prob = -0.1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.drop_prob = 1.0 + 1e-9;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsLinkDropProbabilityOutsideUnitInterval) {
+  FaultPlan plan;
+  plan.link_drops.push_back({0, 1, -0.5});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.link_drops[0].probability = 2.0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsNegativeOrInvertedFlapWindows) {
+  FaultPlan plan;
+  plan.flaps.push_back({0, 1, -1.0, 2.0});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.flaps[0] = {0, 1, 2.0, 1.0};  // inverted
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsDegenerateDegradations) {
+  FaultPlan plan;
+  plan.degradations.push_back({0, 0.0, 1.0, 0.0, 0.0});  // factor of zero
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.degradations[0] = {0, 0.0, 1.0, 1.5, 0.0};  // factor above one
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.degradations[0] = {0, 0.0, 1.0, 0.5, -0.001};  // negative latency
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.degradations[0] = {0, -1.0, 1.0, 0.5, 0.0};  // negative start
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.degradations[0] = {0, 2.0, 1.0, 0.5, 0.0};  // inverted window
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsNegativePauses) {
+  FaultPlan plan;
+  plan.pauses.push_back({0, -1.0, 0.5});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.pauses[0] = {0, 0.5, -1.0};
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsAnonymousOrNegativeTimeCrashes) {
+  FaultPlan plan;
+  plan.crashes.push_back({-1, 0.5, -1.0});  // a crash must name its victim
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.crashes[0] = {0, -0.5, -1.0};  // negative crash time
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.crashes[0] = {0, 0.5, 0.25};  // restart is legal
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlanValidate, CrashPlansAreActiveAndInjectorValidatesOnAttach) {
+  FaultPlan plan;
+  plan.crashes.push_back({1, 0.5, -1.0});
+  EXPECT_TRUE(plan.active());
+  FaultPlan bad = plan;
+  bad.crashes.push_back({-1, 0.5, -1.0});
+  EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// NodeCrash wire semantics: TX from a dead process never starts, a transfer
+// whose RX window overlaps the victim's down window dies in the fabric, and
+// a restarted node sends and receives again.
+// ---------------------------------------------------------------------------
+
+TEST(NetworkFaults, CrashedSourceCannotTransmit) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  plan.crashes.push_back({0, 0.5, -1.0});
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  Message early = msg(0, 1, 1'000);
+  Message late = msg(0, 1, 1'000);
+  net.post(early);                       // enters the wire at t=0: delivered
+  sim.schedule_at(0.6, [&] { net.post(late); });  // posted post-mortem
+  EXPECT_EQ(drain_inbox(sim, net, 1), 1);
+  EXPECT_EQ(net.messages_dropped(), 1);
+}
+
+TEST(NetworkFaults, InFlightTransferTornDownWhenReceiverDies) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  plan.crashes.push_back({1, 0.5, -1.0});
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  // 125 MB at 1 Gb/s serializes for 1 s per NIC: the RX window lands after
+  // the crash at 0.5, so the transfer dies in the fabric with the node.
+  net.post(msg(0, 1, 125'000'000));
+  EXPECT_EQ(drain_inbox(sim, net, 1), 0);
+}
+
+TEST(NetworkFaults, RestartedNodeExchangesTrafficAgain) {
+  sim::Simulator sim;
+  Network net(sim, 3, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  plan.crashes.push_back({1, 0.5, 0.25});  // down during [0.5, 0.75)
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  Message during_down = msg(0, 1, 1'000);
+  Message after_up = msg(0, 1, 1'000);
+  Message from_revenant = msg(1, 2, 1'000);
+  sim.schedule_at(0.6, [&] { net.post(during_down); });
+  sim.schedule_at(0.8, [&] {
+    net.post(after_up);
+    net.post(from_revenant);
+  });
+  EXPECT_EQ(drain_inbox(sim, net, 1), 1);  // only the post-restart message
+  EXPECT_EQ(drain_inbox(sim, net, 2), 1);  // the restarted node can send
+  EXPECT_EQ(net.messages_dropped(), 1);
+}
+
 }  // namespace
 }  // namespace p3::net

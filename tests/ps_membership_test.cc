@@ -1,0 +1,194 @@
+// Membership plane in isolation and at its edges: detector semantics,
+// leadership monotonicity, no false failover below the suspicion threshold
+// under PR 1 loss plans, and a loud, well-formed failure when a shard group
+// loses every replica at once.
+#include "ps/membership.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/zoo.h"
+#include "ps/cluster.h"
+
+namespace p3::ps {
+namespace {
+
+using core::SyncMethod;
+
+MembershipConfig detector_config() {
+  MembershipConfig cfg;
+  cfg.n_nodes = 4;
+  cfg.heartbeat_period = ms(5);
+  cfg.suspicion_timeout = ms(25);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Detector unit semantics.
+// ---------------------------------------------------------------------------
+
+TEST(Membership, SilenceBeyondTimeoutKillsOnce) {
+  Membership view(detector_config(), 0);
+  view.record_heartbeat(1, 0, 0.010);
+  view.record_heartbeat(2, 0, 0.010);
+  EXPECT_TRUE(view.check(0.020).empty());  // within the window
+  const auto dead = view.check(0.040);     // 30 ms of silence
+  EXPECT_EQ(dead.size(), 3u);              // peers 1, 2 and silent 3
+  EXPECT_FALSE(view.alive(1));
+  EXPECT_TRUE(view.alive(0));              // never suspects itself
+  EXPECT_TRUE(view.check(0.050).empty());  // each transition reported once
+}
+
+TEST(Membership, BeaconRevivesSuspect) {
+  Membership view(detector_config(), 0);
+  view.check(0.030);
+  EXPECT_FALSE(view.alive(2));
+  view.record_heartbeat(2, 0, 0.031);
+  EXPECT_TRUE(view.alive(2));
+}
+
+TEST(Membership, GhostBeaconFromOlderIncarnationIgnored) {
+  Membership view(detector_config(), 0);
+  view.record_heartbeat(1, 3, 0.010);  // restarted peer, incarnation 3
+  view.check(0.050);
+  EXPECT_FALSE(view.alive(1));
+  view.record_heartbeat(1, 1, 0.051);  // stale pre-crash beacon
+  EXPECT_FALSE(view.alive(1));         // must not revive the ghost
+  view.record_heartbeat(1, 3, 0.052);
+  EXPECT_TRUE(view.alive(1));
+}
+
+TEST(Membership, ResetRestoresOptimism) {
+  Membership view(detector_config(), 0);
+  view.check(0.030);
+  EXPECT_FALSE(view.alive(1));
+  view.reset(0.030);
+  EXPECT_TRUE(view.alive(1));
+  EXPECT_TRUE(view.check(0.040).empty());  // timers re-based at reset
+}
+
+TEST(Membership, RejectsDegenerateConfigs) {
+  MembershipConfig cfg = detector_config();
+  cfg.suspicion_timeout = cfg.heartbeat_period;  // <= one beacon period
+  EXPECT_THROW(Membership(cfg, 0), std::invalid_argument);
+  cfg = detector_config();
+  cfg.n_nodes = 0;
+  EXPECT_THROW(Membership(cfg, 0), std::invalid_argument);
+  EXPECT_THROW(Membership(detector_config(), 7), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Leadership table: monotone epochs, deterministic tie-break.
+// ---------------------------------------------------------------------------
+
+TEST(ShardLeadership, ChainOffsetsFollowTheRing) {
+  ShardLeadership lead(4, 3);
+  EXPECT_EQ(lead.primary(2), 2);  // chain head leads initially
+  EXPECT_EQ(lead.member(2, 1), 3);
+  EXPECT_EQ(lead.member(3, 1), 0);  // wraps
+  EXPECT_EQ(lead.chain_offset(2, 3), 1);
+  EXPECT_EQ(lead.chain_offset(2, 1), -1);  // not a replica of group 2
+}
+
+TEST(ShardLeadership, AdoptionIsMonotoneWithChainTieBreak) {
+  ShardLeadership lead(4, 3);
+  EXPECT_TRUE(lead.adopt(0, 1, 1));
+  EXPECT_FALSE(lead.adopt(0, 1, 1));       // same lease: no movement
+  EXPECT_FALSE(lead.adopt(0, 0, 2));       // stale epoch rejected
+  EXPECT_TRUE(lead.adopt(0, 1, 2));        // equal epoch, later offset wins
+  EXPECT_FALSE(lead.adopt(0, 1, 1));       // earlier offset loses the tie
+  EXPECT_TRUE(lead.adopt(0, 2, 0));        // higher epoch always wins
+  EXPECT_EQ(lead.primary(0), 0);
+  EXPECT_EQ(lead.epoch(0), 2);
+  EXPECT_THROW(lead.adopt(0, 3, 3), std::invalid_argument);  // non-replica
+}
+
+// ---------------------------------------------------------------------------
+// No false failover: heartbeat loss without a crash must never trigger a
+// takeover while losses stay below the suspicion threshold.
+// ---------------------------------------------------------------------------
+
+model::Workload small_workload() {
+  model::Workload w;
+  w.model = model::toy_uniform(4, 120'000);
+  w.batch_per_worker = 4;
+  w.iter_compute_time = 0.020;
+  return w;
+}
+
+TEST(MembershipIntegration, LossPlanBelowThresholdCausesNoFailover) {
+  ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.method = SyncMethod::kP3;
+  cfg.bandwidth = gbps(1.0);
+  cfg.replication = 2;  // arms the plane without any crash
+  cfg.heartbeat_period = ms(5);
+  cfg.suspicion_timeout = ms(30);
+  cfg.faults.drop_prob = 0.10;  // PR 1 loss plan: drops beacons too
+  cfg.max_sim_time = 60.0;
+  Cluster cluster(small_workload(), cfg);
+  const auto result = cluster.run(1, 3);
+  cluster.drain();
+  // Six consecutive beacons must vanish to cross the threshold; at 10%
+  // loss that never happens in this window — and a spurious takeover
+  // would desync the run.
+  EXPECT_EQ(result.failovers, 0);
+  EXPECT_EQ(result.crashes, 0);
+  for (std::int64_t s = 0; s < cluster.partition().num_slices(); ++s) {
+    EXPECT_EQ(cluster.slice_version(s), 4);
+  }
+  EXPECT_TRUE(cluster.simulator().idle());
+}
+
+TEST(MembershipIntegration, ShortFlapBelowThresholdCausesNoFailover) {
+  ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.method = SyncMethod::kBaseline;
+  cfg.bandwidth = gbps(1.0);
+  cfg.replication = 2;
+  cfg.heartbeat_period = ms(5);
+  cfg.suspicion_timeout = ms(40);
+  // Node 2's NIC goes dark for 20 ms — half the suspicion window.
+  cfg.faults.flaps.push_back({2, -1, 0.050, 0.070});
+  cfg.faults.flaps.push_back({-1, 2, 0.050, 0.070});
+  cfg.max_sim_time = 60.0;
+  Cluster cluster(small_workload(), cfg);
+  const auto result = cluster.run(1, 3);
+  cluster.drain();
+  EXPECT_EQ(result.failovers, 0);
+  for (std::int64_t s = 0; s < cluster.partition().num_slices(); ++s) {
+    EXPECT_EQ(cluster.slice_version(s), 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Losing every replica of a shard group at once is unrecoverable and must
+// fail loudly with a well-formed error, not hang.
+// ---------------------------------------------------------------------------
+
+TEST(MembershipIntegration, SimultaneousPrimaryAndBackupCrashIsFatal) {
+  ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.method = SyncMethod::kP3;
+  cfg.bandwidth = gbps(1.0);
+  cfg.replication = 2;
+  cfg.heartbeat_period = ms(5);
+  cfg.suspicion_timeout = ms(25);
+  cfg.max_sim_time = 60.0;
+  // Group 0 is replicated on servers {0, 1}; kill both, permanently.
+  cfg.faults.crashes.push_back({0, 0.05, -1.0});
+  cfg.faults.crashes.push_back({1, 0.05, -1.0});
+  Cluster cluster(small_workload(), cfg);
+  try {
+    cluster.run(1, 5);
+    FAIL() << "expected shard-loss failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("lost every replica"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace p3::ps

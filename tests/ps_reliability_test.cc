@@ -292,6 +292,68 @@ TEST(Reliability, InvalidReliabilityConfigsThrow) {
   ClusterConfig bad_drop = small_config(SyncMethod::kP3);
   bad_drop.faults.drop_prob = 2.0;
   EXPECT_THROW(Cluster(small_workload(), bad_drop), std::invalid_argument);
+  ClusterConfig bad_cap = small_config(SyncMethod::kP3);
+  bad_cap.max_rto = bad_cap.min_rto / 2;
+  EXPECT_THROW(Cluster(small_workload(), bad_cap), std::invalid_argument);
+  ClusterConfig bad_jitter = small_config(SyncMethod::kP3);
+  bad_jitter.rto_jitter = 1.5;
+  EXPECT_THROW(Cluster(small_workload(), bad_jitter), std::invalid_argument);
+  bad_jitter.rto_jitter = -0.1;
+  EXPECT_THROW(Cluster(small_workload(), bad_jitter), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Backoff cap + jitter: a long blackout must not push timers into unbounded
+// exponential territory — with the cap, recovery after the link returns is
+// bounded by roughly one capped RTO, not by the backoff history.
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, BackoffCapBoundsRecoveryAfterLongFlap) {
+  // Node 1's NIC goes completely dark for a full 5 seconds. Every probe
+  // during the blackout dies, so timers back off the whole time.
+  auto run_once = [](TimeS max_rto, double jitter) {
+    ClusterConfig cfg = small_config(SyncMethod::kP3);
+    cfg.faults.flaps.push_back({1, -1, 0.05, 5.05});
+    cfg.faults.flaps.push_back({-1, 1, 0.05, 5.05});
+    cfg.max_rto = max_rto;
+    cfg.rto_jitter = jitter;
+    Cluster cluster(small_workload(), cfg);
+    const int iterations = 4;
+    auto result = cluster.run(0, iterations);
+    cluster.drain();
+    expect_converged(cluster, 4, 4, iterations);
+    EXPECT_GT(result.retransmits, 0);
+    return result.total_time;
+  };
+  // Capped at 500 ms (+10% jitter), the first probe after the flap clears
+  // lands within ~0.55 s of 5.05; the run finishes well inside 7 s. An
+  // uncapped (10 s ceiling) backoff may idle for seconds after the link is
+  // already healthy — the cap must never lose to it.
+  const TimeS capped = run_once(0.5, 0.1);
+  EXPECT_LT(capped, 7.0);
+  const TimeS uncapped = run_once(10.0, 0.0);
+  EXPECT_LE(capped, uncapped);
+}
+
+TEST(Reliability, JitteredRetransmissionsStayDeterministic) {
+  // Jitter draws flow through the cluster-seeded RNG: same seed, same
+  // fault plan => bit-identical runs, even with jitter enabled.
+  auto run_once = [] {
+    ClusterConfig cfg = small_config(SyncMethod::kP3);
+    cfg.faults.drop_prob = 0.05;
+    cfg.rto_jitter = 0.25;
+    cfg.max_rto = 0.4;
+    Cluster cluster(small_workload(), cfg);
+    auto result = cluster.run(1, 4);
+    cluster.drain();
+    return result;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.timeouts_fired, b.timeouts_fired);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
 }
 
 // ---------------------------------------------------------------------------
