@@ -7,10 +7,14 @@
 // overlapped; P3 keeps the NIC busy and uses both directions concurrently.
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 #include "bench_util.h"
 #include "common/csv.h"
 #include "model/zoo.h"
+#include "obs/analysis.h"
+#include "obs/tracer.h"
 #include "runner/experiment.h"
 
 namespace {
@@ -61,11 +65,51 @@ void run_case(const char* title, const model::Workload& workload,
               trace.peak_out_gbps, trace.peak_in_gbps, bench::out(csv_path).c_str());
 }
 
+/// --trace PREFIX: one fully observed ResNet-50 P3 point on top of the
+/// figure sweep. Exports "<PREFIX>.trace.json" (Chrome trace-event /
+/// Perfetto), "<PREFIX>.lifecycle.csv", "<PREFIX>.metrics.{csv,json}", and
+/// prints the slice-lifecycle breakdown. The traced run is separate from
+/// the CSV-producing runs above, so figure output stays bit-identical.
+void run_traced_point(const model::Workload& workload,
+                      const std::string& prefix,
+                      const runner::MeasureOptions& opts) {
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.method = core::SyncMethod::kP3;
+  cfg.bandwidth = gbps(4);
+  cfg.rx_bandwidth = gbps(100);
+
+  ps::Cluster cluster(workload, cfg);
+  obs::Tracer tracer;
+  cluster.attach_tracer(&tracer);
+  cluster.run(opts.warmup, opts.measured);
+
+  const auto violations = tracer.validate();
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "trace violation: %s\n", v.c_str());
+  }
+
+  tracer.write_chrome_json(prefix + ".trace.json");
+  tracer.write_lifecycle_csv(prefix + ".lifecycle.csv");
+  cluster.metrics().write_csv(prefix + ".metrics.csv");
+  cluster.metrics().write_json(prefix + ".metrics.json");
+
+  const auto report = obs::analyze(tracer.lifecycle_records());
+  std::printf("--- traced point: ResNet-50, P3, 4 Gbps ---\n");
+  std::printf("%s", obs::format_report(report).c_str());
+  std::printf("  trace: %s.trace.json  lifecycle: %s.lifecycle.csv\n\n",
+              prefix.c_str(), prefix.c_str());
+  if (!violations.empty()) {
+    throw std::runtime_error("trace failed validation");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchOptions opts(argc, argv, /*default_warmup=*/3,
-                           /*default_measured=*/6);
+                           /*default_measured=*/6,
+                           {{"trace", ""}});
   const runner::MeasureOptions& m = opts.measure();
 
   std::printf("== Figures 8/9: network utilization, baseline vs P3 ==\n\n");
@@ -85,6 +129,9 @@ int main(int argc, char** argv) {
            "fig08_sockeye_baseline.csv", m);
   run_case("Fig 9(c) Sockeye", sockeye, 4, core::SyncMethod::kP3,
            "fig09_sockeye_p3.csv", m);
+
+  const std::string trace_prefix = opts.raw().str("trace");
+  if (!trace_prefix.empty()) run_traced_point(resnet, trace_prefix, m);
 
   std::printf("paper: baseline shows bursty peaks and dominant idle time "
               "(esp. VGG/Sockeye);\n       P3 reduces idle time and "

@@ -9,6 +9,9 @@
 //   2. sweep fan-out — wall time of a toy bandwidth_sweep at --threads 1 vs
 //      --threads N, plus a check that both produce bit-identical Series
 //      (the determinism guarantee the parallel runner documents).
+//   3. observability guard — a cluster run with a tracer attached but
+//      disabled must stay within 2% of the same run with no tracer at all
+//      (src/obs promises "pay only for what you record").
 //
 // Usage: perf_smoke [--events N] [--reps R] [--threads N] [--smoke]
 //                   [--out results/BENCH_perf.json]
@@ -23,6 +26,8 @@
 
 #include "bench_util.h"
 #include "model/zoo.h"
+#include "obs/tracer.h"
+#include "ps/cluster.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -172,6 +177,49 @@ bool series_identical(const std::vector<runner::Series>& a,
   return true;
 }
 
+// --------------------------------------------------------------------------
+// Observability guard: every tracer hook in the protocol sits behind an
+// `enabled()` branch, so an attached-but-disabled tracer must cost nearly
+// nothing. Same interleaved best-of-N scheme as the event-loop section.
+
+constexpr double kObsOverheadBudget = 0.02;
+
+struct ObsResult {
+  double baseline_evps = 0.0;  ///< no tracer attached
+  double disabled_evps = 0.0;  ///< tracer attached, enabled(false)
+  double overhead = 0.0;       ///< 1 - disabled/baseline (negative = noise)
+  bool pass = false;
+};
+
+double time_cluster_run(obs::Tracer* tracer, int measured) {
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.bandwidth = gbps(2);
+  ps::Cluster c(toy_workload(), cfg);
+  if (tracer != nullptr) c.attach_tracer(tracer);
+  const auto t0 = Clock::now();
+  c.run(1, measured);
+  return static_cast<double>(c.simulator().events_executed()) /
+         seconds_since(t0);
+}
+
+ObsResult bench_obs_overhead(int measured, int reps) {
+  ObsResult r;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double base = time_cluster_run(nullptr, measured);
+    obs::Tracer tracer;
+    tracer.set_enabled(false);
+    const double disabled = time_cluster_run(&tracer, measured);
+    r.baseline_evps = std::max(r.baseline_evps, base);
+    r.disabled_evps = std::max(r.disabled_evps, disabled);
+    std::printf("  rep %d: no tracer %.2fM ev/s, disabled tracer %.2fM ev/s\n",
+                rep + 1, base / 1e6, disabled / 1e6);
+  }
+  r.overhead = 1.0 - r.disabled_evps / r.baseline_evps;
+  r.pass = r.overhead < kObsOverheadBudget;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -218,6 +266,15 @@ int main(int argc, char** argv) {
               t_serial, threads, t_parallel, sweep_speedup,
               identical ? "bit-identical" : "DIFFER (BUG)");
 
+  std::printf("== perf smoke: disabled-tracing overhead (budget %.0f%%) ==\n",
+              100.0 * kObsOverheadBudget);
+  const ObsResult obs = bench_obs_overhead(sweep_measured, reps);
+  std::printf("obs: no tracer %.2fM ev/s, disabled tracer %.2fM ev/s "
+              "(best of %d) -> %+.2f%% overhead, %s\n\n",
+              obs.baseline_evps / 1e6, obs.disabled_evps / 1e6, reps,
+              100.0 * obs.overhead,
+              obs.pass ? "within budget" : "OVER BUDGET (BUG)");
+
   const std::string out_path =
       opts.str("out").empty() ? bench::out("BENCH_perf.json") : opts.str("out");
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {
@@ -236,17 +293,26 @@ int main(int argc, char** argv) {
                  "    \"parallel_seconds\": %.3f,\n"
                  "    \"speedup\": %.3f,\n"
                  "    \"outputs_identical\": %s\n"
+                 "  },\n"
+                 "  \"obs\": {\n"
+                 "    \"baseline_events_per_sec\": %.0f,\n"
+                 "    \"disabled_tracer_events_per_sec\": %.0f,\n"
+                 "    \"overhead\": %.4f,\n"
+                 "    \"budget\": %.2f,\n"
+                 "    \"within_budget\": %s\n"
                  "  }\n"
                  "}\n",
                  cores, static_cast<unsigned long long>(events), reps, threads,
                  sweep_measured, loop.legacy_evps, loop.optimized_evps,
                  loop.speedup, t_serial, t_parallel, sweep_speedup,
-                 identical ? "true" : "false");
+                 identical ? "true" : "false", obs.baseline_evps,
+                 obs.disabled_evps, obs.overhead, kObsOverheadBudget,
+                 obs.pass ? "true" : "false");
     std::fclose(f);
     std::printf("(json: %s)\n", out_path.c_str());
   } else {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  return identical ? 0 : 2;
+  return identical && obs.pass ? 0 : 2;
 }

@@ -1,0 +1,103 @@
+// Slice-lifecycle trace reporter.
+//
+// Two modes:
+//   run (default)   Run one fully traced cluster and print the per-priority
+//                   latency breakdown, the priority-inversion counter, and
+//                   the send-queue depth table; optionally export the raw
+//                   artifacts (Chrome/Perfetto JSON, lifecycle CSV, metrics
+//                   snapshot) under --out PREFIX.
+//   --load FILE     Re-analyze a lifecycle CSV written earlier by
+//                   Tracer::write_lifecycle_csv (or fig08 --trace) without
+//                   re-running anything.
+//
+// Exit status: 0 on success, 2 when the trace fails well-formedness
+// validation or the lifecycle stage-order invariant — so CI can gate on it.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/compute.h"
+#include "obs/analysis.h"
+#include "obs/tracer.h"
+#include "ps/cluster.h"
+
+namespace {
+
+using namespace p3;
+
+model::Workload workload_by_name(const std::string& name) {
+  if (name == "resnet50") return model::workload_resnet50();
+  if (name == "vgg19") return model::workload_vgg19();
+  if (name == "sockeye") return model::workload_sockeye();
+  if (name == "inception_v3") return model::workload_inception_v3();
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+int report(const obs::Report& analysis,
+           const std::vector<std::string>& problems) {
+  std::printf("%s", obs::format_report(analysis).c_str());
+  if (!problems.empty()) {
+    std::printf("\n%zu invariant violation(s):\n", problems.size());
+    for (const auto& p : problems) std::printf("  %s\n", p.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts(argc, argv, /*default_warmup=*/1,
+                           /*default_measured=*/3,
+                           {{"load", ""},
+                            {"model", "resnet50"},
+                            {"method", "P3"},
+                            {"bandwidth", "4"},
+                            {"workers", "4"},
+                            {"out", ""},
+                            {"strict", ""}});
+  const bool strict = opts.raw().flag("strict");
+
+  const std::string load_path = opts.raw().str("load");
+  if (!load_path.empty()) {
+    const auto records = obs::load_lifecycle_csv(load_path);
+    std::printf("== trace report: %s ==\n", load_path.c_str());
+    return report(obs::analyze(records),
+                  obs::lifecycle_violations(records, strict));
+  }
+
+  const std::string model_name = opts.raw().str("model");
+  ps::ClusterConfig cfg;
+  cfg.n_workers = static_cast<int>(opts.raw().integer("workers"));
+  cfg.method = core::parse_sync_method(opts.raw().str("method"));
+  cfg.bandwidth = gbps(opts.raw().num("bandwidth"));
+  cfg.rx_bandwidth = gbps(100);
+
+  ps::Cluster cluster(workload_by_name(model_name), cfg);
+  obs::Tracer tracer;
+  cluster.attach_tracer(&tracer);
+  cluster.run(opts.measure().warmup, opts.measure().measured);
+
+  std::printf("== trace report: %s, %s, %d workers ==\n", model_name.c_str(),
+              core::sync_method_name(cfg.method).c_str(), cfg.n_workers);
+
+  std::vector<std::string> problems = tracer.validate();
+  const auto lifecycle =
+      obs::lifecycle_violations(tracer.lifecycle_records(), strict);
+  problems.insert(problems.end(), lifecycle.begin(), lifecycle.end());
+
+  const std::string out_prefix = opts.raw().str("out");
+  if (!out_prefix.empty()) {
+    tracer.write_chrome_json(out_prefix + ".trace.json");
+    tracer.write_lifecycle_csv(out_prefix + ".lifecycle.csv");
+    cluster.metrics().write_csv(out_prefix + ".metrics.csv");
+    cluster.metrics().write_json(out_prefix + ".metrics.json");
+    std::printf("exported %s.{trace.json,lifecycle.csv,metrics.csv,"
+                "metrics.json}\n",
+                out_prefix.c_str());
+  }
+
+  return report(obs::analyze(tracer.lifecycle_records()), problems);
+}

@@ -1,12 +1,27 @@
 #include "common/log.h"
 
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace p3 {
 namespace {
 LogLevel g_level = LogLevel::kInfo;
 
-const char* level_name(LogLevel level) {
+/// Serializes the final write so concurrent threads (parallel sweep jobs)
+/// never interleave characters within one line.
+std::mutex& io_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+thread_local LogHook t_hook;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -19,14 +34,18 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+LogHook set_thread_log_hook(LogHook hook) {
+  LogHook previous = std::move(t_hook);
+  t_hook = std::move(hook);
+  return previous;
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  if (t_hook) t_hook(level, msg);
+  const std::lock_guard<std::mutex> lock(io_mutex());
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), msg.c_str());
 }
 }  // namespace detail
 

@@ -1,7 +1,16 @@
-// Minimal leveled logger. Deliberately not thread-safe beyond line
-// atomicity: the simulator is single-threaded and benches are sequential.
+// Minimal leveled logger.
+//
+// Emission is line-atomic and safe under runner::ParallelExecutor: a single
+// process-wide mutex serializes the final fprintf, so concurrent sweep jobs
+// never interleave characters within a line. Level get/set stays unsynchronized
+// (it is configured once at startup).
+//
+// A per-thread hook lets an active trace capture every line this thread
+// emits (see obs::LogCapture); hooks on one thread never observe another
+// thread's lines, so parallel sweep jobs each trace their own logs.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +21,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global threshold; messages below it are dropped. Default: kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Upper-case level name ("DEBUG", "INFO", ...).
+const char* log_level_name(LogLevel level);
+
+/// Observer for lines emitted by the *calling thread*; runs before the line
+/// is printed to stderr.
+using LogHook = std::function<void(LogLevel, const std::string&)>;
+
+/// Install `hook` for the calling thread (empty = remove); returns the
+/// previously installed hook so scopes can nest and restore.
+LogHook set_thread_log_hook(LogHook hook);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

@@ -56,6 +56,10 @@ struct Message {
   /// recovery (re-pushes, failover re-sends, rejoin syncs) idempotent even
   /// across distinct msg_ids.
   std::int64_t version = -1;
+  /// Observability correlation id (obs::make_trace_id) linking this message
+  /// to one slice's lifecycle. -1 = untraced; only set while a tracer is
+  /// attached and enabled, so it never affects protocol behaviour.
+  std::int64_t trace_id = -1;
 };
 
 /// Fixed per-message header overhead (ps-lite style key+meta).

@@ -37,13 +37,17 @@ void UtilizationMonitor::record(int node, Direction dir, TimeS start,
     return;
   }
   const double rate = static_cast<double>(bytes) / (end - start);
-  const auto last = static_cast<std::size_t>(end / bin_width_);
-  if (bins.size() <= last) bins.resize(last + 1, 0.0);
-  for (auto b = static_cast<std::size_t>(start / bin_width_); b <= last; ++b) {
+  // Grow lazily, only for bins the transfer actually covers: a transfer
+  // ending exactly on a bin boundary must not materialize an empty trailing
+  // bin (it would pad every derived utilization series with a zero row).
+  for (auto b = static_cast<std::size_t>(start / bin_width_);
+       static_cast<double>(b) * bin_width_ < end; ++b) {
     const double lo = std::max(start, static_cast<double>(b) * bin_width_);
     const double hi =
         std::min(end, (static_cast<double>(b) + 1.0) * bin_width_);
-    if (hi > lo) bins[b] += rate * (hi - lo);
+    if (hi <= lo) continue;
+    if (bins.size() <= b) bins.resize(b + 1, 0.0);
+    bins[b] += rate * (hi - lo);
   }
 }
 

@@ -21,7 +21,12 @@ class UtilizationMonitor {
  public:
   UtilizationMonitor(int n_nodes, TimeS bin_width = 0.010);
 
-  /// Record a transfer interval on a node's TX or RX channel.
+  /// Record a transfer interval on a node's TX or RX channel. Zero-byte
+  /// transfers leave no footprint; a zero-length interval (end <= start)
+  /// accounts wholly to the bin containing `start`, including when `start`
+  /// sits exactly on a bin boundary (it lands in the later bin, half-open
+  /// convention); a transfer ending exactly on a bin boundary does not
+  /// create an empty trailing bin.
   void record(int node, Direction dir, TimeS start, TimeS end, Bytes bytes);
 
   TimeS bin_width() const { return bin_width_; }
@@ -37,7 +42,8 @@ class UtilizationMonitor {
   double total_bytes(int node, Direction dir) const;
 
   /// Fraction of bins in [first, last) whose utilization is below
-  /// `threshold` (idle-time metric used in Section 5.4).
+  /// `threshold` (idle-time metric used in Section 5.4). An empty window
+  /// (first >= last) is 0.0 by definition — no bins, no idle time.
   double idle_fraction(int node, Direction dir, BitsPerSec threshold,
                        std::size_t first, std::size_t last) const;
 

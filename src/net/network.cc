@@ -63,9 +63,10 @@ TimeS Network::post(Message m) {
     if (monitor_ != nullptr) {
       monitor_->record(m.src, Direction::kOut, tx_start, tx_end, m.bytes);
     }
-    if (timeline_ != nullptr) {
-      timeline_->add("n" + std::to_string(m.src) + ".tx", tx_start, tx_end,
-                     message_label(m));
+    const bool traced = tracer_ != nullptr && tracer_->enabled();
+    if (traced) {
+      tracer_->span("n" + std::to_string(m.src) + ".tx", tx_start, tx_end,
+                    message_label(m));
     }
 
     if (faults_ != nullptr &&
@@ -76,9 +77,9 @@ TimeS Network::post(Message m) {
       // bits die here too.
       ++dropped_;
       bytes_dropped_ += m.bytes;
-      if (timeline_ != nullptr) {
-        timeline_->add("n" + std::to_string(m.src) + ".drop", tx_start, tx_end,
-                       "x" + message_label(m));
+      if (traced) {
+        tracer_->span("n" + std::to_string(m.src) + ".drop", tx_start, tx_end,
+                      "x" + message_label(m));
       }
       return tx_end;
     }
@@ -96,9 +97,9 @@ TimeS Network::post(Message m) {
       // The RX channel is not reserved — a dead NIC serves nobody.
       ++dropped_;
       bytes_dropped_ += m.bytes;
-      if (timeline_ != nullptr) {
-        timeline_->add("n" + std::to_string(m.dst) + ".drop", rx_start, rx_end,
-                       "x" + message_label(m));
+      if (traced) {
+        tracer_->span("n" + std::to_string(m.dst) + ".drop", rx_start, rx_end,
+                      "x" + message_label(m));
       }
       return tx_end;
     }
@@ -109,9 +110,19 @@ TimeS Network::post(Message m) {
     if (monitor_ != nullptr) {
       monitor_->record(m.dst, Direction::kIn, rx_start, rx_end, m.bytes);
     }
-    if (timeline_ != nullptr) {
-      timeline_->add("n" + std::to_string(m.dst) + ".rx", rx_start, rx_end,
-                     message_label(m));
+    if (traced) {
+      tracer_->span("n" + std::to_string(m.dst) + ".rx", rx_start, rx_end,
+                    message_label(m));
+      if (m.trace_id >= 0) {
+        // One arrow per delivered traced message, anchored inside the TX and
+        // RX spans recorded above.
+        const std::int64_t flow = next_flow_++;
+        const std::string label = message_label(m);
+        tracer_->flow_start("n" + std::to_string(m.src) + ".tx", tx_start,
+                            flow, label);
+        tracer_->flow_end("n" + std::to_string(m.dst) + ".rx", rx_start, flow,
+                          label);
+      }
     }
   }
 

@@ -28,6 +28,7 @@
 #include "net/faults.h"
 #include "net/message.h"
 #include "net/monitor.h"
+#include "obs/tracer.h"
 #include "sim/queue.h"
 #include "sim/simulator.h"
 #include "trace/timeline.h"
@@ -81,7 +82,13 @@ class Network {
 
   /// Optional observers.
   void attach_monitor(UtilizationMonitor* monitor) { monitor_ = monitor; }
-  void attach_timeline(trace::Timeline* timeline) { timeline_ = timeline; }
+  /// Record TX/RX/drop spans (lanes "n<i>.tx" etc.) and, for messages
+  /// carrying a trace_id, flow arrows from sender TX to receiver RX.
+  void attach_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Legacy observer spelling: records onto the timeline's backing tracer.
+  void attach_timeline(trace::Timeline* timeline) {
+    tracer_ = timeline == nullptr ? nullptr : &timeline->tracer();
+  }
   /// Attach a fault injector (nullptr = perfectly reliable wire). Faults
   /// apply to remote messages only; the sender still pays TX serialization
   /// for a dropped message (the bits left the NIC and died in the fabric).
@@ -128,8 +135,9 @@ class Network {
   std::deque<Message> pool_;     ///< in-flight message slots
   std::vector<Message*> free_;   ///< recycled pool slots
   UtilizationMonitor* monitor_ = nullptr;
-  trace::Timeline* timeline_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  std::int64_t next_flow_ = 0;  ///< flow-arrow ids for traced messages
   std::int64_t posted_ = 0;
   std::int64_t delivered_ = 0;
   std::int64_t dropped_ = 0;

@@ -1,0 +1,78 @@
+// Post-run analysis over slice-lifecycle records.
+//
+// The tracer's lifecycle stream is a flat log of stage transitions keyed by
+// (worker, slice, iteration). This module groups it back into per-slice
+// round trips and derives the schedule diagnostics the paper's figures argue
+// from: where time goes per priority class, how often the wire carried
+// low-priority bytes while something more urgent was queued, and how deep
+// the per-worker send queues ran.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/tracer.h"
+
+namespace p3::obs {
+
+/// Mean seconds spent in each lifecycle leg, aggregated over all slice
+/// round trips of one priority class (smaller priority = more urgent).
+struct StageBreakdown {
+  int priority = 0;
+  std::int64_t round_trips = 0;  ///< groups that reached param-ready
+  double mean_queue_s = 0.0;     ///< enqueue -> first send
+  double mean_wire_s = 0.0;      ///< first send -> first server recv
+  double mean_server_s = 0.0;    ///< first server recv -> last aggregate
+  double mean_return_s = 0.0;    ///< last aggregate -> param-ready
+  double mean_total_s = 0.0;     ///< grad-ready -> param-ready
+};
+
+/// Bytes of lower-priority traffic that entered the wire while a strictly
+/// more urgent fragment sat queued on the same worker — the inefficiency P3
+/// exists to remove (zero under perfect priority scheduling).
+struct InversionStats {
+  Bytes bytes = 0;
+  std::int64_t events = 0;  ///< sends that were inversions
+};
+
+/// Send-queue depth statistics for one worker, in fragments.
+struct QueueDepthStats {
+  int worker = 0;
+  std::int64_t peak_depth = 0;
+  double mean_depth = 0.0;  ///< time-weighted over the observed window
+  /// (t, depth) step series, one point per change; for CSV dumps and plots.
+  std::vector<std::pair<TimeS, std::int64_t>> series;
+};
+
+struct Report {
+  std::int64_t records = 0;
+  std::int64_t round_trips = 0;  ///< groups that reached param-ready
+  std::vector<StageBreakdown> per_priority;  ///< sorted by priority
+  InversionStats inversion;
+  std::vector<QueueDepthStats> queues;  ///< sorted by worker
+};
+
+/// Build the full report from a lifecycle stream (tracer order).
+Report analyze(const std::vector<LifecycleRecord>& records);
+
+/// Invariant check: within every (worker, slice, iteration) group, the
+/// earliest timestamp of each lifecycle stage must be non-decreasing in
+/// stage order. `strict` additionally requires notify <= pull when both are
+/// present — true for fault-free runs; recovery re-notifications can
+/// legitimately attribute a notify to a later round, so crash tests pass
+/// strict=false. Returns human-readable violations (empty == invariant
+/// holds).
+std::vector<std::string> lifecycle_violations(
+    const std::vector<LifecycleRecord>& records, bool strict = false);
+
+/// Parse a CSV written by Tracer::write_lifecycle_csv.
+/// Throws std::runtime_error on unreadable files or malformed rows.
+std::vector<LifecycleRecord> load_lifecycle_csv(const std::string& path);
+
+/// Render the report as the human-readable tables `bench/trace_report`
+/// prints.
+std::string format_report(const Report& report);
+
+}  // namespace p3::obs

@@ -1,0 +1,182 @@
+#include "obs/registry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/csv.h"
+
+namespace p3::obs {
+
+namespace {
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+const char* type_name(int t) {
+  switch (t) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    case 2:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("histogram bounds must be increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+}
+
+Registry::Entry& Registry::entry(const std::string& name, Type type) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.type != type) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with another type");
+    }
+    return e;
+  }
+  std::size_t index = 0;
+  switch (type) {
+    case Type::kCounter:
+      index = counters_.size();
+      counters_.emplace_back();
+      break;
+    case Type::kGauge:
+      index = gauges_.size();
+      gauges_.emplace_back();
+      break;
+    case Type::kHistogram:
+      // Created by histogram() below, which emplaces with bounds first.
+      index = histograms_.size() - 1;
+      break;
+  }
+  by_name_.emplace(name, entries_.size());
+  entries_.push_back(Entry{name, type, index});
+  return entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return counters_[entry(name, Type::kCounter).index];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return gauges_[entry(name, Type::kGauge).index];
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    histograms_.emplace_back(std::move(bounds));
+  }
+  return histograms_[entry(name, Type::kHistogram).index];
+}
+
+const Registry::Entry* Registry::find(const std::string& name,
+                                      Type type) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  const Entry& e = entries_[it->second];
+  return e.type == type ? &e : nullptr;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  const Entry* e = find(name, Type::kCounter);
+  return e == nullptr ? nullptr : &counters_[e->index];
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  const Entry* e = find(name, Type::kGauge);
+  return e == nullptr ? nullptr : &gauges_[e->index];
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  const Entry* e = find(name, Type::kHistogram);
+  return e == nullptr ? nullptr : &histograms_[e->index];
+}
+
+std::vector<Registry::Row> Registry::snapshot() const {
+  std::vector<Row> rows;
+  for (const auto& e : entries_) {
+    const std::string type = type_name(static_cast<int>(e.type));
+    switch (e.type) {
+      case Type::kCounter:
+        rows.push_back(
+            Row{e.name, type, "value",
+                std::to_string(counters_[e.index].value())});
+        break;
+      case Type::kGauge: {
+        const Gauge& g = gauges_[e.index];
+        rows.push_back(Row{e.name, type, "value", num(g.value())});
+        rows.push_back(Row{e.name, type, "max", num(g.max())});
+        break;
+      }
+      case Type::kHistogram: {
+        const Histogram& h = histograms_[e.index];
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          rows.push_back(Row{e.name, type, "le_" + num(h.bounds()[i]),
+                             std::to_string(h.bucket_count(i))});
+        }
+        rows.push_back(Row{e.name, type, "le_inf",
+                           std::to_string(h.bucket_count(h.bounds().size()))});
+        rows.push_back(Row{e.name, type, "sum", num(h.sum())});
+        rows.push_back(Row{e.name, type, "count", std::to_string(h.count())});
+        break;
+      }
+    }
+  }
+  return rows;
+}
+
+void Registry::write_csv(const std::string& path) const {
+  CsvWriter csv(path, {"metric", "type", "field", "value"});
+  for (const auto& r : snapshot()) {
+    csv.row({r.metric, r.type, r.field, r.value});
+  }
+}
+
+void Registry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open metrics file: " + path);
+  out << "{";
+  std::string current;
+  bool first_metric = true;
+  bool first_field = true;
+  for (const auto& r : snapshot()) {
+    if (r.metric != current) {
+      if (!current.empty()) out << "},";
+      out << "\n  \"" << r.metric << "\": {\"type\": \"" << r.type << "\"";
+      current = r.metric;
+      first_metric = false;
+      first_field = false;
+    }
+    out << ", \"" << r.field << "\": " << r.value;
+  }
+  if (!first_metric || !first_field) out << "}";
+  out << "\n}\n";
+}
+
+}  // namespace p3::obs

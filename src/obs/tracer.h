@@ -1,0 +1,183 @@
+// Unified observability: deterministic, sim-time-stamped event tracer.
+//
+// One Tracer records every observable artifact of a run into an in-memory
+// pooled buffer: complete spans on named tracks, instant events, counter
+// samples, flow arrows (sender -> receiver), and structured slice-lifecycle
+// records. Renderers then consume the same buffer: `trace::Timeline` renders
+// spans as an ASCII Gantt or CSV, `write_chrome_json()` exports Chrome
+// trace-event / Perfetto JSON, and `obs::analysis` derives per-priority
+// latency breakdowns from lifecycle records.
+//
+// Track naming follows the repo-wide lane convention "<process>.<channel>"
+// ("w0.cmp", "n3.tx", ...): the prefix before the first '.' becomes the
+// Perfetto process, the full name becomes the thread, so every node's
+// channels group together in the UI.
+//
+// Cost model: record calls intern track/label strings once and then append
+// a POD event (no per-event allocation at steady state). A disabled tracer
+// drops events after a single branch; instrumentation sites additionally
+// guard with `enabled()` so no label strings are built either.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "common/units.h"
+
+namespace p3::obs {
+
+/// Stage order of one slice's per-iteration life. The numeric order is the
+/// protocol order; `analysis::lifecycle_violations` checks that observed
+/// minimum timestamps never regress along it.
+enum class Stage : std::uint8_t {
+  kGradReady = 0,  ///< backward pass produced the slice's gradient
+  kEnqueue,        ///< fragment entered the worker's priority send queue
+  kSend,           ///< fragment handed to the NIC (starts serializing)
+  kServerRecv,     ///< server popped the fragment from its receive queue
+  kAggregate,      ///< server finished folding the contribution in
+  kNotify,         ///< worker received the round-complete notification
+  kPull,           ///< worker issued the parameter pull request
+  kParamReady,     ///< worker holds the full updated slice
+};
+
+inline constexpr int kNumStages = 8;
+
+/// Stable short name ("grad_ready", "enqueue", ...) used in CSV headers.
+const char* stage_name(Stage stage);
+
+/// Inverse of `stage_name`; throws std::invalid_argument on unknown names.
+Stage parse_stage(const std::string& name);
+
+/// One lifecycle stage transition of (worker, slice, iteration).
+struct LifecycleRecord {
+  Stage stage = Stage::kGradReady;
+  int worker = 0;
+  std::int32_t slice = 0;
+  std::int32_t layer = 0;
+  std::int64_t iteration = 0;
+  std::int32_t priority = 0;
+  Bytes bytes = 0;  ///< payload bytes for kEnqueue/kSend fragments, else 0
+  TimeS t = 0.0;
+};
+
+/// Deterministic correlation id for one slice's round trip. Threaded through
+/// net::Message so the network layer can attribute wire activity without
+/// knowing protocol state.
+std::int64_t make_trace_id(std::int64_t slice, std::int64_t iteration,
+                           int worker);
+
+enum class EventKind : std::uint8_t {
+  kSpan,       ///< [t0, t1) interval on a track
+  kInstant,    ///< point event
+  kCounter,    ///< sampled value (queue depth etc.)
+  kFlowStart,  ///< tail of a flow arrow (binds to the enclosing span)
+  kFlowEnd,    ///< head of a flow arrow
+};
+
+/// POD event record; strings live in the intern tables.
+struct Event {
+  EventKind kind = EventKind::kSpan;
+  std::uint32_t track = 0;  ///< index into tracks()
+  std::uint32_t label = 0;  ///< index into labels()
+  TimeS t0 = 0.0;
+  TimeS t1 = 0.0;           ///< spans: end time; other kinds: == t0
+  double value = 0.0;       ///< counters only
+  std::int64_t flow = -1;   ///< flow arrows only
+};
+
+struct Track {
+  std::string name;     ///< full lane name, e.g. "n3.tx"
+  std::string process;  ///< prefix before the first '.', e.g. "n3"
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Intern a track; repeated calls with the same name return the same id.
+  std::uint32_t track(const std::string& lane);
+  /// Intern a label string.
+  std::uint32_t label(const std::string& text);
+
+  // -- Recording (no-ops while disabled) ------------------------------------
+  void span(const std::string& lane, TimeS t0, TimeS t1,
+            const std::string& label_text);
+  void span(std::uint32_t track_id, TimeS t0, TimeS t1, std::uint32_t label_id);
+  void instant(const std::string& lane, TimeS t, const std::string& label_text);
+  void counter(const std::string& lane, TimeS t, double value);
+  void counter(std::uint32_t track_id, TimeS t, double value);
+  void flow_start(const std::string& lane, TimeS t, std::int64_t flow_id,
+                  const std::string& label_text);
+  void flow_end(const std::string& lane, TimeS t, std::int64_t flow_id,
+                const std::string& label_text);
+  void lifecycle(Stage stage, int worker, std::int64_t slice, int layer,
+                 std::int64_t iteration, int priority, Bytes bytes, TimeS t);
+
+  // -- Introspection --------------------------------------------------------
+  const std::vector<Event>& events() const { return events_; }
+  const std::vector<Track>& tracks() const { return tracks_; }
+  const std::string& label_text(std::uint32_t id) const {
+    return labels_.at(id);
+  }
+  const std::string& track_name(std::uint32_t id) const {
+    return tracks_.at(id).name;
+  }
+  const std::vector<LifecycleRecord>& lifecycle_records() const {
+    return lifecycle_;
+  }
+  bool empty() const { return events_.empty() && lifecycle_.empty(); }
+  void clear();
+
+  /// Well-formedness check: spans and flows must have non-negative duration
+  /// and every flow end must reference an earlier flow start with the same
+  /// id. Unmatched flow *starts* are allowed (messages still in flight when
+  /// the run stopped). Returns human-readable violations (empty == valid).
+  std::vector<std::string> validate() const;
+
+  // -- Export ---------------------------------------------------------------
+  /// Chrome trace-event JSON (the format Perfetto and chrome://tracing
+  /// load). Timestamps are microseconds; tracks map to pid/tid pairs with
+  /// process_name/thread_name metadata.
+  void write_chrome_json(std::ostream& out) const;
+  /// Convenience overload; throws std::runtime_error if the file can't open.
+  void write_chrome_json(const std::string& path) const;
+
+  /// Lifecycle records as CSV:
+  /// stage,worker,slice,layer,iteration,priority,bytes,t
+  void write_lifecycle_csv(const std::string& path) const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<Event> events_;
+  std::vector<Track> tracks_;
+  std::unordered_map<std::string, std::uint32_t> track_ids_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, std::uint32_t> label_ids_;
+  std::vector<LifecycleRecord> lifecycle_;
+};
+
+/// RAII hook that mirrors this thread's P3_LOG lines into a tracer as
+/// instant events on the "log" track, stamped with simulation time. The
+/// previous hook (if any) is restored on destruction.
+class LogCapture {
+ public:
+  LogCapture(Tracer& tracer, std::function<TimeS()> clock);
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+ private:
+  LogHook previous_;
+};
+
+}  // namespace p3::obs

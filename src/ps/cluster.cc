@@ -1,6 +1,7 @@
 #include "ps/cluster.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -16,7 +17,34 @@ std::string lane(const char* prefix, int node, const char* suffix) {
 Cluster::Cluster(model::Workload workload, ClusterConfig config)
     : workload_(std::move(workload)),
       cfg_(std::move(config)),
-      sync_(core::sync_config(cfg_.method)) {
+      sync_(core::sync_config(cfg_.method)),
+      pushes_sent_(registry_.counter("protocol.pushes_sent")),
+      params_sent_(registry_.counter("protocol.params_sent")),
+      notifies_sent_(registry_.counter("protocol.notifies_sent")),
+      pulls_sent_(registry_.counter("protocol.pulls_sent")),
+      rounds_completed_(registry_.counter("protocol.rounds_completed")),
+      acks_sent_(registry_.counter("transport.acks_sent")),
+      retransmits_(registry_.counter("transport.retransmits")),
+      timeouts_fired_(registry_.counter("transport.timeouts_fired")),
+      duplicates_suppressed_(
+          registry_.counter("transport.duplicates_suppressed")),
+      goodput_bytes_(registry_.counter("transport.goodput_bytes")),
+      crashes_(registry_.counter("recovery.crashes")),
+      restarts_(registry_.counter("recovery.restarts")),
+      failovers_(registry_.counter("recovery.failovers")),
+      worker_rejoins_(registry_.counter("recovery.worker_rejoins")),
+      checkpoints_written_(registry_.counter("recovery.checkpoints_written")),
+      checkpoint_bytes_(registry_.counter("recovery.checkpoint_bytes")),
+      rehydrations_(registry_.counter("recovery.rehydrations")),
+      rehydration_bytes_(registry_.counter("recovery.rehydration_bytes")),
+      heartbeats_sent_(registry_.counter("recovery.heartbeats_sent")),
+      stale_pushes_(registry_.counter("recovery.stale_pushes")),
+      iter_time_hist_(registry_.histogram(
+          "worker.iteration_time_s",
+          {0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0})),
+      stall_time_hist_(registry_.histogram(
+          "worker.stall_time_s",
+          {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.5, 1.0})) {
   if (cfg_.n_workers <= 0) {
     throw std::invalid_argument("need at least one worker");
   }
@@ -125,6 +153,7 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
       ws->notify_version.assign(n_slices, -1);
       ws->pulled_round.assign(static_cast<std::size_t>(layers), -1);
     }
+    ws->sendq_gauge = &registry_.gauge(lane("w", w, ".sendq_depth"));
     workers_.push_back(std::move(ws));
 
     auto ss = std::make_unique<ServerState>(sim_);
@@ -140,6 +169,7 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
                         static_cast<std::size_t>(cfg_.n_workers), 0));
       ss->sync_epoch.assign(n_slices, -1);
     }
+    ss->rxq_gauge = &registry_.gauge(lane("n", server_node(w), ".rxq_depth"));
     servers_.push_back(std::move(ss));
   }
 
@@ -160,14 +190,45 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
 
 Cluster::~Cluster() = default;
 
+void Cluster::attach_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  net_->attach_tracer(tracer);
+}
+
 void Cluster::attach_timeline(trace::Timeline* timeline) {
-  timeline_ = timeline;
-  net_->attach_timeline(timeline);
+  attach_tracer(timeline == nullptr ? nullptr : &timeline->tracer());
 }
 
 void Cluster::mem_mark(int node, const char* label) {
-  if (timeline_ != nullptr) {
-    timeline_->add(lane("n", node, ".mem"), sim_.now(), sim_.now(), label);
+  if (tracing()) {
+    tracer_->span(lane("n", node, ".mem"), sim_.now(), sim_.now(), label);
+  }
+}
+
+void Cluster::lc(obs::Stage stage, int worker, std::int64_t slice,
+                 std::int64_t iteration, Bytes bytes) {
+  const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
+  tracer_->lifecycle(stage, worker, slice, sl.layer, iteration,
+                     item_priority(slice), bytes, sim_.now());
+}
+
+void Cluster::sendq_depth_changed(int w, std::int64_t delta) {
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  ws.sendq_depth += delta;
+  ws.sendq_gauge->set(static_cast<double>(ws.sendq_depth));
+  if (tracing()) {
+    tracer_->counter(lane("w", w, ".sendq"), sim_.now(),
+                     static_cast<double>(ws.sendq_depth));
+  }
+}
+
+void Cluster::rxq_depth_changed(int server, std::int64_t delta) {
+  auto& ss = *servers_[static_cast<std::size_t>(server)];
+  ss.rxq_depth += delta;
+  ss.rxq_gauge->set(static_cast<double>(ss.rxq_depth));
+  if (tracing()) {
+    tracer_->counter(lane("n", server_node(server), ".rxq"), sim_.now(),
+                     static_cast<double>(ss.rxq_depth));
   }
 }
 
@@ -256,13 +317,18 @@ void Cluster::on_retx_timeout(std::int64_t msg_id) {
     item.seq = ws.send_seq++;
     item.retx_id = msg_id;
     ws.sendq.push(item);
+    sendq_depth_changed(pending.via_worker, +1);
+    if (tracing()) {
+      lc(obs::Stage::kEnqueue, pending.via_worker, pending.msg.slice,
+         pending.msg.iteration, pending.msg.logical);
+    }
     // No timer while queued; the sender arms one when the copy hits the
     // wire, so send-queue backlog never counts against the RTO.
   } else {
     ++retransmits_;
-    if (timeline_ != nullptr) {
-      timeline_->add(lane("n", pending.msg.src, ".rtx"), sim_.now(),
-                     sim_.now(), "r" + net::message_label(pending.msg));
+    if (tracing()) {
+      tracer_->span(lane("n", pending.msg.src, ".rtx"), sim_.now(), sim_.now(),
+                    "r" + net::message_label(pending.msg));
     }
     net_->post(pending.msg);
     schedule_retx_timer(msg_id, pending.rto);
@@ -323,6 +389,8 @@ void Cluster::enqueue_push(int w, std::int64_t slice, std::int64_t iteration) {
     item.priority = item_priority(slice);
     item.seq = ws.send_seq++;
     ws.sendq.push(item);
+    sendq_depth_changed(w, +1);
+    if (tracing()) lc(obs::Stage::kEnqueue, w, slice, iteration, item.payload);
     remaining -= item.payload;
   }
 }
@@ -349,6 +417,10 @@ void Cluster::enqueue_pull(int w, std::int64_t slice, std::int64_t iteration) {
   m.iteration = iteration;
   m.worker = w;
   m.bytes = net::kControlBytes;
+  if (tracing()) {
+    m.trace_id = obs::make_trace_id(slice, iteration, w);
+    lc(obs::Stage::kPull, w, slice, iteration, 0);
+  }
   post_tracked(m);
   ++pulls_sent_;
 }
@@ -360,6 +432,7 @@ sim::Task Cluster::worker_loop(int w, std::int64_t start_iter) {
   const int layers = workload_.model.num_layers();
   for (std::int64_t iter = start_iter; iter < target_iterations_; ++iter) {
     const double jitter = jitter_factor(ws);
+    const TimeS iter_t0 = sim_.now();
     TimeS stall = 0.0;
     // --- forward propagation ---
     for (int l = 0; l < layers; ++l) {
@@ -372,9 +445,9 @@ sim::Task Cluster::worker_loop(int w, std::int64_t start_iter) {
       const TimeS t0 = sim_.now();
       co_await sim_.sleep(profile_.fwd[static_cast<std::size_t>(l)] * jitter);
       if (node_state_[wn].epoch != my_epoch) co_return;
-      if (timeline_ != nullptr) {
-        timeline_->add(lane("w", w, ".cmp"), t0, sim_.now(),
-                       "F" + std::to_string(l + 1));
+      if (tracing()) {
+        tracer_->span(lane("w", w, ".cmp"), t0, sim_.now(),
+                      "F" + std::to_string(l + 1));
       }
     }
     // --- backward propagation (reverse order) ---
@@ -382,13 +455,14 @@ sim::Task Cluster::worker_loop(int w, std::int64_t start_iter) {
       const TimeS t0 = sim_.now();
       co_await sim_.sleep(profile_.bwd[static_cast<std::size_t>(l)] * jitter);
       if (node_state_[wn].epoch != my_epoch) co_return;
-      if (timeline_ != nullptr) {
-        timeline_->add(lane("w", w, ".cmp"), t0, sim_.now(),
-                       "B" + std::to_string(l + 1));
+      if (tracing()) {
+        tracer_->span(lane("w", w, ".cmp"), t0, sim_.now(),
+                      "B" + std::to_string(l + 1));
       }
       // Wait-free backpropagation: the layer's slices enter the send queue
       // the moment its gradients exist.
       for (auto slice : partition_.layer_slices[static_cast<std::size_t>(l)]) {
+        if (tracing()) lc(obs::Stage::kGradReady, w, slice, iter, 0);
         enqueue_push(w, slice, iter);
       }
     }
@@ -404,6 +478,8 @@ sim::Task Cluster::worker_loop(int w, std::int64_t start_iter) {
     }
     ws.iter_done.push_back(sim_.now());
     ws.iter_stall.push_back(stall);
+    iter_time_hist_.observe(sim_.now() - iter_t0);
+    stall_time_hist_.observe(stall);
   }
   if (!ws.finished) {
     ws.finished = true;
@@ -416,6 +492,7 @@ sim::Task Cluster::worker_sender(int w) {
   const auto wn = static_cast<std::size_t>(w);
   for (;;) {
     SendItem item = co_await ws.sendq.pop();
+    sendq_depth_changed(w, -1);
     if (membership_on_ && !node_state_[wn].up) continue;  // dead process
     if (item.retx_id >= 0) {
       // Retransmission: it competed in the priority queue at the original
@@ -425,11 +502,12 @@ sim::Task Cluster::worker_sender(int w) {
       it->second.queued = false;
       const net::Message m = it->second.msg;
       ++retransmits_;
-      if (timeline_ != nullptr) {
-        timeline_->add(lane("n", m.src, ".rtx"), sim_.now(), sim_.now(),
-                       "r" + net::message_label(m));
+      if (tracing()) {
+        tracer_->span(lane("n", m.src, ".rtx"), sim_.now(), sim_.now(),
+                      "r" + net::message_label(m));
       }
       if (cfg_.send_overhead > 0.0) co_await sim_.sleep(cfg_.send_overhead);
+      if (tracing()) lc(obs::Stage::kSend, w, m.slice, m.iteration, m.bytes);
       co_await net_->send(m);
       // Only re-arm the timer if the ack didn't land mid-send.
       const auto it2 = pending_tx_.find(item.retx_id);
@@ -450,6 +528,9 @@ sim::Task Cluster::worker_sender(int w) {
     m.worker = w;
     m.logical = item.payload;
     m.bytes = wire_payload(item.payload) + net::kHeaderBytes;
+    if (tracing()) {
+      m.trace_id = obs::make_trace_id(item.slice, item.iteration, w);
+    }
     if (membership_on_ && !reachable(m.dst)) continue;
     if (reliable_ && m.src != m.dst) arm_reliable(m, w);
     ++pushes_sent_;
@@ -457,6 +538,9 @@ sim::Task Cluster::worker_sender(int w) {
     // consumer only dequeues the next (highest priority) item once this
     // message has fully serialized onto the NIC.
     if (cfg_.send_overhead > 0.0) co_await sim_.sleep(cfg_.send_overhead);
+    if (tracing()) {
+      lc(obs::Stage::kSend, w, item.slice, item.iteration, m.bytes);
+    }
     co_await net_->send(m);
     if (m.msg_id >= 0) {
       const auto it = pending_tx_.find(m.msg_id);
@@ -517,6 +601,7 @@ sim::Task Cluster::node_demux(int n) {
         item.priority = m.priority;
         item.seq = ss.rx_seq++;
         ss.rxq.push(item);
+        rxq_depth_changed(server_idx, +1);
         break;
       }
       case net::MsgKind::kNotify:
@@ -636,6 +721,7 @@ void Cluster::worker_repush_group(int w, int group) {
 
 void Cluster::worker_on_notify(int w, const net::Message& m) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
+  if (tracing()) lc(obs::Stage::kNotify, w, m.slice, m.iteration, 0);
   const auto layer = static_cast<std::size_t>(m.layer);
   const auto& slices = partition_.layer_slices[layer];
   if (!membership_on_) {
@@ -701,6 +787,11 @@ void Cluster::worker_on_param(int w, const net::Message& m) {
   ws.recv_version[si] = m.version;
   ws.recv_inflight[si] = -1;
   ws.recv_bytes[si] = 0;
+  if (tracing()) {
+    // Version v means "parameters after iteration v-1's update".
+    lc(obs::Stage::kParamReady, w, m.slice, m.version - 1,
+       partition_.slices[si].payload_bytes());
+  }
   // The layer's forward gate opens at the oldest complete slice version
   // (identical to the byte-count trigger when deliveries are exactly-once).
   const auto layer = static_cast<std::size_t>(m.layer);
@@ -733,6 +824,9 @@ void Cluster::send_params(int server, std::int64_t slice, int worker) {
     m.logical = payload;
     m.bytes = wire_payload(payload) + net::kHeaderBytes;
     m.version = ss.version[static_cast<std::size_t>(slice)];
+    if (tracing()) {
+      m.trace_id = obs::make_trace_id(slice, m.version - 1, worker);
+    }
     post_tracked(m);
     ++params_sent_;
     remaining -= payload;
@@ -777,6 +871,9 @@ void Cluster::release_round(int server, std::int64_t slice,
       notify.priority = item_priority(slice);
       notify.iteration = round;
       notify.bytes = net::kControlBytes;
+      if (tracing()) {
+        notify.trace_id = obs::make_trace_id(slice, round, w);
+      }
       post_tracked(notify);
       ++notifies_sent_;
     }
@@ -868,6 +965,7 @@ sim::Task Cluster::server_loop(int n) {
   const auto node = static_cast<std::size_t>(server_node(n));
   for (;;) {
     RxItem item = co_await ss.rxq.pop();
+    rxq_depth_changed(n, -1);
     if (membership_on_ && !node_state_[node].up) continue;  // dead process
     const net::Message& m = item.msg;
 
@@ -899,6 +997,9 @@ sim::Task Cluster::server_loop(int n) {
           redirect_to_leader(n, m);
           continue;
         }
+      }
+      if (m.kind == net::MsgKind::kPushGradient && tracing()) {
+        lc(obs::Stage::kServerRecv, m.worker, m.slice, m.iteration, m.logical);
       }
 
       if (m.kind == net::MsgKind::kPullRequest) {
@@ -939,6 +1040,9 @@ sim::Task Cluster::server_loop(int n) {
                           cfg_.update_bytes_per_sec);
       if (membership_on_ && !node_state_[node].up) continue;  // died mid-add
       if (!membership_on_) {
+        if (tracing()) {
+          lc(obs::Stage::kAggregate, m.worker, m.slice, m.iteration, 0);
+        }
         ss.round_bytes[slice_idx] += payload;
         const Bytes round_target = sl.payload_bytes() * cfg_.n_workers;
         if (ss.round_bytes[slice_idx] >= round_target) {
@@ -950,14 +1054,14 @@ sim::Task Cluster::server_loop(int n) {
               cfg_.update_overhead);
           ++ss.version[slice_idx];
           ++rounds_completed_;
-          if (timeline_ != nullptr) {
-            timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
-                           "U" + std::to_string(sl.layer + 1));
+          if (tracing()) {
+            tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                          "U" + std::to_string(sl.layer + 1));
           }
           release_round(n, m.slice, m.iteration);
-        } else if (timeline_ != nullptr) {
-          timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
-                         "a" + std::to_string(sl.layer + 1));
+        } else if (tracing()) {
+          tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                        "a" + std::to_string(sl.layer + 1));
         }
         continue;
       }
@@ -969,16 +1073,19 @@ sim::Task Cluster::server_loop(int n) {
       const Bytes room = sl.payload_bytes() - contrib;
       if (room <= 0) {
         ++duplicates_suppressed_;
-        if (timeline_ != nullptr) {
-          timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
-                         "d" + std::to_string(sl.layer + 1));
+        if (tracing()) {
+          tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                        "d" + std::to_string(sl.layer + 1));
         }
         continue;
       }
       contrib += std::min(payload, room);
-      if (timeline_ != nullptr && !round_complete(n, m.slice)) {
-        timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
-                       "a" + std::to_string(sl.layer + 1));
+      if (tracing()) {
+        lc(obs::Stage::kAggregate, m.worker, m.slice, m.iteration, 0);
+        if (!round_complete(n, m.slice)) {
+          tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                        "a" + std::to_string(sl.layer + 1));
+        }
       }
       recheck.push_back(m.slice);
     }
@@ -999,9 +1106,9 @@ sim::Task Cluster::server_loop(int n) {
         for (auto& c : ss.contrib[si]) c = 0;
         ++ss.version[si];
         ++rounds_completed_;
-        if (timeline_ != nullptr) {
-          timeline_->add(lane("n", server_node(n), ".srv"), t0, sim_.now(),
-                         "U" + std::to_string(sl.layer + 1));
+        if (tracing()) {
+          tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                        "U" + std::to_string(sl.layer + 1));
         }
         if (cfg_.replication > 1) {
           commit_round(n, s, round);
@@ -1139,6 +1246,7 @@ void Cluster::inject_recheck(int server) {
   item.priority = -1;  // ahead of all wire traffic
   item.seq = ss.rx_seq++;
   ss.rxq.push(item);
+  rxq_depth_changed(server, +1);
 }
 
 Bytes Cluster::replicated_state_bytes(int server) const {
@@ -1174,8 +1282,8 @@ sim::Task Cluster::checkpoint_loop(int s) {
     ckpt_versions_[static_cast<std::size_t>(s)] = std::move(snapshot);
     ++checkpoints_written_;
     checkpoint_bytes_ += bytes;
-    if (timeline_ != nullptr) {
-      timeline_->add(lane("n", server_node(s), ".ckpt"), t0, sim_.now(), "ck");
+    if (tracing()) {
+      tracer_->span(lane("n", server_node(s), ".ckpt"), t0, sim_.now(), "ck");
     }
   }
 }
@@ -1240,8 +1348,8 @@ sim::Task Cluster::server_rehydrate(int s, std::int64_t epoch) {
   }
   ++rehydrations_;
   rehydration_time_sum_ += sim_.now() - t0;
-  if (timeline_ != nullptr) {
-    timeline_->add(lane("n", server_node(s), ".ckpt"), t0, sim_.now(), "rehy");
+  if (tracing()) {
+    tracer_->span(lane("n", server_node(s), ".ckpt"), t0, sim_.now(), "rehy");
   }
   // Re-assert leadership of every group this server still believes it
   // leads (nobody announced a newer epoch during the sync): a bumped epoch
@@ -1330,6 +1438,10 @@ void Cluster::execute_crash(const net::NodeCrash& c) {
     auto& ws = *workers_[nn];
     while (ws.sendq.try_pop()) {
     }
+    // Reserved-but-unpopped items survive the drain; resync the depth view.
+    sendq_depth_changed(c.node,
+                        static_cast<std::int64_t>(ws.sendq.size()) -
+                            ws.sendq_depth);
     ws.param_bytes.assign(ws.param_bytes.size(), 0);
     ws.notify_count.assign(ws.notify_count.size(), 0);
     ws.notify_version.assign(ws.notify_version.size(), -1);
@@ -1343,6 +1455,8 @@ void Cluster::execute_crash(const net::NodeCrash& c) {
     auto& ss = *servers_[static_cast<std::size_t>(s)];
     while (ss.rxq.try_pop()) {
     }
+    rxq_depth_changed(s, static_cast<std::int64_t>(ss.rxq.size()) -
+                             ss.rxq_depth);
     ss.round_bytes.assign(ss.round_bytes.size(), 0);
     for (auto& row : ss.contrib) std::fill(row.begin(), row.end(), 0);
     for (auto& p : ss.pending) p.clear();
@@ -1396,6 +1510,14 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   started_ = true;
   target_iterations_ = warmup_iterations + measured_iterations;
 
+  // While tracing, mirror P3_LOG lines into the trace as instant events
+  // stamped with simulated time (the hook is thread-local, so parallel
+  // sweeps tracing one cluster never cross streams).
+  std::optional<obs::LogCapture> log_capture;
+  if (tracing()) {
+    log_capture.emplace(*tracer_, [this] { return sim_.now(); });
+  }
+
   for (int n = 0; n < total_nodes(); ++n) sim_.spawn(node_demux(n));
   for (int n = 0; n < cfg_.n_workers; ++n) {
     sim_.spawn(server_loop(n));
@@ -1441,23 +1563,23 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
 
   RunResult result;
   result.iterations_measured = measured_iterations;
-  result.crashes = crashes_;
-  result.restarts = restarts_;
-  result.failovers = failovers_;
-  result.worker_rejoins = worker_rejoins_;
-  result.checkpoints_written = checkpoints_written_;
-  result.checkpoint_bytes = checkpoint_bytes_;
-  result.rehydrations = rehydrations_;
-  result.rehydration_bytes = rehydration_bytes_;
+  result.crashes = crashes_.value();
+  result.restarts = restarts_.value();
+  result.failovers = failovers_.value();
+  result.worker_rejoins = worker_rejoins_.value();
+  result.checkpoints_written = checkpoints_written_.value();
+  result.checkpoint_bytes = checkpoint_bytes_.value();
+  result.rehydrations = rehydrations_.value();
+  result.rehydration_bytes = rehydration_bytes_.value();
   result.mean_rehydration_time =
-      rehydrations_ > 0
-          ? rehydration_time_sum_ / static_cast<double>(rehydrations_)
+      rehydrations_.value() > 0
+          ? rehydration_time_sum_ / static_cast<double>(rehydrations_.value())
           : 0.0;
   result.max_rejoin_lag = max_rejoin_lag_;
-  result.heartbeats_sent = heartbeats_sent_;
-  result.stale_pushes = stale_pushes_;
+  result.heartbeats_sent = heartbeats_sent_.value();
+  result.stale_pushes = stale_pushes_.value();
 
-  if (crashes_ == 0) {
+  if (crashes_.value() == 0) {
     // Crash-free path: the exact pre-membership arithmetic, so results stay
     // bit-identical to the seed engine.
     TimeS start = 0.0;
@@ -1544,10 +1666,10 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
     }
   }
   result.messages_dropped = net_->messages_dropped();
-  result.retransmits = retransmits_;
-  result.timeouts_fired = timeouts_fired_;
-  result.duplicates_suppressed = duplicates_suppressed_;
-  result.goodput_bytes = goodput_bytes_;
+  result.retransmits = retransmits_.value();
+  result.timeouts_fired = timeouts_fired_.value();
+  result.duplicates_suppressed = duplicates_suppressed_.value();
+  result.goodput_bytes = goodput_bytes_.value();
   result.wire_bytes = net_->bytes_posted();
   return result;
 }

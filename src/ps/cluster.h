@@ -51,6 +51,8 @@
 #include "model/compute.h"
 #include "net/faults.h"
 #include "net/network.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "ps/membership.h"
 #include "sim/queue.h"
 #include "sim/simulator.h"
@@ -228,39 +230,53 @@ class Cluster {
   void attach_monitor(net::UtilizationMonitor* monitor) {
     net_->attach_monitor(monitor);
   }
-  /// Records NIC spans plus worker compute and server update lanes.
+  /// Record onto `tracer`: NIC spans and flow arrows (via the network),
+  /// worker compute and server update lanes, queue-depth counter tracks,
+  /// slice-lifecycle records, and P3_LOG lines as instant events while
+  /// run() executes. Pass nullptr to detach.
+  void attach_tracer(obs::Tracer* tracer);
+  /// Legacy observer spelling: records onto the timeline's backing tracer.
   void attach_timeline(trace::Timeline* timeline);
+
+  /// Metrics registry backing every counter below, plus queue-depth gauges
+  /// ("w<i>.sendq_depth", "n<i>.rxq_depth") and per-iteration time/stall
+  /// histograms. Snapshot with metrics().write_csv()/write_json().
+  const obs::Registry& metrics() const { return registry_; }
 
   // --- introspection for tests and invariant checks ---
   std::int64_t slice_version(std::int64_t slice) const;
   std::int64_t worker_layer_version(int worker, int layer) const;
-  std::int64_t pushes_sent() const { return pushes_sent_; }
-  std::int64_t params_sent() const { return params_sent_; }
-  std::int64_t notifies_sent() const { return notifies_sent_; }
-  std::int64_t pulls_sent() const { return pulls_sent_; }
-  std::int64_t rounds_completed() const { return rounds_completed_; }
+  std::int64_t pushes_sent() const { return pushes_sent_.value(); }
+  std::int64_t params_sent() const { return params_sent_.value(); }
+  std::int64_t notifies_sent() const { return notifies_sent_.value(); }
+  std::int64_t pulls_sent() const { return pulls_sent_.value(); }
+  std::int64_t rounds_completed() const { return rounds_completed_.value(); }
   // Reliability-layer counters (all zero while the layer is disarmed).
   bool reliable_transport_armed() const { return reliable_; }
-  std::int64_t acks_sent() const { return acks_sent_; }
-  std::int64_t retransmits() const { return retransmits_; }
-  std::int64_t timeouts_fired() const { return timeouts_fired_; }
-  std::int64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  std::int64_t acks_sent() const { return acks_sent_.value(); }
+  std::int64_t retransmits() const { return retransmits_.value(); }
+  std::int64_t timeouts_fired() const { return timeouts_fired_.value(); }
+  std::int64_t duplicates_suppressed() const {
+    return duplicates_suppressed_.value();
+  }
   std::int64_t reliable_in_flight() const {
     return static_cast<std::int64_t>(pending_tx_.size());
   }
-  Bytes goodput_bytes() const { return goodput_bytes_; }
+  Bytes goodput_bytes() const { return goodput_bytes_.value(); }
   // Membership-plane introspection (null/zero while disarmed).
   bool membership_armed() const { return membership_on_; }
   bool node_up(int node) const {
     return node_state_[static_cast<std::size_t>(node)].up;
   }
-  std::int64_t crashes_executed() const { return crashes_; }
-  std::int64_t restarts_executed() const { return restarts_; }
-  std::int64_t failovers() const { return failovers_; }
-  std::int64_t worker_rejoins() const { return worker_rejoins_; }
-  std::int64_t rehydrations() const { return rehydrations_; }
-  std::int64_t checkpoints_written() const { return checkpoints_written_; }
-  std::int64_t heartbeats_sent() const { return heartbeats_sent_; }
+  std::int64_t crashes_executed() const { return crashes_.value(); }
+  std::int64_t restarts_executed() const { return restarts_.value(); }
+  std::int64_t failovers() const { return failovers_.value(); }
+  std::int64_t worker_rejoins() const { return worker_rejoins_.value(); }
+  std::int64_t rehydrations() const { return rehydrations_.value(); }
+  std::int64_t checkpoints_written() const {
+    return checkpoints_written_.value();
+  }
+  std::int64_t heartbeats_sent() const { return heartbeats_sent_.value(); }
   /// Local liveness view of `node` (membership plane must be armed).
   const Membership& membership_view(int node) const {
     return *membership_[static_cast<std::size_t>(node)];
@@ -306,6 +322,8 @@ class Cluster {
     std::vector<int> notify_count;   // notifications this round, per layer
     sim::PriorityQueue<SendItem, SendOrder> sendq;
     std::int64_t send_seq = 0;
+    std::int64_t sendq_depth = 0;        ///< fragments queued right now
+    obs::Gauge* sendq_gauge = nullptr;   ///< registry view of sendq_depth
     std::vector<TimeS> iter_done;
     std::vector<TimeS> iter_stall;  ///< forward blocking time per iteration
     Rng rng{0};
@@ -348,6 +366,8 @@ class Cluster {
     explicit ServerState(sim::Simulator& sim) : rxq(sim) {}
     sim::PriorityQueue<RxItem, RxOrder> rxq;
     std::int64_t rx_seq = 0;
+    std::int64_t rxq_depth = 0;          ///< items queued right now
+    obs::Gauge* rxq_gauge = nullptr;     ///< registry view of rxq_depth
     std::vector<Bytes> round_bytes;            // per slice
     std::vector<std::int64_t> version;         // per slice
     std::vector<std::vector<PendingPull>> pending;  // per slice
@@ -459,6 +479,17 @@ class Cluster {
   Bytes replicated_state_bytes(int server) const;
   void mem_mark(int node, const char* label);
 
+  // --- observability ---
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  /// Record one slice-lifecycle stage; layer and priority derive from the
+  /// partition. Callers guard with tracing().
+  void lc(obs::Stage stage, int worker, std::int64_t slice,
+          std::int64_t iteration, Bytes bytes);
+  /// Apply a send-queue / server-rx-queue depth delta: updates the always-on
+  /// registry gauge and, when tracing, emits a counter-track sample.
+  void sendq_depth_changed(int w, std::int64_t delta);
+  void rxq_depth_changed(int server, std::int64_t delta);
+
   model::Workload workload_;
   ClusterConfig cfg_;
   core::SyncConfig sync_;
@@ -470,7 +501,7 @@ class Cluster {
   std::unique_ptr<net::FaultInjector> faults_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<std::unique_ptr<ServerState>> servers_;
-  trace::Timeline* timeline_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   std::int64_t target_iterations_ = 0;
   int workers_finished_ = 0;
@@ -478,21 +509,36 @@ class Cluster {
   bool started_ = false;
   bool stopping_ = false;
 
-  std::int64_t pushes_sent_ = 0;
-  std::int64_t params_sent_ = 0;
-  std::int64_t notifies_sent_ = 0;
-  std::int64_t pulls_sent_ = 0;
-  std::int64_t rounds_completed_ = 0;
+  // Every counter below lives in the registry; the references are bound in
+  // the constructor initializer list (registry_ must be declared first).
+  obs::Registry registry_;
+  obs::Counter& pushes_sent_;
+  obs::Counter& params_sent_;
+  obs::Counter& notifies_sent_;
+  obs::Counter& pulls_sent_;
+  obs::Counter& rounds_completed_;
+  obs::Counter& acks_sent_;
+  obs::Counter& retransmits_;
+  obs::Counter& timeouts_fired_;
+  obs::Counter& duplicates_suppressed_;
+  obs::Counter& goodput_bytes_;
+  obs::Counter& crashes_;
+  obs::Counter& restarts_;
+  obs::Counter& failovers_;
+  obs::Counter& worker_rejoins_;
+  obs::Counter& checkpoints_written_;
+  obs::Counter& checkpoint_bytes_;
+  obs::Counter& rehydrations_;
+  obs::Counter& rehydration_bytes_;
+  obs::Counter& heartbeats_sent_;
+  obs::Counter& stale_pushes_;
+  obs::Histogram& iter_time_hist_;
+  obs::Histogram& stall_time_hist_;
 
   bool reliable_ = false;
   std::int64_t next_msg_id_ = 0;
   std::unordered_map<std::int64_t, PendingTx> pending_tx_;
   std::vector<std::unordered_set<std::int64_t>> seen_;  ///< per-node dedup
-  std::int64_t acks_sent_ = 0;
-  std::int64_t retransmits_ = 0;
-  std::int64_t timeouts_fired_ = 0;
-  std::int64_t duplicates_suppressed_ = 0;
-  Bytes goodput_bytes_ = 0;
   Rng rto_rng_{0};  ///< consumed only when rto_jitter > 0
 
   // Membership plane (sized only when armed).
@@ -503,18 +549,8 @@ class Cluster {
   std::unordered_map<std::int64_t, std::int64_t> replicate_wait_;  // msg->key
   std::unordered_map<std::int64_t, CommitState> commits_;  // key -> barrier
   std::vector<std::vector<std::int64_t>> ckpt_versions_;   // per server "disk"
-  std::int64_t crashes_ = 0;
-  std::int64_t restarts_ = 0;
-  std::int64_t failovers_ = 0;
-  std::int64_t worker_rejoins_ = 0;
-  std::int64_t checkpoints_written_ = 0;
-  Bytes checkpoint_bytes_ = 0;
-  std::int64_t rehydrations_ = 0;
-  Bytes rehydration_bytes_ = 0;
   double rehydration_time_sum_ = 0.0;
   TimeS max_rejoin_lag_ = 0.0;
-  std::int64_t heartbeats_sent_ = 0;
-  std::int64_t stale_pushes_ = 0;
 };
 
 }  // namespace p3::ps

@@ -9,14 +9,26 @@
 
 namespace p3::runner {
 
-double measure_throughput(const model::Workload& workload,
-                          const ps::ClusterConfig& cluster,
-                          const MeasureOptions& opts) {
-  ps::Cluster c(workload, cluster);
-  return c.run(opts.warmup, opts.measured).throughput;
+namespace {
+
+/// Snapshot one finished cluster's registry when the caller asked for it.
+void dump_point_metrics(const ps::Cluster& cluster, const MeasureOptions& opts,
+                        std::size_t index) {
+  if (opts.metrics_prefix.empty()) return;
+  const std::string base =
+      opts.metrics_prefix + ".pt" + std::to_string(index) + ".metrics";
+  cluster.metrics().write_csv(base + ".csv");
+  cluster.metrics().write_json(base + ".json");
 }
 
-namespace {
+double measure_point(const model::Workload& workload,
+                     const ps::ClusterConfig& cluster,
+                     const MeasureOptions& opts, std::size_t index) {
+  ps::Cluster c(workload, cluster);
+  const double y = c.run(opts.warmup, opts.measured).throughput;
+  dump_point_metrics(c, opts, index);
+  return y;
+}
 
 /// Fan the (method x grid-point) job list across the executor. Each job
 /// owns a private config copy, so points are independent; submission order
@@ -27,9 +39,9 @@ std::vector<double> measure_grid(
     const MeasureOptions& opts) {
   std::vector<std::function<double()>> jobs;
   jobs.reserve(configs.size());
-  for (auto& cfg : configs) {
-    jobs.push_back([workload, cfg = std::move(cfg), opts] {
-      return measure_throughput(workload, cfg, opts);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    jobs.push_back([workload, cfg = std::move(configs[i]), opts, i] {
+      return measure_point(workload, cfg, opts, i);
     });
   }
   ParallelExecutor executor(opts.threads);
@@ -37,6 +49,12 @@ std::vector<double> measure_grid(
 }
 
 }  // namespace
+
+double measure_throughput(const model::Workload& workload,
+                          const ps::ClusterConfig& cluster,
+                          const MeasureOptions& opts) {
+  return measure_point(workload, cluster, opts, 0);
+}
 
 std::vector<Series> bandwidth_sweep(const model::Workload& workload,
                                     ps::ClusterConfig base,
@@ -118,6 +136,7 @@ UtilizationTrace utilization_trace(const model::Workload& workload,
   net::UtilizationMonitor monitor(cluster.n_workers, 0.010);
   c.attach_monitor(&monitor);
   c.run(opts.warmup, opts.measured);
+  dump_point_metrics(c, opts, 0);
 
   UtilizationTrace trace;
   trace.bin_width = monitor.bin_width();

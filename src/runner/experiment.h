@@ -29,6 +29,11 @@ struct MeasureOptions {
   /// collected in submission order, so output is bit-identical at any
   /// setting (tests/runner_parallel_test.cc enforces this).
   int threads = 1;
+  /// Non-empty: after each sweep-point run, snapshot that cluster's metrics
+  /// registry to "<prefix>.pt<idx>.metrics.csv" and ".json", where idx is
+  /// the point's submission order. Each point writes its own files, so the
+  /// dumps are race-free and bit-identical at any thread count.
+  std::string metrics_prefix;
 };
 
 /// Throughput (samples/s across the cluster) of one configuration.

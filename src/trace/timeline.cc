@@ -12,13 +12,32 @@ namespace p3::trace {
 void Timeline::add(std::string lane, TimeS start, TimeS end,
                    std::string label) {
   if (end < start) throw std::invalid_argument("span ends before it starts");
-  spans_.push_back(Span{std::move(lane), start, end, std::move(label)});
+  tracer_.span(lane, start, end, label);
+}
+
+std::vector<Span> Timeline::spans() const {
+  std::vector<Span> out;
+  for (const auto& e : tracer_.events()) {
+    if (e.kind != obs::EventKind::kSpan) continue;
+    out.push_back(Span{tracer_.track_name(e.track), e.t0, e.t1,
+                       tracer_.label_text(e.label)});
+  }
+  return out;
+}
+
+bool Timeline::empty() const {
+  for (const auto& e : tracer_.events()) {
+    if (e.kind == obs::EventKind::kSpan) return false;
+  }
+  return true;
 }
 
 std::vector<Span> Timeline::lane_spans(const std::string& lane) const {
   std::vector<Span> out;
-  for (const auto& s : spans_) {
-    if (s.lane == lane) out.push_back(s);
+  for (const auto& e : tracer_.events()) {
+    if (e.kind != obs::EventKind::kSpan) continue;
+    if (tracer_.track_name(e.track) != lane) continue;
+    out.push_back(Span{lane, e.t0, e.t1, tracer_.label_text(e.label)});
   }
   std::sort(out.begin(), out.end(),
             [](const Span& a, const Span& b) { return a.start < b.start; });
@@ -27,9 +46,11 @@ std::vector<Span> Timeline::lane_spans(const std::string& lane) const {
 
 std::vector<std::string> Timeline::lanes() const {
   std::vector<std::string> out;
-  for (const auto& s : spans_) {
-    if (std::find(out.begin(), out.end(), s.lane) == out.end()) {
-      out.push_back(s.lane);
+  for (const auto& e : tracer_.events()) {
+    if (e.kind != obs::EventKind::kSpan) continue;
+    const std::string& lane = tracer_.track_name(e.track);
+    if (std::find(out.begin(), out.end(), lane) == out.end()) {
+      out.push_back(lane);
     }
   }
   return out;
@@ -37,7 +58,9 @@ std::vector<std::string> Timeline::lanes() const {
 
 TimeS Timeline::end_time() const {
   TimeS t = 0.0;
-  for (const auto& s : spans_) t = std::max(t, s.end);
+  for (const auto& e : tracer_.events()) {
+    if (e.kind == obs::EventKind::kSpan) t = std::max(t, e.t1);
+  }
   return t;
 }
 
@@ -69,7 +92,7 @@ std::string Timeline::to_ascii(TimeS unit, TimeS t0, TimeS t1) const {
 
 void Timeline::write_csv(const std::string& path) const {
   CsvWriter csv(path, {"lane", "start", "end", "label"});
-  for (const auto& s : spans_) {
+  for (const auto& s : spans()) {
     char start[40], end[40];
     std::snprintf(start, sizeof(start), "%.9f", s.start);
     std::snprintf(end, sizeof(end), "%.9f", s.end);

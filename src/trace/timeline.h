@@ -1,12 +1,19 @@
-// Timeline recorder: collects labeled spans on named lanes and renders an
-// ASCII Gantt chart. Used to regenerate the schedule figures (Figs 4 and 6)
-// and available on any experiment for debugging protocol behaviour.
+// Timeline: ASCII Gantt / CSV renderer over an obs::Tracer span stream.
+//
+// Historically the Timeline stored spans itself; it is now a *view* plus
+// renderer: `add()` records into an owned tracer, and every accessor derives
+// from the tracer's event buffer. Attaching a Timeline to a Network or
+// Cluster therefore also captures flow arrows, counters, and lifecycle
+// records on the same tracer — export them with `tracer().write_chrome_json`
+// — while the ASCII rendering used to regenerate Figs 4 and 6 stays
+// byte-identical to the original implementation.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "common/units.h"
+#include "obs/tracer.h"
 
 namespace p3::trace {
 
@@ -21,9 +28,10 @@ class Timeline {
  public:
   void add(std::string lane, TimeS start, TimeS end, std::string label);
 
-  const std::vector<Span>& spans() const { return spans_; }
-  bool empty() const { return spans_.empty(); }
-  void clear() { spans_.clear(); }
+  /// All spans in insertion order (materialized from the tracer buffer).
+  std::vector<Span> spans() const;
+  bool empty() const;
+  void clear() { tracer_.clear(); }
 
   /// Spans on one lane, sorted by start time.
   std::vector<Span> lane_spans(const std::string& lane) const;
@@ -45,8 +53,13 @@ class Timeline {
   /// Dump spans as CSV (lane,start,end,label).
   void write_csv(const std::string& path) const;
 
+  /// The backing tracer; use it to export Chrome/Perfetto JSON or to feed
+  /// lifecycle records into obs::analysis.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
  private:
-  std::vector<Span> spans_;
+  obs::Tracer tracer_;
 };
 
 }  // namespace p3::trace

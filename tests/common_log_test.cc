@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
 namespace p3 {
 namespace {
 
@@ -45,6 +50,65 @@ TEST(Log, ThresholdShortCircuitsEvaluation) {
   P3_ERROR << count();
   EXPECT_EQ(evaluations, 1);
   set_log_level(original);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Log, ThreadHookSeesLevelAndMessage) {
+  std::vector<std::pair<LogLevel, std::string>> seen;
+  LogHook previous = set_thread_log_hook(
+      [&seen](LogLevel level, const std::string& msg) {
+        seen.emplace_back(level, msg);
+      });
+  P3_WARN << "watch " << 7;
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, LogLevel::kWarn);
+  EXPECT_EQ(seen[0].second, "watch 7");
+  // Filtered lines never reach the hook.
+  P3_DEBUG << "dropped";
+  EXPECT_EQ(seen.size(), 1u);
+  set_thread_log_hook(std::move(previous));
+}
+
+TEST(Log, HookInstallReturnsPreviousForNesting) {
+  int outer = 0, inner = 0;
+  LogHook original =
+      set_thread_log_hook([&outer](LogLevel, const std::string&) { ++outer; });
+  {
+    LogHook prev =
+        set_thread_log_hook([&inner](LogLevel, const std::string&) { ++inner; });
+    P3_INFO << "to inner";
+    set_thread_log_hook(std::move(prev));
+  }
+  P3_INFO << "to outer";
+  EXPECT_EQ(inner, 1);
+  EXPECT_EQ(outer, 1);
+  set_thread_log_hook(std::move(original));
+}
+
+TEST(Log, HooksArePerThread) {
+  // A hook on this thread must not observe lines emitted by another thread,
+  // and concurrent emission must be safe (line mutex + thread-local hooks).
+  int here = 0;
+  LogHook previous =
+      set_thread_log_hook([&here](LogLevel, const std::string&) { ++here; });
+  int there = 0;
+  std::thread other([&there] {
+    LogHook prev = set_thread_log_hook(
+        [&there](LogLevel, const std::string&) { ++there; });
+    for (int i = 0; i < 100; ++i) P3_INFO << "other " << i;
+    set_thread_log_hook(std::move(prev));
+  });
+  for (int i = 0; i < 100; ++i) P3_INFO << "main " << i;
+  other.join();
+  EXPECT_EQ(here, 100);
+  EXPECT_EQ(there, 100);
+  set_thread_log_hook(std::move(previous));
 }
 
 }  // namespace

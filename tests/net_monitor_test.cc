@@ -72,5 +72,38 @@ TEST(Monitor, BadConstructionThrows) {
   EXPECT_THROW(UtilizationMonitor(1, 0.0), std::invalid_argument);
 }
 
+TEST(Monitor, EndOnBinBoundaryLeavesNoEmptyTrailingBin) {
+  UtilizationMonitor mon(1, 0.010);
+  // Transfer ends exactly at the bin 1/2 boundary: bin 2 must not exist,
+  // or every derived utilization CSV would grow a zero row.
+  mon.record(0, Direction::kOut, 0.010, 0.020, 1000);
+  EXPECT_EQ(mon.bins(0, Direction::kOut), 2u);
+  EXPECT_DOUBLE_EQ(mon.bin_bytes(0, Direction::kOut, 0), 0.0);
+  EXPECT_DOUBLE_EQ(mon.bin_bytes(0, Direction::kOut, 1), 1000.0);
+}
+
+TEST(Monitor, ZeroLengthTransferOnBoundaryLandsInLaterBin) {
+  UtilizationMonitor mon(1, 0.010);
+  // Half-open bin convention: t = 0.020 belongs to bin 2, not bin 1.
+  mon.record(0, Direction::kIn, 0.020, 0.020, 512);
+  EXPECT_DOUBLE_EQ(mon.bin_bytes(0, Direction::kIn, 1), 0.0);
+  EXPECT_DOUBLE_EQ(mon.bin_bytes(0, Direction::kIn, 2), 512.0);
+}
+
+TEST(Monitor, IdleFractionOfEmptyWindowIsZero) {
+  UtilizationMonitor mon(1, 0.010);
+  mon.record(0, Direction::kOut, 0.0, 0.010, 100);
+  // first >= last: no bins, no idle time — not a 0/0 NaN.
+  EXPECT_DOUBLE_EQ(mon.idle_fraction(0, Direction::kOut, gbps(1), 3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(mon.idle_fraction(0, Direction::kOut, gbps(1), 5, 2), 0.0);
+}
+
+TEST(Monitor, QueriesPastRecordedBinsAreZero) {
+  UtilizationMonitor mon(1, 0.010);
+  mon.record(0, Direction::kOut, 0.0, 0.010, 100);
+  EXPECT_DOUBLE_EQ(mon.bin_bytes(0, Direction::kOut, 99), 0.0);
+  EXPECT_DOUBLE_EQ(mon.bin_rate(0, Direction::kOut, 99), 0.0);
+}
+
 }  // namespace
 }  // namespace p3::net
