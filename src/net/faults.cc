@@ -1,5 +1,6 @@
 #include "net/faults.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace p3::net {
@@ -12,7 +13,7 @@ bool endpoint_matches(int pattern, int node) {
 
 }  // namespace
 
-void FaultPlan::validate() const {
+void FaultPlan::validate(int base_nodes) const {
   if (drop_prob < 0.0 || drop_prob > 1.0) {
     throw std::invalid_argument("drop probability outside [0, 1]");
   }
@@ -49,6 +50,49 @@ void FaultPlan::validate() const {
   for (const auto& c : crashes) {
     if (c.node < 0) throw std::invalid_argument("crash without a victim node");
     if (c.at < 0.0) throw std::invalid_argument("negative crash time");
+  }
+  for (std::size_t i = 0; i < joins.size(); ++i) {
+    const auto& j = joins[i];
+    if (j.node < 0) throw std::invalid_argument("join without a node id");
+    if (j.at < 0.0) throw std::invalid_argument("negative join time");
+    for (std::size_t k = 0; k < i; ++k) {
+      if (joins[k].node == j.node) {
+        throw std::invalid_argument(
+            "join for a node that is already a member at join time "
+            "(duplicate join)");
+      }
+    }
+    for (const auto& c : crashes) {
+      if (c.node != j.node) continue;
+      if (c.down_at(j.at)) {
+        throw std::invalid_argument(
+            "join scheduled during the node's crash window");
+      }
+      if (c.at < j.at) {
+        throw std::invalid_argument(
+            "crash scheduled before the node joins");
+      }
+    }
+    if (base_nodes >= 0 && j.node < base_nodes) {
+      throw std::invalid_argument(
+          "join for a node that is already a member at join time");
+    }
+  }
+  if (base_nodes >= 0 && !joins.empty()) {
+    // Joiner ids must extend the cluster contiguously (base, base+1, ...):
+    // node arrays, shard chains and the rebalance planner all index by id.
+    std::vector<int> ids;
+    for (const auto& j : joins) ids.push_back(j.node);
+    std::sort(ids.begin(), ids.end());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] != base_nodes + static_cast<int>(i)) {
+        throw std::invalid_argument(
+            "join ids must extend the cluster contiguously");
+      }
+    }
+  }
+  if (lease_duration.has_value() && *lease_duration <= 0.0) {
+    throw std::invalid_argument("non-positive lease duration");
   }
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -77,6 +78,16 @@ struct NodeCrash {
   }
 };
 
+/// Elastic scale-out: a brand-new node (one that was never a member) is
+/// admitted at `at`. The protocol layer brings its worker and colocated
+/// server online, rebalances shard groups onto it, and expands the
+/// aggregation contributor set (docs/PROTOCOL.md). Joiner ids must extend
+/// the base cluster contiguously (base, base+1, ...).
+struct NodeJoin {
+  int node = -1;
+  TimeS at = 0.0;
+};
+
 struct FaultPlan {
   /// Cluster-wide per-message drop probability (every remote link).
   double drop_prob = 0.0;
@@ -86,6 +97,16 @@ struct FaultPlan {
   std::vector<Degradation> degradations;
   std::vector<NodePause> pauses;
   std::vector<NodeCrash> crashes;
+  /// Runtime node admissions (not wire faults; executed by ps::Cluster).
+  std::vector<NodeJoin> joins;
+  /// Set: shard leadership is lease-based — a primary's tenure is a
+  /// time-bounded lease renewed by received heartbeats, and failover waits
+  /// for the lease to expire instead of acting on a per-observer silence
+  /// threshold (no dual-primary window). Unset: legacy suspicion-timeout
+  /// failover. Must be positive when set, and should comfortably exceed
+  /// the suspicion timeout (detection still uses the silence threshold;
+  /// the lease only gates when a successor may act on it).
+  std::optional<TimeS> lease_duration;
   /// Seed for drop sampling; 0 = derive from the attaching cluster's seed.
   std::uint64_t seed = 0;
 
@@ -100,9 +121,18 @@ struct FaultPlan {
   /// std::invalid_argument instead of silently simulating garbage:
   /// probabilities outside [0, 1], negative or inverted windows,
   /// `bandwidth_factor` outside (0, 1], crashes with negative times or on
-  /// anonymous nodes. Wildcard (-1) endpoints stay legal everywhere except
-  /// `NodeCrash::node` (a crash must name its victim).
-  void validate() const;
+  /// anonymous nodes, joins scheduled inside the same node's
+  /// crash-with-restart window (the joining process cannot be down), and a
+  /// non-positive `lease_duration`. Wildcard (-1) endpoints stay legal
+  /// everywhere except `NodeCrash::node` / `NodeJoin::node` (both must name
+  /// their node).
+  ///
+  /// `base_nodes >= 0` additionally enables membership checks against the
+  /// attaching cluster: a join for an id that is already a member at join
+  /// time (a base node, or a duplicate join) is rejected, and joiner ids
+  /// must extend the cluster contiguously. `base_nodes < 0` (the default)
+  /// skips those checks for callers that do not know the cluster size.
+  void validate(int base_nodes = -1) const;
 };
 
 class FaultInjector {

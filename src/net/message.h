@@ -29,6 +29,9 @@ enum class MsgKind : std::uint8_t {
   kSyncRequest = 10,  ///< restarted server -> group peers: state delta ask
   kSyncData = 11,     ///< group leader -> restarted server: state delta
   kRecheck = 12,      ///< internal server wakeup; never crosses the wire
+  // --- elastic scale-out (docs/PROTOCOL.md) ---
+  kServerJoin = 13,   ///< joining server -> all: admission + rebalance ask
+  kMigrate = 14,      ///< donor primary -> joiner: shard-state migration
 };
 
 struct Message {

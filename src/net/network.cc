@@ -205,6 +205,11 @@ std::string message_label(const Message& m) {
       return "sd";
     case MsgKind::kRecheck:
       return "rc";  // internal; never posted
+    case MsgKind::kServerJoin:
+      return "SJ";
+    case MsgKind::kMigrate:
+      prefix = "M";  // shard migration
+      break;
   }
   return prefix + "L" + std::to_string(m.layer);
 }

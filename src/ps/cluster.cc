@@ -1,6 +1,7 @@
 #include "ps/cluster.h"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -39,6 +40,14 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
       rehydration_bytes_(registry_.counter("recovery.rehydration_bytes")),
       heartbeats_sent_(registry_.counter("recovery.heartbeats_sent")),
       stale_pushes_(registry_.counter("recovery.stale_pushes")),
+      joins_(registry_.counter("membership.joins")),
+      migrations_(registry_.counter("membership.migrations")),
+      migrated_bytes_(registry_.counter("membership.migrated_bytes")),
+      lease_renewals_(registry_.counter("membership.lease_renewals")),
+      lease_expiries_(registry_.counter("membership.lease_expiries")),
+      dual_primary_windows_(
+          registry_.counter("membership.dual_primary_windows")),
+      supersessions_(registry_.counter("membership.supersessions")),
       iter_time_hist_(registry_.histogram(
           "worker.iteration_time_s",
           {0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0})),
@@ -87,6 +96,16 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   if (cfg_.max_sim_time < 0.0) {
     throw std::invalid_argument("negative simulation time limit");
   }
+  if (!cfg_.faults.joins.empty() && cfg_.dedicated_servers) {
+    throw std::invalid_argument(
+        "elastic joins require colocated servers (a joiner hosts both roles)");
+  }
+  if (cfg_.faults.lease_duration.has_value() &&
+      *cfg_.faults.lease_duration <= cfg_.heartbeat_period) {
+    throw std::invalid_argument(
+        "lease duration must exceed the heartbeat period (a lease that "
+        "cannot be renewed by beacons expires every interval)");
+  }
 
   Rng placement_rng(cfg_.seed);
   partition_ =
@@ -113,7 +132,8 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   net_cfg.latency = cfg_.latency;
   net_ = std::make_unique<net::Network>(sim_, total_nodes(), net_cfg);
 
-  cfg_.faults.validate();
+  cfg_.faults.validate(cfg_.dedicated_servers ? 2 * cfg_.n_workers
+                                              : cfg_.n_workers);
   if (cfg_.faults.active()) {
     faults_ = std::make_unique<net::FaultInjector>(
         cfg_.faults, cfg_.seed ^ 0xfa0175eedULL);
@@ -131,12 +151,23 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   // forces it — otherwise nothing new is spawned and runs stay
   // bit-identical to the pre-membership engine.
   membership_on_ = cfg_.force_membership || cfg_.replication > 1 ||
-                   !cfg_.faults.crashes.empty();
+                   !cfg_.faults.crashes.empty() ||
+                   !cfg_.faults.joins.empty() ||
+                   cfg_.faults.lease_duration.has_value();
+  leases_on_ = membership_on_ && cfg_.faults.lease_duration.has_value();
+  lease_len_ = leases_on_ ? *cfg_.faults.lease_duration : 0.0;
   node_state_.resize(static_cast<std::size_t>(total_nodes()));
+  // Elastic joiners exist as dark nodes until their NodeJoin executes.
+  for (int j = cfg_.n_workers; j < n_total_workers(); ++j) {
+    auto& ns = node_state_[static_cast<std::size_t>(j)];
+    ns.up = false;
+    ns.joined = false;
+  }
 
   const int layers = workload_.model.num_layers();
   const auto n_slices = static_cast<std::size_t>(partition_.num_slices());
-  for (int w = 0; w < cfg_.n_workers; ++w) {
+  for (int w = 0; w < n_total_workers(); ++w) {
+    const bool joiner = w >= cfg_.n_workers;
     auto ws = std::make_unique<WorkerState>(sim_);
     ws->gates.reserve(static_cast<std::size_t>(layers));
     for (int l = 0; l < layers; ++l) {
@@ -145,7 +176,9 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
     ws->param_bytes.assign(static_cast<std::size_t>(layers), 0);
     ws->notify_count.assign(static_cast<std::size_t>(layers), 0);
     ws->rng = Rng(cfg_.seed + 1000003ULL * static_cast<std::uint64_t>(w + 1));
-    ws->recv_version.assign(n_slices, 0);  // 0 = initial weights in hand
+    // Base workers hold the initial weights; a joiner's process does not
+    // exist yet and will sync parameters through the join handshake.
+    ws->recv_version.assign(n_slices, joiner ? -1 : 0);
     ws->recv_bytes.assign(n_slices, 0);
     ws->recv_inflight.assign(n_slices, -1);
     ws->last_push_iter.assign(n_slices, -1);
@@ -163,10 +196,19 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
     if (membership_on_) {
       ss->contrib.assign(n_slices,
                          std::vector<Bytes>(
-                             static_cast<std::size_t>(cfg_.n_workers), 0));
+                             static_cast<std::size_t>(n_total_workers()), 0));
+      // A joiner is never waited for until its join handshake opens a
+      // bounded-staleness window (beacons alone must not add it to the
+      // expected set).
       ss->active_from.assign(
           n_slices, std::vector<std::int64_t>(
-                        static_cast<std::size_t>(cfg_.n_workers), 0));
+                        static_cast<std::size_t>(n_total_workers()), 0));
+      for (auto& row : ss->active_from) {
+        for (int j = cfg_.n_workers; j < n_total_workers(); ++j) {
+          row[static_cast<std::size_t>(j)] =
+              std::numeric_limits<std::int64_t>::max();
+        }
+      }
       ss->sync_epoch.assign(n_slices, -1);
     }
     ss->rxq_gauge = &registry_.gauge(lane("n", server_node(w), ".rxq_depth"));
@@ -180,11 +222,38 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
     mcfg.suspicion_timeout = cfg_.suspicion_timeout;
     for (int n = 0; n < total_nodes(); ++n) {
       membership_.push_back(std::make_unique<Membership>(mcfg, n));
-      leadership_.push_back(
-          std::make_unique<ShardLeadership>(n_servers(), cfg_.replication));
+      for (int j = cfg_.n_workers; j < n_total_workers(); ++j) {
+        membership_.back()->mark_unjoined(j);
+      }
+      leadership_.push_back(std::make_unique<ShardLeadership>(
+          n_servers(), cfg_.replication, n_total_servers()));
+      if (leases_on_) {
+        // Grant the initial leases: every home primary starts with one full
+        // lease of grace before any observer may act on its silence.
+        for (int g = 0; g < n_servers(); ++g) {
+          leadership_.back()->renew_lease(g, lease_len_);
+        }
+      }
     }
-    ckpt_versions_.assign(static_cast<std::size_t>(n_servers()),
+    ckpt_versions_.assign(static_cast<std::size_t>(n_total_servers()),
                           std::vector<std::int64_t>(n_slices, 0));
+    pending_failover_.resize(static_cast<std::size_t>(total_nodes()));
+    fenced_.resize(static_cast<std::size_t>(total_nodes()));
+    // Optimistic self-leases (as if a chain-peer beacon arrived at t = 0),
+    // mirroring the detector's optimistic start.
+    self_lease_.assign(
+        static_cast<std::size_t>(total_nodes()),
+        std::vector<TimeS>(static_cast<std::size_t>(n_servers()),
+                           lease_len_ / 2.0));
+    acting_.assign(
+        static_cast<std::size_t>(n_total_servers()),
+        std::vector<Acting>(static_cast<std::size_t>(n_servers())));
+    for (int g = 0; g < n_servers(); ++g) {
+      // Home primaries act from the start (not counted as dual windows).
+      auto& a = acting_[static_cast<std::size_t>(g)][static_cast<std::size_t>(g)];
+      a.open = true;
+      a.since = 0.0;
+    }
   }
 }
 
@@ -579,12 +648,19 @@ sim::Task Cluster::node_demux(int n) {
       // Delivery confirmed: retire the sender-side retransmission state
       // (any outstanding timer becomes a no-op).
       pending_tx_.erase(m.msg_id);
-      if (membership_on_) on_replicate_ack(m.msg_id);
+      if (membership_on_) {
+        on_replicate_ack(m.msg_id);
+        on_migrate_ack(m.msg_id);
+      }
       continue;
     }
     if (m.kind == net::MsgKind::kHeartbeat) {
       // Beacons are fire-and-forget and not protocol goodput.
-      membership_[nn]->record_heartbeat(m.src, m.iteration, sim_.now());
+      const auto effect =
+          membership_[nn]->record_heartbeat(m.src, m.iteration, sim_.now());
+      if (leases_on_ || effect.superseded) {
+        on_beacon(n, m.src, effect.superseded);
+      }
       continue;
     }
     if (m.kind != net::MsgKind::kBackground) {
@@ -624,10 +700,29 @@ sim::Task Cluster::node_demux(int n) {
         // One adoption per node: the leadership view is shared by every
         // role the node hosts, so adopt once and, if the transition moved
         // the view and the node hosts a worker, trigger its re-push.
-        const bool moved = leadership_[nn]->adopt(static_cast<int>(m.slice),
-                                                  m.iteration, m.worker);
-        if (moved && n < cfg_.n_workers) {
-          worker_repush_group(n, static_cast<int>(m.slice));
+        const int group = static_cast<int>(m.slice);
+        const bool moved =
+            leadership_[nn]->adopt(group, m.iteration, m.worker);
+        if (moved) {
+          if (n < n_total_workers()) {
+            worker_repush_group(n, group);
+          }
+          // A displaced local primary stops acting the moment it learns;
+          // an installed one starts its self-lease clock fresh.
+          if (server_idx >= 0) {
+            if (leadership_[nn]->primary(group) == server_idx) {
+              seed_self_lease(server_idx, group);
+            }
+            update_acting(server_idx, group);
+          }
+        } else if (n < n_total_workers() &&
+                   (m.iteration < leadership_[nn]->epoch(group) ||
+                    m.worker != leadership_[nn]->primary(group))) {
+          // A redirect our view outranks (older epoch, or a lower-rank
+          // primary at the same epoch): the sender is behind a handover we
+          // already adopted and dropped the payload it bounced. Re-push the
+          // group — the loop ends once the true leader's adoption lands.
+          worker_repush_group(n, group);
         }
         break;
       }
@@ -686,8 +781,32 @@ sim::Task Cluster::node_demux(int n) {
         if (m.version > ss.version[si]) ss.version[si] = m.version;
         const int group = partition_.slices[si].server;
         leadership_[nn]->adopt(group, m.iteration, m.worker);
+        update_acting(server_idx, group);
         ss.sync_epoch[si] = node_state_[nn].epoch;
         rehydration_bytes_ += m.logical;
+        break;
+      }
+      case net::MsgKind::kServerJoin: {
+        // A joining server asks for its deterministic share of the shard
+        // groups; whichever node currently believes it leads a planned
+        // group starts migrating it. Repeats are idempotent: a group
+        // already migrating (or already handed over) is skipped.
+        if (server_idx < 0) break;
+        for (const int g : rebalance_plan(m.worker)) {
+          if (leadership_[nn]->primary(g) != server_idx) continue;
+          start_migration(server_idx, g, m.worker);
+        }
+        break;
+      }
+      case net::MsgKind::kMigrate: {
+        // Shard state (parameters + optimizer) landing at the joiner;
+        // versioned and idempotent like kReplicate/kSyncData, so a target
+        // restart mid-migration just re-applies the retransmitted copies.
+        if (server_idx < 0) break;
+        auto& ss = *servers_[static_cast<std::size_t>(server_idx)];
+        const auto si = static_cast<std::size_t>(m.slice);
+        if (m.version > ss.version[si]) ss.version[si] = m.version;
+        migrated_bytes_ += m.logical;
         break;
       }
       case net::MsgKind::kBackground:
@@ -787,8 +906,11 @@ void Cluster::worker_on_param(int w, const net::Message& m) {
   ws.recv_version[si] = m.version;
   ws.recv_inflight[si] = -1;
   ws.recv_bytes[si] = 0;
-  if (tracing()) {
-    // Version v means "parameters after iteration v-1's update".
+  if (tracing() && ws.last_push_iter[si] >= 0) {
+    // Version v means "parameters after iteration v-1's update". Deliveries
+    // to a worker that never pushed this slice (the admission / rejoin
+    // state transfer) are not an echo of its own round trip and would
+    // invert the lifecycle stage order, so they are not round events.
     lc(obs::Stage::kParamReady, w, m.slice, m.version - 1,
        partition_.slices[si].payload_bytes());
   }
@@ -839,7 +961,7 @@ bool Cluster::round_complete(int server, std::int64_t slice) const {
   const Bytes payload = partition_.slices[si].payload_bytes();
   const auto& view = *membership_[static_cast<std::size_t>(server_node(server))];
   bool any = false;
-  for (int w = 0; w < cfg_.n_workers; ++w) {
+  for (int w = 0; w < n_total_workers(); ++w) {
     const auto wi = static_cast<std::size_t>(w);
     const bool done = ss.contrib[si][wi] >= payload;
     any = any || done;
@@ -859,9 +981,19 @@ void Cluster::release_round(int server, std::int64_t slice,
   const auto& sl = partition_.slices[si];
   if (sync_.immediate_broadcast) {
     // P3Server: broadcast updated parameters without notify+pull.
-    for (int w = 0; w < cfg_.n_workers; ++w) send_params(server, slice, w);
+    for (int w = 0; w < n_total_workers(); ++w) {
+      if (membership_on_ &&
+          !node_state_[static_cast<std::size_t>(w)].joined) {
+        continue;  // elastic joiner not admitted yet
+      }
+      send_params(server, slice, w);
+    }
   } else if (!sync_.deferred_pull) {
-    for (int w = 0; w < cfg_.n_workers; ++w) {
+    for (int w = 0; w < n_total_workers(); ++w) {
+      if (membership_on_ &&
+          !node_state_[static_cast<std::size_t>(w)].joined) {
+        continue;
+      }
       net::Message notify;
       notify.src = server_node(server);
       notify.dst = w;
@@ -991,6 +1123,13 @@ sim::Task Cluster::server_loop(int n) {
         }
       } else {
         if (leadership_[node]->chain_offset(sl.server, n) < 0) {
+          if (!cfg_.faults.joins.empty()) {
+            // Elastic rebalancing re-derives chains around joiners, so a
+            // donor dropped from a handed-over group can still see
+            // stragglers addressed under the old chain: redirect them.
+            redirect_to_leader(n, m);
+            continue;
+          }
           throw std::logic_error("slice routed outside its replica group");
         }
         if (leadership_[node]->primary(sl.server) != n) {
@@ -1095,7 +1234,7 @@ sim::Task Cluster::server_loop(int n) {
       const auto si = static_cast<std::size_t>(s);
       const auto& sl = partition_.slices[si];
       while (leadership_[node]->primary(sl.server) == n &&
-             round_complete(n, s)) {
+             !group_frozen(n, sl.server) && round_complete(n, s)) {
         const std::int64_t round = ss.version[si];
         const TimeS t0 = sim_.now();
         co_await sim_.sleep(
@@ -1133,6 +1272,7 @@ sim::Task Cluster::heartbeat_loop(int n) {
                                         // suspects; the loop outlives it
     for (int peer = 0; peer < total_nodes(); ++peer) {
       if (peer == n) continue;
+      if (!node_state_[static_cast<std::size_t>(peer)].joined) continue;
       net::Message hb;
       hb.src = n;
       hb.dst = peer;
@@ -1145,6 +1285,7 @@ sim::Task Cluster::heartbeat_loop(int n) {
     for (const int dead : membership_[nn]->check(sim_.now())) {
       on_peer_dead(n, dead);
     }
+    if (leases_on_) lease_tick(n);
   }
 }
 
@@ -1154,47 +1295,62 @@ void Cluster::on_peer_dead(int observer_node, int dead_node) {
   const int dead_server = server_of_node(dead_node);
   const int my_server = server_of_node(observer_node);
   auto& lead = *leadership_[on];
-  const auto& view = *membership_[on];
   if (dead_server >= 0) {
     for (int g = 0; g < n_servers(); ++g) {
-      const auto& lease = lead.lease(g);
-      if (lease.primary != dead_server) continue;
-      // The believed leader of group g died: find the first live replica in
-      // chain order. Every observer runs the same scan over its own view,
-      // so converged views elect the same successor.
-      int successor = -1;
-      for (int k = 0; k < cfg_.replication; ++k) {
-        const int candidate = lead.member(g, k);
-        if (view.alive(server_node(candidate))) {
-          successor = candidate;
-          break;
-        }
+      if (lead.primary(g) != dead_server) continue;
+      if (leases_on_) {
+        // Lease-based failover: suspicion alone is not enough — queue the
+        // group and act only once the dead primary's lease has expired
+        // (lease_tick), so a slow-but-alive primary and its successor can
+        // never release rounds concurrently.
+        pending_failover_[on].insert(g);
+        mem_mark(observer_node, "PF");
+      } else {
+        failover_scan(observer_node, g);
       }
-      if (successor < 0) {
-        // Nobody visible. If ground truth agrees the whole group is gone
-        // for good, the shard is unrecoverable — fail loudly rather than
-        // heartbeat forever.
-        bool truly_lost = true;
-        for (int k = 0; k < cfg_.replication; ++k) {
-          if (!permanently_down(server_node(lead.member(g, k)))) {
-            truly_lost = false;
-            break;
-          }
-        }
-        if (truly_lost) {
-          throw std::runtime_error(
-              "shard group " + std::to_string(g) +
-              " lost every replica (replication " +
-              std::to_string(cfg_.replication) +
-              "); raise the replication factor or restart a server");
-        }
-        continue;  // views disagree with truth; wait for beacons
-      }
-      if (successor == my_server) takeover_group(my_server, g);
     }
   }
   // A server's expected worker set shrank: re-evaluate open rounds.
   if (my_server >= 0 && node_state_[on].up) inject_recheck(my_server);
+}
+
+void Cluster::failover_scan(int observer_node, int group) {
+  const auto on = static_cast<std::size_t>(observer_node);
+  const int my_server = server_of_node(observer_node);
+  auto& lead = *leadership_[on];
+  const auto& view = *membership_[on];
+  // The believed leader of the group died: find the first live replica in
+  // chain order. Every observer runs the same scan over its own view, so
+  // converged views elect the same successor.
+  int successor = -1;
+  for (int k = 0; k < cfg_.replication; ++k) {
+    const int candidate = lead.member(group, k);
+    if (view.alive(server_node(candidate))) {
+      successor = candidate;
+      break;
+    }
+  }
+  if (successor < 0) {
+    // Nobody visible. If ground truth agrees the whole group is gone for
+    // good, the shard is unrecoverable — fail loudly rather than heartbeat
+    // forever.
+    bool truly_lost = true;
+    for (int k = 0; k < cfg_.replication; ++k) {
+      if (!permanently_down(server_node(lead.member(group, k)))) {
+        truly_lost = false;
+        break;
+      }
+    }
+    if (truly_lost) {
+      throw std::runtime_error(
+          "shard group " + std::to_string(group) +
+          " lost every replica (replication " +
+          std::to_string(cfg_.replication) +
+          "); raise the replication factor or restart a server");
+    }
+    return;  // views disagree with truth; wait for beacons
+  }
+  if (successor == my_server) takeover_group(my_server, group);
 }
 
 void Cluster::takeover_group(int server, int group) {
@@ -1204,6 +1360,8 @@ void Cluster::takeover_group(int server, int group) {
   if (!lead.adopt(group, epoch, server)) return;
   ++failovers_;
   mem_mark(server_node(server), "F");
+  seed_self_lease(server, group);
+  update_acting(server, group);
   // Open rounds restart from empty accumulators under the new epoch;
   // workers re-push on adoption, and rounds that committed before the old
   // primary died are answered from the replicated state (stale-push reply).
@@ -1213,16 +1371,16 @@ void Cluster::takeover_group(int server, int group) {
     if (partition_.slices[si].server != group) continue;
     for (auto& c : ss.contrib[si]) c = 0;
   }
-  announce_primary(server, group, epoch);
+  announce_primary(server, group, epoch, server);
   // The announcement skips this node, but a colocated worker shares the
   // adopted view and must re-push like every other worker.
-  if (static_cast<int>(node) < cfg_.n_workers) {
+  if (static_cast<int>(node) < n_total_workers()) {
     worker_repush_group(static_cast<int>(node), group);
   }
 }
 
 void Cluster::announce_primary(int from_server, int group,
-                               std::int64_t epoch) {
+                               std::int64_t epoch, int primary) {
   const int src = server_node(from_server);
   for (int peer = 0; peer < total_nodes(); ++peer) {
     if (peer == src) continue;
@@ -1233,9 +1391,368 @@ void Cluster::announce_primary(int from_server, int group,
     m.kind = net::MsgKind::kNewPrimary;
     m.slice = group;
     m.iteration = epoch;
-    m.worker = from_server;
+    m.worker = primary;
     m.bytes = net::kControlBytes;
     post_tracked(m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic scale-out: node admission, shard rebalancing, lease-based
+// leadership (docs/PROTOCOL.md).
+// ---------------------------------------------------------------------------
+
+void Cluster::execute_join(const net::NodeJoin& j) {
+  const auto nn = static_cast<std::size_t>(j.node);
+  auto& ns = node_state_[nn];
+  if (ns.joined) return;  // defensive; validate() rejects duplicate joins
+  ns.joined = true;
+  ns.up = true;
+  ns.epoch += 1;  // incarnation 1: distinct from the never-alive process 0
+  ++joins_;
+  mem_mark(j.node, "J+");
+  // Bootstrap the joiner's own view from ground truth (it was handed the
+  // member list on admission); everyone else learns of the joiner from its
+  // first beacons.
+  for (int p = 0; p < total_nodes(); ++p) {
+    if (!node_state_[static_cast<std::size_t>(p)].joined) continue;
+    membership_[nn]->mark_joined(p, sim_.now());
+  }
+  sim_.spawn(worker_rejoin(j.node, ns.epoch));
+  sim_.spawn(server_admit(j.node, ns.epoch));
+}
+
+sim::Task Cluster::server_admit(int node, std::int64_t epoch) {
+  const int joiner = server_of_node(node);
+  const auto nn = static_cast<std::size_t>(node);
+  const std::vector<int> plan = rebalance_plan(joiner);
+  for (;;) {
+    // Broadcast the rebalance ask, then retry on a suspicion-timeout
+    // cadence until every planned group is ours in our own view. The ask is
+    // idempotent at the donors (an in-flight or completed handover skips
+    // the group), so lost broadcasts cost latency, never correctness.
+    bool owned = true;
+    for (const int g : plan) {
+      if (leadership_[nn]->primary(g) != joiner) {
+        owned = false;
+        break;
+      }
+    }
+    if (owned) co_return;
+    for (int peer = 0; peer < total_nodes(); ++peer) {
+      if (peer == node) continue;
+      if (!node_state_[static_cast<std::size_t>(peer)].joined) continue;
+      if (!reachable(peer)) continue;
+      net::Message m;
+      m.src = node;
+      m.dst = peer;
+      m.kind = net::MsgKind::kServerJoin;
+      m.worker = joiner;
+      m.iteration = node_state_[nn].epoch;  // incarnation
+      m.bytes = net::kControlBytes;
+      post_tracked(m);
+    }
+    co_await sim_.sleep(cfg_.suspicion_timeout);
+    if (node_state_[nn].epoch != epoch || stopping_) co_return;
+  }
+}
+
+std::vector<int> Cluster::rebalance_plan(int joiner_server) const {
+  // Deterministic planner: joiner k (0-based in id order) takes its fair
+  // share of contiguous groups, max(1, n_groups / (n_base + k + 1)),
+  // starting at (k * take) % n_groups. A pure function of the config, so
+  // every node computes the same plan without coordination.
+  const int n_base = n_servers();
+  const int k = joiner_server - n_base;
+  const int take = std::max(1, n_base / (n_base + k + 1));
+  std::vector<int> plan;
+  plan.reserve(static_cast<std::size_t>(take));
+  const int start = (k * take) % n_base;
+  for (int i = 0; i < take; ++i) plan.push_back((start + i) % n_base);
+  return plan;
+}
+
+void Cluster::start_migration(int donor, int group, int target) {
+  if (migrations_in_progress_.count(group) > 0) return;  // already moving
+  auto& ss = *servers_[static_cast<std::size_t>(donor)];
+  MigrationState ms;
+  ms.donor = donor;
+  ms.group = group;
+  ms.target = target;
+  ms.t0 = sim_.now();
+  // Per-slice reliable transfer of parameters plus same-sized optimizer
+  // state. Round releases for the group freeze (group_frozen) until the
+  // last slice is acked, so no worker can observe a version the target
+  // does not hold — the same barrier rule replication uses.
+  const int tnode = server_node(target);
+  for (std::int64_t s = 0; s < partition_.num_slices(); ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto& sl = partition_.slices[si];
+    if (sl.server != group) continue;
+    net::Message m;
+    m.src = server_node(donor);
+    m.dst = tnode;
+    m.kind = net::MsgKind::kMigrate;
+    m.slice = s;
+    m.layer = sl.layer;
+    m.priority = item_priority(s);
+    m.worker = donor;
+    m.version = ss.version[si];
+    m.logical = 2 * sl.payload_bytes();  // params + optimizer state
+    m.bytes = wire_payload(2 * sl.payload_bytes()) + net::kHeaderBytes;
+    arm_reliable(m, -1);
+    migration_wait_.emplace(m.msg_id, group);
+    const TimeS rto = pending_tx_.at(m.msg_id).rto;
+    net_->post(m);
+    schedule_retx_timer(m.msg_id, rto);
+    ++ms.outstanding;
+  }
+  if (ms.outstanding == 0) {
+    // The group owns no slices (possible under kvstore placement, where
+    // whole small layers land on random servers). There is no state to
+    // copy, but the handover must still happen or the admission loop asks
+    // forever: transfer leadership directly.
+    finish_migration(ms);
+    return;
+  }
+  mem_mark(server_node(donor), "M>");
+  migrations_in_progress_.emplace(group, ms);
+}
+
+void Cluster::on_migrate_ack(std::int64_t msg_id) {
+  const auto it = migration_wait_.find(msg_id);
+  if (it == migration_wait_.end()) return;
+  const int group = it->second;
+  migration_wait_.erase(it);
+  const auto mit = migrations_in_progress_.find(group);
+  if (mit == migrations_in_progress_.end()) return;
+  MigrationState& ms = mit->second;
+  if (--ms.outstanding > 0) return;
+  const MigrationState done = ms;
+  migrations_in_progress_.erase(mit);
+  finish_migration(done);
+}
+
+void Cluster::finish_migration(const MigrationState& ms) {
+  // The target acked every slice: hand leadership over. The donor adopts
+  // first (it stops serving the group at this instant), then announces; the
+  // parked pulls are forwarded *after* the announcement on the same
+  // donor->target NIC pair, so FIFO delivery makes the target adopt the new
+  // epoch before any forwarded pull reaches it.
+  const auto dn = static_cast<std::size_t>(server_node(ms.donor));
+  auto& lead = *leadership_[dn];
+  if (lead.primary(ms.group) != ms.donor) return;  // superseded meanwhile
+  const std::int64_t epoch = lead.epoch(ms.group) + 1;
+  lead.adopt(ms.group, epoch, ms.target);
+  ++migrations_;
+  update_acting(ms.donor, ms.group);
+  mem_mark(server_node(ms.donor), "M+");
+  if (tracing()) {
+    tracer_->span(lane("n", server_node(ms.donor), ".mig"), ms.t0, sim_.now(),
+                  "mig" + std::to_string(ms.group));
+  }
+  announce_primary(ms.donor, ms.group, epoch, ms.target);
+  auto& ss = *servers_[static_cast<std::size_t>(ms.donor)];
+  for (std::int64_t s = 0; s < partition_.num_slices(); ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    if (partition_.slices[si].server != ms.group) continue;
+    // Contributions to rounds the donor will never finish die here; the
+    // workers re-push them to the target on adoption (the ledger's per-
+    // round cap keeps the merge exactly-once).
+    for (auto& c : ss.contrib[si]) c = 0;
+    auto parked = std::move(ss.pending[si]);
+    ss.pending[si].clear();
+    for (const auto& p : parked) {
+      net::Message fwd;
+      fwd.src = server_node(ms.donor);
+      fwd.dst = server_node(ms.target);
+      fwd.kind = net::MsgKind::kPullRequest;
+      fwd.slice = s;
+      fwd.layer = partition_.slices[si].layer;
+      fwd.priority = item_priority(s);
+      fwd.iteration = p.iteration;
+      fwd.worker = p.worker;
+      fwd.bytes = net::kControlBytes;
+      post_tracked(fwd);
+    }
+  }
+  // The colocated worker shares the donor's adopted view: re-push like
+  // every other worker will on adoption.
+  if (static_cast<int>(dn) < n_total_workers()) {
+    worker_repush_group(static_cast<int>(dn), ms.group);
+  }
+}
+
+void Cluster::on_beacon(int n, int src, bool superseded) {
+  const auto nn = static_cast<std::size_t>(n);
+  const int src_server = server_of_node(src);
+  const int my_server = server_of_node(n);
+  auto& lead = *leadership_[nn];
+  if (superseded) {
+    // A higher incarnation while the old one was still believed alive: the
+    // old process is gone *now*. Leases it held are void immediately — not
+    // after a silence threshold — and open rounds re-evaluate.
+    ++supersessions_;
+    mem_mark(n, "S");
+    if (src_server >= 0) {
+      for (int g = 0; g < n_servers(); ++g) {
+        if (lead.primary(g) == src_server) lead.expire_lease(g, sim_.now());
+      }
+    }
+    if (my_server >= 0 && node_state_[nn].up) inject_recheck(my_server);
+  }
+  if (!leases_on_ || src_server < 0) return;
+  // Lease renewal: a beacon from the believed leader of a group extends
+  // that group's lease in this view; a beacon from a chain peer of an
+  // own-led group extends the self-lease the primary must hold to keep
+  // releasing rounds.
+  for (int g = 0; g < n_servers(); ++g) {
+    if (lead.primary(g) == src_server) {
+      lead.renew_lease(g, sim_.now() + lease_len_);
+      ++lease_renewals_;
+    }
+    if (my_server >= 0 && lead.primary(g) == my_server &&
+        lead.chain_offset(g, src_server) > 0) {
+      self_lease_[nn][static_cast<std::size_t>(g)] =
+          sim_.now() + lease_len_ / 2.0;
+    }
+  }
+}
+
+bool Cluster::view_has_quorum(int n) const {
+  const auto& view = *membership_[static_cast<std::size_t>(n)];
+  int members = 0;
+  int live = 0;
+  for (int p = 0; p < total_nodes(); ++p) {
+    if (!view.joined(p)) continue;
+    ++members;
+    if (p == n || view.alive(p)) ++live;
+  }
+  return 2 * live > members;
+}
+
+void Cluster::lease_tick(int n) {
+  const auto nn = static_cast<std::size_t>(n);
+  if (!node_state_[nn].up) return;
+  auto& lead = *leadership_[nn];
+  const int my_server = server_of_node(n);
+  const TimeS now = sim_.now();
+  // (a) Self-fencing: an own-led group whose self-lease (fed by chain-peer
+  // beacons) lapsed may already be considered expired by the peers — stop
+  // releasing rounds *before* any successor's lease on us can run out (the
+  // self-lease is half the lease, renewed by the same beacons that renew
+  // the peers' full lease). Reopen only after renewed contact plus a full
+  // lease of settle time: a successor that acted on the expiry has
+  // announced by then, which turns the reopen into an adoption instead.
+  if (my_server >= 0 && cfg_.replication > 1) {
+    auto& fences = fenced_[nn];
+    for (int g = 0; g < n_servers(); ++g) {
+      const bool mine = lead.primary(g) == my_server;
+      const auto fit = fences.find(g);
+      if (!mine) {
+        if (fit != fences.end()) fences.erase(g);
+        continue;
+      }
+      const TimeS sl = self_lease_[nn][static_cast<std::size_t>(g)];
+      // A dead chain peer cannot renew the self-lease, but it cannot elect
+      // itself either: while every strict chain peer of the group is dead
+      // in this view AND the view still holds a quorum, the primary keeps
+      // its lease on quorum evidence — its own beacons reach a majority,
+      // so no observer's lease on it can lapse and no successor may act.
+      bool peers_dead = true;
+      for (int off = 1; off < cfg_.replication; ++off) {
+        const int peer = lead.member(g, off);
+        if (peer == my_server) continue;
+        if (membership_[nn]->alive(server_node(peer))) {
+          peers_dead = false;
+          break;
+        }
+      }
+      const bool held = now <= sl || (peers_dead && view_has_quorum(n));
+      if (fit == fences.end()) {
+        if (!held) {
+          fences.emplace(g, now);
+          ++lease_expiries_;
+          mem_mark(n, "L-");
+          update_acting(my_server, g);
+        }
+      } else if (held && now - fit->second >= lease_len_) {
+        fences.erase(g);
+        mem_mark(n, "L+");
+        update_acting(my_server, g);
+        inject_recheck(my_server);
+      }
+    }
+  }
+  // (b) Deferred failovers: act only once the old primary's lease expired
+  // in this view AND the view holds a quorum of the joined members — a
+  // minority-partitioned observer (which sees everyone else dead and every
+  // lease expired) must never elect itself.
+  auto& pend = pending_failover_[nn];
+  if (pend.empty()) return;
+  const auto& view = *membership_[nn];
+  for (auto it = pend.begin(); it != pend.end();) {
+    const int g = *it;
+    if (view.alive(server_node(lead.primary(g)))) {
+      it = pend.erase(it);  // the primary came back before the lease ran out
+      continue;
+    }
+    if (now <= lead.lease_deadline(g) || !view_has_quorum(n)) {
+      ++it;
+      continue;
+    }
+    it = pend.erase(it);
+    failover_scan(n, g);
+  }
+}
+
+bool Cluster::group_frozen(int server, int group) const {
+  const auto mit = migrations_in_progress_.find(group);
+  if (mit != migrations_in_progress_.end() && mit->second.donor == server) {
+    return true;
+  }
+  return leases_on_ &&
+         fenced_[static_cast<std::size_t>(server_node(server))].count(group) >
+             0;
+}
+
+void Cluster::seed_self_lease(int server, int group) {
+  if (!leases_on_ || cfg_.replication <= 1) return;
+  const auto nn = static_cast<std::size_t>(server_node(server));
+  auto& sl = self_lease_[nn][static_cast<std::size_t>(group)];
+  sl = std::max(sl, sim_.now() + lease_len_ / 2.0);
+}
+
+void Cluster::update_acting(int server, int group) {
+  // Ground truth maintained outside any view: is this server *acting* as
+  // the group's primary right now (up, believes it leads, not fenced)?
+  // Overlapping intervals across servers are precisely the split-view
+  // window lease-based failover exists to close.
+  const auto sn = static_cast<std::size_t>(server);
+  const auto nn = static_cast<std::size_t>(server_node(server));
+  Acting& a = acting_[sn][static_cast<std::size_t>(group)];
+  const bool should = node_state_[nn].up &&
+                      leadership_[nn]->primary(group) == server &&
+                      !(leases_on_ && fenced_[nn].count(group) > 0);
+  if (should == a.open) return;
+  if (should) {
+    for (int o = 0; o < n_total_servers(); ++o) {
+      if (o == server) continue;
+      if (acting_[static_cast<std::size_t>(o)][static_cast<std::size_t>(group)]
+              .open) {
+        ++dual_primary_windows_;
+        mem_mark(server_node(server), "DP");
+        break;
+      }
+    }
+    a.open = true;
+    a.since = sim_.now();
+  } else {
+    a.open = false;
+    if (tracing()) {
+      tracer_->span(lane("n", static_cast<int>(nn), ".lease"), a.since,
+                    sim_.now(), "p" + std::to_string(group));
+    }
   }
 }
 
@@ -1360,7 +1877,9 @@ sim::Task Cluster::server_rehydrate(int s, std::int64_t epoch) {
     if (l.primary(g) != s) continue;
     const std::int64_t e = l.epoch(g) + 1;
     l.adopt(g, e, s);
-    announce_primary(s, g, e);
+    seed_self_lease(s, g);
+    update_acting(s, g);
+    announce_primary(s, g, e, s);
   }
   inject_recheck(s);
 }
@@ -1373,9 +1892,10 @@ sim::Task Cluster::worker_rejoin(int w, std::int64_t epoch) {
     // Broadcast the join to every reachable server node; current group
     // leaders answer with fresh parameters and open a bounded-staleness
     // window before the aggregation rounds wait on this worker again.
-    for (int s = 0; s < n_servers(); ++s) {
+    for (int s = 0; s < n_total_servers(); ++s) {
       const int snode = server_node(s);
       if (snode == w) continue;  // own (restarted) colocated server
+      if (!node_state_[static_cast<std::size_t>(snode)].joined) continue;
       if (!reachable(snode)) continue;
       net::Message m;
       m.src = w;
@@ -1465,6 +1985,39 @@ void Cluster::execute_crash(const net::NodeCrash& c) {
     for (auto it = commits_.begin(); it != commits_.end();) {
       it = it->second.server == s ? commits_.erase(it) : std::next(it);
     }
+    // Acting intervals close with the process (ground truth).
+    for (int g = 0; g < n_servers(); ++g) update_acting(s, g);
+  }
+  if (leases_on_) {
+    // Fences and deferred failovers are process state.
+    fenced_[nn].clear();
+    pending_failover_[nn].clear();
+  }
+  // In-flight migrations die with the donor's process, and with a target
+  // that will never return (a restarting target is bridged by
+  // retransmission: its dedup memory clears with the crash, so re-applied
+  // copies ack and the handover completes). This must run before the
+  // generic pending_tx_ sweep below so a dead donor's timers cannot
+  // complete a handover the donor no longer remembers.
+  for (auto it = migrations_in_progress_.begin();
+       it != migrations_in_progress_.end();) {
+    const MigrationState& ms = it->second;
+    const bool donor_died = server_node(ms.donor) == c.node;
+    const bool target_gone =
+        server_node(ms.target) == c.node && permanently_down(c.node);
+    if (donor_died || target_gone) {
+      for (auto w = migration_wait_.begin(); w != migration_wait_.end();) {
+        if (w->second == it->first) {
+          pending_tx_.erase(w->first);
+          w = migration_wait_.erase(w);
+        } else {
+          ++w;
+        }
+      }
+      it = migrations_in_progress_.erase(it);
+    } else {
+      ++it;
+    }
   }
   // The dead process no longer retransmits anything it sent, and — when it
   // will never return — nothing addressed to it can ever be delivered, so
@@ -1496,6 +2049,23 @@ void Cluster::execute_restart(const net::NodeCrash& c) {
   // are globally unique, so re-learning them is safe).
   membership_[nn]->reset(sim_.now());
   const int s = server_of_node(c.node);
+  if (leases_on_ && cfg_.replication > 1 && s >= 0) {
+    // The restarted process may still believe it leads groups a successor
+    // took over during the outage: fence them (self-lease lapsed while
+    // down) so the stale belief can never release a round concurrently
+    // with the real leader. The fences lift through the ordinary settle
+    // path once renewed chain contact proves the belief right — or the
+    // successor's (retransmitted) announcement corrects it first.
+    auto& lead = *leadership_[nn];
+    for (int g = 0; g < n_servers(); ++g) {
+      if (lead.primary(g) != s) continue;
+      fenced_[nn][g] = sim_.now();
+      ++lease_expiries_;
+      mem_mark(c.node, "L-");
+      self_lease_[nn][static_cast<std::size_t>(g)] =
+          sim_.now() + lease_len_ / 2.0;
+    }
+  }
   if (s >= 0) sim_.spawn(server_rehydrate(s, ns.epoch));
   if (!cfg_.dedicated_servers || c.node < cfg_.n_workers) {
     sim_.spawn(worker_rejoin(c.node, ns.epoch));
@@ -1524,11 +2094,24 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
     sim_.spawn(worker_sender(n));
     sim_.spawn(worker_loop(n, 0));
   }
+  // Elastic joiners: their server/sender loops idle on empty queues until
+  // the NodeJoin executes; their worker_loop is spawned by the join
+  // handshake (worker_rejoin) once the parameter sync completes.
+  for (int n = cfg_.n_workers; n < n_total_workers(); ++n) {
+    sim_.spawn(server_loop(n));
+    sim_.spawn(worker_sender(n));
+  }
   finish_target_ = cfg_.n_workers;
   if (membership_on_) {
     for (int n = 0; n < total_nodes(); ++n) sim_.spawn(heartbeat_loop(n));
     if (cfg_.checkpoint_period > 0.0) {
-      for (int s = 0; s < n_servers(); ++s) sim_.spawn(checkpoint_loop(s));
+      for (int s = 0; s < n_total_servers(); ++s) {
+        sim_.spawn(checkpoint_loop(s));
+      }
+    }
+    for (const auto& j : cfg_.faults.joins) {
+      sim_.schedule_at(j.at, [this, j] { execute_join(j); });
+      finish_target_ += 1;  // an admitted worker must also reach the target
     }
     for (const auto& c : cfg_.faults.crashes) {
       if (c.node < 0 || c.node >= total_nodes()) {
@@ -1578,8 +2161,15 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   result.max_rejoin_lag = max_rejoin_lag_;
   result.heartbeats_sent = heartbeats_sent_.value();
   result.stale_pushes = stale_pushes_.value();
+  result.joins = joins_.value();
+  result.migrations = migrations_.value();
+  result.migrated_bytes = migrated_bytes_.value();
+  result.lease_renewals = lease_renewals_.value();
+  result.lease_expiries = lease_expiries_.value();
+  result.dual_primary_windows = dual_primary_windows_.value();
+  result.supersessions = supersessions_.value();
 
-  if (crashes_.value() == 0) {
+  if (crashes_.value() == 0 && joins_.value() == 0) {
     // Crash-free path: the exact pre-membership arithmetic, so results stay
     // bit-identical to the seed engine.
     TimeS start = 0.0;
@@ -1616,15 +2206,15 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
                              (static_cast<double>(cfg_.n_workers) *
                               measured_iterations);
   } else {
-    // Crash runs: workers may have shorter (crashed early) or longer
-    // (restarted mid-run) histories. The measurement window is anchored on
-    // workers that never crashed — a rejoined worker's history restarts
-    // mid-run, and anchoring on it would shrink the window and inflate
-    // throughput — then every completion inside the window counts,
-    // whichever worker produced it.
+    // Crash/join runs: workers may have shorter (crashed early, or joined
+    // late) or longer (restarted mid-run) histories. The measurement window
+    // is anchored on workers that never crashed or joined — a rejoined or
+    // admitted worker's history starts mid-run, and anchoring on it would
+    // shrink the window and inflate throughput — then every completion
+    // inside the window counts, whichever worker produced it.
     TimeS start = 0.0;
     TimeS end = 0.0;
-    for (int w = 0; w < cfg_.n_workers; ++w) {
+    for (int w = 0; w < n_total_workers(); ++w) {
       const auto& done = workers_[static_cast<std::size_t>(w)]->iter_done;
       if (done.empty()) continue;
       end = std::max(end, done.back());
@@ -1681,7 +2271,7 @@ void Cluster::drain() {
 
 std::int64_t Cluster::slice_version(std::int64_t slice) const {
   const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
-  if (!membership_on_ || cfg_.replication == 1) {
+  if (!membership_on_) {
     return servers_[static_cast<std::size_t>(sl.server)]
         ->version[static_cast<std::size_t>(slice)];
   }

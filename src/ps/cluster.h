@@ -36,10 +36,25 @@
 // the simulated clock and the seeded RNGs, so crash runs are bit-identical
 // across runner thread counts, and a run without crashes posts the exact
 // pre-membership event sequence.
+//
+// Elastic scale-out (docs/PROTOCOL.md): `net::NodeJoin` events admit brand
+// new colocated worker+server nodes mid-run; a deterministic rebalance
+// planner hands shard groups to the joiner, the donor migrates shard state
+// behind a commit barrier (no round releases against a half-migrated
+// shard), the replication chain re-forms around the joiner, and the
+// joiner's worker enters aggregation under the `rejoin_slack` rule. Setting
+// `FaultPlan::lease_duration` switches failover from the per-observer
+// silence threshold to time-bounded leases: a successor may act on a
+// suspected-dead primary only after its lease expired, a primary fences
+// itself (stops releasing rounds) when it cannot renew, and a minority-
+// partitioned observer can never elect itself — eliminating the transient
+// dual-primary window (tracked by `membership.dual_primary_windows`).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -204,6 +219,18 @@ struct RunResult {
   TimeS max_rejoin_lag = 0;            ///< worst restart -> rejoined delay
   std::int64_t heartbeats_sent = 0;
   std::int64_t stale_pushes = 0;       ///< re-pushes answered with params
+
+  // Elastic scale-out + lease observability (all zero without joins/leases).
+  std::int64_t joins = 0;              ///< node admissions executed
+  std::int64_t migrations = 0;         ///< shard groups handed to joiners
+  Bytes migrated_bytes = 0;            ///< shard-state payload migrated
+  std::int64_t lease_renewals = 0;     ///< beacon-driven lease extensions
+  std::int64_t lease_expiries = 0;     ///< primary self-fences (lease lost)
+  /// Times a server started acting as primary of a group while another
+  /// server was still acting on the same group. > 0 is the split-view
+  /// window suspicion-timeout failover allows; must be 0 under leases.
+  std::int64_t dual_primary_windows = 0;
+  std::int64_t supersessions = 0;      ///< immediate incarnation handovers
 };
 
 class Cluster {
@@ -277,6 +304,22 @@ class Cluster {
     return checkpoints_written_.value();
   }
   std::int64_t heartbeats_sent() const { return heartbeats_sent_.value(); }
+  // Elastic scale-out + lease introspection (zero while disarmed).
+  bool leases_armed() const { return leases_on_; }
+  std::int64_t joins_executed() const { return joins_.value(); }
+  std::int64_t migrations() const { return migrations_.value(); }
+  std::int64_t lease_renewals() const { return lease_renewals_.value(); }
+  std::int64_t lease_expiries() const { return lease_expiries_.value(); }
+  std::int64_t dual_primary_windows() const {
+    return dual_primary_windows_.value();
+  }
+  std::int64_t supersessions() const { return supersessions_.value(); }
+  /// True while `server` has stepped down from `group` because it could not
+  /// renew its own lease (leases must be armed).
+  bool lease_fenced(int server, int group) const {
+    return fenced_[static_cast<std::size_t>(server_node(server))].count(
+               group) > 0;
+  }
   /// Local liveness view of `node` (membership plane must be armed).
   const Membership& membership_view(int node) const {
     return *membership_[static_cast<std::size_t>(node)];
@@ -392,6 +435,25 @@ class Cluster {
     /// abandon work when it moves. Doubles as the beacon incarnation.
     std::int64_t epoch = 0;
     TimeS down_since = -1.0;
+    /// false until this elastic joiner's NodeJoin event executes; base
+    /// members are joined from the start.
+    bool joined = true;
+  };
+
+  /// One in-flight shard-group migration (donor side).
+  struct MigrationState {
+    int donor = -1;   ///< server currently leading the group
+    int group = -1;
+    int target = -1;  ///< joiner server receiving the group
+    int outstanding = 0;  ///< unacked kMigrate slice transfers
+    TimeS t0 = 0.0;       ///< migration start (tracer span)
+  };
+
+  /// Ground-truth acting-as-primary interval of one server for one group;
+  /// overlapping open intervals across servers are dual-primary windows.
+  struct Acting {
+    bool open = false;
+    TimeS since = 0.0;
   };
 
   /// Commit barrier for one replicated round: the parameter release to
@@ -411,13 +473,16 @@ class Cluster {
   sim::Task checkpoint_loop(int s);
   sim::Task worker_rejoin(int w, std::int64_t epoch);
   sim::Task server_rehydrate(int s, std::int64_t epoch);
+  /// Joining server's admission loop: broadcast kServerJoin (rebalance ask)
+  /// every suspicion_timeout until its planned groups are owned.
+  sim::Task server_admit(int node, std::int64_t epoch);
 
   /// Node hosting server `s` (== s when colocated, n_workers + s otherwise).
   int server_node(int server) const {
     return cfg_.dedicated_servers ? cfg_.n_workers + server : server;
   }
   int total_nodes() const {
-    return cfg_.dedicated_servers ? 2 * cfg_.n_workers : cfg_.n_workers;
+    return cfg_.dedicated_servers ? 2 * cfg_.n_workers : n_total_workers();
   }
   /// Server hosted on node `n`, or -1 if `n` is worker-only.
   int server_of_node(int n) const {
@@ -425,6 +490,15 @@ class Cluster {
     return n >= cfg_.n_workers ? n - cfg_.n_workers : -1;
   }
   int n_servers() const { return cfg_.n_workers; }
+  /// Worker/server counts including elastic joiners (colocated only; joins
+  /// are rejected for dedicated-server deployments). n_servers() keeps
+  /// meaning the number of shard *groups* (the base ring).
+  int n_total_workers() const {
+    return cfg_.n_workers + static_cast<int>(cfg_.faults.joins.size());
+  }
+  int n_total_servers() const {
+    return cfg_.dedicated_servers ? cfg_.n_workers : n_total_workers();
+  }
 
   void enqueue_push(int w, std::int64_t slice, std::int64_t iteration);
   void enqueue_pull(int w, std::int64_t slice, std::int64_t iteration);
@@ -459,7 +533,11 @@ class Cluster {
   void execute_restart(const net::NodeCrash& c);
   void on_peer_dead(int observer_node, int dead_node);
   void takeover_group(int server, int group);
-  void announce_primary(int from_server, int group, std::int64_t epoch);
+  /// Broadcast a kNewPrimary for `group` naming `primary`, sent from
+  /// `from_server`'s NIC. Failover announcers name themselves; a migration
+  /// donor names the handover target.
+  void announce_primary(int from_server, int group, std::int64_t epoch,
+                        int primary);
   /// Re-push every slice of `group` whose parameters have not returned to
   /// worker `w` yet; called after the node's leadership view moves.
   void worker_repush_group(int w, int group);
@@ -478,6 +556,37 @@ class Cluster {
   void redirect_to_leader(int server, const net::Message& m);
   Bytes replicated_state_bytes(int server) const;
   void mem_mark(int node, const char* label);
+
+  // --- elastic scale-out + lease-based leadership ---
+  void execute_join(const net::NodeJoin& j);
+  /// Lease/supersession reaction to one received beacon at node `n` from
+  /// `src` (called after the view recorded it).
+  void on_beacon(int n, int src, bool superseded);
+  /// Per-heartbeat lease work at node `n`: self-fence / reopen own groups,
+  /// and fire pending failovers whose lease expired (quorum permitting).
+  void lease_tick(int n);
+  /// Grant a freshly adopted primary a half-lease of self-lease runway so
+  /// the first lease_tick after a takeover does not fence on a stale stamp.
+  void seed_self_lease(int server, int group);
+  /// Successor scan for `group` after its primary died in `observer_node`'s
+  /// view (factored out of on_peer_dead so leases can defer it).
+  void failover_scan(int observer_node, int group);
+  /// Observer `n` sees a majority of view-joined members alive (self
+  /// included). Lease-mode failover requires it so a minority-partitioned
+  /// node can never elect itself.
+  bool view_has_quorum(int n) const;
+  /// Deterministic rebalance: groups joiner server `j` should take over.
+  std::vector<int> rebalance_plan(int joiner_server) const;
+  void start_migration(int donor, int group, int target);
+  void finish_migration(const MigrationState& ms);
+  void on_migrate_ack(std::int64_t msg_id);
+  /// True while `server` must withhold round releases for `group` (it is
+  /// donating the group, or lease-fenced on it).
+  bool group_frozen(int server, int group) const;
+  /// Re-derive `server`'s ground-truth acting interval for `group`; counts
+  /// a dual-primary window when an interval opens while another server's
+  /// interval for the same group is still open.
+  void update_acting(int server, int group);
 
   // --- observability ---
   bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
@@ -532,6 +641,13 @@ class Cluster {
   obs::Counter& rehydration_bytes_;
   obs::Counter& heartbeats_sent_;
   obs::Counter& stale_pushes_;
+  obs::Counter& joins_;
+  obs::Counter& migrations_;
+  obs::Counter& migrated_bytes_;
+  obs::Counter& lease_renewals_;
+  obs::Counter& lease_expiries_;
+  obs::Counter& dual_primary_windows_;
+  obs::Counter& supersessions_;
   obs::Histogram& iter_time_hist_;
   obs::Histogram& stall_time_hist_;
 
@@ -551,6 +667,23 @@ class Cluster {
   std::vector<std::vector<std::int64_t>> ckpt_versions_;   // per server "disk"
   double rehydration_time_sum_ = 0.0;
   TimeS max_rejoin_lag_ = 0.0;
+
+  // Elastic scale-out + lease-based leadership (inert unless armed).
+  bool leases_on_ = false;
+  TimeS lease_len_ = 0.0;
+  /// Per node: groups whose primary the node suspects dead but whose lease
+  /// has not expired yet (lease-mode failover queue).
+  std::vector<std::set<int>> pending_failover_;
+  /// Per node: groups the hosted server has self-fenced, keyed to the fence
+  /// time (reopen requires a renewed self-lease plus a settle delay).
+  std::vector<std::map<int, TimeS>> fenced_;
+  /// Per node, per own-led group: deadline of the primary's *self* lease
+  /// (last chain-peer beacon + lease/2; only meaningful with replication>1).
+  std::vector<std::vector<TimeS>> self_lease_;
+  /// Ground truth: acting_[server][group] — drives dual_primary_windows_.
+  std::vector<std::vector<Acting>> acting_;
+  std::unordered_map<std::int64_t, int> migration_wait_;  // msg id -> group
+  std::map<int, MigrationState> migrations_in_progress_;  // group -> state
 };
 
 }  // namespace p3::ps

@@ -22,18 +22,28 @@ Membership::Membership(const MembershipConfig& config, int self)
   peers_.resize(static_cast<std::size_t>(config.n_nodes));
 }
 
-void Membership::record_heartbeat(int node, std::int64_t incarnation,
-                                  TimeS now) {
+Membership::BeaconEffect Membership::record_heartbeat(int node,
+                                                      std::int64_t incarnation,
+                                                      TimeS now) {
   if (node < 0 || node >= n_nodes()) {
     throw std::out_of_range("heartbeat from unknown node");
   }
+  BeaconEffect effect;
   Peer& p = peers_[static_cast<std::size_t>(node)];
   // Beacons from an older incarnation are ghosts of a process already known
   // to have died; they must not revive the peer or refresh its timer.
-  if (incarnation < p.incarnation) return;
+  if (incarnation < p.incarnation) return effect;
+  // A higher incarnation while the peer is still believed alive means the
+  // old process crashed and restarted inside the silence threshold: the
+  // supersession is immediate — there is no old process left to suspect.
+  effect.superseded =
+      p.joined && p.alive && incarnation > p.incarnation;
+  effect.revived = p.joined && !p.alive;
   p.incarnation = incarnation;
   if (now > p.last_heard) p.last_heard = now;
   p.alive = true;
+  p.joined = true;
+  return effect;
 }
 
 std::vector<int> Membership::check(TimeS now) {
@@ -50,38 +60,70 @@ std::vector<int> Membership::check(TimeS now) {
   return newly_dead;
 }
 
-ShardLeadership::ShardLeadership(int n_servers, int replication)
-    : n_servers_(n_servers), replication_(replication) {
-  if (n_servers <= 0) {
+ShardLeadership::ShardLeadership(int n_groups, int replication,
+                                 int n_servers_total)
+    : n_groups_(n_groups),
+      n_total_(n_servers_total < 0 ? n_groups : n_servers_total),
+      replication_(replication) {
+  if (n_groups <= 0) {
     throw std::invalid_argument("leadership needs at least one server");
   }
-  if (replication < 1 || replication > n_servers) {
+  if (replication < 1 || replication > n_groups) {
     throw std::invalid_argument(
         "replication factor outside [1, n_servers]");
   }
-  leases_.resize(static_cast<std::size_t>(n_servers));
-  for (int g = 0; g < n_servers; ++g) {
+  if (n_total_ < n_groups) {
+    throw std::invalid_argument("total server count below the base ring");
+  }
+  leases_.resize(static_cast<std::size_t>(n_groups));
+  lease_until_.assign(static_cast<std::size_t>(n_groups), 0.0);
+  for (int g = 0; g < n_groups; ++g) {
     leases_[static_cast<std::size_t>(g)].primary = g;  // chain head leads
   }
 }
 
+int ShardLeadership::member(int group, int k) const {
+  const int p = primary(group);
+  if (p < n_groups_) {
+    // Base-ring primary: the original fixed home ring.
+    return (group + k) % n_groups_;
+  }
+  // Joiner-led group: the joiner heads the chain and the first R-1 home
+  // ring members (donor first) stay as backups.
+  if (k == 0) return p;
+  return (group + k - 1) % n_groups_;
+}
+
 int ShardLeadership::chain_offset(int group, int server) const {
-  const int offset = (server - group + n_servers_) % n_servers_;
-  return offset < replication_ ? offset : -1;
+  for (int k = 0; k < replication_; ++k) {
+    if (member(group, k) == server) return k;
+  }
+  return -1;
+}
+
+int ShardLeadership::succession_rank(int group, int server) const {
+  if (server < n_groups_) return (server - group + n_groups_) % n_groups_;
+  return n_groups_ + (server - n_groups_);  // joiners rank after the ring
 }
 
 bool ShardLeadership::adopt(int group, std::int64_t epoch, int primary) {
-  if (group < 0 || group >= n_servers_) {
+  if (group < 0 || group >= n_groups_) {
     throw std::out_of_range("leadership group out of range");
   }
-  if (chain_offset(group, primary) < 0) {
+  if (primary < 0 || primary >= n_total_) {
+    throw std::invalid_argument("adopted primary outside the cluster");
+  }
+  // Base servers may lead only groups whose home ring they replicate;
+  // joiners may be handed any group by the rebalance planner.
+  if (primary < n_groups_ &&
+      (primary - group + n_groups_) % n_groups_ >= replication_) {
     throw std::invalid_argument("adopted primary is not a group replica");
   }
   Lease& cur = leases_[static_cast<std::size_t>(group)];
   const bool newer =
       epoch > cur.epoch ||
       (epoch == cur.epoch &&
-       chain_offset(group, primary) > chain_offset(group, cur.primary));
+       succession_rank(group, primary) > succession_rank(group, cur.primary));
   if (!newer) return false;
   cur.epoch = epoch;
   cur.primary = primary;

@@ -45,6 +45,18 @@ struct MembershipConfig {
 /// One node's local liveness view of every peer.
 class Membership {
  public:
+  /// What one received beacon did to the view (record_heartbeat result).
+  struct BeaconEffect {
+    /// The peer was suspected dead and this beacon revived it.
+    bool revived = false;
+    /// The beacon carries a *higher* incarnation than a peer still believed
+    /// alive: the old process died and its successor is up before the
+    /// silence detector ever noticed. Supersession must be treated as an
+    /// immediate death+revival by the layers above (leases held by the old
+    /// incarnation are void now, not after a silence threshold).
+    bool superseded = false;
+  };
+
   Membership(const MembershipConfig& config, int self);
 
   int self() const { return self_; }
@@ -52,22 +64,44 @@ class Membership {
 
   /// Feed one received beacon. A beacon from a suspected-dead peer revives
   /// it; a higher incarnation records that the peer restarted (its previous
-  /// process, and all state it held, is gone).
-  void record_heartbeat(int node, std::int64_t incarnation, TimeS now);
+  /// process, and all state it held, is gone). A beacon from a not-yet-
+  /// joined peer marks it joined.
+  BeaconEffect record_heartbeat(int node, std::int64_t incarnation, TimeS now);
 
   /// Evaluate suspicion at `now`; returns peers that transitioned
   /// alive -> dead during this evaluation (each transition reported once).
   std::vector<int> check(TimeS now);
 
   /// Fresh-process reset (node restart): the new process starts optimistic,
-  /// treating every peer as alive and freshly heard so stale pre-crash
-  /// timers cannot fire instant false suspicions. Learned incarnations are
-  /// kept — they are monotonic and only make the ghost-beacon guard safer.
+  /// treating every *member* peer as alive and freshly heard so stale
+  /// pre-crash timers cannot fire instant false suspicions. Learned
+  /// incarnations are kept — they are monotonic and only make the
+  /// ghost-beacon guard safer. Peers that never joined stay unjoined.
   void reset(TimeS now) {
     for (Peer& p : peers_) {
+      if (!p.joined) continue;
       p.last_heard = now;
       p.alive = true;
     }
+  }
+
+  /// Elastic scale-out: mark a node that is not (yet) a cluster member —
+  /// dead and unjoined until its first beacon (or mark_joined) arrives.
+  void mark_unjoined(int node) {
+    Peer& p = peers_[static_cast<std::size_t>(node)];
+    p.joined = false;
+    p.alive = false;
+  }
+  /// Admit a member directly (ground-truth bootstrap of a joiner's own
+  /// fresh view; everyone else learns from beacons).
+  void mark_joined(int node, TimeS now) {
+    Peer& p = peers_[static_cast<std::size_t>(node)];
+    p.joined = true;
+    p.alive = true;
+    if (now > p.last_heard) p.last_heard = now;
+  }
+  bool joined(int node) const {
+    return peers_[static_cast<std::size_t>(node)].joined;
   }
 
   bool alive(int node) const {
@@ -86,6 +120,7 @@ class Membership {
     TimeS last_heard = 0.0;
     std::int64_t incarnation = 0;
     bool alive = true;
+    bool joined = true;  ///< false until an elastic joiner's first beacon
   };
 
   MembershipConfig cfg_;
@@ -93,9 +128,20 @@ class Membership {
   std::vector<Peer> peers_;
 };
 
-/// One node's view of who currently leads each shard group. Group `g` is
-/// the set of servers {g, g+1, ..., g+R-1} (mod n_servers) hosting replicas
-/// of the slices owned by server g; the chain order is that fixed ring.
+/// One node's view of who currently leads each shard group.
+///
+/// There is one group per *base* server: group `g` holds the slices owned
+/// by server g at partition time. While a base server leads, the chain is
+/// the fixed home ring {g, g+1, ..., g+R-1} (mod n_base). Elastic scale-out
+/// adds servers beyond the base ring; when shard rebalancing hands group
+/// `g` to a joiner j, the chain derives from the current primary instead:
+/// {j, g, g+1, ..., g+R-2} — the joiner leads and the head of the home ring
+/// (the donor) stays as the first backup.
+///
+/// Under lease-based leadership each view additionally tracks a per-group
+/// lease deadline (renewed by received beacons in ps::Cluster); a failover
+/// may act on a suspected-dead primary only once its lease expired, which
+/// removes the dual-primary window a per-observer silence threshold allows.
 class ShardLeadership {
  public:
   struct Lease {
@@ -103,9 +149,12 @@ class ShardLeadership {
     int primary = -1;        ///< server index currently leading the group
   };
 
-  ShardLeadership(int n_servers, int replication);
+  /// `n_servers_total` counts base + joiner servers; < 0 = no joiners.
+  ShardLeadership(int n_groups, int replication, int n_servers_total = -1);
 
-  int n_servers() const { return n_servers_; }
+  int n_servers() const { return n_groups_; }
+  int n_groups() const { return n_groups_; }
+  int n_servers_total() const { return n_total_; }
   int replication() const { return replication_; }
 
   const Lease& lease(int group) const {
@@ -114,24 +163,47 @@ class ShardLeadership {
   int primary(int group) const { return lease(group).primary; }
   std::int64_t epoch(int group) const { return lease(group).epoch; }
 
-  /// Position of `server` in group `g`'s chain (0 = original owner), or -1
-  /// if the server does not replicate the group.
+  /// Position of `server` in group `g`'s *current* chain (0 = primary-side
+  /// head), or -1 if the server does not replicate the group right now.
   int chain_offset(int group, int server) const;
 
-  /// Replica at chain offset `k` of group `g`.
-  int member(int group, int k) const {
-    return (group + k) % n_servers_;
-  }
+  /// Replica at chain offset `k` of group `g`'s current chain (derived from
+  /// the believed primary, see the class comment).
+  int member(int group, int k) const;
+
+  /// Deterministic succession rank used for equal-epoch conflicts: base
+  /// servers rank by home-ring offset, joiners rank after every base server
+  /// (in id order), so cascaded same-epoch claims converge identically at
+  /// every observer toward the later rank.
+  int succession_rank(int group, int server) const;
 
   /// Monotonic adoption of an announced lease. Returns true if the view
-  /// moved. Equal epochs resolve toward the later chain offset, so cascaded
-  /// same-epoch claims converge identically at every observer.
+  /// moved. Equal epochs resolve toward the later succession rank.
   bool adopt(int group, std::int64_t epoch, int primary);
 
+  // --- lease timing (meaningful only when ps::Cluster arms leases) ---
+  /// Simulated time until which this view considers the group's leadership
+  /// lease valid; 0 = never granted (immediately expired).
+  TimeS lease_deadline(int group) const {
+    return lease_until_[static_cast<std::size_t>(group)];
+  }
+  /// Extend the lease (monotonic; a stale renewal never shortens it).
+  void renew_lease(int group, TimeS until) {
+    auto& u = lease_until_[static_cast<std::size_t>(group)];
+    if (until > u) u = until;
+  }
+  /// Void the lease now (incarnation supersession: the holder is gone).
+  void expire_lease(int group, TimeS now) {
+    auto& u = lease_until_[static_cast<std::size_t>(group)];
+    if (now < u) u = now;
+  }
+
  private:
-  int n_servers_ = 0;
+  int n_groups_ = 0;
+  int n_total_ = 0;
   int replication_ = 1;
   std::vector<Lease> leases_;
+  std::vector<TimeS> lease_until_;
 };
 
 }  // namespace p3::ps

@@ -334,6 +334,72 @@ TEST(FaultPlanValidate, RejectsAnonymousOrNegativeTimeCrashes) {
   EXPECT_NO_THROW(plan.validate());
 }
 
+TEST(FaultPlanValidate, RejectsAnonymousOrNegativeTimeJoins) {
+  FaultPlan plan;
+  plan.joins.push_back({-1, 0.5});  // a join must name its node
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.joins[0] = {4, -0.5};  // negative join time
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.joins[0] = {4, 0.5};
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlanValidate, RejectsJoinForAnExistingMember) {
+  // With the cluster size known, a join for a base-node id is a join for a
+  // node that is already a member at join time.
+  FaultPlan plan;
+  plan.joins.push_back({2, 0.5});
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  EXPECT_NO_THROW(plan.validate());  // cluster size unknown: not checkable
+  // A duplicate join is the same mistake one event later, and is rejected
+  // even without the cluster size.
+  plan.joins[0] = {4, 0.5};
+  plan.joins.push_back({4, 0.8});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsNonContiguousJoinerIds) {
+  FaultPlan plan;
+  plan.joins.push_back({5, 0.5});  // base is 4: the first joiner must be 4
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan.joins[0] = {4, 0.5};
+  plan.joins.push_back({5, 0.8});  // 4 then 5: contiguous, any event order
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+TEST(FaultPlanValidate, RejectsJoinInsideTheNodesCrashWindow) {
+  FaultPlan plan;
+  plan.crashes.push_back({4, 0.6, 0.3});  // node 4 down during [0.6, 0.9)
+  plan.joins.push_back({4, 0.7});         // the joining process cannot be down
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.joins[0].at = 0.95;  // after the restart window — but the crash now
+  // precedes the join, which is equally nonsense (nothing exists to crash).
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.joins[0].at = 0.2;  // join first, crash later: a legal elastic story
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlanValidate, RejectsNonPositiveLeaseDurations) {
+  FaultPlan plan;
+  plan.lease_duration = 0.0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.lease_duration = -0.05;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.lease_duration = 0.05;
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlanValidate, JoinsAndLeasesAreNotWireFaults) {
+  // Joins and lease durations configure the protocol layer, not the wire:
+  // they must not activate the injector (active() gates the reliability
+  // layer and the fault-injection RNG).
+  FaultPlan plan;
+  plan.joins.push_back({4, 0.5});
+  plan.lease_duration = 0.1;
+  EXPECT_FALSE(plan.active());
+}
+
 TEST(FaultPlanValidate, CrashPlansAreActiveAndInjectorValidatesOnAttach) {
   FaultPlan plan;
   plan.crashes.push_back({1, 0.5, -1.0});

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "model/zoo.h"
@@ -102,6 +103,104 @@ TEST(ShardLeadership, AdoptionIsMonotoneWithChainTieBreak) {
   EXPECT_EQ(lead.primary(0), 0);
   EXPECT_EQ(lead.epoch(0), 2);
   EXPECT_THROW(lead.adopt(0, 3, 3), std::invalid_argument);  // non-replica
+}
+
+// ---------------------------------------------------------------------------
+// Elastic extensions: incarnation supersession, unjoined peers, joiner-led
+// chains, and lease timing.
+// ---------------------------------------------------------------------------
+
+TEST(Membership, HigherIncarnationWhileAliveIsImmediateSupersession) {
+  Membership view(detector_config(), 0);
+  view.record_heartbeat(1, 1, 0.010);
+  EXPECT_TRUE(view.alive(1));
+  // The peer restarted *within* the silence threshold: its first beacon
+  // carries a higher incarnation while the old process is still believed
+  // alive. The detector must flag the handover immediately — the old
+  // process is gone now, not after suspicion_timeout.
+  const auto effect = view.record_heartbeat(1, 2, 0.012);
+  EXPECT_TRUE(effect.superseded);
+  EXPECT_FALSE(effect.revived);
+  EXPECT_TRUE(view.alive(1));
+  EXPECT_EQ(view.incarnation(1), 2);
+  // Same incarnation again is an ordinary beacon, not a supersession.
+  EXPECT_FALSE(view.record_heartbeat(1, 2, 0.014).superseded);
+}
+
+TEST(Membership, RevivalAfterSuspicionIsNotASupersession) {
+  Membership view(detector_config(), 0);
+  view.record_heartbeat(1, 1, 0.010);
+  view.check(0.040);  // silence kills peer 1 first
+  EXPECT_FALSE(view.alive(1));
+  const auto effect = view.record_heartbeat(1, 2, 0.041);
+  EXPECT_TRUE(effect.revived);
+  EXPECT_FALSE(effect.superseded);  // the death was already observed
+}
+
+TEST(Membership, UnjoinedPeerIsDarkUntilFirstBeacon) {
+  Membership view(detector_config(), 0);
+  view.mark_unjoined(3);
+  EXPECT_FALSE(view.joined(3));
+  EXPECT_FALSE(view.alive(3));
+  // An unjoined peer is never reported as a fresh death: it was never
+  // alive to transition.
+  const auto dead = view.check(0.040);
+  EXPECT_EQ(std::count(dead.begin(), dead.end(), 3), 0);
+  // reset() keeps unjoined peers dark (a restarted node must not invent
+  // members it never heard from).
+  view.reset(0.050);
+  EXPECT_FALSE(view.alive(3));
+  // The joiner's first beacon admits it; it is a join, not a supersession.
+  const auto effect = view.record_heartbeat(3, 1, 0.060);
+  EXPECT_FALSE(effect.superseded);
+  EXPECT_TRUE(view.joined(3));
+  EXPECT_TRUE(view.alive(3));
+}
+
+TEST(ShardLeadership, JoinerLedChainDerivesFromThePrimary) {
+  ShardLeadership lead(4, 3, /*n_servers_total=*/6);
+  EXPECT_EQ(lead.n_servers_total(), 6);
+  // Hand group 2 to joiner 4: the joiner heads the chain and the home
+  // ring's first two members (donor first) stay as backups.
+  EXPECT_TRUE(lead.adopt(2, 1, 4));
+  EXPECT_EQ(lead.primary(2), 4);
+  EXPECT_EQ(lead.member(2, 0), 4);
+  EXPECT_EQ(lead.member(2, 1), 2);
+  EXPECT_EQ(lead.member(2, 2), 3);
+  EXPECT_EQ(lead.chain_offset(2, 4), 0);
+  EXPECT_EQ(lead.chain_offset(2, 2), 1);
+  EXPECT_EQ(lead.chain_offset(2, 0), -1);
+  // Other groups keep their home-ring chains.
+  EXPECT_EQ(lead.member(3, 0), 3);
+  EXPECT_EQ(lead.member(3, 1), 0);
+}
+
+TEST(ShardLeadership, JoinersRankAfterTheBaseRing) {
+  ShardLeadership lead(4, 3, 6);
+  // Base servers rank by home-ring offset; joiners rank after every base
+  // server in id order, so equal-epoch claims resolve toward the joiner.
+  EXPECT_TRUE(lead.adopt(0, 1, 1));
+  EXPECT_TRUE(lead.adopt(0, 1, 4));   // joiner 4 outranks base 1
+  EXPECT_FALSE(lead.adopt(0, 1, 2));  // base offset 2 loses to joiner 4
+  EXPECT_TRUE(lead.adopt(0, 1, 5));   // joiner 5 outranks joiner 4
+  EXPECT_EQ(lead.primary(0), 5);
+  // A primary outside the cluster is still rejected.
+  EXPECT_THROW(lead.adopt(0, 2, 6), std::invalid_argument);
+  // And a total below the base ring is malformed.
+  EXPECT_THROW(ShardLeadership(4, 2, 3), std::invalid_argument);
+}
+
+TEST(ShardLeadership, LeaseDeadlinesAreMonotoneAndExpirable) {
+  ShardLeadership lead(4, 2, 5);
+  EXPECT_DOUBLE_EQ(lead.lease_deadline(1), 0.0);  // never granted
+  lead.renew_lease(1, 0.30);
+  EXPECT_DOUBLE_EQ(lead.lease_deadline(1), 0.30);
+  lead.renew_lease(1, 0.20);  // stale renewal never shortens
+  EXPECT_DOUBLE_EQ(lead.lease_deadline(1), 0.30);
+  lead.expire_lease(1, 0.10);  // supersession voids it now
+  EXPECT_DOUBLE_EQ(lead.lease_deadline(1), 0.10);
+  lead.expire_lease(1, 0.25);  // already expired: no extension
+  EXPECT_DOUBLE_EQ(lead.lease_deadline(1), 0.10);
 }
 
 // ---------------------------------------------------------------------------
