@@ -16,9 +16,16 @@
 // additionally gates on the no-split-view invariant: a nonzero
 // `membership.dual_primary_windows` is an invariant violation.
 //
+// Partition audit (run mode): `--partition` runs a canned split-brain
+// drill — five workers with replicated servers and leases, a symmetric
+// cut {0,1}|{2,3,4} over [0.3 s, 0.7 s), and drifting node clocks — and
+// gates on the two partition ground truths: `dual_primary_windows` and
+// the fabric's `cross_partition_deliveries` audit must both read 0.
+//
 // Exit status: 0 on success, 2 when the trace fails well-formedness
 // validation, the lifecycle stage-order invariant, or the lease
-// dual-primary invariant — so CI can gate on it.
+// dual-primary / partition safety invariants — so CI can gate on it.
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -26,6 +33,7 @@
 
 #include "bench_util.h"
 #include "model/compute.h"
+#include "net/faults.h"
 #include "obs/analysis.h"
 #include "obs/tracer.h"
 #include "ps/cluster.h"
@@ -66,6 +74,7 @@ int main(int argc, char** argv) {
                             {"join", "0"},
                             {"lease", "0"},
                             {"replication", "1"},
+                            {"partition", ""},
                             {"out", ""},
                             {"strict", ""}});
   const bool strict = opts.raw().flag("strict");
@@ -89,11 +98,29 @@ int main(int argc, char** argv) {
   if (join_at > 0.0) cfg.faults.joins.push_back({cfg.n_workers, join_at});
   const double lease = opts.raw().num("lease");
   if (lease > 0.0) cfg.faults.lease_duration = lease;
+  const bool partition = opts.raw().flag("partition");
+  if (partition) {
+    // Canned split-brain drill: minority {0,1} against majority {2,3,4}
+    // under replicated leases and drifting clocks. Overrides the topology
+    // knobs — the audit is only meaningful on this shape.
+    cfg.n_workers = 5;
+    cfg.replication = std::max(cfg.replication, 2);
+    if (lease <= 0.0) cfg.faults.lease_duration = 0.25;
+    net::NetPartition cut;
+    cut.side_a = {0, 1};
+    cut.side_b = {2, 3, 4};
+    cut.start = 0.3;
+    cut.heal = 0.7;
+    cfg.faults.partitions.push_back(cut);
+    cfg.faults.clock_drift_rate = 5e-4;
+    cfg.faults.clock_offset_bound = 0.02;
+  }
 
   ps::Cluster cluster(workload_by_name(model_name), cfg);
   obs::Tracer tracer;
   cluster.attach_tracer(&tracer);
-  cluster.run(opts.measure().warmup, opts.measure().measured);
+  const ps::RunResult run =
+      cluster.run(opts.measure().warmup, opts.measure().measured);
 
   std::printf("== trace report: %s, %s, %d workers ==\n", model_name.c_str(),
               core::sync_method_name(cfg.method).c_str(), cfg.n_workers);
@@ -101,12 +128,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> problems = tracer.validate();
   const auto lifecycle =
       obs::lifecycle_violations(tracer.lifecycle_records(), strict);
-  if (join_at > 0.0) {
-    // Elastic rebalancing legitimately reorders the per-round lifecycle:
-    // a push redirected off a displaced leader records server_recv only at
-    // the final owner, and a bounded-staleness round can broadcast params
-    // before a straggler's own (stale) push lands. Stage order is gated
-    // only under fixed leadership.
+  if (join_at > 0.0 || partition) {
+    // Elastic rebalancing and partition failover legitimately reorder the
+    // per-round lifecycle: a push redirected off a displaced leader records
+    // server_recv only at the final owner, and a bounded-staleness round
+    // can broadcast params before a straggler's own (stale) push lands.
+    // Stage order is gated only under fixed leadership.
     std::printf("note: %zu lifecycle stage-order note(s) suppressed "
                 "(leadership moved mid-run)\n",
                 lifecycle.size());
@@ -127,6 +154,25 @@ int main(int argc, char** argv) {
           "membership.dual_primary_windows = " +
           std::to_string(cluster.dual_primary_windows()) +
           " under lease-based leadership (expected 0)");
+    }
+  }
+  if (partition) {
+    std::printf("partition: %lld severed drop(s), %lld parked push(es), "
+                "%lld quorum-denied failover(s), %lld cross-partition "
+                "delivery(ies), %lld dual-primary window(s)\n",
+                static_cast<long long>(run.partition_drops),
+                static_cast<long long>(run.parked_pushes),
+                static_cast<long long>(run.quorum_denied_failovers),
+                static_cast<long long>(run.cross_partition_deliveries),
+                static_cast<long long>(cluster.dual_primary_windows()));
+    // The partition contract: the fabric delivers nothing across an active
+    // cut, and quorum/fence gating keeps leadership single-headed even
+    // while the views disagree.
+    if (run.cross_partition_deliveries > 0) {
+      problems.push_back(
+          "network.cross_partition_deliveries = " +
+          std::to_string(run.cross_partition_deliveries) +
+          " (a message landed across an active cut; expected 0)");
     }
   }
 

@@ -11,7 +11,50 @@ bool endpoint_matches(int pattern, int node) {
   return pattern < 0 || pattern == node;
 }
 
+bool contains(const std::vector<int>& side, int node) {
+  return std::find(side.begin(), side.end(), node) != side.end();
+}
+
 }  // namespace
+
+bool NetPartition::in_a(int node) const { return contains(side_a, node); }
+bool NetPartition::in_b(int node) const { return contains(side_b, node); }
+
+bool NetPartition::severs(int src, int dst, TimeS t) const {
+  if (t < start || t >= heal) return false;
+  if (flap_period > 0.0) {
+    // The cut oscillates: active only in the first half of each period.
+    const double phase = (t - start) / flap_period;
+    const double frac = phase - static_cast<double>(static_cast<long long>(phase));
+    if (frac >= 0.5) return false;
+  }
+  if (in_a(src) && in_b(dst)) return true;
+  if (symmetric && in_b(src) && in_a(dst)) return true;
+  return false;
+}
+
+bool NetPartition::severs_during(int src, int dst, TimeS t0, TimeS t1) const {
+  const bool crosses = (in_a(src) && in_b(dst)) ||
+                       (symmetric && in_b(src) && in_a(dst));
+  if (!crosses) return false;
+  if (flap_period <= 0.0) {
+    // Window [start, heal) overlaps [t0, t1]?
+    return start <= t1 && t0 < heal;
+  }
+  // Flapping: check each on-window [start + k*P, start + k*P + P/2) that
+  // could overlap [t0, t1], clipped to [start, heal).
+  if (t1 < start || t0 >= heal) return false;
+  const TimeS lo = std::max(t0, start);
+  const TimeS hi = std::min(t1, heal);
+  const auto k0 = static_cast<long long>((lo - start) / flap_period);
+  for (long long k = k0;; ++k) {
+    const TimeS on = start + static_cast<double>(k) * flap_period;
+    if (on > hi || on >= heal) break;
+    const TimeS off = on + flap_period / 2.0;
+    if (on <= hi && lo < off) return true;
+  }
+  return false;
+}
 
 void FaultPlan::validate(int base_nodes) const {
   if (drop_prob < 0.0 || drop_prob > 1.0) {
@@ -94,6 +137,54 @@ void FaultPlan::validate(int base_nodes) const {
   if (lease_duration.has_value() && *lease_duration <= 0.0) {
     throw std::invalid_argument("non-positive lease duration");
   }
+  for (const auto& p : partitions) {
+    if (p.side_a.empty() || p.side_b.empty()) {
+      throw std::invalid_argument("partition with an empty side");
+    }
+    for (int n : p.side_a) {
+      if (n < 0) throw std::invalid_argument("negative partition node id");
+      if (contains(p.side_b, n)) {
+        throw std::invalid_argument(
+            "partition sides overlap (node on both sides of the cut)");
+      }
+    }
+    for (int n : p.side_b) {
+      if (n < 0) throw std::invalid_argument("negative partition node id");
+    }
+    if (p.start < 0.0) {
+      throw std::invalid_argument("negative partition start");
+    }
+    if (p.heal <= p.start) {
+      throw std::invalid_argument(
+          "inverted partition window (heal before start)");
+    }
+    if (p.flap_period < 0.0) {
+      throw std::invalid_argument("negative partition flap period");
+    }
+    if (base_nodes >= 0) {
+      // The largest id that will ever exist: base nodes plus joiners (the
+      // contiguity check above pins joiner ids to base_nodes + i).
+      const int max_nodes = base_nodes + static_cast<int>(joins.size());
+      for (int n : p.side_a) {
+        if (n >= max_nodes) {
+          throw std::invalid_argument(
+              "partition names a node that never exists in the cluster");
+        }
+      }
+      for (int n : p.side_b) {
+        if (n >= max_nodes) {
+          throw std::invalid_argument(
+              "partition names a node that never exists in the cluster");
+        }
+      }
+    }
+  }
+  if (clock_drift_rate < 0.0 || clock_drift_rate >= 1.0) {
+    throw std::invalid_argument("clock drift rate outside [0, 1)");
+  }
+  if (clock_offset_bound < 0.0) {
+    throw std::invalid_argument("negative clock offset bound");
+  }
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t fallback_seed)
@@ -123,6 +214,11 @@ bool FaultInjector::in_blackout(int src, int dst, TimeS t) const {
 
 bool FaultInjector::should_drop(const Message& m, TimeS tx_start) {
   if (m.src == m.dst) return false;  // loopback never touches the wire
+  if (partition_severs(m.src, m.dst, tx_start)) {
+    ++drops_;
+    ++partition_drops_;
+    return true;
+  }
   if (in_blackout(m.src, m.dst, tx_start)) {
     ++drops_;
     return true;
@@ -169,6 +265,21 @@ bool FaultInjector::down_during(int node, TimeS t0, TimeS t1) const {
     // Down window [at, restart) overlaps [t0, t1]?
     if (c.at > t1) continue;
     if (!c.restarts() || c.restart_time() > t0) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::partition_severs(int src, int dst, TimeS t) const {
+  for (const auto& p : plan_.partitions) {
+    if (p.severs(src, dst, t)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::severed_during(int src, int dst, TimeS t0,
+                                   TimeS t1) const {
+  for (const auto& p : plan_.partitions) {
+    if (p.severs_during(src, dst, t0, t1)) return true;
   }
   return false;
 }

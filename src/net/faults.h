@@ -78,6 +78,30 @@ struct NodeCrash {
   }
 };
 
+/// Network partition: the fabric cleaves two node sets apart. Every message
+/// crossing the cut while the partition is active is lost (the sender still
+/// pays TX serialization — its bits die in the fabric), and an in-flight
+/// transfer whose RX window overlaps the cut is torn down. `symmetric` cuts
+/// both directions; asymmetric cuts only side_a -> side_b (side_b can still
+/// reach side_a, the one-way failure mode that defeats naive lease renewal).
+/// `flap_period > 0` makes the cut oscillate: within [start, heal) the
+/// partition is active only during the first half of each period.
+struct NetPartition {
+  std::vector<int> side_a;
+  std::vector<int> side_b;
+  TimeS start = 0.0;
+  TimeS heal = 0.0;  ///< active in [start, heal)
+  bool symmetric = true;
+  TimeS flap_period = 0.0;
+
+  /// True if the cut severs src -> dst traffic at time `t`.
+  bool severs(int src, int dst, TimeS t) const;
+  /// True if the cut severs src -> dst at any point of [t0, t1].
+  bool severs_during(int src, int dst, TimeS t0, TimeS t1) const;
+  bool in_a(int node) const;
+  bool in_b(int node) const;
+};
+
 /// Elastic scale-out: a brand-new node (one that was never a member) is
 /// admitted at `at`. The protocol layer brings its worker and colocated
 /// server online, rebalances shard groups onto it, and expands the
@@ -97,6 +121,8 @@ struct FaultPlan {
   std::vector<Degradation> degradations;
   std::vector<NodePause> pauses;
   std::vector<NodeCrash> crashes;
+  /// Fabric-level partitions (node-set x node-set cuts, see NetPartition).
+  std::vector<NetPartition> partitions;
   /// Runtime node admissions (not wire faults; executed by ps::Cluster).
   std::vector<NodeJoin> joins;
   /// Set: shard leadership is lease-based — a primary's tenure is a
@@ -107,6 +133,17 @@ struct FaultPlan {
   /// the suspicion timeout (detection still uses the silence threshold;
   /// the lease only gates when a successor may act on it).
   std::optional<TimeS> lease_duration;
+  /// Per-node clock drift model. Each node's local clock runs at rate
+  /// (1 + r) with |r| <= clock_drift_rate and starts offset by up to
+  /// +-clock_offset_bound, both sampled deterministically from the cluster
+  /// seed. Every node-local timestamp the lease logic reads (beacon feed,
+  /// suspicion evaluation, lease grants and fences) moves to the drifted
+  /// clock; ground-truth accounting stays on simulated time. The lease
+  /// subsystem derives its safety margin from `clock_drift_rate` — see
+  /// docs/PROTOCOL.md. Both default to 0 (perfectly synchronized clocks,
+  /// no behavior change).
+  double clock_drift_rate = 0.0;
+  TimeS clock_offset_bound = 0.0;
   /// Seed for drop sampling; 0 = derive from the attaching cluster's seed.
   std::uint64_t seed = 0;
 
@@ -114,7 +151,12 @@ struct FaultPlan {
   /// ps::Cluster is armed exactly when this holds).
   bool active() const {
     return drop_prob > 0.0 || !link_drops.empty() || !flaps.empty() ||
-           !degradations.empty() || !pauses.empty() || !crashes.empty();
+           !degradations.empty() || !pauses.empty() || !crashes.empty() ||
+           !partitions.empty();
+  }
+  /// True if the per-node clock drift model is armed.
+  bool skewed() const {
+    return clock_drift_rate > 0.0 || clock_offset_bound > 0.0;
   }
 
   /// Reject nonsense plans at attach time with a descriptive
@@ -122,8 +164,12 @@ struct FaultPlan {
   /// probabilities outside [0, 1], negative or inverted windows,
   /// `bandwidth_factor` outside (0, 1], crashes with negative times or on
   /// anonymous nodes, joins scheduled inside the same node's
-  /// crash-with-restart window (the joining process cannot be down), and a
-  /// non-positive `lease_duration`. Wildcard (-1) endpoints stay legal
+  /// crash-with-restart window (the joining process cannot be down), a
+  /// non-positive `lease_duration`, malformed partitions (an empty side,
+  /// overlapping sides, heal before start, a negative flap period, or —
+  /// with `base_nodes >= 0` — partitioning a node id that never exists in
+  /// the cluster), and negative clock-drift bounds. Wildcard (-1) endpoints
+  /// stay legal
   /// everywhere except `NodeCrash::node` / `NodeJoin::node` (both must name
   /// their node).
   ///
@@ -164,8 +210,17 @@ class FaultInjector {
   /// window overlaps a down window is torn down with the node).
   bool down_during(int node, TimeS t0, TimeS t1) const;
 
+  /// True if any active partition severs src -> dst traffic at time `t`.
+  bool partition_severs(int src, int dst, TimeS t) const;
+
+  /// True if src -> dst is severed at any point of [t0, t1] (a transfer
+  /// whose RX window overlaps the cut is torn down in the fabric).
+  bool severed_during(int src, int dst, TimeS t0, TimeS t1) const;
+
   /// Messages this injector decided to drop.
   std::int64_t drops() const { return drops_; }
+  /// Subset of `drops()` caused by a partition cut at TX time.
+  std::int64_t partition_drops() const { return partition_drops_; }
 
  private:
   double drop_probability(int src, int dst) const;
@@ -174,6 +229,7 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;
   std::int64_t drops_ = 0;
+  std::int64_t partition_drops_ = 0;
 };
 
 }  // namespace p3::net

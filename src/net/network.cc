@@ -104,6 +104,21 @@ TimeS Network::post(Message m) {
       return tx_end;
     }
 
+    if (faults_ != nullptr &&
+        faults_->severed_during(m.src, m.dst, rx_start, rx_end)) {
+      // The fabric cleaves while this transfer is still serializing toward
+      // the receiver: the cut tears it down mid-flight. (A cut active at TX
+      // time was already caught in should_drop; this handles transfers that
+      // left the sender before the partition started.)
+      ++dropped_;
+      bytes_dropped_ += m.bytes;
+      if (traced) {
+        tracer_->span("n" + std::to_string(m.dst) + ".drop", rx_start, rx_end,
+                      "x" + message_label(m));
+      }
+      return tx_end;
+    }
+
     dst.rx_free = rx_end;
     deliver_at = rx_end;
 
@@ -143,6 +158,14 @@ Message* Network::acquire(Message&& m) {
 
 void Network::deliver(Message* msg) {
   ++delivered_;
+  if (faults_ != nullptr && msg->src != msg->dst &&
+      faults_->partition_severs(msg->src, msg->dst, sim_->now())) {
+    // Ground-truth audit, not enforcement: every cut is applied at TX time
+    // or during the RX window above, so a delivery that lands inside an
+    // active cut means the partition plane leaked. Counted, never dropped —
+    // trace_report --partition gates on this staying zero.
+    ++cross_partition_deliveries_;
+  }
   inbox(msg->dst).push(*msg);
   free_.push_back(msg);
 }

@@ -104,6 +104,13 @@ class Network {
   /// Bytes that actually crossed a NIC (excludes loopback).
   Bytes bytes_posted_remote() const { return bytes_remote_; }
   Bytes bytes_dropped() const { return bytes_dropped_; }
+  /// Ground-truth safety audit: deliveries that landed while an attached
+  /// fault plan's partition severed their link. The partition plane drops
+  /// such messages at TX time or during the RX window, so this must stay 0;
+  /// `trace_report --partition` exits 2 if it ever is not.
+  std::int64_t cross_partition_deliveries() const {
+    return cross_partition_deliveries_;
+  }
 
  private:
   struct Nic {
@@ -141,6 +148,7 @@ class Network {
   std::int64_t posted_ = 0;
   std::int64_t delivered_ = 0;
   std::int64_t dropped_ = 0;
+  std::int64_t cross_partition_deliveries_ = 0;
   Bytes bytes_posted_ = 0;
   Bytes bytes_remote_ = 0;
   Bytes bytes_dropped_ = 0;

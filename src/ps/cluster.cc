@@ -48,6 +48,9 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
       dual_primary_windows_(
           registry_.counter("membership.dual_primary_windows")),
       supersessions_(registry_.counter("membership.supersessions")),
+      parked_pushes_(registry_.counter("partition.parked_pushes")),
+      quorum_denied_failovers_(
+          registry_.counter("partition.quorum_denied_failovers")),
       iter_time_hist_(registry_.histogram(
           "worker.iteration_time_s",
           {0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0})),
@@ -106,6 +109,32 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
         "lease duration must exceed the heartbeat period (a lease that "
         "cannot be renewed by beacons expires every interval)");
   }
+  if (cfg_.faults.lease_duration.has_value() &&
+      !cfg_.faults.partitions.empty() && cfg_.replication > 1) {
+    // Partition safety depends on a minority primary self-fencing *before*
+    // any majority observer's lease on it can lapse. The fence needs the
+    // chain peers to suspect the primary first (echo turns negative at
+    // suspicion + one beacon), then the half-length self-lease to run out —
+    // all of which must fit inside half the lease, drift margin included.
+    const TimeS lease = *cfg_.faults.lease_duration;
+    const TimeS margin = 2.0 * cfg_.faults.clock_drift_rate * lease;
+    if (lease / 2.0 <=
+        cfg_.suspicion_timeout + 2.0 * cfg_.heartbeat_period + margin) {
+      throw std::invalid_argument(
+          "lease duration too short for partition-safe self-fencing: half "
+          "the lease must exceed suspicion_timeout + 2 heartbeat periods "
+          "plus the drift margin");
+    }
+  }
+  if (cfg_.faults.lease_duration.has_value() && cfg_.faults.skewed()) {
+    const TimeS lease = *cfg_.faults.lease_duration;
+    const TimeS margin = 2.0 * cfg_.faults.clock_drift_rate * lease;
+    if (margin + cfg_.heartbeat_period >= lease / 2.0) {
+      throw std::invalid_argument(
+          "clock drift bound too large for the lease: the drift margin plus "
+          "one heartbeat period must stay below half the lease duration");
+    }
+  }
 
   Rng placement_rng(cfg_.seed);
   partition_ =
@@ -144,6 +173,7 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   // event sequence bit for bit.
   reliable_ = cfg_.faults.active() || cfg_.reliable_transport;
   seen_.resize(static_cast<std::size_t>(total_nodes()));
+  dedup_floor_.assign(static_cast<std::size_t>(total_nodes()), 0);
   rto_rng_ = Rng(cfg_.seed ^ 0x9e3779b97f4a7c15ULL);
 
   // The membership plane (heartbeats, replication, failover, rejoin) arms
@@ -156,6 +186,24 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
                    cfg_.faults.lease_duration.has_value();
   leases_on_ = membership_on_ && cfg_.faults.lease_duration.has_value();
   lease_len_ = leases_on_ ? *cfg_.faults.lease_duration : 0.0;
+  // Partition degraded mode (parking, echo-gated self-leases, quorum-gated
+  // fencing, heal re-admission) arms only when partitions are planned, so
+  // every partition-free run keeps the exact pre-partition event sequence.
+  partition_plane_ = membership_on_ && !cfg_.faults.partitions.empty();
+  // Per-node clock drift: rates and offsets are sampled from a dedicated
+  // seeded stream only when armed — skew-free runs consume no randomness.
+  drift_on_ = membership_on_ && cfg_.faults.skewed();
+  if (drift_on_) {
+    Rng drift_rng(cfg_.seed ^ 0xc10cd1f7ab5eedULL);
+    clock_rate_.resize(static_cast<std::size_t>(total_nodes()));
+    clock_offset_.resize(static_cast<std::size_t>(total_nodes()));
+    for (int n = 0; n < total_nodes(); ++n) {
+      clock_rate_[static_cast<std::size_t>(n)] =
+          cfg_.faults.clock_drift_rate * (2.0 * drift_rng.uniform() - 1.0);
+      clock_offset_[static_cast<std::size_t>(n)] =
+          cfg_.faults.clock_offset_bound * (2.0 * drift_rng.uniform() - 1.0);
+    }
+  }
   node_state_.resize(static_cast<std::size_t>(total_nodes()));
   // Elastic joiners exist as dark nodes until their NodeJoin executes.
   for (int j = cfg_.n_workers; j < n_total_workers(); ++j) {
@@ -225,13 +273,20 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
       for (int j = cfg_.n_workers; j < n_total_workers(); ++j) {
         membership_.back()->mark_unjoined(j);
       }
+      if (drift_on_) {
+        // The detector compares node-local clocks against node-local
+        // last-heard stamps; seed the stamps with this node's clock at
+        // sim-time zero so a pure offset never manufactures suspicion.
+        membership_.back()->reset(local_now(n));
+      }
       leadership_.push_back(std::make_unique<ShardLeadership>(
           n_servers(), cfg_.replication, n_total_servers()));
       if (leases_on_) {
         // Grant the initial leases: every home primary starts with one full
-        // lease of grace before any observer may act on its silence.
+        // lease of grace before any observer may act on its silence. Lease
+        // deadlines live on the observing node's clock.
         for (int g = 0; g < n_servers(); ++g) {
-          leadership_.back()->renew_lease(g, lease_len_);
+          leadership_.back()->renew_lease(g, local_now(n) + lease_len_);
         }
       }
     }
@@ -241,10 +296,16 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
     fenced_.resize(static_cast<std::size_t>(total_nodes()));
     // Optimistic self-leases (as if a chain-peer beacon arrived at t = 0),
     // mirroring the detector's optimistic start.
-    self_lease_.assign(
-        static_cast<std::size_t>(total_nodes()),
-        std::vector<TimeS>(static_cast<std::size_t>(n_servers()),
-                           lease_len_ / 2.0));
+    self_lease_.resize(static_cast<std::size_t>(total_nodes()));
+    for (int n = 0; n < total_nodes(); ++n) {
+      self_lease_[static_cast<std::size_t>(n)].assign(
+          static_cast<std::size_t>(n_servers()),
+          local_now(n) + lease_len_ / 2.0);
+    }
+    if (partition_plane_) {
+      parked_.resize(static_cast<std::size_t>(n_total_workers()));
+      quorum_denied_.resize(static_cast<std::size_t>(total_nodes()));
+    }
     acting_.assign(
         static_cast<std::size_t>(n_total_servers()),
         std::vector<Acting>(static_cast<std::size_t>(n_servers())));
@@ -423,11 +484,34 @@ bool Cluster::accept_reliable(int node, const net::Message& m) {
   ack.bytes = net::kAckBytes;
   net_->post(ack);
   ++acks_sent_;
+  if (m.msg_id < dedup_floor_[static_cast<std::size_t>(node)]) {
+    // Below the watermark: the id was GC'd from the table, which is only
+    // possible once no sender can retransmit it — any copy is a duplicate.
+    ++duplicates_suppressed_;
+    return false;
+  }
   if (!seen_[static_cast<std::size_t>(node)].insert(m.msg_id).second) {
     ++duplicates_suppressed_;
     return false;
   }
+  maybe_gc_dedup(node);
   return true;
+}
+
+void Cluster::maybe_gc_dedup(int node) {
+  auto& seen = seen_[static_cast<std::size_t>(node)];
+  if (seen.size() < kDedupGcThreshold) return;
+  // Every id below the oldest still-pending send is final: its sender either
+  // got the ack or gave up for good, so no copy of it can ever be posted
+  // again. Anything still retransmitting pins the floor.
+  std::int64_t floor = next_msg_id_;
+  for (const auto& [id, tx] : pending_tx_) floor = std::min(floor, id);
+  auto& mark = dedup_floor_[static_cast<std::size_t>(node)];
+  if (floor <= mark) return;
+  mark = floor;
+  for (auto it = seen.begin(); it != seen.end();) {
+    it = *it < floor ? seen.erase(it) : std::next(it);
+  }
 }
 
 void Cluster::post_tracked(net::Message m) {
@@ -568,6 +652,20 @@ sim::Task Cluster::worker_sender(int w) {
       // slice priority, so urgent traffic still preempts it under loss.
       auto it = pending_tx_.find(item.retx_id);
       if (it == pending_tx_.end()) continue;  // acked while queued
+      if (partition_plane_ && it->second.msg.dst != w &&
+          membership_[wn]->joined(it->second.msg.dst) &&
+          !membership_[wn]->alive(it->second.msg.dst) &&
+          reachable(it->second.msg.dst)) {
+        // Degraded mode: the destination is dead in this worker's view but
+        // will be back (partition heal / restart) — park the copy instead
+        // of burning wire on a severed link. `queued` stays set, so the
+        // retransmission timer stays quiet until a revival beacon drains
+        // the parking lot. Permanently-down destinations are not parked:
+        // the legacy drop path applies.
+        parked_[wn].push_back(item);
+        ++parked_pushes_;
+        continue;
+      }
       it->second.queued = false;
       const net::Message m = it->second.msg;
       ++retransmits_;
@@ -599,6 +697,15 @@ sim::Task Cluster::worker_sender(int w) {
     m.bytes = wire_payload(item.payload) + net::kHeaderBytes;
     if (tracing()) {
       m.trace_id = obs::make_trace_id(item.slice, item.iteration, w);
+    }
+    if (partition_plane_ && m.dst != w && membership_[wn]->joined(m.dst) &&
+        !membership_[wn]->alive(m.dst) && reachable(m.dst)) {
+      // Fresh push toward a view-dead (but returning) destination: park the
+      // queue item itself; on revival it re-enters the send queue and the
+      // destination re-resolves against the then-current leadership view.
+      parked_[wn].push_back(item);
+      ++parked_pushes_;
+      continue;
     }
     if (membership_on_ && !reachable(m.dst)) continue;
     if (reliable_ && m.src != m.dst) arm_reliable(m, w);
@@ -655,11 +762,16 @@ sim::Task Cluster::node_demux(int n) {
       continue;
     }
     if (m.kind == net::MsgKind::kHeartbeat) {
-      // Beacons are fire-and-forget and not protocol goodput.
+      // Beacons are fire-and-forget and not protocol goodput. The receipt
+      // stamp is this node's local clock — the detector only ever compares
+      // it against the same clock. m.version carries the sender's liveness
+      // belief about *this* node (the echo the partition plane gates
+      // self-lease renewal on).
       const auto effect =
-          membership_[nn]->record_heartbeat(m.src, m.iteration, sim_.now());
-      if (leases_on_ || effect.superseded) {
-        on_beacon(n, m.src, effect.superseded);
+          membership_[nn]->record_heartbeat(m.src, m.iteration, local_now(n));
+      if (leases_on_ || effect.superseded ||
+          (partition_plane_ && effect.revived)) {
+        on_beacon(n, m.src, effect, m.version != 0);
       }
       continue;
     }
@@ -828,6 +940,21 @@ void Cluster::worker_repush_group(int w, int group) {
   // idempotent.
   auto& ws = *workers_[static_cast<std::size_t>(w)];
   if (!node_state_[static_cast<std::size_t>(w)].up) return;
+  if (partition_plane_) {
+    // Parked fresh pushes for this group are superseded by the re-push
+    // below (parked retransmissions keep their pending_tx state and drain
+    // through the ordinary unpark path, where the old primary redirects or
+    // stale-push-replies them).
+    auto& lot = parked_[static_cast<std::size_t>(w)];
+    for (auto it = lot.begin(); it != lot.end();) {
+      const bool fresh = it->retx_id < 0;
+      const int lot_group =
+          it->slice >= 0
+              ? partition_.slices[static_cast<std::size_t>(it->slice)].server
+              : -1;
+      it = (fresh && lot_group == group) ? lot.erase(it) : std::next(it);
+    }
+  }
   for (std::int64_t s = 0; s < partition_.num_slices(); ++s) {
     const auto si = static_cast<std::size_t>(s);
     if (partition_.slices[si].server != group) continue;
@@ -1278,11 +1405,15 @@ sim::Task Cluster::heartbeat_loop(int n) {
       hb.dst = peer;
       hb.kind = net::MsgKind::kHeartbeat;
       hb.iteration = node_state_[nn].epoch;  // incarnation
+      // Echo: does this sender currently believe the receiver is alive? A
+      // primary whose chain peers answer "no" (asymmetric cut: their beacons
+      // arrive, ours do not) must stop trusting its self-lease.
+      hb.version = membership_[nn]->alive(peer) ? 1 : 0;
       hb.bytes = net::kHeartbeatBytes;
       net_->post(hb);
       ++heartbeats_sent_;
     }
-    for (const int dead : membership_[nn]->check(sim_.now())) {
+    for (const int dead : membership_[nn]->check(local_now(n))) {
       on_peer_dead(n, dead);
     }
     if (leases_on_) lease_tick(n);
@@ -1416,7 +1547,7 @@ void Cluster::execute_join(const net::NodeJoin& j) {
   // first beacons.
   for (int p = 0; p < total_nodes(); ++p) {
     if (!node_state_[static_cast<std::size_t>(p)].joined) continue;
-    membership_[nn]->mark_joined(p, sim_.now());
+    membership_[nn]->mark_joined(p, local_now(j.node));
   }
   sim_.spawn(worker_rejoin(j.node, ns.epoch));
   sim_.spawn(server_admit(j.node, ns.epoch));
@@ -1583,12 +1714,13 @@ void Cluster::finish_migration(const MigrationState& ms) {
   }
 }
 
-void Cluster::on_beacon(int n, int src, bool superseded) {
+void Cluster::on_beacon(int n, int src, const Membership::BeaconEffect& effect,
+                        bool echo_alive) {
   const auto nn = static_cast<std::size_t>(n);
   const int src_server = server_of_node(src);
   const int my_server = server_of_node(n);
   auto& lead = *leadership_[nn];
-  if (superseded) {
+  if (effect.superseded) {
     // A higher incarnation while the old one was still believed alive: the
     // old process is gone *now*. Leases it held are void immediately — not
     // after a silence threshold — and open rounds re-evaluate.
@@ -1596,25 +1728,50 @@ void Cluster::on_beacon(int n, int src, bool superseded) {
     mem_mark(n, "S");
     if (src_server >= 0) {
       for (int g = 0; g < n_servers(); ++g) {
-        if (lead.primary(g) == src_server) lead.expire_lease(g, sim_.now());
+        if (lead.primary(g) == src_server) lead.expire_lease(g, local_now(n));
       }
     }
     if (my_server >= 0 && node_state_[nn].up) inject_recheck(my_server);
+  }
+  if (partition_plane_ && effect.revived && node_state_[nn].up) {
+    // A peer this view held dead is back (partition healed, or a one-way cut
+    // opened): drain pushes parked against it, and — when the revived peer
+    // hosts a worker — re-admit that worker under the bounded-staleness
+    // rejoin rule so open rounds stop waiting for contributions it parked
+    // on the far side. Its catch-up drains through stale-push replies.
+    if (n < n_total_workers()) unpark_worker(n);
+    if (my_server >= 0 && src < n_total_workers()) {
+      auto& ss = *servers_[static_cast<std::size_t>(my_server)];
+      const auto sw = static_cast<std::size_t>(src);
+      bool leads_any = false;
+      for (std::int64_t s = 0; s < partition_.num_slices(); ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        if (lead.primary(partition_.slices[si].server) != my_server) continue;
+        ss.active_from[si][sw] =
+            std::max(ss.active_from[si][sw],
+                     ss.version[si] + cfg_.rejoin_slack);
+        leads_any = true;
+      }
+      if (leads_any) inject_recheck(my_server);
+    }
   }
   if (!leases_on_ || src_server < 0) return;
   // Lease renewal: a beacon from the believed leader of a group extends
   // that group's lease in this view; a beacon from a chain peer of an
   // own-led group extends the self-lease the primary must hold to keep
-  // releasing rounds.
+  // releasing rounds. With the partition plane armed the self-lease renews
+  // only on positive echoes — a chain peer that no longer hears us is
+  // already counting down our lease, however loudly it beacons.
   for (int g = 0; g < n_servers(); ++g) {
     if (lead.primary(g) == src_server) {
-      lead.renew_lease(g, sim_.now() + lease_len_);
+      lead.renew_lease(g, local_now(n) + lease_len_);
       ++lease_renewals_;
     }
     if (my_server >= 0 && lead.primary(g) == my_server &&
-        lead.chain_offset(g, src_server) > 0) {
+        lead.chain_offset(g, src_server) > 0 &&
+        (!partition_plane_ || echo_alive)) {
       self_lease_[nn][static_cast<std::size_t>(g)] =
-          sim_.now() + lease_len_ / 2.0;
+          local_now(n) + lease_len_ / 2.0;
     }
   }
 }
@@ -1636,7 +1793,10 @@ void Cluster::lease_tick(int n) {
   if (!node_state_[nn].up) return;
   auto& lead = *leadership_[nn];
   const int my_server = server_of_node(n);
-  const TimeS now = sim_.now();
+  // Every deadline compared below was stamped with this node's clock, so
+  // the whole tick runs on it; drift cancels within a node and the
+  // cross-node disagreement is absorbed by lease_wait_margin().
+  const TimeS now = local_now(n);
   // (a) Self-fencing: an own-led group whose self-lease (fed by chain-peer
   // beacons) lapsed may already be considered expired by the peers — stop
   // releasing rounds *before* any successor's lease on us can run out (the
@@ -1668,7 +1828,13 @@ void Cluster::lease_tick(int n) {
           break;
         }
       }
-      const bool held = now <= sl || (peers_dead && view_has_quorum(n));
+      // Partition plane: quorum is a *precondition* for holding the lease at
+      // all. A minority-side primary still hearing its co-minority chain
+      // peers (symmetric cut through the chain) would otherwise keep
+      // releasing rounds while the majority elects a successor.
+      const bool quorum_ok = !partition_plane_ || view_has_quorum(n);
+      const bool held =
+          quorum_ok && (now <= sl || (peers_dead && view_has_quorum(n)));
       if (fit == fences.end()) {
         if (!held) {
           fences.emplace(g, now);
@@ -1681,6 +1847,14 @@ void Cluster::lease_tick(int n) {
         mem_mark(n, "L+");
         update_acting(my_server, g);
         inject_recheck(my_server);
+      } else if (partition_plane_ && !held) {
+        // Keep the fence stamp at the last not-held tick, so the reopen age
+        // measures *continuously held* time. A cut longer than the lease
+        // would otherwise age the fence past lease_len_ while severed and
+        // reopen at the instant of heal — before the majority successor's
+        // retransmitted announcement can cross the healed (and possibly
+        // congested) fabric and turn the reopen into an adoption.
+        fit->second = now;
       }
     }
   }
@@ -1695,12 +1869,39 @@ void Cluster::lease_tick(int n) {
     const int g = *it;
     if (view.alive(server_node(lead.primary(g)))) {
       it = pend.erase(it);  // the primary came back before the lease ran out
+      if (partition_plane_) quorum_denied_[nn].erase(g);
       continue;
     }
-    if (now <= lead.lease_deadline(g) || !view_has_quorum(n)) {
+    // Drift margin: this observer's clock may run fast relative to the
+    // primary's self-lease clock, so wait out the worst-case disagreement
+    // past the deadline before treating the lease as lapsed everywhere.
+    if (now <= lead.lease_deadline(g) + lease_wait_margin()) {
       ++it;
       continue;
     }
+    if (!view_has_quorum(n)) {
+      // Minority side: the lease is gone but this observer must not elect
+      // anyone. Count each denial episode once; heal clears it.
+      if (partition_plane_ && quorum_denied_[nn].insert(g).second) {
+        ++quorum_denied_failovers_;
+        mem_mark(n, "QD");
+      }
+      if (partition_plane_) {
+        // Without a quorum this observer cannot distinguish a dead primary
+        // from a severed one, so its lease clock must not run: re-arm the
+        // recorded grant each denied tick. Once quorum returns (heal), a
+        // failover needs a *fresh* full lease to lapse from that moment —
+        // ample time for the surviving primary's resumed beacons to revive
+        // it in this view and cancel the pending failover. (Heal revives
+        // peers one beacon at a time; quorum can return before the specific
+        // primary does, and acting on the severed-era deadline then would
+        // elect a second head for a group that never lost its first.)
+        lead.renew_lease(g, now + lease_len_);
+      }
+      ++it;
+      continue;
+    }
+    if (partition_plane_) quorum_denied_[nn].erase(g);
     it = pend.erase(it);
     failover_scan(n, g);
   }
@@ -1718,9 +1919,31 @@ bool Cluster::group_frozen(int server, int group) const {
 
 void Cluster::seed_self_lease(int server, int group) {
   if (!leases_on_ || cfg_.replication <= 1) return;
-  const auto nn = static_cast<std::size_t>(server_node(server));
+  const int node = server_node(server);
+  const auto nn = static_cast<std::size_t>(node);
   auto& sl = self_lease_[nn][static_cast<std::size_t>(group)];
-  sl = std::max(sl, sim_.now() + lease_len_ / 2.0);
+  sl = std::max(sl, local_now(node) + lease_len_ / 2.0);
+}
+
+TimeS Cluster::local_now(int n) const {
+  if (!drift_on_) return sim_.now();
+  const auto nn = static_cast<std::size_t>(n);
+  return sim_.now() * (1.0 + clock_rate_[nn]) + clock_offset_[nn];
+}
+
+void Cluster::unpark_worker(int w) {
+  const auto wn = static_cast<std::size_t>(w);
+  if (!node_state_[wn].up || parked_[wn].empty()) return;
+  auto items = std::move(parked_[wn]);
+  parked_[wn].clear();
+  auto& ws = *workers_[wn];
+  for (auto& item : items) {
+    // Original sequence numbers are kept, so a parked push re-enters the
+    // priority queue exactly where it would have competed; the sender
+    // re-evaluates the (possibly still-dead, possibly re-led) destination.
+    ws.sendq.push(item);
+    sendq_depth_changed(w, +1);
+  }
 }
 
 void Cluster::update_acting(int server, int group) {
@@ -1969,6 +2192,7 @@ void Cluster::execute_crash(const net::NodeCrash& c) {
     ws.recv_version.assign(ws.recv_version.size(), -1);  // holds nothing
     ws.recv_bytes.assign(ws.recv_bytes.size(), 0);
     ws.recv_inflight.assign(ws.recv_inflight.size(), -1);
+    if (partition_plane_) parked_[nn].clear();  // parked copies die with it
   }
   const int s = server_of_node(c.node);
   if (s >= 0) {
@@ -1992,6 +2216,7 @@ void Cluster::execute_crash(const net::NodeCrash& c) {
     // Fences and deferred failovers are process state.
     fenced_[nn].clear();
     pending_failover_[nn].clear();
+    if (partition_plane_) quorum_denied_[nn].clear();
   }
   // In-flight migrations die with the donor's process, and with a target
   // that will never return (a restarting target is bridged by
@@ -2046,8 +2271,10 @@ void Cluster::execute_restart(const net::NodeCrash& c) {
   ++restarts_;
   mem_mark(c.node, "R");
   // Fresh process: optimistic liveness view, empty dedup memory (msg ids
-  // are globally unique, so re-learning them is safe).
-  membership_[nn]->reset(sim_.now());
+  // are globally unique, so re-learning them is safe). View stamps live on
+  // the node's local clock.
+  const TimeS lnow = local_now(c.node);
+  membership_[nn]->reset(lnow);
   const int s = server_of_node(c.node);
   if (leases_on_ && cfg_.replication > 1 && s >= 0) {
     // The restarted process may still believe it leads groups a successor
@@ -2059,11 +2286,11 @@ void Cluster::execute_restart(const net::NodeCrash& c) {
     auto& lead = *leadership_[nn];
     for (int g = 0; g < n_servers(); ++g) {
       if (lead.primary(g) != s) continue;
-      fenced_[nn][g] = sim_.now();
+      fenced_[nn][g] = lnow;
       ++lease_expiries_;
       mem_mark(c.node, "L-");
       self_lease_[nn][static_cast<std::size_t>(g)] =
-          sim_.now() + lease_len_ / 2.0;
+          lnow + lease_len_ / 2.0;
     }
   }
   if (s >= 0) sim_.spawn(server_rehydrate(s, ns.epoch));
@@ -2086,6 +2313,13 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   std::optional<obs::LogCapture> log_capture;
   if (tracing()) {
     log_capture.emplace(*tracer_, [this] { return sim_.now(); });
+    // Planned partition windows as ground-truth spans, so the audit can
+    // check deliveries and leadership events against the cut intervals.
+    for (const auto& p : cfg_.faults.partitions) {
+      std::string label = p.symmetric ? "cut" : "asym";
+      if (p.flap_period > 0.0) label += "~";
+      tracer_->span("net.partition", p.start, p.heal, label);
+    }
   }
 
   for (int n = 0; n < total_nodes(); ++n) sim_.spawn(node_demux(n));
@@ -2168,6 +2402,10 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   result.lease_expiries = lease_expiries_.value();
   result.dual_primary_windows = dual_primary_windows_.value();
   result.supersessions = supersessions_.value();
+  result.partition_drops = faults_ ? faults_->partition_drops() : 0;
+  result.cross_partition_deliveries = net_->cross_partition_deliveries();
+  result.parked_pushes = parked_pushes_.value();
+  result.quorum_denied_failovers = quorum_denied_failovers_.value();
 
   if (crashes_.value() == 0 && joins_.value() == 0) {
     // Crash-free path: the exact pre-membership arithmetic, so results stay

@@ -231,6 +231,18 @@ struct RunResult {
   /// window suspicion-timeout failover allows; must be 0 under leases.
   std::int64_t dual_primary_windows = 0;
   std::int64_t supersessions = 0;      ///< immediate incarnation handovers
+
+  // Partition tolerance observability (all zero without partitions).
+  std::int64_t partition_drops = 0;    ///< messages severed by an active cut
+  /// Ground-truth audit: deliveries that landed while a cut severed their
+  /// link. The fabric drops severed traffic, so this must stay 0.
+  std::int64_t cross_partition_deliveries = 0;
+  /// Pushes a worker parked instead of sending because its view holds the
+  /// destination dead (drained back into the send queue on revival).
+  std::int64_t parked_pushes = 0;
+  /// Expired-lease failovers an observer wanted to fire but could not: its
+  /// view lacked a quorum of joined members (minority-side denial).
+  std::int64_t quorum_denied_failovers = 0;
 };
 
 class Cluster {
@@ -289,6 +301,15 @@ class Cluster {
   std::int64_t reliable_in_flight() const {
     return static_cast<std::int64_t>(pending_tx_.size());
   }
+  /// Dedup entries currently held for `node` (bounded by watermark GC).
+  std::int64_t dedup_entries(int node) const {
+    return static_cast<std::int64_t>(
+        seen_[static_cast<std::size_t>(node)].size());
+  }
+  /// Msg-id watermark below which `node` suppresses without a table lookup.
+  std::int64_t dedup_floor(int node) const {
+    return dedup_floor_[static_cast<std::size_t>(node)];
+  }
   Bytes goodput_bytes() const { return goodput_bytes_.value(); }
   // Membership-plane introspection (null/zero while disarmed).
   bool membership_armed() const { return membership_on_; }
@@ -314,6 +335,13 @@ class Cluster {
     return dual_primary_windows_.value();
   }
   std::int64_t supersessions() const { return supersessions_.value(); }
+  // Partition-plane introspection (zero/false while disarmed).
+  bool partition_plane_armed() const { return partition_plane_; }
+  bool clock_drift_armed() const { return drift_on_; }
+  std::int64_t parked_pushes() const { return parked_pushes_.value(); }
+  std::int64_t quorum_denied_failovers() const {
+    return quorum_denied_failovers_.value();
+  }
   /// True while `server` has stepped down from `group` because it could not
   /// renew its own lease (leases must be armed).
   bool lease_fenced(int server, int group) const {
@@ -523,6 +551,11 @@ class Cluster {
   /// Demux-side reliability front-end: acks `m` and deduplicates. Returns
   /// false when `m` is a duplicate that must not reach the protocol.
   bool accept_reliable(int node, const net::Message& m);
+  /// Watermark GC of `node`'s dedup table: once it exceeds a size threshold,
+  /// advance the floor to the smallest msg id any sender can still
+  /// retransmit and drop every entry below it (below-floor arrivals are
+  /// suppressed by the floor alone), so long chaos runs hold bounded state.
+  void maybe_gc_dedup(int node);
 
   // --- membership plane ---
   /// True while a message can still usefully be addressed to `node`: it is
@@ -559,9 +592,27 @@ class Cluster {
 
   // --- elastic scale-out + lease-based leadership ---
   void execute_join(const net::NodeJoin& j);
-  /// Lease/supersession reaction to one received beacon at node `n` from
-  /// `src` (called after the view recorded it).
-  void on_beacon(int n, int src, bool superseded);
+  /// Lease/supersession/partition reaction to one received beacon at node
+  /// `n` from `src` (called after the view recorded it). `echo_alive` is the
+  /// sender's liveness belief about *this* node, carried on the beacon: with
+  /// the partition plane armed, a primary's self-lease renews only on
+  /// positive echoes, so one-way (asymmetric) cuts still fence it.
+  void on_beacon(int n, int src, const Membership::BeaconEffect& effect,
+                 bool echo_alive);
+  /// Node-local clock of `n`: simulated time warped by the node's seeded
+  /// drift rate and offset (identity while the drift model is disarmed).
+  /// Everything the lease logic reads runs on this clock; ground truth
+  /// (acting intervals, tracer, result accounting) stays on simulated time.
+  TimeS local_now(int n) const;
+  /// Extra wait a successor adds past an expired lease deadline before
+  /// acting, derived from the configured drift bound: two clocks measuring
+  /// one lease length can disagree by 2 * rate_bound * lease_len.
+  TimeS lease_wait_margin() const {
+    return 2.0 * cfg_.faults.clock_drift_rate * lease_len_;
+  }
+  /// Drain worker `w`'s parked pushes back into its send queue (a peer its
+  /// view held dead revived; destinations re-resolve at send time).
+  void unpark_worker(int w);
   /// Per-heartbeat lease work at node `n`: self-fence / reopen own groups,
   /// and fire pending failovers whose lease expired (quorum permitting).
   void lease_tick(int n);
@@ -648,6 +699,8 @@ class Cluster {
   obs::Counter& lease_expiries_;
   obs::Counter& dual_primary_windows_;
   obs::Counter& supersessions_;
+  obs::Counter& parked_pushes_;
+  obs::Counter& quorum_denied_failovers_;
   obs::Histogram& iter_time_hist_;
   obs::Histogram& stall_time_hist_;
 
@@ -655,6 +708,12 @@ class Cluster {
   std::int64_t next_msg_id_ = 0;
   std::unordered_map<std::int64_t, PendingTx> pending_tx_;
   std::vector<std::unordered_set<std::int64_t>> seen_;  ///< per-node dedup
+  /// Per-node dedup watermark: msg ids below it are suppressed without a
+  /// table entry (see maybe_gc_dedup). Survives crashes — suppression of a
+  /// retired id is always safe, and live retransmissions pin the floor.
+  std::vector<std::int64_t> dedup_floor_;
+  /// Dedup-table size that triggers a GC attempt.
+  static constexpr std::size_t kDedupGcThreshold = 4096;
   Rng rto_rng_{0};  ///< consumed only when rto_jitter > 0
 
   // Membership plane (sized only when armed).
@@ -684,6 +743,20 @@ class Cluster {
   std::vector<std::vector<Acting>> acting_;
   std::unordered_map<std::int64_t, int> migration_wait_;  // msg id -> group
   std::map<int, MigrationState> migrations_in_progress_;  // group -> state
+
+  // Partition fault plane + per-node clock drift (inert unless armed).
+  /// Set when the fault plan schedules partitions and the membership plane
+  /// is on: arms push parking, echo-gated self-leases, quorum-gated
+  /// self-fencing, and heal-time bounded-staleness re-admission.
+  bool partition_plane_ = false;
+  bool drift_on_ = false;
+  std::vector<double> clock_rate_;   ///< per node: relative rate error
+  std::vector<TimeS> clock_offset_;  ///< per node: constant offset (inert)
+  /// Per worker: pushes parked while the destination is dead in its view.
+  std::vector<std::vector<SendItem>> parked_;
+  /// Per node: groups whose expired-lease failover quorum currently denies
+  /// (counted once per denial episode).
+  std::vector<std::set<int>> quorum_denied_;
 };
 
 }  // namespace p3::ps

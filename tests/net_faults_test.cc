@@ -410,6 +410,214 @@ TEST(FaultPlanValidate, CrashPlansAreActiveAndInjectorValidatesOnAttach) {
 }
 
 // ---------------------------------------------------------------------------
+// NetPartition plan validation: each class of malformed cut is rejected on
+// its own, and partitions arm the plan like any other wire fault.
+// ---------------------------------------------------------------------------
+
+NetPartition cut(std::vector<int> a, std::vector<int> b, TimeS start,
+                 TimeS heal) {
+  NetPartition p;
+  p.side_a = std::move(a);
+  p.side_b = std::move(b);
+  p.start = start;
+  p.heal = heal;
+  return p;
+}
+
+TEST(FaultPlanValidate, RejectsPartitionWithAnEmptySide) {
+  FaultPlan plan;
+  plan.partitions.push_back(cut({}, {2, 3}, 0.1, 0.5));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.partitions[0] = cut({0, 1}, {}, 0.1, 0.5);
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsOverlappingPartitionSides) {
+  FaultPlan plan;
+  plan.partitions.push_back(cut({0, 1}, {1, 2}, 0.1, 0.5));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsNegativePartitionNodeIds) {
+  FaultPlan plan;
+  plan.partitions.push_back(cut({-1}, {2}, 0.1, 0.5));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.partitions[0] = cut({0}, {-2}, 0.1, 0.5);
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsInvertedOrNegativePartitionWindows) {
+  FaultPlan plan;
+  plan.partitions.push_back(cut({0}, {1}, 0.5, 0.5));  // heal == start
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.partitions[0] = cut({0}, {1}, 0.5, 0.2);  // heal before start
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.partitions[0] = cut({0}, {1}, -0.1, 0.5);  // negative start
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.partitions[0] = cut({0}, {1}, 0.1, 0.5);
+  plan.partitions[0].flap_period = -0.2;  // negative flap period
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.partitions[0].flap_period = 0.0;
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlanValidate, RejectsPartitionOfANodeThatNeverExists) {
+  FaultPlan plan;
+  plan.partitions.push_back(cut({0, 1}, {2, 3, 7}, 0.1, 0.5));
+  // Without the cluster size the id cannot be checked; with it, node 7
+  // never exists in a 4-node cluster.
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  // A joiner extends the cluster: ids up to base + joins are legal.
+  plan.partitions[0] = cut({0, 1}, {2, 3, 4}, 0.1, 0.5);
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan.joins.push_back({4, 0.05});
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+TEST(FaultPlanValidate, RejectsClockDriftOutsideBounds) {
+  FaultPlan plan;
+  plan.clock_drift_rate = -0.001;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.clock_drift_rate = 1.0;  // a clock cannot run backwards
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.clock_drift_rate = 0.001;
+  plan.clock_offset_bound = -0.01;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.clock_offset_bound = 0.01;
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_TRUE(plan.skewed());
+  // Drift alone is a clock model, not a wire fault.
+  EXPECT_FALSE(plan.active());
+}
+
+TEST(FaultPlanValidate, PartitionsArmThePlan) {
+  FaultPlan plan;
+  plan.partitions.push_back(cut({0}, {1}, 0.1, 0.5));
+  EXPECT_TRUE(plan.active());
+}
+
+// ---------------------------------------------------------------------------
+// NetPartition semantics: who is severed from whom, when.
+// ---------------------------------------------------------------------------
+
+TEST(NetPartition, SymmetricCutSeversBothDirectionsDuringWindow) {
+  const NetPartition p = cut({0, 1}, {2, 3}, 1.0, 2.0);
+  EXPECT_FALSE(p.severs(0, 2, 0.999));  // before the cut
+  EXPECT_TRUE(p.severs(0, 2, 1.0));     // a -> b
+  EXPECT_TRUE(p.severs(3, 1, 1.5));     // b -> a (symmetric)
+  EXPECT_FALSE(p.severs(0, 1, 1.5));    // same side: untouched
+  EXPECT_FALSE(p.severs(2, 3, 1.5));
+  EXPECT_FALSE(p.severs(0, 2, 2.0));    // healed (heal is exclusive)
+}
+
+TEST(NetPartition, AsymmetricCutSeversOnlyAToB) {
+  NetPartition p = cut({0}, {1}, 1.0, 2.0);
+  p.symmetric = false;
+  EXPECT_TRUE(p.severs(0, 1, 1.5));
+  EXPECT_FALSE(p.severs(1, 0, 1.5));  // the reverse path still works
+}
+
+TEST(NetPartition, FlappingCutIsActiveFirstHalfOfEachPeriod) {
+  NetPartition p = cut({0}, {1}, 1.0, 2.0);
+  p.flap_period = 0.4;  // on [1.0, 1.2), off [1.2, 1.4), on [1.4, 1.6), ...
+  EXPECT_TRUE(p.severs(0, 1, 1.1));
+  EXPECT_FALSE(p.severs(0, 1, 1.3));
+  EXPECT_TRUE(p.severs(0, 1, 1.5));
+  EXPECT_FALSE(p.severs(0, 1, 1.7));
+  EXPECT_TRUE(p.severs(0, 1, 1.9));
+  EXPECT_FALSE(p.severs(0, 1, 2.1));  // past heal: flap or not, it is over
+}
+
+TEST(NetPartition, SeversDuringCatchesAnyOverlapWithTheWindow) {
+  const NetPartition p = cut({0}, {1}, 1.0, 2.0);
+  EXPECT_FALSE(p.severs_during(0, 1, 0.0, 0.999));  // entirely before
+  EXPECT_TRUE(p.severs_during(0, 1, 0.5, 1.0));     // touches the start
+  EXPECT_TRUE(p.severs_during(0, 1, 1.2, 1.3));     // inside
+  EXPECT_TRUE(p.severs_during(0, 1, 0.5, 3.0));     // spans the whole cut
+  EXPECT_FALSE(p.severs_during(0, 1, 2.0, 3.0));    // entirely after
+  EXPECT_TRUE(p.severs_during(1, 0, 0.5, 3.0));     // symmetric: both ways
+}
+
+TEST(NetPartition, SeversDuringRespectsFlapOffWindows) {
+  NetPartition p = cut({0}, {1}, 1.0, 2.0);
+  p.flap_period = 0.4;  // on-windows [1.0, 1.2), [1.4, 1.6), [1.8, 2.0)
+  EXPECT_TRUE(p.severs_during(0, 1, 1.0, 1.1));
+  EXPECT_FALSE(p.severs_during(0, 1, 1.25, 1.35));  // inside an off-window
+  EXPECT_TRUE(p.severs_during(0, 1, 1.3, 1.45));    // reaches the next on
+}
+
+// ---------------------------------------------------------------------------
+// Network integration: the fabric enforces the cut at TX time, tears down
+// in-flight transfers the cut overtakes, and delivers again after heal —
+// with the ground-truth cross-partition audit reading zero throughout.
+// ---------------------------------------------------------------------------
+
+TEST(NetworkPartition, MessagesIntoTheCutDieAsPartitionDrops) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  plan.partitions.push_back(cut({0}, {1}, 1.0, 2.0));
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  sim.schedule_at(1.5, [&] { net.post(msg(0, 1, 1'000)); });
+  EXPECT_EQ(drain_inbox(sim, net, 1), 0);
+  EXPECT_EQ(net.messages_dropped(), 1);
+  EXPECT_EQ(inj.partition_drops(), 1);
+  EXPECT_EQ(net.cross_partition_deliveries(), 0);
+}
+
+TEST(NetworkPartition, InFlightTransferTornDownWhenTheCutStarts) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  plan.partitions.push_back(cut({0}, {1}, 0.5, 2.0));
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  // 125 MB at 1 Gb/s: TX [0, 1) starts pre-cut, but the RX window lands
+  // inside the cut — the transfer left the sender and dies in the fabric.
+  net.post(msg(0, 1, 125'000'000));
+  EXPECT_EQ(drain_inbox(sim, net, 1), 0);
+  EXPECT_EQ(net.messages_dropped(), 1);
+  EXPECT_EQ(net.cross_partition_deliveries(), 0);
+}
+
+TEST(NetworkPartition, HealedCutCarriesTrafficAgain) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  plan.partitions.push_back(cut({0}, {1}, 0.5, 1.0));
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  Message before = msg(0, 1, 1'000);
+  Message during = msg(0, 1, 1'000);
+  Message after = msg(0, 1, 1'000);
+  net.post(before);
+  sim.schedule_at(0.7, [&] { net.post(during); });
+  sim.schedule_at(1.1, [&] { net.post(after); });
+  EXPECT_EQ(drain_inbox(sim, net, 1), 2);  // before + after survive
+  EXPECT_EQ(inj.partition_drops(), 1);
+  EXPECT_EQ(net.cross_partition_deliveries(), 0);
+}
+
+TEST(NetworkPartition, AsymmetricCutLeavesTheReversePathOpen) {
+  sim::Simulator sim;
+  Network net(sim, 2, test_config(gbps(1), 0.0));
+  FaultPlan plan;
+  NetPartition p = cut({0}, {1}, 0.0, 10.0);
+  p.symmetric = false;
+  plan.partitions.push_back(p);
+  FaultInjector inj(plan);
+  net.attach_faults(&inj);
+  net.post(msg(0, 1, 1'000));  // severed direction
+  net.post(msg(1, 0, 1'000));  // open direction
+  EXPECT_EQ(drain_inbox(sim, net, 1), 0);
+  EXPECT_EQ(drain_inbox(sim, net, 0), 1);
+  EXPECT_EQ(inj.partition_drops(), 1);
+  EXPECT_EQ(net.cross_partition_deliveries(), 0);
+}
+
+// ---------------------------------------------------------------------------
 // NodeCrash wire semantics: TX from a dead process never starts, a transfer
 // whose RX window overlaps the victim's down window dies in the fabric, and
 // a restarted node sends and receives again.

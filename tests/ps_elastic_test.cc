@@ -291,6 +291,66 @@ TEST(LeaseLeadership, LeaseNotExceedingHeartbeatPeriodRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// Staggered joins: a second joiner arrives while the first admission is
+// still in flight (overlapping windows — 5 ms apart, well inside the
+// join/migration handshake). Both must converge with disjoint shares, and
+// the interleaving must be bit-identical at any runner thread count.
+// ---------------------------------------------------------------------------
+
+TEST(ElasticScaleOut, StaggeredJoinersOnOverlappingWindowsConverge) {
+  const auto run_once = [] {
+    ClusterConfig cfg = elastic_config(SyncMethod::kP3);
+    cfg.faults.joins.push_back({4, 0.05});
+    cfg.faults.joins.push_back({5, 0.055});  // mid-admission of node 4
+    cfg.faults.lease_duration = 0.1;
+    return cfg;
+  };
+  Cluster cluster(small_workload(), run_once());
+  const int iterations = 6;
+  const auto result = cluster.run(1, iterations - 1);
+  cluster.drain();
+
+  EXPECT_EQ(result.joins, 2);
+  EXPECT_EQ(result.migrations, 2);
+  EXPECT_EQ(result.dual_primary_windows, 0);
+  for (int n = 0; n < 6; ++n) {
+    EXPECT_EQ(cluster.leadership_view(n).primary(0), 4) << "observer " << n;
+    EXPECT_EQ(cluster.leadership_view(n).primary(1), 5) << "observer " << n;
+  }
+  expect_converged(cluster, 4, iterations, {0, 1, 2, 3, 4, 5});
+  EXPECT_TRUE(cluster.simulator().idle());
+
+  // The same staggered admission is bit-identical at 1, 2 and 4 threads.
+  const auto run_point = [&run_once] {
+    Cluster c(small_workload(), run_once());
+    auto r = c.run(1, 4);
+    c.drain();
+    return r;
+  };
+  std::vector<std::vector<RunResult>> by_threads;
+  for (const int threads : {1, 2, 4}) {
+    runner::ParallelExecutor pool(threads);
+    std::vector<std::function<RunResult()>> jobs(2, run_point);
+    by_threads.push_back(pool.map(std::move(jobs)));
+  }
+  for (std::size_t t = 1; t < by_threads.size(); ++t) {
+    for (std::size_t i = 0; i < by_threads[t].size(); ++i) {
+      const RunResult& a = by_threads[0][i];
+      const RunResult& b = by_threads[t][i];
+      EXPECT_EQ(a.throughput, b.throughput) << "job " << i;
+      EXPECT_EQ(a.total_time, b.total_time) << "job " << i;
+      EXPECT_EQ(a.wire_bytes, b.wire_bytes) << "job " << i;
+      EXPECT_EQ(a.joins, b.joins) << "job " << i;
+      EXPECT_EQ(a.migrations, b.migrations) << "job " << i;
+      EXPECT_EQ(a.migrated_bytes, b.migrated_bytes) << "job " << i;
+      EXPECT_EQ(a.lease_renewals, b.lease_renewals) << "job " << i;
+      EXPECT_EQ(a.dual_primary_windows, b.dual_primary_windows)
+          << "job " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Determinism: the same seeded elastic sweep (joins + crashes + leases) is
 // bit-identical at 1, 2 and 4 runner threads — three full executions, so
 // same-seed rerun identity is covered by the same comparison.

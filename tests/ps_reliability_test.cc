@@ -360,6 +360,36 @@ TEST(Reliability, JitteredRetransmissionsStayDeterministic) {
 // Dedicated-server deployments recover too.
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Dedup-table GC: a long lossy run must not grow the per-node msg-id dedup
+// state monotonically. Once every id below the oldest still-pending send is
+// final, the GC advances an explicit watermark and drops those entries;
+// late duplicates below the watermark are acked and suppressed without a
+// table hit, so correctness is unchanged.
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, DedupStateStaysBoundedOnLongChaoticRuns) {
+  ClusterConfig cfg = small_config(SyncMethod::kP3);
+  cfg.slice_params = 5'000;  // 16 slices: lots of reliable traffic per iter
+  cfg.faults.drop_prob = 0.02;
+  cfg.max_sim_time = 120.0;
+  Cluster cluster(small_workload(2, 40'000, 0.002), cfg);
+  const int iterations = 200;
+  cluster.run(0, iterations);
+  cluster.drain();
+
+  expect_converged(cluster, 4, 2, iterations);
+  EXPECT_EQ(cluster.reliable_in_flight(), 0);
+  for (int n = 0; n < 4; ++n) {
+    // Each node received thousands of reliable messages; the table holds at
+    // most one GC window's worth (kDedupGcThreshold = 4096) at any time.
+    EXPECT_LE(cluster.dedup_entries(n), 4096) << "node " << n;
+    // The watermark actually advanced — the bound is GC at work, not an
+    // undersized run.
+    EXPECT_GT(cluster.dedup_floor(n), 0) << "node " << n;
+  }
+}
+
 TEST(Reliability, DedicatedServersConvergeUnderLoss) {
   ClusterConfig cfg = small_config(SyncMethod::kP3, 2);
   cfg.dedicated_servers = true;
