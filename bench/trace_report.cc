@@ -22,6 +22,14 @@
 // gates on the two partition ground truths: `dual_primary_windows` and
 // the fabric's `cross_partition_deliveries` audit must both read 0.
 //
+// Hierarchy audit (run mode): `--hierarchy` runs a canned rack drill —
+// eight workers in two racks of four behind 4:1-oversubscribed ToR
+// uplinks with rack aggregation — and gates on the port priority
+// discipline (`uplink_priority_inversions` must read 0) and gradient
+// conservation through the aggregation tree (every slice's version must
+// reach exactly warmup + measured; a shortfall means a rack pre-reduce
+// lost a contribution).
+//
 // Exit status: 0 on success, 2 when the trace fails well-formedness
 // validation, the lifecycle stage-order invariant, or the lease
 // dual-primary / partition safety invariants — so CI can gate on it.
@@ -75,6 +83,7 @@ int main(int argc, char** argv) {
                             {"lease", "0"},
                             {"replication", "1"},
                             {"partition", ""},
+                            {"hierarchy", ""},
                             {"out", ""},
                             {"strict", ""}});
   const bool strict = opts.raw().flag("strict");
@@ -115,12 +124,25 @@ int main(int argc, char** argv) {
     cfg.faults.clock_drift_rate = 5e-4;
     cfg.faults.clock_offset_bound = 0.02;
   }
+  const bool hierarchy = opts.raw().flag("hierarchy");
+  if (hierarchy) {
+    // Canned rack drill: two racks of four colocated nodes behind
+    // 4:1-oversubscribed ToR uplinks, with rack-local aggregation folding
+    // each rack's pushes before they reach the shared port.
+    cfg.n_workers = 8;
+    cfg.topology.racks = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+    cfg.topology.oversubscription = 4.0;
+    cfg.rack_aggregation = true;
+  }
 
   ps::Cluster cluster(workload_by_name(model_name), cfg);
   obs::Tracer tracer;
   cluster.attach_tracer(&tracer);
   const ps::RunResult run =
       cluster.run(opts.measure().warmup, opts.measure().measured);
+  // The conservation audit below reads slice versions, so the final round's
+  // in-flight traffic must settle first.
+  if (hierarchy) cluster.drain();
 
   std::printf("== trace report: %s, %s, %d workers ==\n", model_name.c_str(),
               core::sync_method_name(cfg.method).c_str(), cfg.n_workers);
@@ -173,6 +195,38 @@ int main(int argc, char** argv) {
           "network.cross_partition_deliveries = " +
           std::to_string(run.cross_partition_deliveries) +
           " (a message landed across an active cut; expected 0)");
+    }
+  }
+  if (hierarchy) {
+    std::printf("hierarchy: %.1f MiB over ToR uplinks, %lld overtake(s), "
+                "%lld inversion(s), %lld combined push(es), %lld param "
+                "re-broadcast(s), %lld fallback push(es)\n",
+                static_cast<double>(run.tor_uplink_bytes) / (1024.0 * 1024.0),
+                static_cast<long long>(run.uplink_overtakes),
+                static_cast<long long>(run.uplink_priority_inversions),
+                static_cast<long long>(run.agg_combined_pushes),
+                static_cast<long long>(run.agg_param_broadcasts),
+                static_cast<long long>(run.agg_fallback_pushes));
+    // The port contract: priority service never starts a transfer while a
+    // strictly-more-urgent one waits.
+    if (run.uplink_priority_inversions > 0) {
+      problems.push_back(
+          "network.uplink_priority_inversions = " +
+          std::to_string(run.uplink_priority_inversions) +
+          " at priority-served switch ports (expected 0)");
+    }
+    // The aggregation-tree contract: folding pushes at the rack tier must
+    // conserve gradients — every slice advances exactly once per round.
+    const std::int64_t want =
+        opts.measure().warmup + opts.measure().measured;
+    std::int64_t lost_slices = 0;
+    for (std::int64_t s = 0; s < cluster.partition().num_slices(); ++s) {
+      if (cluster.slice_version(s) != want) ++lost_slices;
+    }
+    if (lost_slices > 0) {
+      problems.push_back(
+          "aggregation lost contributions: " + std::to_string(lost_slices) +
+          " slice(s) short of version " + std::to_string(want));
     }
   }
 

@@ -107,10 +107,27 @@ ArCluster::ArCluster(model::Workload workload, ArConfig config)
         model::make_profile(workload_.model, workload_.iter_compute_time);
   }
 
+  if (cfg_.three_level && !cfg_.topology.active()) {
+    throw std::invalid_argument(
+        "three-level allreduce requires a rack topology");
+  }
+  if (cfg_.topology.active()) {
+    cfg_.topology.validate(cfg_.n_workers);
+    const int racks = cfg_.topology.n_racks();
+    rack_leader_.resize(static_cast<std::size_t>(racks));
+    rack_members_.resize(static_cast<std::size_t>(racks));
+    for (int r = 0; r < racks; ++r) {
+      rack_leader_[static_cast<std::size_t>(r)] = cfg_.topology.aggregator_of(r);
+      rack_members_[static_cast<std::size_t>(r)] =
+          cfg_.topology.racks[static_cast<std::size_t>(r)];
+    }
+  }
+
   net::NetworkConfig net_cfg;
   net_cfg.rate = cfg_.bandwidth;
   net_cfg.rx_rate = cfg_.rx_bandwidth;
   net_cfg.latency = cfg_.latency;
+  net_cfg.topology = cfg_.topology;
   net_ = std::make_unique<net::Network>(sim_, cfg_.n_workers, net_cfg);
 
   const int layers = workload_.model.num_layers();
@@ -197,7 +214,77 @@ sim::Task ArCluster::run_bucket(std::int64_t id, std::int64_t round) {
   const Bucket& bucket = buckets_[static_cast<std::size_t>(id)];
   // Ring allreduce: 2(n-1) steps of bytes/n each.
   const int n = cfg_.n_workers;
-  if (n > 1) {
+  if (n > 1 && cfg_.three_level) {
+    // Hierarchical allreduce: only phase 2 crosses the ToR uplinks, so the
+    // spine carries ~bytes per rack instead of the flat ring's repeated
+    // wrap-around chunks.
+    auto [it, inserted] =
+        arrivals_.emplace(id, std::make_unique<sim::Semaphore>(sim_, 0));
+    sim::Semaphore& my_arrivals = *it->second;
+    (void)inserted;
+    auto send = [&](int src, int dst, Bytes bytes) {
+      net::Message m;
+      m.src = src;
+      m.dst = dst;
+      m.kind = net::MsgKind::kPushGradient;
+      m.slice = bucket.id;
+      m.layer = bucket.layers.front();
+      m.priority = bucket.priority;
+      m.bytes = bytes + net::kHeaderBytes;
+      net_->post(m);
+    };
+    const int racks = static_cast<int>(rack_leader_.size());
+    // Phase 1: intra-rack reduce — every member ships its full bucket to
+    // the rack leader, which folds the contributions (racks in parallel,
+    // so the fold cost is the worst rack's).
+    co_await sim_.sleep(cfg_.step_overhead);
+    int phase1 = 0;
+    std::size_t widest_rack = 1;
+    for (int r = 0; r < racks; ++r) {
+      const int leader = rack_leader_[static_cast<std::size_t>(r)];
+      const auto& members = rack_members_[static_cast<std::size_t>(r)];
+      widest_rack = std::max(widest_rack, members.size());
+      for (int v : members) {
+        if (v == leader) continue;
+        send(v, leader, bucket.bytes);
+        ++phase1;
+      }
+    }
+    for (int i = 0; i < phase1; ++i) co_await my_arrivals.acquire();
+    co_await sim_.sleep(static_cast<double>(widest_rack - 1) *
+                        static_cast<double>(bucket.bytes) /
+                        cfg_.reduce_bytes_per_sec);
+    // Phase 2: ring allreduce across the rack leaders — the only traffic
+    // that crosses the spine.
+    if (racks > 1) {
+      const Bytes chunk = (bucket.bytes + racks - 1) / racks;
+      for (int step = 0; step < 2 * (racks - 1); ++step) {
+        co_await sim_.sleep(cfg_.step_overhead);
+        for (int r = 0; r < racks; ++r) {
+          send(rack_leader_[static_cast<std::size_t>(r)],
+               rack_leader_[static_cast<std::size_t>((r + 1) % racks)], chunk);
+        }
+        for (int r = 0; r < racks; ++r) co_await my_arrivals.acquire();
+        if (step < racks - 1) {
+          co_await sim_.sleep(static_cast<double>(chunk) /
+                              cfg_.reduce_bytes_per_sec);
+        }
+      }
+    }
+    // Phase 3: intra-rack broadcast of the reduced bucket.
+    co_await sim_.sleep(cfg_.step_overhead);
+    int phase3 = 0;
+    for (int r = 0; r < racks; ++r) {
+      const int leader = rack_leader_[static_cast<std::size_t>(r)];
+      for (int v : rack_members_[static_cast<std::size_t>(r)]) {
+        if (v == leader) continue;
+        send(leader, v, bucket.bytes);
+        ++phase3;
+      }
+    }
+    for (int i = 0; i < phase3; ++i) co_await my_arrivals.acquire();
+    arrivals_.erase(id);
+  } else if (n > 1) {
     auto [it, inserted] =
         arrivals_.emplace(id, std::make_unique<sim::Semaphore>(sim_, 0));
     sim::Semaphore& my_arrivals = *it->second;

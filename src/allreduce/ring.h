@@ -49,6 +49,17 @@ struct ArConfig {
   BitsPerSec bandwidth = gbps(10);
   BitsPerSec rx_bandwidth = 0;  ///< 0 = symmetric
   TimeS latency = us(25);
+  /// Rack-scale shape handed to the network; inactive = flat mesh. With an
+  /// active topology the ring's wrap-around hops queue at the ToR uplinks,
+  /// so collective priority contends exactly where PS traffic does.
+  net::Topology topology;
+  /// Hierarchical (3-level) collective: intra-rack reduce into each rack
+  /// leader, ring allreduce across the leaders (the only phase that crosses
+  /// the spine), then intra-rack broadcast — NCCL-tree / hierarchical-
+  /// allreduce style. Cuts uplink bytes from ~2B per rack pair to ~B per
+  /// rack at the cost of two extra intra-rack phases. Requires an active
+  /// topology; composes with any schedule.
+  bool three_level = false;
 
   ArSchedule schedule = ArSchedule::kFused;
   Bytes bucket_bytes = mib(25);        ///< kFused fusion threshold
@@ -127,6 +138,10 @@ class ArCluster {
 
   model::Workload workload_;
   ArConfig cfg_;
+  // Rack shape for the three-level schedule (empty when flat). The rack
+  // aggregator doubles as the collective's rack leader.
+  std::vector<int> rack_leader_;                // rack -> leader node
+  std::vector<std::vector<int>> rack_members_;  // rack -> member nodes
   std::vector<Bucket> buckets_;
   std::vector<std::vector<std::int64_t>> layer_buckets_;  // layer -> ids
   model::ComputeProfile profile_;

@@ -32,6 +32,9 @@ enum class MsgKind : std::uint8_t {
   // --- elastic scale-out (docs/PROTOCOL.md) ---
   kServerJoin = 13,   ///< joining server -> all: admission + rebalance ask
   kMigrate = 14,      ///< donor primary -> joiner: shard-state migration
+  // --- rack-scale hierarchy (docs/PROTOCOL.md) ---
+  kRackPush = 15,     ///< worker -> rack aggregator: gradient slice payload
+  kRackParams = 16,   ///< server -> rack aggregator: params for re-broadcast
 };
 
 struct Message {
@@ -63,6 +66,11 @@ struct Message {
   /// to one slice's lifecycle. -1 = untraced; only set while a tracer is
   /// attached and enabled, so it never affects protocol behaviour.
   std::int64_t trace_id = -1;
+  /// Aggregated-push cover id. A rack aggregator's combined kPushGradient
+  /// carries the id of the contributor set it pre-reduced (resolved by the
+  /// protocol layer), standing in for the member list a real wire format
+  /// would carry in the payload. -1 = ordinary single-worker message.
+  std::int64_t agg_id = -1;
 };
 
 /// Fixed per-message header overhead (ps-lite style key+meta).

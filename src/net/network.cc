@@ -18,6 +18,28 @@ Network::Network(sim::Simulator& sim, int n_nodes, NetworkConfig config)
   for (int i = 0; i < n_nodes; ++i) {
     inboxes_.push_back(std::make_unique<sim::Queue<Message>>(sim));
   }
+  if (config.topology.active()) {
+    topo_ = config.topology;
+    topo_.validate(n_nodes);
+    hier_ = true;
+    rack_of_.assign(static_cast<std::size_t>(n_nodes), -1);
+    up_ports_.resize(static_cast<std::size_t>(topo_.n_racks()));
+    down_ports_.resize(static_cast<std::size_t>(topo_.n_racks()));
+    for (int r = 0; r < topo_.n_racks(); ++r) {
+      const auto& members = topo_.racks[static_cast<std::size_t>(r)];
+      for (int node : members) rack_of_[static_cast<std::size_t>(node)] = r;
+      // Uplink capacity: the members' aggregate NIC rate divided by the
+      // oversubscription ratio (all NICs start at config.rate), unless an
+      // explicit tier rate is given. Downlink mirrors the uplink.
+      const BitsPerSec cap =
+          topo_.uplink_rate.has_value()
+              ? *topo_.uplink_rate
+              : config.rate * static_cast<double>(members.size()) /
+                    topo_.oversubscription;
+      up_ports_[static_cast<std::size_t>(r)].rate = cap;
+      down_ports_[static_cast<std::size_t>(r)].rate = cap;
+    }
+  }
 }
 
 TimeS Network::post(Message m) {
@@ -25,6 +47,7 @@ TimeS Network::post(Message m) {
     throw std::out_of_range("message endpoint out of range");
   }
   if (m.bytes <= 0) throw std::invalid_argument("message with no bytes");
+  if (hier_ && m.src != m.dst) return post_hier(std::move(m));
 
   ++posted_;
   bytes_posted_ += m.bytes;
@@ -145,6 +168,219 @@ TimeS Network::post(Message m) {
   return tx_end;
 }
 
+TimeS Network::post_hier(Message m) {
+  ++posted_;
+  bytes_posted_ += m.bytes;
+  bytes_remote_ += m.bytes;
+  const TimeS now = sim_->now();
+  Nic& src = nics_[static_cast<std::size_t>(m.src)];
+
+  // Hop 1: serialize on the source NIC toward its ToR. Same fault hooks as
+  // the flat path — pauses freeze the NIC, degradations shape this first
+  // hop, drops and sender crashes kill the bits before they reach the ToR.
+  TimeS earliest_tx = now;
+  BitsPerSec tx_rate = src.tx_rate;
+  TimeS hop_latency = topo_.tor_latency;
+  if (faults_ != nullptr) earliest_tx = faults_->pause_release(m.src, now);
+  const TimeS tx_start = std::max(earliest_tx, src.tx_free);
+  if (faults_ != nullptr) {
+    tx_rate *= faults_->bandwidth_factor(m.src, tx_start);
+    hop_latency += faults_->extra_latency(m.src, tx_start);
+  }
+  const TimeS tx_end = tx_start + transfer_time(m.bytes, tx_rate);
+  src.tx_free = tx_end;
+
+  if (monitor_ != nullptr) {
+    monitor_->record(m.src, Direction::kOut, tx_start, tx_end, m.bytes);
+  }
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  if (traced) {
+    tracer_->span("n" + std::to_string(m.src) + ".tx", tx_start, tx_end,
+                  message_label(m));
+  }
+
+  if (faults_ != nullptr &&
+      (faults_->should_drop(m, tx_start) || faults_->crashed(m.src, tx_start))) {
+    ++dropped_;
+    bytes_dropped_ += m.bytes;
+    if (traced) {
+      tracer_->span("n" + std::to_string(m.src) + ".drop", tx_start, tx_end,
+                    "x" + message_label(m));
+    }
+    return tx_end;
+  }
+
+  Message* slot = acquire(std::move(m));
+  if (traced && slot->trace_id >= 0) {
+    const std::int64_t flow = next_flow_++;
+    tracer_->flow_start("n" + std::to_string(slot->src) + ".tx", tx_start,
+                        flow, message_label(*slot));
+    hier_flows_.emplace(slot, flow);
+  }
+  const int src_rack = rack_of_[static_cast<std::size_t>(slot->src)];
+  const int dst_rack = rack_of_[static_cast<std::size_t>(slot->dst)];
+  if (src_rack == dst_rack) {
+    // Intra-rack: the ToR forwards at line rate (non-blocking crossbar for
+    // local traffic) — one hop in, one hop out, no shared-port queueing.
+    const TimeS at = tx_end + hop_latency + topo_.tor_latency;
+    sim_->schedule_at(at, [this, slot] { arrive_rx(slot); });
+  } else {
+    const TimeS at = tx_end + hop_latency;
+    sim_->schedule_at(
+        at, [this, slot, src_rack] { port_enqueue(src_rack, true, slot); });
+  }
+  return tx_end;
+}
+
+void Network::port_enqueue(int rack, bool up, Message* msg) {
+  SwitchPort& p = port(rack, up);
+  if (!p.busy) {
+    port_start(rack, up, PortJob{msg, port_seq_++});
+    return;
+  }
+  p.queue.push_back(PortJob{msg, port_seq_++});
+  p.peak_queue =
+      std::max(p.peak_queue, static_cast<std::int64_t>(p.queue.size()));
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->counter("r" + std::to_string(rack) + (up ? ".up.q" : ".dn.q"),
+                     sim_->now(), static_cast<double>(p.queue.size()));
+  }
+}
+
+void Network::port_start(int rack, bool up, PortJob job) {
+  SwitchPort& p = port(rack, up);
+  p.busy = true;
+  const TimeS start = sim_->now();
+  const TimeS end = start + transfer_time(job.msg->bytes, p.rate);
+  p.bytes += job.msg->bytes;
+  p.busy_time += end - start;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->span("r" + std::to_string(rack) + (up ? ".up" : ".dn"), start,
+                  end, message_label(*job.msg));
+  }
+  Message* msg = job.msg;
+  sim_->schedule_at(end, [this, rack, up, msg] { port_done(rack, up, msg); });
+}
+
+void Network::port_done(int rack, bool up, Message* msg) {
+  SwitchPort& p = port(rack, up);
+  p.busy = false;
+
+  // Hand the finished transfer to the next tier.
+  if (up) {
+    const int dst_rack = rack_of_[static_cast<std::size_t>(msg->dst)];
+    const TimeS at = sim_->now() + topo_.spine_latency;
+    sim_->schedule_at(
+        at, [this, msg, dst_rack] { port_enqueue(dst_rack, false, msg); });
+  } else {
+    const TimeS at = sim_->now() + topo_.tor_latency;
+    sim_->schedule_at(at, [this, msg] { arrive_rx(msg); });
+  }
+
+  if (p.queue.empty()) return;
+  // Pick the next transfer: strict (priority, arrival) order, or pure
+  // arrival order under the FIFO ablation. The pop is also where the two
+  // scheduling counters are judged — overtake: the winner arrived after a
+  // strictly-lower-priority transfer still waiting; inversion: a strictly-
+  // higher-priority transfer keeps waiting behind the winner.
+  std::size_t pick = 0;
+  for (std::size_t i = 1; i < p.queue.size(); ++i) {
+    const PortJob& a = p.queue[i];
+    const PortJob& b = p.queue[pick];
+    const bool a_wins =
+        topo_.fifo_ports
+            ? a.seq < b.seq
+            : (a.msg->priority < b.msg->priority ||
+               (a.msg->priority == b.msg->priority && a.seq < b.seq));
+    if (a_wins) pick = i;
+  }
+  const PortJob next = p.queue[pick];
+  bool overtook = false;
+  bool inverted = false;
+  for (std::size_t i = 0; i < p.queue.size(); ++i) {
+    if (i == pick) continue;
+    const PortJob& other = p.queue[i];
+    overtook |= other.seq < next.seq && other.msg->priority > next.msg->priority;
+    inverted |= other.msg->priority < next.msg->priority;
+  }
+  overtakes_ += overtook ? 1 : 0;
+  inversions_ += inverted ? 1 : 0;
+  p.queue.erase(p.queue.begin() + static_cast<std::ptrdiff_t>(pick));
+  port_start(rack, up, next);
+}
+
+void Network::arrive_rx(Message* msg) {
+  const TimeS now = sim_->now();
+  Nic& dst = nics_[static_cast<std::size_t>(msg->dst)];
+  TimeS rx_earliest = now;
+  if (faults_ != nullptr) rx_earliest = faults_->pause_release(msg->dst, now);
+  const TimeS rx_start = std::max(rx_earliest, dst.rx_free);
+  const TimeS rx_end = rx_start + transfer_time(msg->bytes, dst.rx_rate);
+
+  if (faults_ != nullptr &&
+      (faults_->down_during(msg->dst, rx_start, rx_end) ||
+       faults_->severed_during(msg->src, msg->dst, rx_start, rx_end))) {
+    drop_at_rx(msg, rx_start, rx_end);
+    return;
+  }
+
+  dst.rx_free = rx_end;
+  std::int64_t flow = -1;
+  if (!hier_flows_.empty()) {
+    const auto it = hier_flows_.find(msg);
+    if (it != hier_flows_.end()) {
+      flow = it->second;
+      hier_flows_.erase(it);
+    }
+  }
+  if (monitor_ != nullptr) {
+    monitor_->record(msg->dst, Direction::kIn, rx_start, rx_end, msg->bytes);
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->span("n" + std::to_string(msg->dst) + ".rx", rx_start, rx_end,
+                  message_label(*msg));
+    if (flow >= 0) {
+      tracer_->flow_end("n" + std::to_string(msg->dst) + ".rx", rx_start,
+                        flow, message_label(*msg));
+    }
+  }
+  sim_->schedule_at(rx_end, DeliverFn{this, msg});
+}
+
+void Network::drop_at_rx(Message* msg, TimeS rx_start, TimeS rx_end) {
+  ++dropped_;
+  bytes_dropped_ += msg->bytes;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->span("n" + std::to_string(msg->dst) + ".drop", rx_start, rx_end,
+                  "x" + message_label(*msg));
+  }
+  release(msg);
+}
+
+int Network::rack_of(int node) const {
+  if (!hier_) return -1;
+  return rack_of_.at(static_cast<std::size_t>(node));
+}
+
+Network::RackStats Network::rack_stats(int rack) const {
+  const SwitchPort& u = up_ports_.at(static_cast<std::size_t>(rack));
+  const SwitchPort& d = down_ports_.at(static_cast<std::size_t>(rack));
+  RackStats s;
+  s.up_bytes = u.bytes;
+  s.down_bytes = d.bytes;
+  s.up_peak_queue = u.peak_queue;
+  s.down_peak_queue = d.peak_queue;
+  s.up_busy = u.busy_time;
+  s.down_busy = d.busy_time;
+  return s;
+}
+
+Bytes Network::tor_uplink_bytes() const {
+  Bytes total = 0;
+  for (const SwitchPort& p : up_ports_) total += p.bytes;
+  return total;
+}
+
 Message* Network::acquire(Message&& m) {
   if (free_.empty()) {
     pool_.push_back(std::move(m));
@@ -154,6 +390,11 @@ Message* Network::acquire(Message&& m) {
   free_.pop_back();
   *slot = std::move(m);
   return slot;
+}
+
+void Network::release(Message* msg) {
+  hier_flows_.erase(msg);
+  free_.push_back(msg);
 }
 
 void Network::deliver(Message* msg) {
@@ -232,6 +473,12 @@ std::string message_label(const Message& m) {
       return "SJ";
     case MsgKind::kMigrate:
       prefix = "M";  // shard migration
+      break;
+    case MsgKind::kRackPush:
+      prefix = "a";  // rack-aggregated gradient hop
+      break;
+    case MsgKind::kRackParams:
+      prefix = "P";  // rack param broadcast hop
       break;
   }
   return prefix + "L" + std::to_string(m.layer);

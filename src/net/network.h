@@ -17,17 +17,29 @@
 //
 // Per-node rates support heterogeneous clusters and `tc qdisc`-style
 // throttling mid-experiment (Section 5.3 uses this to sweep bandwidth).
+//
+// With an active `Topology` the flat mesh becomes racks behind ToR switches:
+// a remote message serializes on the source NIC, hops to its ToR, and — when
+// the destination sits in another rack — queues at the shared ToR uplink,
+// crosses the spine, queues again at the destination rack's downlink, then
+// serializes on the destination NIC. The uplink/downlink ports are served
+// one transfer at a time in *priority* order (smaller `Message::priority`
+// first; FIFO tie-break on arrival), so P3's slice priority contends at the
+// oversubscribed switch port, not just at the sender's NIC. An inactive
+// topology (the default) keeps the flat code path untouched.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
 #include "net/faults.h"
 #include "net/message.h"
 #include "net/monitor.h"
+#include "net/topology.h"
 #include "obs/tracer.h"
 #include "sim/queue.h"
 #include "sim/simulator.h"
@@ -44,6 +56,10 @@ struct NetworkConfig {
   TimeS latency = us(25);                ///< one-way propagation delay
   BitsPerSec loopback_rate = gbps(400);  ///< colocated worker<->server path
   TimeS loopback_latency = us(2);
+  /// Rack-scale shape; inactive (flat) by default. Uplink capacities are
+  /// derived once at construction from `rate` (or `topology.uplink_rate`),
+  /// so later `set_node_rate` calls re-shape NICs only.
+  Topology topology;
 };
 
 class Network {
@@ -112,6 +128,36 @@ class Network {
     return cross_partition_deliveries_;
   }
 
+  // --- hierarchical topology (no-ops / zeros when the topology is flat) ---
+
+  bool topology_active() const { return hier_; }
+  const Topology& topology() const { return topo_; }
+  int n_racks() const { return topo_.n_racks(); }
+  /// Rack holding `node`; -1 on a flat network.
+  int rack_of(int node) const;
+
+  /// Times a switch port, on becoming free, served a transfer that was
+  /// enqueued *after* a strictly-lower-priority transfer still waiting —
+  /// the P3 overtake, observed at switch granularity.
+  std::int64_t uplink_overtakes() const { return overtakes_; }
+  /// Times a port began serving a transfer while a strictly-higher-priority
+  /// transfer sat queued behind it. Zero by construction under priority
+  /// service; meaningful under `Topology::fifo_ports`.
+  std::int64_t uplink_priority_inversions() const { return inversions_; }
+
+  /// Per-rack switch-tier stats for gauges and tests.
+  struct RackStats {
+    Bytes up_bytes = 0;            ///< bytes served by the ToR uplink
+    Bytes down_bytes = 0;          ///< bytes served by the rack downlink
+    std::int64_t up_peak_queue = 0;    ///< peak transfers waiting at uplink
+    std::int64_t down_peak_queue = 0;  ///< peak transfers waiting at downlink
+    TimeS up_busy = 0;             ///< uplink serving time
+    TimeS down_busy = 0;           ///< downlink serving time
+  };
+  RackStats rack_stats(int rack) const;
+  /// Total bytes that crossed any ToR uplink into the spine.
+  Bytes tor_uplink_bytes() const;
+
  private:
   struct Nic {
     BitsPerSec tx_rate;
@@ -133,7 +179,38 @@ class Network {
   /// Park `m` in the in-flight pool (pointers stable, slots recycled after
   /// delivery — sustained traffic does no per-message allocation).
   Message* acquire(Message&& m);
+  void release(Message* msg);
   void deliver(Message* msg);
+
+  /// A transfer waiting for (or holding) a switch port.
+  struct PortJob {
+    Message* msg;
+    std::int64_t seq;  ///< port arrival order; FIFO tie-break
+  };
+  /// One shared ToR uplink or rack downlink: serves one transfer at a time,
+  /// picking the next by (priority, arrival) — or pure arrival order under
+  /// `Topology::fifo_ports`.
+  struct SwitchPort {
+    BitsPerSec rate = 0;
+    bool busy = false;
+    std::vector<PortJob> queue;
+    Bytes bytes = 0;
+    std::int64_t peak_queue = 0;
+    TimeS busy_time = 0;
+  };
+
+  /// Multi-hop path for remote messages on an active topology. Same fault
+  /// model as the flat path: drop/crash evaluated at source TX, pause/down/
+  /// severed at the destination RX window.
+  TimeS post_hier(Message m);
+  void port_enqueue(int rack, bool up, Message* msg);
+  void port_start(int rack, bool up, PortJob job);
+  void port_done(int rack, bool up, Message* msg);
+  void arrive_rx(Message* msg);
+  SwitchPort& port(int rack, bool up) {
+    return (up ? up_ports_ : down_ports_)[static_cast<std::size_t>(rack)];
+  }
+  void drop_at_rx(Message* msg, TimeS rx_start, TimeS rx_end);
 
   sim::Simulator* sim_;
   NetworkConfig config_;
@@ -145,6 +222,18 @@ class Network {
   obs::Tracer* tracer_ = nullptr;
   FaultInjector* faults_ = nullptr;
   std::int64_t next_flow_ = 0;  ///< flow-arrow ids for traced messages
+  // Hierarchical-topology state; empty/false on a flat network.
+  bool hier_ = false;
+  Topology topo_;
+  std::vector<int> rack_of_;  ///< node -> rack
+  std::vector<SwitchPort> up_ports_;
+  std::vector<SwitchPort> down_ports_;
+  std::int64_t port_seq_ = 0;
+  std::int64_t overtakes_ = 0;
+  std::int64_t inversions_ = 0;
+  /// Flow-arrow ids for traced in-flight messages on the multi-hop path
+  /// (the flat path emits both ends inside post()).
+  std::unordered_map<const Message*, std::int64_t> hier_flows_;
   std::int64_t posted_ = 0;
   std::int64_t delivered_ = 0;
   std::int64_t dropped_ = 0;

@@ -1,0 +1,89 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace p3::net {
+
+int Topology::rack_of(int node) const {
+  for (int r = 0; r < n_racks(); ++r) {
+    for (int member : racks[static_cast<std::size_t>(r)]) {
+      if (member == node) return r;
+    }
+  }
+  return -1;
+}
+
+int Topology::aggregator_of(int rack) const {
+  const auto& members = racks.at(static_cast<std::size_t>(rack));
+  if (!aggregators.empty()) {
+    return aggregators.at(static_cast<std::size_t>(rack));
+  }
+  return members.front();
+}
+
+void Topology::validate(int n_nodes) const {
+  if (!active()) return;
+  std::vector<int> seen;  // node -> rack, grown on demand
+  for (int r = 0; r < n_racks(); ++r) {
+    const auto& members = racks[static_cast<std::size_t>(r)];
+    if (members.empty()) {
+      throw std::invalid_argument("topology rack " + std::to_string(r) +
+                                  " has no nodes");
+    }
+    for (int node : members) {
+      if (node < 0 || (n_nodes >= 0 && node >= n_nodes)) {
+        throw std::invalid_argument("topology rack " + std::to_string(r) +
+                                    " names node " + std::to_string(node) +
+                                    " outside the cluster");
+      }
+      if (node >= static_cast<int>(seen.size())) {
+        seen.resize(static_cast<std::size_t>(node) + 1, -1);
+      }
+      if (seen[static_cast<std::size_t>(node)] >= 0) {
+        throw std::invalid_argument(
+            "node " + std::to_string(node) + " appears in racks " +
+            std::to_string(seen[static_cast<std::size_t>(node)]) + " and " +
+            std::to_string(r));
+      }
+      seen[static_cast<std::size_t>(node)] = r;
+    }
+  }
+  if (n_nodes >= 0) {
+    for (int node = 0; node < n_nodes; ++node) {
+      if (node >= static_cast<int>(seen.size()) ||
+          seen[static_cast<std::size_t>(node)] < 0) {
+        throw std::invalid_argument("node " + std::to_string(node) +
+                                    " is not assigned to any rack");
+      }
+    }
+  }
+  if (uplink_rate.has_value() && *uplink_rate <= 0) {
+    throw std::invalid_argument("non-positive uplink tier bandwidth");
+  }
+  if (oversubscription < 1.0) {
+    throw std::invalid_argument("oversubscription ratio must be >= 1");
+  }
+  if (tor_latency < 0 || spine_latency < 0) {
+    throw std::invalid_argument("negative tier latency");
+  }
+  if (!aggregators.empty()) {
+    if (static_cast<int>(aggregators.size()) != n_racks()) {
+      throw std::invalid_argument(
+          "aggregator list must name one node per rack");
+    }
+    for (int r = 0; r < n_racks(); ++r) {
+      const int agg = aggregators[static_cast<std::size_t>(r)];
+      const auto& members = racks[static_cast<std::size_t>(r)];
+      bool in_rack = false;
+      for (int member : members) in_rack |= (member == agg);
+      if (!in_rack) {
+        throw std::invalid_argument("aggregator " + std::to_string(agg) +
+                                    " is not a member of rack " +
+                                    std::to_string(r));
+      }
+    }
+  }
+}
+
+}  // namespace p3::net

@@ -1,0 +1,75 @@
+// Rack-scale cluster topology.
+//
+// The flat fabric in `Network` models a non-blocking switch: every NIC pair
+// talks at full line rate. Real training clusters are racks behind a ToR
+// switch whose uplink into the spine is *oversubscribed* — k machines share
+// an uplink of k*NIC/oversubscription bits/s — so cross-rack traffic
+// contends at the ToR port, not just at the sender's NIC. `Topology`
+// describes that shape; when a `NetworkConfig` carries an active topology
+// the network routes every remote message over the multi-hop path
+//
+//   src NIC -> ToR(src rack) [-> uplink -> spine -> downlink -> ToR(dst
+//   rack)] -> dst NIC
+//
+// with per-hop serialization and priority-aware queueing at the shared
+// uplink/downlink ports (see network.h). An empty `racks` list means flat:
+// the network keeps the exact pre-topology behaviour, bit for bit.
+//
+// The optional per-rack `aggregators` name the node that hosts the
+// rack-local pre-reduce stage used by `ps::Cluster` (Parameter Hub's
+// rack-scale PS design); the network itself only validates them.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+
+namespace p3::net {
+
+struct Topology {
+  /// racks[r] lists the node ids in rack r. Empty = flat topology (the
+  /// default); when non-empty, every node must belong to exactly one rack.
+  std::vector<std::vector<int>> racks;
+
+  /// Uplink capacity divisor: each rack's ToR uplink serves
+  /// sum(member NIC rates) / oversubscription bits/s. 1.0 = non-blocking
+  /// (rebuildable line rate), 4.0 = the classic 4:1 oversubscribed spine.
+  double oversubscription = 1.0;
+
+  /// Explicit per-rack ToR<->spine rate; overrides the oversubscription
+  /// derivation when set. Must be positive.
+  std::optional<BitsPerSec> uplink_rate;
+
+  TimeS tor_latency = us(1);    ///< node <-> ToR hop propagation
+  TimeS spine_latency = us(5);  ///< ToR -> spine -> ToR crossing
+
+  /// Per-rack aggregator node for the PS pre-reduce stage; empty = default
+  /// (the first node listed in each rack). When set, one entry per rack,
+  /// each naming a member of its own rack.
+  std::vector<int> aggregators;
+
+  /// Serve switch ports FIFO instead of priority order. Ablation knob: the
+  /// priority-inversion counter is zero by construction under priority
+  /// service and becomes meaningful under FIFO.
+  bool fifo_ports = false;
+
+  bool active() const { return !racks.empty(); }
+  int n_racks() const { return static_cast<int>(racks.size()); }
+
+  /// Rack holding `node`, or -1 when the node is in no rack.
+  int rack_of(int node) const;
+
+  /// Aggregator node for `rack`: the configured entry, or the rack's first
+  /// member when `aggregators` is empty.
+  int aggregator_of(int rack) const;
+
+  /// Throws std::invalid_argument on a malformed topology: an empty rack, a
+  /// node in two racks, an aggregator on a node outside its rack, a
+  /// non-positive bandwidth tier, oversubscription < 1, or a negative tier
+  /// latency. With `n_nodes >= 0` additionally requires every node id to be
+  /// in range and every node to be assigned to a rack. No-op when inactive.
+  void validate(int n_nodes = -1) const;
+};
+
+}  // namespace p3::net

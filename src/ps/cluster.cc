@@ -126,6 +126,22 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
           "plus the drift margin");
     }
   }
+  if (cfg_.topology.active() && !cfg_.faults.joins.empty()) {
+    throw std::invalid_argument(
+        "elastic joins are not supported under a rack topology (rack "
+        "membership is fixed at construction)");
+  }
+  if (cfg_.rack_aggregation) {
+    if (!cfg_.topology.active()) {
+      throw std::invalid_argument(
+          "rack aggregation requires an active topology");
+    }
+    if (cfg_.dedicated_servers) {
+      throw std::invalid_argument(
+          "rack aggregation requires colocated servers (the aggregator node "
+          "hosts a worker process)");
+    }
+  }
   if (cfg_.faults.lease_duration.has_value() && cfg_.faults.skewed()) {
     const TimeS lease = *cfg_.faults.lease_duration;
     const TimeS margin = 2.0 * cfg_.faults.clock_drift_rate * lease;
@@ -159,7 +175,36 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   net_cfg.rate = cfg_.bandwidth;
   net_cfg.rx_rate = cfg_.rx_bandwidth;
   net_cfg.latency = cfg_.latency;
+  net_cfg.topology = cfg_.topology;  // validated by the network constructor
   net_ = std::make_unique<net::Network>(sim_, total_nodes(), net_cfg);
+
+  // Rack-scale hierarchy: both planes arm only when configured, so flat
+  // runs post the exact pre-hierarchy event sequence.
+  hierarchy_on_ = cfg_.topology.active();
+  agg_on_ = cfg_.rack_aggregation;
+  if (hierarchy_on_) {
+    node_rack_.assign(static_cast<std::size_t>(total_nodes()), -1);
+    const int n_racks = cfg_.topology.n_racks();
+    rack_agg_.resize(static_cast<std::size_t>(n_racks));
+    rack_workers_.resize(static_cast<std::size_t>(n_racks));
+    for (int r = 0; r < n_racks; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      rack_agg_[rr] = cfg_.topology.aggregator_of(r);
+      for (const int node : cfg_.topology.racks[rr]) {
+        node_rack_[static_cast<std::size_t>(node)] = r;
+        if (node < n_total_workers()) rack_workers_[rr].push_back(node);
+      }
+    }
+  }
+  if (agg_on_) {
+    agg_rounds_.resize(static_cast<std::size_t>(total_nodes()));
+    agg_combined_pushes_ =
+        &registry_.counter("hierarchy.agg_combined_pushes");
+    agg_param_broadcasts_ =
+        &registry_.counter("hierarchy.agg_param_broadcasts");
+    agg_fallback_pushes_ =
+        &registry_.counter("hierarchy.agg_fallback_pushes");
+  }
 
   cfg_.faults.validate(cfg_.dedicated_servers ? 2 * cfg_.n_workers
                                               : cfg_.n_workers);
@@ -526,7 +571,8 @@ void Cluster::post_tracked(net::Message m) {
   }
 }
 
-void Cluster::enqueue_push(int w, std::int64_t slice, std::int64_t iteration) {
+void Cluster::enqueue_push(int w, std::int64_t slice, std::int64_t iteration,
+                           bool direct) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
   const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
   ws.last_push_iter[static_cast<std::size_t>(slice)] = iteration;
@@ -541,6 +587,7 @@ void Cluster::enqueue_push(int w, std::int64_t slice, std::int64_t iteration) {
     item.payload = std::min(remaining, cfg_.fragment_bytes);
     item.priority = item_priority(slice);
     item.seq = ws.send_seq++;
+    item.direct = direct;
     ws.sendq.push(item);
     sendq_depth_changed(w, +1);
     if (tracing()) lc(obs::Stage::kEnqueue, w, slice, iteration, item.payload);
@@ -697,6 +744,25 @@ sim::Task Cluster::worker_sender(int w) {
     m.bytes = wire_payload(item.payload) + net::kHeaderBytes;
     if (tracing()) {
       m.trace_id = obs::make_trace_id(item.slice, item.iteration, w);
+    }
+    if (agg_on_ && item.kind == net::MsgKind::kPushGradient) {
+      if (item.agg_id >= 0) {
+        // Forwarding leg of a rack pre-reduction: straight to the shard
+        // leader, carrying the contributor cover.
+        m.agg_id = item.agg_id;
+      } else if (!item.direct) {
+        const int agg = rack_agg_node(node_rack_[wn]);
+        if (agg_usable(w, agg)) {
+          // Fast path: fold at the rack aggregator first (a self-addressed
+          // copy when this worker *is* the aggregator — pure loopback).
+          m.kind = net::MsgKind::kRackPush;
+          m.dst = agg;
+        } else {
+          ++*agg_fallback_pushes_;
+        }
+      } else {
+        ++*agg_fallback_pushes_;
+      }
     }
     if (partition_plane_ && m.dst != w && membership_[wn]->joined(m.dst) &&
         !membership_[wn]->alive(m.dst) && reachable(m.dst)) {
@@ -921,6 +987,12 @@ sim::Task Cluster::node_demux(int n) {
         migrated_bytes_ += m.logical;
         break;
       }
+      case net::MsgKind::kRackPush:
+        on_rack_push(n, m);
+        break;
+      case net::MsgKind::kRackParams:
+        on_rack_params(n, m);
+        break;
       case net::MsgKind::kBackground:
         break;  // foreign tenant traffic: consumed bandwidth, nothing else
       case net::MsgKind::kAck:
@@ -960,9 +1032,225 @@ void Cluster::worker_repush_group(int w, int group) {
     if (partition_.slices[si].server != group) continue;
     const std::int64_t pushed = ws.last_push_iter[si];
     if (pushed >= 0 && ws.recv_version[si] <= pushed) {
-      enqueue_push(w, s, pushed);
+      // Recovery re-pushes bypass the rack aggregator: rack peers holding
+      // the round's parameters will never re-push it, so a fold waiting for
+      // them would wedge. The server ledger keeps direct re-pushes
+      // exactly-once against any cover the aggregator did forward.
+      enqueue_push(w, s, pushed, /*direct=*/true);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Rack-local aggregation: fold at the ToR tier, one combined push per rack.
+// ---------------------------------------------------------------------------
+
+bool Cluster::agg_usable(int w, int agg) const {
+  if (w == agg) return true;  // the loopback fold is always available
+  if (!membership_on_) return true;
+  return node_state_[static_cast<std::size_t>(agg)].joined &&
+         reachable(agg) &&
+         membership_[static_cast<std::size_t>(w)]->alive(agg);
+}
+
+void Cluster::on_rack_push(int agg, const net::Message& m) {
+  // Fold one worker's fragment into the rack-local pre-reduction. The fold
+  // itself is free (SHArP-style in-network reduction at the ToR tier); the
+  // combined push pays the ordinary server-side aggregation cost once.
+  AggRound& round =
+      agg_rounds_[static_cast<std::size_t>(agg)][{m.slice, m.iteration}];
+  round.contrib[m.worker] += m.logical;
+  if (tracing()) {
+    tracer_->span(lane("n", agg, ".agg"), sim_.now(), sim_.now(),
+                  "f" + std::to_string(m.layer + 1));
+  }
+  agg_flush(agg, m.slice, m.iteration);
+}
+
+void Cluster::agg_flush(int agg, std::int64_t slice, std::int64_t iteration) {
+  auto& rounds = agg_rounds_[static_cast<std::size_t>(agg)];
+  const auto it = rounds.find({slice, iteration});
+  if (it == rounds.end()) return;
+  AggRound& round = it->second;
+  const Bytes payload =
+      partition_.slices[static_cast<std::size_t>(slice)].payload_bytes();
+  const auto rack = static_cast<std::size_t>(node_rack_[agg]);
+  // A member is expected while the aggregator's view holds it joined and
+  // alive; complete contributions count regardless of liveness. A late
+  // contribution after a partial flush (the sender was view-dead at flush
+  // time but its fragments still landed) forwards as a singleton cover.
+  for (const int w : rack_workers_[rack]) {
+    const auto cit = round.contrib.find(w);
+    if (cit != round.contrib.end() && cit->second >= payload) continue;
+    bool expected = true;
+    if (membership_on_) {
+      expected = node_state_[static_cast<std::size_t>(w)].joined &&
+                 (w == agg ||
+                  membership_[static_cast<std::size_t>(agg)]->alive(w));
+    }
+    if (expected) return;  // still waiting on a live member
+  }
+  std::vector<int> cover;
+  for (const auto& [w, bytes] : round.contrib) {
+    if (bytes >= payload && round.forwarded.insert(w).second) {
+      cover.push_back(w);
+    }
+  }
+  if (cover.empty()) return;
+  // The fold is only retired once every rack member was covered; a partial
+  // flush keeps it so stragglers' fragments can still complete and forward.
+  const bool done = round.forwarded.size() >= rack_workers_[rack].size();
+  enqueue_agg_push(agg, slice, iteration, std::move(cover));
+  if (done) rounds.erase(it);
+}
+
+void Cluster::agg_flush_all(int agg) {
+  auto& rounds = agg_rounds_[static_cast<std::size_t>(agg)];
+  std::vector<std::pair<std::int64_t, std::int64_t>> keys;
+  keys.reserve(rounds.size());
+  for (const auto& [key, round] : rounds) keys.push_back(key);
+  for (const auto& [slice, iteration] : keys) {
+    agg_flush(agg, slice, iteration);
+  }
+}
+
+void Cluster::enqueue_agg_push(int agg, std::int64_t slice,
+                               std::int64_t iteration,
+                               std::vector<int> cover) {
+  // The combined push rides the aggregator's own priority send queue, so it
+  // competes at slice priority and inherits the parking and
+  // retransmit-through-the-sendq semantics every worker push has.
+  const std::int64_t id = next_agg_id_++;
+  const auto& sl = partition_.slices[static_cast<std::size_t>(slice)];
+  AggCover cv;
+  cv.workers = std::move(cover);
+  cv.remaining = sl.payload_bytes();
+  agg_cover_.emplace(id, std::move(cv));
+  auto& ws = *workers_[static_cast<std::size_t>(agg)];
+  Bytes remaining = sl.payload_bytes();
+  while (remaining > 0) {
+    SendItem item;
+    item.slice = slice;
+    item.kind = net::MsgKind::kPushGradient;
+    item.iteration = iteration;
+    item.payload = std::min(remaining, cfg_.fragment_bytes);
+    item.priority = item_priority(slice);
+    item.seq = ws.send_seq++;
+    item.agg_id = id;
+    ws.sendq.push(item);
+    sendq_depth_changed(agg, +1);
+    remaining -= item.payload;
+  }
+  ++*agg_combined_pushes_;
+}
+
+void Cluster::send_rack_params(int server, std::int64_t slice) {
+  // Downward mirror of the pre-reduction: the parameter payload crosses the
+  // fabric once per rack (to the aggregator, which re-broadcasts) instead
+  // of once per worker. Racks whose aggregator is unusable in the server's
+  // view fall back to direct per-worker sends.
+  const auto si = static_cast<std::size_t>(slice);
+  const auto& sl = partition_.slices[si];
+  const auto& ss = *servers_[static_cast<std::size_t>(server)];
+  const int snode = server_node(server);
+  for (std::size_t r = 0; r < rack_agg_.size(); ++r) {
+    const int agg = rack_agg_[r];
+    bool usable = true;
+    if (membership_on_) {
+      usable = node_state_[static_cast<std::size_t>(agg)].joined &&
+               reachable(agg) &&
+               (agg == snode ||
+                membership_[static_cast<std::size_t>(snode)]->alive(agg));
+    }
+    if (!usable) {
+      for (const int w : rack_workers_[r]) {
+        if (membership_on_ &&
+            !node_state_[static_cast<std::size_t>(w)].joined) {
+          continue;
+        }
+        send_params(server, slice, w);
+      }
+      continue;
+    }
+    Bytes remaining = sl.payload_bytes();
+    while (remaining > 0) {
+      const Bytes payload = std::min(remaining, cfg_.fragment_bytes);
+      net::Message m;
+      m.src = snode;
+      m.dst = agg;
+      m.kind = net::MsgKind::kRackParams;
+      m.slice = slice;
+      m.layer = sl.layer;
+      m.priority = item_priority(slice);
+      m.worker = agg;
+      m.logical = payload;
+      m.bytes = wire_payload(payload) + net::kHeaderBytes;
+      m.version = ss.version[si];
+      if (tracing()) {
+        m.trace_id = obs::make_trace_id(slice, m.version - 1, agg);
+      }
+      post_tracked(m);
+      ++params_sent_;
+      remaining -= payload;
+    }
+  }
+}
+
+void Cluster::on_rack_params(int agg, const net::Message& m) {
+  // One parameter fragment for the whole rack: apply it locally, then
+  // re-broadcast from this NIC to the other members as fresh kParams (the
+  // upstream copy was already acked; each re-broadcast is tracked anew).
+  const auto rack = static_cast<std::size_t>(node_rack_[agg]);
+  for (const int w : rack_workers_[rack]) {
+    if (w == agg) continue;
+    if (membership_on_ &&
+        (!node_state_[static_cast<std::size_t>(w)].joined || !reachable(w))) {
+      continue;
+    }
+    net::Message fwd = m;
+    fwd.src = agg;
+    fwd.dst = w;
+    fwd.kind = net::MsgKind::kParams;
+    fwd.worker = w;
+    fwd.msg_id = -1;
+    fwd.trace_id =
+        tracing() ? obs::make_trace_id(m.slice, m.version - 1, w) : -1;
+    post_tracked(fwd);
+    ++params_sent_;
+    ++*agg_param_broadcasts_;
+  }
+  net::Message self = m;
+  self.kind = net::MsgKind::kParams;
+  self.worker = agg;
+  worker_on_param(agg, self);
+}
+
+std::vector<int> Cluster::push_cover(const net::Message& m) const {
+  if (m.agg_id < 0) return {m.worker};
+  const auto it = agg_cover_.find(m.agg_id);
+  // A consumed cover can only recur through a delivery the dedup layer
+  // somehow missed; crediting the forwarding worker alone is safe (the
+  // ledger caps it).
+  if (it == agg_cover_.end()) return {m.worker};
+  return it->second.workers;
+}
+
+void Cluster::consume_cover(const net::Message& m) {
+  if (m.agg_id < 0) return;
+  const auto it = agg_cover_.find(m.agg_id);
+  if (it == agg_cover_.end()) return;
+  it->second.remaining -= m.logical;
+  if (it->second.remaining <= 0) agg_cover_.erase(it);
+}
+
+void Cluster::worker_on_agg_dead(int w) {
+  // The rack aggregator died and every fold it held died with it:
+  // contributions it had not forwarded yet are gone, so re-push everything
+  // unreturned straight to the shard leaders. Rounds the aggregator *did*
+  // forward come back as ledger-capped merges or stale-push replies —
+  // exactly-once either way.
+  if (!node_state_[static_cast<std::size_t>(w)].up) return;
+  for (int g = 0; g < n_servers(); ++g) worker_repush_group(w, g);
 }
 
 void Cluster::worker_on_notify(int w, const net::Message& m) {
@@ -1107,13 +1395,18 @@ void Cluster::release_round(int server, std::int64_t slice,
   const auto si = static_cast<std::size_t>(slice);
   const auto& sl = partition_.slices[si];
   if (sync_.immediate_broadcast) {
-    // P3Server: broadcast updated parameters without notify+pull.
-    for (int w = 0; w < n_total_workers(); ++w) {
-      if (membership_on_ &&
-          !node_state_[static_cast<std::size_t>(w)].joined) {
-        continue;  // elastic joiner not admitted yet
+    if (agg_on_) {
+      // One copy per rack, re-broadcast by the aggregators.
+      send_rack_params(server, slice);
+    } else {
+      // P3Server: broadcast updated parameters without notify+pull.
+      for (int w = 0; w < n_total_workers(); ++w) {
+        if (membership_on_ &&
+            !node_state_[static_cast<std::size_t>(w)].joined) {
+          continue;  // elastic joiner not admitted yet
+        }
+        send_params(server, slice, w);
       }
-      send_params(server, slice, w);
     }
   } else if (!sync_.deferred_pull) {
     for (int w = 0; w < n_total_workers(); ++w) {
@@ -1283,8 +1576,14 @@ sim::Task Cluster::server_loop(int n) {
         // parameters so the sender unblocks — this reply IS the recovery
         // path for rounds that committed just before a primary died.
         if (m.iteration + 1 <= ss.version[slice_idx]) {
-          ++stale_pushes_;
-          send_params(n, m.slice, m.worker);
+          // An aggregated stale push answers every covered worker: each of
+          // them is waiting on parameters this reply is the recovery path
+          // for.
+          for (const int cw : push_cover(m)) {
+            ++stale_pushes_;
+            send_params(n, m.slice, cw);
+          }
+          consume_cover(m);
           continue;
         }
         // Future push: the sender's params are newer than this replica's
@@ -1309,7 +1608,15 @@ sim::Task Cluster::server_loop(int n) {
         if (tracing()) {
           lc(obs::Stage::kAggregate, m.worker, m.slice, m.iteration, 0);
         }
-        ss.round_bytes[slice_idx] += payload;
+        if (agg_on_ && m.agg_id >= 0) {
+          // A combined push carries one pre-reduced payload standing in for
+          // every covered worker's contribution.
+          ss.round_bytes[slice_idx] +=
+              payload * static_cast<Bytes>(push_cover(m).size());
+          consume_cover(m);
+        } else {
+          ss.round_bytes[slice_idx] += payload;
+        }
         const Bytes round_target = sl.payload_bytes() * cfg_.n_workers;
         if (ss.round_bytes[slice_idx] >= round_target) {
           // All workers contributed: run the optimizer step on the shard.
@@ -1334,10 +1641,20 @@ sim::Task Cluster::server_loop(int n) {
 
       // Membership path: per-worker contribution ledger, capped at one
       // payload per worker per round so re-pushed fragments merge exactly
-      // once.
-      auto& contrib = ss.contrib[slice_idx][static_cast<std::size_t>(m.worker)];
-      const Bytes room = sl.payload_bytes() - contrib;
-      if (room <= 0) {
+      // once. An aggregated push credits every covered worker with the
+      // (pre-reduced) payload under the same cap, so a direct re-push that
+      // races a forwarded cover can never double-count.
+      Bytes credited = 0;
+      for (const int cw : push_cover(m)) {
+        auto& contrib = ss.contrib[slice_idx][static_cast<std::size_t>(cw)];
+        const Bytes room = sl.payload_bytes() - contrib;
+        if (room <= 0) continue;
+        const Bytes add = std::min(payload, room);
+        contrib += add;
+        credited += add;
+      }
+      consume_cover(m);
+      if (credited == 0) {
         ++duplicates_suppressed_;
         if (tracing()) {
           tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
@@ -1345,7 +1662,6 @@ sim::Task Cluster::server_loop(int n) {
         }
         continue;
       }
-      contrib += std::min(payload, room);
       if (tracing()) {
         lc(obs::Stage::kAggregate, m.worker, m.slice, m.iteration, 0);
         if (!round_complete(n, m.slice)) {
@@ -1439,6 +1755,20 @@ void Cluster::on_peer_dead(int observer_node, int dead_node) {
       } else {
         failover_scan(observer_node, g);
       }
+    }
+  }
+  if (agg_on_ && node_state_[on].up) {
+    const int rack = node_rack_[on];
+    if (observer_node < n_total_workers() && observer_node != dead_node &&
+        dead_node == rack_agg_node(rack)) {
+      // This worker's rack aggregator died: folds held there are gone.
+      worker_on_agg_dead(observer_node);
+    }
+    if (observer_node == rack_agg_node(rack) &&
+        node_rack_[static_cast<std::size_t>(dead_node)] == rack) {
+      // A rack member died in the aggregator's view: partial folds may now
+      // be forwardable without it.
+      agg_flush_all(observer_node);
     }
   }
   // A server's expected worker set shrank: re-evaluate open rounds.
@@ -2194,6 +2524,9 @@ void Cluster::execute_crash(const net::NodeCrash& c) {
     ws.recv_inflight.assign(ws.recv_inflight.size(), -1);
     if (partition_plane_) parked_[nn].clear();  // parked copies die with it
   }
+  // Rack folds are in-memory aggregator state; covers already forwarded are
+  // payload-carried data and survive (the server consumes them).
+  if (agg_on_) agg_rounds_[nn].clear();
   const int s = server_of_node(c.node);
   if (s >= 0) {
     auto& ss = *servers_[static_cast<std::size_t>(s)];
@@ -2406,6 +2739,30 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   result.cross_partition_deliveries = net_->cross_partition_deliveries();
   result.parked_pushes = parked_pushes_.value();
   result.quorum_denied_failovers = quorum_denied_failovers_.value();
+  result.uplink_overtakes = net_->uplink_overtakes();
+  result.uplink_priority_inversions = net_->uplink_priority_inversions();
+  result.tor_uplink_bytes = net_->tor_uplink_bytes();
+  result.agg_combined_pushes = agg_combined_pushes();
+  result.agg_param_broadcasts = agg_param_broadcasts();
+  result.agg_fallback_pushes = agg_fallback_pushes();
+  if (hierarchy_on_) {
+    // Per-tier link gauges: snapshot the switch-port stats into the registry
+    // so metrics dumps carry them next to the protocol counters.
+    for (int r = 0; r < net_->n_racks(); ++r) {
+      const auto rs = net_->rack_stats(r);
+      const std::string p = "topo.rack" + std::to_string(r);
+      registry_.gauge(p + ".uplink_bytes")
+          .set(static_cast<double>(rs.up_bytes));
+      registry_.gauge(p + ".downlink_bytes")
+          .set(static_cast<double>(rs.down_bytes));
+      registry_.gauge(p + ".uplink_peak_queue")
+          .set(static_cast<double>(rs.up_peak_queue));
+      registry_.gauge(p + ".downlink_peak_queue")
+          .set(static_cast<double>(rs.down_peak_queue));
+      registry_.gauge(p + ".uplink_busy_s").set(rs.up_busy);
+      registry_.gauge(p + ".downlink_busy_s").set(rs.down_busy);
+    }
+  }
 
   if (crashes_.value() == 0 && joins_.value() == 0) {
     // Crash-free path: the exact pre-membership arithmetic, so results stay

@@ -57,6 +57,7 @@
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -93,6 +94,20 @@ struct ClusterConfig {
   /// Figure 7-style experiments.
   BitsPerSec rx_bandwidth = 0;
   TimeS latency = us(25);
+  /// Rack-scale shape handed to the network (docs/PROTOCOL.md). Inactive
+  /// (flat) by default; activating it routes every remote message through
+  /// the ToR/spine tiers, where P3's slice priority contends at the shared
+  /// uplink ports. Must cover every node when active. Elastic joins are
+  /// rejected under an active topology (racks are fixed at construction).
+  net::Topology topology;
+  /// Rack-local pre-reduction: workers push gradient slices to their rack's
+  /// aggregator node, which folds them (free, SHArP-style in-network
+  /// reduction at the ToR tier) and forwards one combined push per rack to
+  /// the shard leader; updated parameters come back as one copy per rack,
+  /// re-broadcast by the aggregator. Requires an active topology and
+  /// colocated servers. Recovery traffic (re-pushes after failover or an
+  /// aggregator death) always takes the direct worker->server path.
+  bool rack_aggregation = false;
 
   // Partitioning.
   std::int64_t slice_params = 50'000;        ///< P3 slice size (Section 5.7)
@@ -243,6 +258,20 @@ struct RunResult {
   /// Expired-lease failovers an observer wanted to fire but could not: its
   /// view lacked a quorum of joined members (minority-side denial).
   std::int64_t quorum_denied_failovers = 0;
+
+  // Rack-scale hierarchy observability (all zero on a flat topology).
+  /// Switch-port services that let a later high-priority transfer pass a
+  /// queued lower-priority one (the P3 overtake at the ToR uplink).
+  std::int64_t uplink_overtakes = 0;
+  /// Services started while a strictly-higher-priority transfer waited —
+  /// zero under priority ports, meaningful under the FIFO-port ablation.
+  std::int64_t uplink_priority_inversions = 0;
+  Bytes tor_uplink_bytes = 0;          ///< bytes that crossed any ToR uplink
+  std::int64_t agg_combined_pushes = 0;   ///< rack pre-reductions forwarded
+  std::int64_t agg_param_broadcasts = 0;  ///< params re-broadcast by aggs
+  /// Pushes that bypassed the aggregator (recovery re-pushes, or the
+  /// aggregator was dead/unreachable in the sender's view).
+  std::int64_t agg_fallback_pushes = 0;
 };
 
 class Cluster {
@@ -342,6 +371,19 @@ class Cluster {
   std::int64_t quorum_denied_failovers() const {
     return quorum_denied_failovers_.value();
   }
+  // Rack-hierarchy introspection (zero/false on a flat topology).
+  bool hierarchy_armed() const { return hierarchy_on_; }
+  bool rack_aggregation_armed() const { return agg_on_; }
+  std::int64_t agg_combined_pushes() const {
+    return agg_combined_pushes_ != nullptr ? agg_combined_pushes_->value() : 0;
+  }
+  std::int64_t agg_param_broadcasts() const {
+    return agg_param_broadcasts_ != nullptr ? agg_param_broadcasts_->value()
+                                            : 0;
+  }
+  std::int64_t agg_fallback_pushes() const {
+    return agg_fallback_pushes_ != nullptr ? agg_fallback_pushes_->value() : 0;
+  }
   /// True while `server` has stepped down from `group` because it could not
   /// renew its own lease (leases must be armed).
   bool lease_fenced(int server, int group) const {
@@ -367,6 +409,13 @@ class Cluster {
     /// >= 0: retransmission of this pending msg id (competes in the priority
     /// queue at the original slice priority, so preemption holds under loss).
     std::int64_t retx_id = -1;
+    /// >= 0: this is an aggregator's combined push carrying that cover id;
+    /// it is sent straight to the shard leader, never re-aggregated.
+    std::int64_t agg_id = -1;
+    /// Recovery re-pushes bypass the rack aggregator: the re-push exists
+    /// because state died somewhere, and waiting for rack peers that will
+    /// never re-push the same round would wedge the fold.
+    bool direct = false;
   };
   struct SendOrder {
     bool operator()(const SendItem& a, const SendItem& b) const {
@@ -528,7 +577,8 @@ class Cluster {
     return cfg_.dedicated_servers ? cfg_.n_workers : n_total_workers();
   }
 
-  void enqueue_push(int w, std::int64_t slice, std::int64_t iteration);
+  void enqueue_push(int w, std::int64_t slice, std::int64_t iteration,
+                    bool direct = false);
   void enqueue_pull(int w, std::int64_t slice, std::int64_t iteration);
   void worker_on_notify(int w, const net::Message& m);
   void worker_on_param(int w, const net::Message& m);
@@ -638,6 +688,40 @@ class Cluster {
   /// a dual-primary window when an interval opens while another server's
   /// interval for the same group is still open.
   void update_acting(int server, int group);
+
+  // --- rack-local aggregation (docs/PROTOCOL.md) ---
+  /// Node hosting the rack aggregator for `rack` (topology must be active).
+  int rack_agg_node(int rack) const {
+    return rack_agg_[static_cast<std::size_t>(rack)];
+  }
+  /// True while worker `w`'s view allows routing pushes through `agg`.
+  bool agg_usable(int w, int agg) const;
+  /// Fold one worker's kRackPush fragment at aggregator node `agg`.
+  void on_rack_push(int agg, const net::Message& m);
+  /// Forward the (slice, iteration) fold upstream once every member the
+  /// aggregator's view still expects has contributed its full payload.
+  /// Late contributions after a partial flush forward as singleton covers.
+  void agg_flush(int agg, std::int64_t slice, std::int64_t iteration);
+  /// Re-evaluate every pending fold at `agg` (its view of a rack member
+  /// changed: partial rounds may now be flushable without the dead member).
+  void agg_flush_all(int agg);
+  /// Enqueue the combined push into the aggregator's own send queue, so it
+  /// competes at slice priority and inherits parking/retransmit semantics.
+  void enqueue_agg_push(int agg, std::int64_t slice, std::int64_t iteration,
+                        std::vector<int> cover);
+  /// Server -> rack aggregators: one kRackParams per rack (direct
+  /// per-worker fallback for racks whose aggregator is unusable).
+  void send_rack_params(int server, std::int64_t slice);
+  /// Aggregator re-broadcast of a kRackParams fragment to its rack members.
+  void on_rack_params(int agg, const net::Message& m);
+  /// Workers an incoming push credits: the cover of an aggregated push, or
+  /// the single originating worker.
+  std::vector<int> push_cover(const net::Message& m) const;
+  /// Retire `m.logical` bytes of the cover; erased once fully consumed.
+  void consume_cover(const net::Message& m);
+  /// Observer worker `w` saw its rack aggregator die: folds held there died
+  /// with it, so re-push everything unreturned directly to the leaders.
+  void worker_on_agg_dead(int w);
 
   // --- observability ---
   bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
@@ -757,6 +841,38 @@ class Cluster {
   /// Per node: groups whose expired-lease failover quorum currently denies
   /// (counted once per denial episode).
   std::vector<std::set<int>> quorum_denied_;
+
+  // Rack-scale hierarchy + rack-local aggregation (inert unless armed).
+  /// One rack-local pre-reduction in progress at an aggregator, keyed by
+  /// (slice, iteration). Folded bytes per worker, plus the members already
+  /// covered by a forwarded combined push. Dies with the aggregator process.
+  struct AggRound {
+    std::map<int, Bytes> contrib;
+    std::set<int> forwarded;
+  };
+  /// Contributor set of one forwarded combined push. Stands in for the
+  /// member list a real wire format would carry in the payload, so it is
+  /// never cleared when the *sender* crashes — only consumed (fragment by
+  /// fragment) by the server that applies the push.
+  struct AggCover {
+    std::vector<int> workers;
+    Bytes remaining = 0;
+  };
+  bool hierarchy_on_ = false;  ///< cfg_.topology is active
+  bool agg_on_ = false;        ///< rack aggregation armed
+  std::vector<int> node_rack_;             ///< node -> rack
+  std::vector<int> rack_agg_;              ///< rack -> aggregator node
+  std::vector<std::vector<int>> rack_workers_;  ///< rack -> worker nodes
+  /// Per node (aggregators only): pending folds, deterministic iteration.
+  std::vector<std::map<std::pair<std::int64_t, std::int64_t>, AggRound>>
+      agg_rounds_;
+  std::unordered_map<std::int64_t, AggCover> agg_cover_;
+  std::int64_t next_agg_id_ = 0;
+  // Registered only while aggregation is armed, so flat runs keep the exact
+  // pre-hierarchy registry contents.
+  obs::Counter* agg_combined_pushes_ = nullptr;
+  obs::Counter* agg_param_broadcasts_ = nullptr;
+  obs::Counter* agg_fallback_pushes_ = nullptr;
 };
 
 }  // namespace p3::ps

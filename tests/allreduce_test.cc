@@ -243,5 +243,85 @@ TEST(ArScheduleName, RoundTripNames) {
   EXPECT_EQ(ar_schedule_name(ArSchedule::kPrioritySliced), "AR-P3");
 }
 
+// --- hierarchical (3-level) collective ---
+
+ArConfig hier_config(ArSchedule schedule, bool three_level,
+                     double oversub = 4.0) {
+  ArConfig cfg = small_config(schedule, 4);
+  cfg.topology.racks = {{0, 1}, {2, 3}};
+  cfg.topology.oversubscription = oversub;
+  cfg.three_level = three_level;
+  return cfg;
+}
+
+TEST(ThreeLevel, RequiresAnActiveTopology) {
+  ArConfig cfg = small_config(ArSchedule::kFused);
+  cfg.three_level = true;
+  EXPECT_THROW(ArCluster(small_workload(), cfg), std::invalid_argument);
+}
+
+TEST(ThreeLevel, MalformedTopologyRejected) {
+  ArConfig cfg = hier_config(ArSchedule::kFused, true);
+  cfg.topology.racks = {{0, 1}, {2}};  // node 3 uncovered
+  EXPECT_THROW(ArCluster(small_workload(), cfg), std::invalid_argument);
+}
+
+TEST(ThreeLevel, EveryLayerAdvancesEveryIterationUnderEverySchedule) {
+  for (auto schedule : {ArSchedule::kPerLayer, ArSchedule::kFused,
+                        ArSchedule::kPrioritySliced}) {
+    ArCluster cluster(small_workload(), hier_config(schedule, true));
+    const auto result = cluster.run(1, 3);
+    EXPECT_GT(result.throughput, 0.0);
+    for (int w = 0; w < 4; ++w) {
+      for (int l = 0; l < 4; ++l) {
+        EXPECT_GE(cluster.worker_layer_version(w, l), 3)
+            << ar_schedule_name(schedule) << " worker " << w << " layer "
+            << l;
+      }
+    }
+  }
+}
+
+TEST(ThreeLevel, CrossesTheSpineWithFewerBytesThanTheFlatRing) {
+  // Same fabric, same buckets: the flat ring's wrap-around chunks hammer
+  // the ToR uplink every step; the 3-level collective crosses it only
+  // during the leader ring.
+  Bytes ring_up = 0;
+  Bytes tree_up = 0;
+  {
+    ArCluster ring(small_workload(), hier_config(ArSchedule::kFused, false));
+    ring.run(1, 3);
+    ring_up = ring.network().tor_uplink_bytes();
+  }
+  {
+    ArCluster tree(small_workload(), hier_config(ArSchedule::kFused, true));
+    tree.run(1, 3);
+    tree_up = tree.network().tor_uplink_bytes();
+  }
+  EXPECT_GT(ring_up, 0);
+  EXPECT_GT(tree_up, 0);
+  EXPECT_LT(tree_up, ring_up);
+}
+
+TEST(ThreeLevel, RunsAreDeterministic) {
+  const auto run_once = [] {
+    ArCluster cluster(small_workload(),
+                      hier_config(ArSchedule::kPrioritySliced, true));
+    return cluster.run(1, 3);
+  };
+  const ArRunResult a = run_once();
+  const ArRunResult b = run_once();
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.mean_iteration_time, b.mean_iteration_time);
+  EXPECT_EQ(a.collectives_run, b.collectives_run);
+}
+
+TEST(ThreeLevel, FlatDefaultKeepsTheNetworkFlat) {
+  ArCluster cluster(small_workload(), small_config(ArSchedule::kFused));
+  EXPECT_FALSE(cluster.network().topology_active());
+  cluster.run(1, 2);
+  EXPECT_EQ(cluster.network().tor_uplink_bytes(), 0);
+}
+
 }  // namespace
 }  // namespace p3::ar
