@@ -30,6 +30,16 @@
 // reach exactly warmup + measured; a shortfall means a rack pre-reduce
 // lost a contribution).
 //
+// Autoscale audit (run mode): `--autoscale` runs a canned drain drill —
+// four workers under replicated leases, a fresh node admitted at 0.25 s,
+// then node 1 voluntarily drains out at 0.5 s — and gates on the drain
+// ground truths: gradient conservation across the live migrations (every
+// slice's version must reach exactly warmup + measured), zero dual-primary
+// windows, the drain completing (`drains_completed` == 1), the retired
+// node never reappearing as a leaseholder in any live node's view
+// (PROTOCOL.md invariant 12), and consecutive autoscaler decisions spaced
+// at least one cooldown apart (the no-flapping contract).
+//
 // Exit status: 0 on success, 2 when the trace fails well-formedness
 // validation, the lifecycle stage-order invariant, or the lease
 // dual-primary / partition safety invariants — so CI can gate on it.
@@ -84,6 +94,7 @@ int main(int argc, char** argv) {
                             {"replication", "1"},
                             {"partition", ""},
                             {"hierarchy", ""},
+                            {"autoscale", ""},
                             {"out", ""},
                             {"strict", ""}});
   const bool strict = opts.raw().flag("strict");
@@ -124,6 +135,19 @@ int main(int argc, char** argv) {
     cfg.faults.clock_drift_rate = 5e-4;
     cfg.faults.clock_offset_bound = 0.02;
   }
+  const bool autoscale = opts.raw().flag("autoscale");
+  if (autoscale) {
+    // Canned drain drill: admit a fifth node at 0.25 s, then drain node 1
+    // out at 0.5 s — its groups live-migrate behind the commit barrier and
+    // the node retires permanently. Overrides the topology knobs — the
+    // audit is only meaningful with replicated leases and a scheduled
+    // leave.
+    cfg.n_workers = 4;
+    cfg.replication = std::max(cfg.replication, 2);
+    if (lease <= 0.0) cfg.faults.lease_duration = 0.25;
+    cfg.faults.joins.push_back({cfg.n_workers, 0.25});
+    cfg.faults.leaves.push_back({1, 0.5});
+  }
   const bool hierarchy = opts.raw().flag("hierarchy");
   if (hierarchy) {
     // Canned rack drill: two racks of four colocated nodes behind
@@ -142,7 +166,7 @@ int main(int argc, char** argv) {
       cluster.run(opts.measure().warmup, opts.measure().measured);
   // The conservation audit below reads slice versions, so the final round's
   // in-flight traffic must settle first.
-  if (hierarchy) cluster.drain();
+  if (hierarchy || autoscale) cluster.drain();
 
   std::printf("== trace report: %s, %s, %d workers ==\n", model_name.c_str(),
               core::sync_method_name(cfg.method).c_str(), cfg.n_workers);
@@ -150,7 +174,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> problems = tracer.validate();
   const auto lifecycle =
       obs::lifecycle_violations(tracer.lifecycle_records(), strict);
-  if (join_at > 0.0 || partition) {
+  if (join_at > 0.0 || partition || autoscale) {
     // Elastic rebalancing and partition failover legitimately reorder the
     // per-round lifecycle: a push redirected off a displaced leader records
     // server_recv only at the final owner, and a bounded-staleness round
@@ -227,6 +251,64 @@ int main(int argc, char** argv) {
       problems.push_back(
           "aggregation lost contributions: " + std::to_string(lost_slices) +
           " slice(s) short of version " + std::to_string(want));
+    }
+  }
+  if (autoscale) {
+    std::printf("autoscale: %lld drain(s) started, %lld completed, %lld "
+                "scale decision(s), %lld shed push(es), %lld dual-primary "
+                "window(s)\n",
+                static_cast<long long>(cluster.drains_started()),
+                static_cast<long long>(cluster.drains_completed()),
+                static_cast<long long>(cluster.scale_decisions()),
+                static_cast<long long>(cluster.sheds()),
+                static_cast<long long>(cluster.dual_primary_windows()));
+    // The drain contract: live migration behind the commit barrier conserves
+    // every contribution — no slice falls short of one advance per round.
+    const std::int64_t want = opts.measure().warmup + opts.measure().measured;
+    std::int64_t lost_slices = 0;
+    for (std::int64_t s = 0; s < cluster.partition().num_slices(); ++s) {
+      if (cluster.slice_version(s) != want) ++lost_slices;
+    }
+    if (lost_slices > 0) {
+      problems.push_back(
+          "drain lost contributions: " + std::to_string(lost_slices) +
+          " slice(s) short of version " + std::to_string(want));
+    }
+    if (cluster.drains_completed() != 1) {
+      problems.push_back("drains_completed = " +
+                         std::to_string(cluster.drains_completed()) +
+                         " (the scheduled leave must retire cleanly; "
+                         "expected 1)");
+    }
+    // Invariant 12: a retired node never reappears as a leaseholder in any
+    // live node's view.
+    const int n_total = cfg.n_workers + 1;  // base nodes + the admitted one
+    const int n_groups = cluster.leadership_view(0).n_groups();
+    for (int node = 0; node < n_total; ++node) {
+      if (cluster.node_retired(node)) continue;
+      for (int g = 0; g < n_groups; ++g) {
+        // Colocated drill: server index == node id.
+        const int primary = cluster.leadership_view(node).primary(g);
+        if (primary >= 0 && cluster.node_retired(primary)) {
+          problems.push_back("retired node " + std::to_string(primary) +
+                             " still leads group " + std::to_string(g) +
+                             " in node " + std::to_string(node) +
+                             "'s view (invariant 12)");
+        }
+      }
+    }
+    // The no-flapping contract: consecutive autoscaler decisions must be at
+    // least one cooldown apart. (The canned drill schedules its leave via
+    // the fault plan, so this audit is usually vacuous — it bites when
+    // --autoscale is combined with an armed policy loop.)
+    const auto& times = cluster.scale_decision_times();
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      if (times[i] - times[i - 1] < cfg.autoscaler.cooldown - 1e-9) {
+        problems.push_back(
+            "autoscaler flapped: decisions " + std::to_string(times[i - 1]) +
+            "s and " + std::to_string(times[i]) + "s are closer than the " +
+            std::to_string(cfg.autoscaler.cooldown) + "s cooldown");
+      }
     }
   }
 

@@ -56,7 +56,7 @@ bool NetPartition::severs_during(int src, int dst, TimeS t0, TimeS t1) const {
   return false;
 }
 
-void FaultPlan::validate(int base_nodes) const {
+void FaultPlan::validate(int base_nodes, int replication) const {
   if (drop_prob < 0.0 || drop_prob > 1.0) {
     throw std::invalid_argument("drop probability outside [0, 1]");
   }
@@ -131,6 +131,63 @@ void FaultPlan::validate(int base_nodes) const {
       if (ids[i] != base_nodes + static_cast<int>(i)) {
         throw std::invalid_argument(
             "join ids must extend the cluster contiguously");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const auto& l = leaves[i];
+    if (l.node < 0) throw std::invalid_argument("leave without a node id");
+    if (l.at < 0.0) throw std::invalid_argument("negative leave time");
+    for (std::size_t k = 0; k < i; ++k) {
+      if (leaves[k].node == l.node) {
+        throw std::invalid_argument("duplicate leave for a node");
+      }
+    }
+    for (const auto& c : crashes) {
+      if (c.node != l.node) continue;
+      // A dead process cannot start draining. A crash strictly after the
+      // drain begins is legal: the crash kills the drain intent and the
+      // failover path takes over (the drain×crash chaos scenario).
+      if (c.down_at(l.at)) {
+        throw std::invalid_argument(
+            "leave scheduled during the node's crash window");
+      }
+    }
+    for (const auto& j : joins) {
+      if (j.node == l.node && l.at < j.at) {
+        throw std::invalid_argument(
+            "leave scheduled before the node joins");
+      }
+    }
+    if (base_nodes >= 0 &&
+        l.node >= base_nodes + static_cast<int>(joins.size())) {
+      throw std::invalid_argument(
+          "leave names a node that never exists in the cluster");
+    }
+  }
+  if (base_nodes > 0 && !leaves.empty()) {
+    // Last-live-replica check: a shard group's home chain is the
+    // `replication` consecutive base servers starting at its group id. If
+    // every chain member is scheduled to leave or crash without restart,
+    // and no joiner exists to absorb the group, the leave schedule strands
+    // the group with no legal drain target.
+    const int chain = std::max(1, replication);
+    for (int g = 0; g < base_nodes; ++g) {
+      bool any_survivor = !joins.empty();  // a joiner may adopt any group
+      for (int k = 0; k < chain && !any_survivor; ++k) {
+        const int member = (g + k) % base_nodes;
+        bool leaves_or_dies = false;
+        for (const auto& l : leaves) {
+          if (l.node == member) leaves_or_dies = true;
+        }
+        for (const auto& c : crashes) {
+          if (c.node == member && !c.restarts()) leaves_or_dies = true;
+        }
+        if (!leaves_or_dies) any_survivor = true;
+      }
+      if (!any_survivor) {
+        throw std::invalid_argument(
+            "leave schedule drops a shard group's last live replica");
       }
     }
   }

@@ -112,6 +112,18 @@ struct NodeJoin {
   TimeS at = 0.0;
 };
 
+/// Voluntary drain/leave: at `at` the node enters draining mode — it stops
+/// accepting new shard leadership, live-migrates the groups it leads out
+/// over the reliable kMigrate streams, then retires permanently (a retired
+/// node never returns as a contributor or leaseholder; PROTOCOL.md
+/// invariant 12). Not a wire fault; executed by ps::Cluster. A crash that
+/// lands mid-drain kills the drain intent with the process and the normal
+/// failover path takes over.
+struct NodeLeave {
+  int node = -1;
+  TimeS at = 0.0;
+};
+
 struct FaultPlan {
   /// Cluster-wide per-message drop probability (every remote link).
   double drop_prob = 0.0;
@@ -125,6 +137,9 @@ struct FaultPlan {
   std::vector<NetPartition> partitions;
   /// Runtime node admissions (not wire faults; executed by ps::Cluster).
   std::vector<NodeJoin> joins;
+  /// Voluntary drain/leave schedule (not wire faults; executed by
+  /// ps::Cluster — see NodeLeave).
+  std::vector<NodeLeave> leaves;
   /// Set: shard leadership is lease-based — a primary's tenure is a
   /// time-bounded lease renewed by received heartbeats, and failover waits
   /// for the lease to expire instead of acting on a per-observer silence
@@ -173,12 +188,24 @@ struct FaultPlan {
   /// everywhere except `NodeCrash::node` / `NodeJoin::node` (both must name
   /// their node).
   ///
+  /// Leaves are checked the same way: a leave needs a node id and a
+  /// non-negative time, at most one leave per node, must not be scheduled
+  /// while the same node's crash has it down (a dead process cannot drain;
+  /// a crash that fires *after* the drain starts stays legal — that is the
+  /// drain×crash chaos path), and a leave of a joiner must come after its
+  /// join.
+  ///
   /// `base_nodes >= 0` additionally enables membership checks against the
   /// attaching cluster: a join for an id that is already a member at join
-  /// time (a base node, or a duplicate join) is rejected, and joiner ids
-  /// must extend the cluster contiguously. `base_nodes < 0` (the default)
-  /// skips those checks for callers that do not know the cluster size.
-  void validate(int base_nodes = -1) const;
+  /// time (a base node, or a duplicate join) is rejected, joiner ids
+  /// must extend the cluster contiguously, a leave must name a node that
+  /// exists, and — with `replication` set to the attaching cluster's chain
+  /// length — a leave schedule that would drop a shard group's last live
+  /// replica (every home-chain member leaving or permanently crashed, with
+  /// no joiners to absorb the group) is rejected. `base_nodes < 0` (the
+  /// default) skips those checks for callers that do not know the cluster
+  /// size.
+  void validate(int base_nodes = -1, int replication = 1) const;
 };
 
 class FaultInjector {

@@ -1,0 +1,158 @@
+#include "ps/autoscaler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p3::ps {
+
+std::vector<int> weighted_share(const std::vector<double>& weights,
+                                const std::vector<int>& candidates,
+                                int shares) {
+  if (candidates.empty() || shares <= 0) return {};
+  std::vector<int> order = candidates;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double wa = a < static_cast<int>(weights.size()) ? weights[a] : 0.0;
+    const double wb = b < static_cast<int>(weights.size()) ? weights[b] : 0.0;
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  double total = 0.0;
+  for (int c : order) {
+    total += c < static_cast<int>(weights.size()) ? weights[c] : 0.0;
+  }
+  const double target = total / static_cast<double>(shares);
+  // Take at least one group, never the donors' last one.
+  const std::size_t max_take = std::max<std::size_t>(1, order.size() - 1);
+  std::vector<int> chosen;
+  double cum = 0.0;
+  for (int c : order) {
+    if (chosen.size() >= max_take) break;
+    if (!chosen.empty() && cum >= target) break;
+    chosen.push_back(c);
+    cum += c < static_cast<int>(weights.size()) ? weights[c] : 0.0;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+Autoscaler::Autoscaler(AutoscalerConfig cfg, const obs::Registry* registry)
+    : cfg_(std::move(cfg)), registry_(registry) {
+  if (cfg_.slo_p99_iteration <= 0.0) {
+    throw std::invalid_argument("autoscaler needs a positive latency SLO");
+  }
+  if (cfg_.cooldown <= 0.0) {
+    throw std::invalid_argument("autoscaler needs a positive cooldown");
+  }
+  if (cfg_.hysteresis_ticks < 1) {
+    throw std::invalid_argument("autoscaler hysteresis must be >= 1 tick");
+  }
+  if (cfg_.window_ticks < 1) {
+    throw std::invalid_argument("autoscaler window must be >= 1 tick");
+  }
+  if (cfg_.upscale_fraction <= 0.0 || cfg_.upscale_fraction > 1.0 ||
+      cfg_.downscale_fraction < 0.0 ||
+      cfg_.downscale_fraction >= cfg_.upscale_fraction) {
+    throw std::invalid_argument(
+        "autoscaler thresholds need 0 <= down < up <= 1");
+  }
+  if (cfg_.standby_nodes < 0) {
+    throw std::invalid_argument("negative standby pool");
+  }
+}
+
+double Autoscaler::windowed_p99() {
+  const obs::Histogram* h =
+      registry_->find_histogram(cfg_.iteration_histogram);
+  if (h == nullptr) return 0.0;
+  const std::size_t n = h->bounds().size() + 1;  // + overflow bucket
+  std::vector<std::int64_t> counts(n);
+  for (std::size_t i = 0; i < n; ++i) counts[i] = h->bucket_count(i);
+  if (prev_counts_.size() != n) prev_counts_.assign(n, 0);
+  std::vector<std::int64_t> delta(n);
+  for (std::size_t i = 0; i < n; ++i) delta[i] = counts[i] - prev_counts_[i];
+  prev_counts_ = counts;
+  window_.push_back(std::move(delta));
+  while (window_.size() > static_cast<std::size_t>(cfg_.window_ticks)) {
+    window_.pop_front();
+  }
+  std::vector<std::int64_t> acc(n, 0);
+  std::int64_t total = 0;
+  for (const auto& d : window_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      acc[i] += d[i];
+      total += d[i];
+    }
+  }
+  if (total == 0) return last_p99_;  // no fresh signal: carry the estimate
+  const double need = 0.99 * static_cast<double>(total);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    cum += acc[i];
+    if (static_cast<double>(cum) >= need) return h->bounds()[i];
+  }
+  // The window's tail lands in the overflow bucket: report something
+  // decisively above every bound so any sane SLO reads as violated.
+  return 2.0 * h->bounds().back();
+}
+
+double Autoscaler::max_queue_depth() const {
+  double depth = 0.0;
+  for (const auto& name : cfg_.queue_gauges) {
+    if (const obs::Gauge* g = registry_->find_gauge(name)) {
+      depth = std::max(depth, g->value());
+    }
+  }
+  return depth;
+}
+
+ScaleAction Autoscaler::tick(TimeS now, bool can_scale_up,
+                             bool can_scale_down) {
+  const std::int64_t before = prev_total_;
+  const obs::Histogram* h =
+      registry_->find_histogram(cfg_.iteration_histogram);
+  const std::int64_t observed = h == nullptr ? 0 : h->count();
+  if (!seen_tick_ || observed > before) last_progress_ = now;
+  prev_total_ = observed;
+  seen_tick_ = true;
+
+  const double p99 = windowed_p99();
+  last_p99_ = p99;
+  const double slo = cfg_.slo_p99_iteration;
+  const TimeS stall_after =
+      cfg_.stall_after > 0.0 ? cfg_.stall_after : 4.0 * slo;
+  stalled_ = (now - last_progress_) > stall_after;
+  const bool have_signal = p99 > 0.0;
+  const bool queue_hot =
+      cfg_.queue_depth_high > 0.0 && max_queue_depth() > cfg_.queue_depth_high;
+
+  if ((have_signal && p99 > slo) || stalled_) ++slo_violation_ticks_;
+
+  const bool overloaded =
+      (have_signal && p99 > cfg_.upscale_fraction * slo) || stalled_ ||
+      queue_hot;
+  const bool underloaded = !overloaded && have_signal &&
+                           p99 < cfg_.downscale_fraction * slo && !queue_hot;
+  over_streak_ = overloaded ? over_streak_ + 1 : 0;
+  under_streak_ = underloaded ? under_streak_ + 1 : 0;
+
+  ScaleAction act = ScaleAction::kHold;
+  if (now - last_decision_ >= cfg_.cooldown) {
+    if (over_streak_ >= cfg_.hysteresis_ticks) {
+      if (can_scale_up) {
+        act = ScaleAction::kUp;
+      } else if (cfg_.shed_on_exhausted) {
+        act = ScaleAction::kShed;
+      }
+    } else if (under_streak_ >= cfg_.hysteresis_ticks && can_scale_down) {
+      act = ScaleAction::kDown;
+    }
+  }
+  if (act != ScaleAction::kHold) {
+    last_decision_ = now;
+    over_streak_ = 0;
+    under_streak_ = 0;
+  }
+  return act;
+}
+
+}  // namespace p3::ps

@@ -1,0 +1,116 @@
+// SLO-driven autoscaler policy.
+//
+// The Autoscaler closes the loop from observability back into membership:
+// evaluated on the cluster's suspicion cadence, it reads the
+// `obs::Registry` iteration-time histogram and send/receive queue-depth
+// gauges, compares the windowed p99 iteration time against a configurable
+// latency SLO, and answers with one of four actions — hold, admit a standby
+// node, drain a surplus node, or (over capacity with nothing left to admit)
+// shed low-priority pushes. Hysteresis and a cooldown make flapping
+// impossible by construction: a non-hold action requires `hysteresis_ticks`
+// consecutive ticks of the same pressure signal, and two actions are always
+// separated by at least `cooldown` seconds.
+//
+// The policy is pure with respect to the simulation: it reads metrics and
+// sim time, keeps only its own windows and streaks, and never touches
+// cluster state — ps::Cluster executes whatever action it returns. That
+// keeps it unit-testable against a synthetic registry and keeps autoscaled
+// runs bit-identical across runner thread counts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/registry.h"
+
+namespace p3::ps {
+
+struct AutoscalerConfig {
+  bool enabled = false;
+  /// Dark standby pool beyond base nodes + planned joins; scale-up admits
+  /// them in id order.
+  int standby_nodes = 0;
+  /// The latency SLO: windowed p99 worker iteration time must stay within
+  /// this bound. Must be positive when `enabled`.
+  TimeS slo_p99_iteration = 0.0;
+  /// Scale up when p99 exceeds this fraction of the SLO — the reaction
+  /// lands before the SLO actually breaks under a gradual ramp.
+  double upscale_fraction = 0.8;
+  /// Scale down when p99 falls below this fraction of the SLO.
+  double downscale_fraction = 0.45;
+  /// Consecutive pressure ticks required before acting.
+  int hysteresis_ticks = 3;
+  /// Minimum spacing between two scale decisions (also bounds one shed
+  /// window's duration).
+  TimeS cooldown = 0.5;
+  /// p99 window: bucket-count deltas over the last this-many ticks.
+  int window_ticks = 8;
+  /// Queue-depth overload threshold; 0 disables the queue signal.
+  double queue_depth_high = 0.0;
+  /// Over capacity with no standby left: degrade gracefully by shedding
+  /// lowest-priority pushes instead of collapsing.
+  bool shed_on_exhausted = true;
+  /// No iteration completes for this long => stalled (an overload signal
+  /// and an SLO violation). 0 derives 4x the SLO.
+  TimeS stall_after = 0.0;
+  /// Registry instrument names the policy reads.
+  std::string iteration_histogram = "worker.iteration_time_s";
+  std::vector<std::string> queue_gauges;
+};
+
+enum class ScaleAction { kHold, kUp, kDown, kShed };
+
+/// Deterministic weighted share: choose which of `candidates` (group ids,
+/// weighted by `weights[candidate]`) a new server should take, aiming for a
+/// 1/`shares` fraction of the total candidate weight. Greedy by descending
+/// weight (ties: ascending id), takes at least one group and never strips
+/// the donor set bare (at most candidates.size() - 1). Shared by the
+/// cluster's weight-aware rebalance planner and its unit tests.
+std::vector<int> weighted_share(const std::vector<double>& weights,
+                                const std::vector<int>& candidates,
+                                int shares);
+
+class Autoscaler {
+ public:
+  Autoscaler(AutoscalerConfig cfg, const obs::Registry* registry);
+
+  /// Evaluate one control tick at sim time `now`. `can_scale_up` /
+  /// `can_scale_down` tell the policy whether a standby is available to
+  /// admit / a surplus node is available to drain.
+  ScaleAction tick(TimeS now, bool can_scale_up, bool can_scale_down);
+
+  /// Windowed p99 iteration time as of the last tick (0 before any
+  /// observation; 2x the top histogram bound when the window's p99 lands
+  /// in the overflow bucket).
+  double last_p99() const { return last_p99_; }
+  /// Ticks on which the SLO was violated (p99 above bound, or stalled).
+  std::int64_t slo_violation_ticks() const { return slo_violation_ticks_; }
+  /// Time of the last non-hold action (< 0 before the first).
+  TimeS last_decision() const { return last_decision_; }
+  bool stalled() const { return stalled_; }
+
+  const AutoscalerConfig& config() const { return cfg_; }
+
+ private:
+  double windowed_p99();
+  double max_queue_depth() const;
+
+  AutoscalerConfig cfg_;
+  const obs::Registry* registry_;
+  std::vector<std::int64_t> prev_counts_;
+  std::deque<std::vector<std::int64_t>> window_;
+  std::int64_t prev_total_ = 0;
+  TimeS last_progress_ = 0.0;
+  bool seen_tick_ = false;
+  bool stalled_ = false;
+  int over_streak_ = 0;
+  int under_streak_ = 0;
+  TimeS last_decision_ = -1.0e18;
+  double last_p99_ = 0.0;
+  std::int64_t slo_violation_ticks_ = 0;
+};
+
+}  // namespace p3::ps

@@ -103,6 +103,28 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
     throw std::invalid_argument(
         "elastic joins require colocated servers (a joiner hosts both roles)");
   }
+  if (!cfg_.faults.leaves.empty() && cfg_.dedicated_servers) {
+    throw std::invalid_argument(
+        "voluntary leaves require colocated servers (the drain migrates a "
+        "colocated worker+server node)");
+  }
+  if (cfg_.autoscaler.enabled && cfg_.dedicated_servers) {
+    throw std::invalid_argument(
+        "the autoscaler requires colocated servers (standbys host both "
+        "roles)");
+  }
+  if (cfg_.autoscaler.enabled && cfg_.topology.active() &&
+      cfg_.autoscaler.standby_nodes > 0) {
+    throw std::invalid_argument(
+        "standby admission is not supported under a rack topology (rack "
+        "membership is fixed at construction)");
+  }
+  if (cfg_.rack_aggregation &&
+      (!cfg_.faults.leaves.empty() || cfg_.autoscaler.enabled)) {
+    throw std::invalid_argument(
+        "voluntary leaves / autoscaling are not supported with rack "
+        "aggregation (an aggregator role cannot retire)");
+  }
   if (cfg_.faults.lease_duration.has_value() &&
       *cfg_.faults.lease_duration <= cfg_.heartbeat_period) {
     throw std::invalid_argument(
@@ -207,7 +229,8 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   }
 
   cfg_.faults.validate(cfg_.dedicated_servers ? 2 * cfg_.n_workers
-                                              : cfg_.n_workers);
+                                              : cfg_.n_workers,
+                       cfg_.replication);
   if (cfg_.faults.active()) {
     faults_ = std::make_unique<net::FaultInjector>(
         cfg_.faults, cfg_.seed ^ 0xfa0175eedULL);
@@ -228,6 +251,7 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   membership_on_ = cfg_.force_membership || cfg_.replication > 1 ||
                    !cfg_.faults.crashes.empty() ||
                    !cfg_.faults.joins.empty() ||
+                   !cfg_.faults.leaves.empty() || cfg_.autoscaler.enabled ||
                    cfg_.faults.lease_duration.has_value();
   leases_on_ = membership_on_ && cfg_.faults.lease_duration.has_value();
   lease_len_ = leases_on_ ? *cfg_.faults.lease_duration : 0.0;
@@ -361,6 +385,48 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
       a.since = 0.0;
     }
   }
+
+  // Voluntary drain + SLO-driven autoscaling: the scale plane arms only
+  // when leaves are planned or the policy is enabled, so every
+  // fixed-membership run keeps the exact pre-autoscaler event sequence and
+  // registry contents.
+  scale_plane_ = membership_on_ && (!cfg_.faults.leaves.empty() ||
+                                    cfg_.autoscaler.enabled);
+  if (scale_plane_) {
+    group_push_bytes_.assign(static_cast<std::size_t>(n_servers()), 0.0);
+    if (hierarchy_on_) {
+      rack_group_push_bytes_.assign(
+          static_cast<std::size_t>(cfg_.topology.n_racks()),
+          std::vector<double>(static_cast<std::size_t>(n_servers()), 0.0));
+    }
+    shed_parked_.resize(static_cast<std::size_t>(n_total_workers()));
+    standby_next_ = cfg_.n_workers + static_cast<int>(cfg_.faults.joins.size());
+    // Shedding targets the bottom half of the priority range (higher value
+    // = less urgent). With a flat priority space there is nothing "lowest"
+    // to shed and the cutoff disables shedding.
+    int max_prio = 0;
+    for (std::int64_t s = 0; s < partition_.num_slices(); ++s) {
+      max_prio = std::max(max_prio, item_priority(s));
+    }
+    shed_cutoff_ = max_prio / 2 + 1;
+    drains_started_ = &registry_.counter("scale.drains_started");
+    drains_completed_ = &registry_.counter("scale.drains_completed");
+    scale_decisions_ = &registry_.counter("scale.decisions");
+    sheds_ = &registry_.counter("scale.sheds");
+    slo_violation_ticks_ = &registry_.counter("scale.slo_violation_ticks");
+    if (cfg_.autoscaler.enabled) {
+      AutoscalerConfig acfg = cfg_.autoscaler;
+      if (acfg.queue_gauges.empty()) {
+        for (int w = 0; w < n_total_workers(); ++w) {
+          acfg.queue_gauges.push_back(lane("w", w, ".sendq_depth"));
+        }
+        for (int n = 0; n < total_nodes(); ++n) {
+          acfg.queue_gauges.push_back(lane("n", n, ".rxq_depth"));
+        }
+      }
+      autoscaler_ = std::make_unique<Autoscaler>(acfg, &registry_);
+    }
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -446,6 +512,7 @@ bool Cluster::reachable(int node) const {
 
 bool Cluster::permanently_down(int node) const {
   const auto& ns = node_state_[static_cast<std::size_t>(node)];
+  if (ns.retired) return true;  // invariant 12: retirement is forever
   if (ns.up) return false;
   for (const auto& c : cfg_.faults.crashes) {
     if (c.node == node && c.restarts() &&
@@ -730,6 +797,16 @@ sim::Task Cluster::worker_sender(int w) {
       }
       continue;
     }
+    if (shed_active_ && should_shed(item)) {
+      // Graceful overload degradation: over capacity with nothing left to
+      // admit, low-priority pushes wait out the shed window instead of
+      // competing for the saturated link. They re-enter the send queue at
+      // expiry — delayed contributions, never dropped (the ledger's
+      // per-worker cap keeps the merge exactly-once regardless).
+      shed_parked_[wn].push_back(item);
+      ++*sheds_;
+      continue;
+    }
     const auto& sl = partition_.slices[static_cast<std::size_t>(item.slice)];
     net::Message m;
     m.src = w;
@@ -828,6 +905,14 @@ sim::Task Cluster::node_demux(int n) {
       continue;
     }
     if (m.kind == net::MsgKind::kHeartbeat) {
+      if (scale_plane_ &&
+          node_state_[static_cast<std::size_t>(m.src)].retired) {
+        // Invariant 12: retirement is forever. The goodbye at retirement
+        // supersedes every beacon the node posted before leaving; a stale
+        // one still in the fabric must not resurrect the node in this
+        // receiver's view.
+        continue;
+      }
       // Beacons are fire-and-forget and not protocol goodput. The receipt
       // stamp is this node's local clock — the detector only ever compares
       // it against the same clock. m.version carries the sender's liveness
@@ -970,6 +1055,14 @@ sim::Task Cluster::node_demux(int n) {
         // group starts migrating it. Repeats are idempotent: a group
         // already migrating (or already handed over) is skipped.
         if (server_idx < 0) break;
+        if (scale_plane_) {
+          const auto& rs = node_state_[static_cast<std::size_t>(
+              server_node(m.worker))];
+          // A draining node stops accepting new shard leadership: a stale
+          // admission ask racing the drain must not hand groups back to
+          // the very node busy migrating them out.
+          if (rs.draining || rs.retired) break;
+        }
         for (const int g : rebalance_plan(m.worker)) {
           if (leadership_[nn]->primary(g) != server_idx) continue;
           start_migration(server_idx, g, m.worker);
@@ -1500,6 +1593,18 @@ void Cluster::redirect_to_leader(int server, const net::Message& m) {
   const int n = server_node(server);
   const int group = partition_.slices[static_cast<std::size_t>(m.slice)].server;
   const auto& lease = leadership_[static_cast<std::size_t>(n)]->lease(group);
+  if (m.kind == net::MsgKind::kPullRequest && lease.primary >= 0 &&
+      lease.primary != server) {
+    // A push can be dropped here — adoption re-pushes it — but a pull
+    // cannot: deferred-pull methods have no notify or broadcast to
+    // re-announce the round, so a swallowed pull leaves its worker gated
+    // forever. Forward it to the believed leader instead (idempotent — at
+    // worst the worker receives the same parameters twice).
+    net::Message fwd = m;
+    fwd.src = n;
+    fwd.dst = server_node(lease.primary);
+    post_tracked(fwd);
+  }
   net::Message redirect;
   redirect.src = n;
   redirect.dst = m.src;
@@ -1543,10 +1648,11 @@ sim::Task Cluster::server_loop(int n) {
         }
       } else {
         if (leadership_[node]->chain_offset(sl.server, n) < 0) {
-          if (!cfg_.faults.joins.empty()) {
-            // Elastic rebalancing re-derives chains around joiners, so a
-            // donor dropped from a handed-over group can still see
-            // stragglers addressed under the old chain: redirect them.
+          if (!cfg_.faults.joins.empty() || scale_plane_) {
+            // Elastic rebalancing and drain migrations re-derive chains
+            // around the new owner, so a donor dropped from a handed-over
+            // group can still see stragglers addressed under the old
+            // chain: redirect them.
             redirect_to_leader(n, m);
             continue;
           }
@@ -1652,6 +1758,20 @@ sim::Task Cluster::server_loop(int n) {
         const Bytes add = std::min(payload, room);
         contrib += add;
         credited += add;
+        if (scale_plane_ && hierarchy_on_) {
+          // Per-rack push weight by origin rack: the drain-target rack
+          // preference reads this.
+          rack_group_push_bytes_[static_cast<std::size_t>(
+              node_rack_[static_cast<std::size_t>(cw)])]
+                                [static_cast<std::size_t>(sl.server)] +=
+              static_cast<double>(add);
+        }
+      }
+      if (scale_plane_ && credited > 0) {
+        // Credited (exactly-once) ledger bytes are the weighted planner's
+        // observed per-group push signal.
+        group_push_bytes_[static_cast<std::size_t>(sl.server)] +=
+            static_cast<double>(credited);
       }
       consume_cover(m);
       if (credited == 0) {
@@ -1786,6 +1906,13 @@ void Cluster::failover_scan(int observer_node, int group) {
   int successor = -1;
   for (int k = 0; k < cfg_.replication; ++k) {
     const int candidate = lead.member(group, k);
+    // A draining node refuses new leadership and a retired node is gone for
+    // good — skip both. Ground truth stands in for the drain advertisement
+    // the node's final beacons carry; every observer skips the same nodes,
+    // so converged views still elect the same successor.
+    const auto& cs = node_state_[static_cast<std::size_t>(
+        server_node(candidate))];
+    if (cs.draining || cs.retired) continue;
     if (view.alive(server_node(candidate))) {
       successor = candidate;
       break;
@@ -1816,6 +1943,9 @@ void Cluster::failover_scan(int observer_node, int group) {
 
 void Cluster::takeover_group(int server, int group) {
   const auto node = static_cast<std::size_t>(server_node(server));
+  // A draining or retired server never takes leadership (invariant 12):
+  // the drain exists to shed groups, not collect them.
+  if (node_state_[node].draining || node_state_[node].retired) return;
   auto& lead = *leadership_[node];
   const std::int64_t epoch = lead.epoch(group) + 1;
   if (!lead.adopt(group, epoch, server)) return;
@@ -1879,6 +2009,15 @@ void Cluster::execute_join(const net::NodeJoin& j) {
     if (!node_state_[static_cast<std::size_t>(p)].joined) continue;
     membership_[nn]->mark_joined(p, local_now(j.node));
   }
+  if (scale_plane_) {
+    // Freeze the weight-aware plan at admission time: the joiner carries it
+    // in its join request, so every node resolves the same plan no matter
+    // when the request arrives or how the push-byte gauges move afterwards.
+    const int joiner = server_of_node(j.node);
+    auto plan = weighted_rebalance_plan(joiner);
+    for (const int g : plan) granted_groups_.insert(g);
+    join_plan_.emplace(joiner, std::move(plan));
+  }
   sim_.spawn(worker_rejoin(j.node, ns.epoch));
   sim_.spawn(server_admit(j.node, ns.epoch));
 }
@@ -1892,6 +2031,10 @@ sim::Task Cluster::server_admit(int node, std::int64_t epoch) {
     // cadence until every planned group is ours in our own view. The ask is
     // idempotent at the donors (an in-flight or completed handover skips
     // the group), so lost broadcasts cost latency, never correctness.
+    // A drain supersedes the admission: the node no longer wants shard
+    // leadership, so stop asking for it (otherwise this loop and the drain
+    // migrations ping-pong the groups forever).
+    if (node_state_[nn].draining || node_state_[nn].retired) co_return;
     bool owned = true;
     for (const int g : plan) {
       if (leadership_[nn]->primary(g) != joiner) {
@@ -1919,6 +2062,14 @@ sim::Task Cluster::server_admit(int node, std::int64_t epoch) {
 }
 
 std::vector<int> Cluster::rebalance_plan(int joiner_server) const {
+  // Scale plane: the weighted plan was frozen cluster-globally when the
+  // join executed (carried in the join request, in the narrative), so the
+  // joiner's admission loop and the donors' kServerJoin handlers agree on
+  // it even as push-byte observations keep moving.
+  if (scale_plane_) {
+    const auto it = join_plan_.find(joiner_server);
+    if (it != join_plan_.end()) return it->second;
+  }
   // Deterministic planner: joiner k (0-based in id order) takes its fair
   // share of contiguous groups, max(1, n_groups / (n_base + k + 1)),
   // starting at (k * take) % n_groups. A pure function of the config, so
@@ -2499,20 +2650,26 @@ void Cluster::execute_crash(const net::NodeCrash& c) {
   auto& ns = node_state_[nn];
   if (!ns.up) return;  // already down (overlapping plans)
   ns.up = false;
+  ns.draining = false;  // the drain intent dies with the process
   ns.epoch += 1;
   ns.down_since = sim_.now();
   ++crashes_;
   mem_mark(c.node, "X");
+  teardown_process_state(c.node);
+}
+
+void Cluster::teardown_process_state(int node) {
+  const auto nn = static_cast<std::size_t>(node);
   // All in-memory state dies with the process.
   seen_[nn].clear();
-  while (net_->inbox(c.node).try_pop()) {
+  while (net_->inbox(node).try_pop()) {
   }
-  if (!cfg_.dedicated_servers || c.node < cfg_.n_workers) {
+  if (!cfg_.dedicated_servers || node < cfg_.n_workers) {
     auto& ws = *workers_[nn];
     while (ws.sendq.try_pop()) {
     }
     // Reserved-but-unpopped items survive the drain; resync the depth view.
-    sendq_depth_changed(c.node,
+    sendq_depth_changed(node,
                         static_cast<std::int64_t>(ws.sendq.size()) -
                             ws.sendq_depth);
     ws.param_bytes.assign(ws.param_bytes.size(), 0);
@@ -2523,11 +2680,12 @@ void Cluster::execute_crash(const net::NodeCrash& c) {
     ws.recv_bytes.assign(ws.recv_bytes.size(), 0);
     ws.recv_inflight.assign(ws.recv_inflight.size(), -1);
     if (partition_plane_) parked_[nn].clear();  // parked copies die with it
+    if (scale_plane_) shed_parked_[nn].clear();  // shed copies die with it
   }
   // Rack folds are in-memory aggregator state; covers already forwarded are
   // payload-carried data and survive (the server consumes them).
   if (agg_on_) agg_rounds_[nn].clear();
-  const int s = server_of_node(c.node);
+  const int s = server_of_node(node);
   if (s >= 0) {
     auto& ss = *servers_[static_cast<std::size_t>(s)];
     while (ss.rxq.try_pop()) {
@@ -2560,9 +2718,9 @@ void Cluster::execute_crash(const net::NodeCrash& c) {
   for (auto it = migrations_in_progress_.begin();
        it != migrations_in_progress_.end();) {
     const MigrationState& ms = it->second;
-    const bool donor_died = server_node(ms.donor) == c.node;
+    const bool donor_died = server_node(ms.donor) == node;
     const bool target_gone =
-        server_node(ms.target) == c.node && permanently_down(c.node);
+        server_node(ms.target) == node && permanently_down(node);
     if (donor_died || target_gone) {
       for (auto w = migration_wait_.begin(); w != migration_wait_.end();) {
         if (w->second == it->first) {
@@ -2580,10 +2738,10 @@ void Cluster::execute_crash(const net::NodeCrash& c) {
   // The dead process no longer retransmits anything it sent, and — when it
   // will never return — nothing addressed to it can ever be delivered, so
   // those timers must not probe forever.
-  const bool forever = permanently_down(c.node);
+  const bool forever = permanently_down(node);
   for (auto it = pending_tx_.begin(); it != pending_tx_.end();) {
     const net::Message& m = it->second.msg;
-    if (m.src == c.node || (forever && m.dst == c.node)) {
+    if (m.src == node || (forever && m.dst == node)) {
       const std::int64_t id = it->first;
       it = pending_tx_.erase(it);
       on_replicate_ack(id);  // a dead backup cannot hold a barrier hostage
@@ -2598,6 +2756,7 @@ void Cluster::execute_restart(const net::NodeCrash& c) {
   if (c.node >= total_nodes()) return;
   auto& ns = node_state_[nn];
   if (ns.up) return;
+  if (ns.retired) return;  // invariant 12: a retired node never returns
   ns.up = true;
   ns.epoch += 1;
   ns.down_since = -1.0;
@@ -2629,6 +2788,331 @@ void Cluster::execute_restart(const net::NodeCrash& c) {
   if (s >= 0) sim_.spawn(server_rehydrate(s, ns.epoch));
   if (!cfg_.dedicated_servers || c.node < cfg_.n_workers) {
     sim_.spawn(worker_rejoin(c.node, ns.epoch));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Voluntary drain/leave, weight-aware rebalancing and the SLO-driven
+// autoscaler (docs/PROTOCOL.md, invariant 12).
+// ---------------------------------------------------------------------------
+
+void Cluster::execute_leave(const net::NodeLeave& l) {
+  if (l.node < 0 || l.node >= total_nodes()) return;
+  begin_drain(l.node);
+}
+
+void Cluster::begin_drain(int node) {
+  const auto nn = static_cast<std::size_t>(node);
+  auto& ns = node_state_[nn];
+  if (!ns.up || !ns.joined || ns.draining || ns.retired) return;
+  ns.draining = true;
+  ns.drain_since = sim_.now();
+  ++*drains_started_;
+  mem_mark(node, "D-");
+  sim_.spawn(drain_loop(node, ns.epoch));
+}
+
+double Cluster::group_weight(int group) const {
+  // Observed push bytes credited to the group's ledgers, over a static
+  // payload prior: the planner stays deterministic and sensible before any
+  // observation lands, and a group's weight tracks what workers actually
+  // push at it afterwards.
+  double prior = 0.0;
+  for (const auto& sl : partition_.slices) {
+    if (sl.server == group) prior += static_cast<double>(sl.payload_bytes());
+  }
+  return prior + group_push_bytes_[static_cast<std::size_t>(group)];
+}
+
+std::vector<int> Cluster::weighted_rebalance_plan(int joiner_server) const {
+  // Weight-aware planner: the joiner takes the hottest groups first until
+  // it holds about a 1/shares slice of the observed push weight, where
+  // shares counts the servers that will be serving after admission. Groups
+  // already promised to an earlier (possibly still-migrating) joiner are
+  // off the table.
+  std::vector<int> candidates;
+  candidates.reserve(static_cast<std::size_t>(n_servers()));
+  std::vector<double> weights(static_cast<std::size_t>(n_servers()), 0.0);
+  for (int g = 0; g < n_servers(); ++g) {
+    weights[static_cast<std::size_t>(g)] = group_weight(g);
+    if (granted_groups_.count(g) > 0) continue;
+    candidates.push_back(g);
+  }
+  int shares = 1;  // the joiner itself
+  for (int s = 0; s < n_total_servers(); ++s) {
+    if (s == joiner_server) continue;
+    const auto& ns = node_state_[static_cast<std::size_t>(server_node(s))];
+    if (ns.joined && !ns.draining && !ns.retired) ++shares;
+  }
+  return weighted_share(weights, candidates, shares);
+}
+
+int Cluster::drain_target(int donor, int group) const {
+  // Legal adopters only — home-chain members of the group or admitted
+  // joiners, the two classes ShardLeadership::adopt accepts — that are
+  // joined, up, and neither draining nor retired.
+  std::vector<int> candidates;
+  const int n_base = n_servers();
+  for (int k = 0; k < cfg_.replication; ++k) {
+    const int s = (group + k) % n_base;
+    if (s != donor) candidates.push_back(s);
+  }
+  for (int s = n_base; s < n_total_servers(); ++s) {
+    if (s != donor) candidates.push_back(s);
+  }
+  // With a topology attached, prefer landing the group's next primary in
+  // the rack that pushes it hardest (the per-rack push-byte gauges).
+  int hot_rack = -1;
+  if (hierarchy_on_) {
+    double hot = -1.0;
+    for (std::size_t r = 0; r < rack_group_push_bytes_.size(); ++r) {
+      const double v =
+          rack_group_push_bytes_[r][static_cast<std::size_t>(group)];
+      if (v > hot) {
+        hot = v;
+        hot_rack = static_cast<int>(r);
+      }
+    }
+  }
+  const auto& lead =
+      *leadership_[static_cast<std::size_t>(server_node(donor))];
+  int best = -1;
+  int best_rank = 2;
+  double best_load = 0.0;
+  for (const int s : candidates) {
+    const int sn = server_node(s);
+    const auto& ns = node_state_[static_cast<std::size_t>(sn)];
+    if (!ns.joined || !ns.up || ns.draining || ns.retired) continue;
+    const int rank =
+        hot_rack >= 0 && node_rack_[static_cast<std::size_t>(sn)] == hot_rack
+            ? 0
+            : 1;
+    // Least-loaded-first keeps the remaining servers balanced as the
+    // drainer's groups spread out; ties go to the smaller id.
+    double load = 0.0;
+    for (int g = 0; g < n_base; ++g) {
+      if (lead.primary(g) == s) load += group_weight(g);
+    }
+    if (best < 0 || rank < best_rank ||
+        (rank == best_rank &&
+         (load < best_load || (load == best_load && s < best)))) {
+      best = s;
+      best_rank = rank;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+sim::Task Cluster::drain_loop(int node, std::int64_t epoch) {
+  const int s = server_of_node(node);
+  const auto nn = static_cast<std::size_t>(node);
+  for (;;) {
+    if (node_state_[nn].epoch != epoch || !node_state_[nn].up) {
+      // A crash landed mid-drain: the drain intent died with the process
+      // and the ordinary failover path owns recovery from here.
+      co_return;
+    }
+    bool busy = false;
+    const auto& lead = *leadership_[nn];
+    for (int g = 0; g < n_servers(); ++g) {
+      if (lead.primary(g) != s) continue;
+      busy = true;
+      if (migrations_in_progress_.count(g) > 0) continue;  // already moving
+      const int target = drain_target(s, g);
+      // No legal receiver right now (every candidate down or draining):
+      // retry next tick — validate() guarantees a planned-leave schedule
+      // always leaves a survivor, and the autoscaler only drains joiners,
+      // whose groups can always fall back to their home chains.
+      if (target >= 0) start_migration(s, g, target);
+    }
+    if (!busy) {
+      // Still busy while we are the donor of an in-flight handover, and
+      // while one is still landing *on* us (an admission transfer racing
+      // the drain): retiring mid-flight would strand the group's state at
+      // a node everyone is about to forget.
+      for (const auto& [g, ms] : migrations_in_progress_) {
+        if (ms.donor == s || ms.target == s) {
+          busy = true;
+          break;
+        }
+      }
+    }
+    if (!busy) {
+      // Goodbye handshake: retire only once every live member's view has
+      // adopted the handovers. While we wait, the reliable kNewPrimary
+      // announcements keep retransmitting (across a partition if need be);
+      // retiring earlier would tear those timers down with the process and
+      // strand a severed observer on a leadership view naming a node that
+      // no longer exists — exactly what invariant 12 audits.
+      for (int p = 0; p < total_nodes() && !busy; ++p) {
+        if (p == node) continue;
+        const auto& ps = node_state_[static_cast<std::size_t>(p)];
+        if (!ps.joined || !ps.up) continue;
+        const auto& plead = *leadership_[static_cast<std::size_t>(p)];
+        for (int g = 0; g < n_servers(); ++g) {
+          if (plead.primary(g) == s) {
+            busy = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!busy) {
+      retire_node(node);
+      co_return;
+    }
+    co_await sim_.sleep(cfg_.suspicion_timeout);
+    if (stopping_) co_return;
+  }
+}
+
+void Cluster::retire_node(int node) {
+  const auto nn = static_cast<std::size_t>(node);
+  auto& ns = node_state_[nn];
+  if (!ns.draining || ns.retired) return;
+  ns.draining = false;
+  ns.retired = true;
+  ns.joined = false;
+  ns.up = false;
+  ns.epoch += 1;
+  ns.down_since = sim_.now();
+  ++*drains_completed_;
+  mem_mark(node, "D+");
+  if (tracing()) {
+    tracer_->span(lane("n", node, ".mem"), ns.drain_since, sim_.now(),
+                  "drain");
+  }
+  // The member leaves every view at once (its goodbye broadcast, in the
+  // narrative): the quorum denominator shrinks with the cluster, so later
+  // partitions are judged against the members that actually remain — and a
+  // retired node never votes, contributes, or leads again (invariant 12;
+  // permanently_down() and execute_restart() enforce the "never returns"
+  // half).
+  for (int p = 0; p < total_nodes(); ++p) {
+    membership_[static_cast<std::size_t>(p)]->mark_unjoined(node);
+  }
+  teardown_process_state(node);
+  // Open rounds waiting on the retired worker's contribution re-evaluate
+  // against the shrunken contributor set.
+  for (int sv = 0; sv < n_total_servers(); ++sv) {
+    if (node_state_[static_cast<std::size_t>(server_node(sv))].up) {
+      inject_recheck(sv);
+    }
+  }
+  // Its worker can no longer reach the iteration target.
+  if ((!cfg_.dedicated_servers || node < cfg_.n_workers) &&
+      !workers_[nn]->finished) {
+    finish_target_ -= 1;
+  }
+}
+
+bool Cluster::should_shed(const SendItem& item) const {
+  // Fresh, lowest-priority gradient pushes only: retransmissions already
+  // ride their own timers, combined rack pushes carry other workers' data,
+  // and control traffic is never shed. Priorities grow toward the back of
+  // the model (layer index), so `>= shed_cutoff_` parks the least urgent
+  // half; under flat priorities (every item 0, cutoff 1) shedding is a
+  // structural no-op.
+  return item.retx_id < 0 && item.agg_id < 0 &&
+         item.kind == net::MsgKind::kPushGradient &&
+         item.priority >= shed_cutoff_;
+}
+
+void Cluster::unshed_all() {
+  unshed_iter_count_ = iter_time_hist_.count();
+  for (int w = 0; w < n_total_workers(); ++w) {
+    auto& parked = shed_parked_[static_cast<std::size_t>(w)];
+    if (parked.empty()) continue;
+    if (!node_state_[static_cast<std::size_t>(w)].up) {
+      parked.clear();  // died while shed; re-push is the rejoin path's job
+      continue;
+    }
+    auto& ws = *workers_[static_cast<std::size_t>(w)];
+    for (auto& item : parked) {
+      ws.sendq.push(std::move(item));
+      sendq_depth_changed(w, 1);
+    }
+    parked.clear();
+  }
+}
+
+sim::Task Cluster::autoscaler_loop() {
+  std::int64_t reported_violations = 0;
+  for (;;) {
+    co_await sim_.sleep(cfg_.suspicion_timeout);
+    if (stopping_) co_return;
+    const TimeS now = sim_.now();
+    if (shed_active_ && now >= shed_until_) {
+      shed_active_ = false;
+      unshed_all();
+    }
+    const bool can_up = standby_next_ < n_total_workers();
+    // Scale-down candidates: admitted nodes beyond the base ring (their
+    // groups can always fall back to home chains). Pick the least-loaded
+    // one; ties go to the highest id (last in, first out).
+    bool can_down = false;
+    int surplus = -1;
+    double surplus_load = 0.0;
+    for (int n = cfg_.n_workers; n < total_nodes(); ++n) {
+      const auto& ns = node_state_[static_cast<std::size_t>(n)];
+      if (!ns.joined || !ns.up || ns.draining || ns.retired) continue;
+      const int s = server_of_node(n);
+      const auto& lead = *leadership_[static_cast<std::size_t>(n)];
+      double load = 0.0;
+      for (int g = 0; g < n_servers(); ++g) {
+        if (lead.primary(g) == s) load += group_weight(g);
+      }
+      if (surplus < 0 || load < surplus_load ||
+          (load == surplus_load && n > surplus)) {
+        surplus = n;
+        surplus_load = load;
+      }
+      can_down = true;
+    }
+    const ScaleAction act = autoscaler_->tick(now, can_up, can_down);
+    const std::int64_t v = autoscaler_->slo_violation_ticks();
+    if (v > reported_violations) {
+      slo_violation_ticks_->inc(v - reported_violations);
+      reported_violations = v;
+    }
+    if (act == ScaleAction::kHold) continue;
+    if (act == ScaleAction::kShed && unshed_iter_count_ >= 0 &&
+        iter_time_hist_.count() <= unshed_iter_count_) {
+      // Progress gate: the previous shed window ended and no iteration has
+      // completed since. Every parked push delays the synchronous round it
+      // belongs to, so shedding again before the cluster finishes even one
+      // round spirals — higher p99 reads as more overload, which sheds
+      // more. Hold until the flow window produces a completed iteration.
+      continue;
+    }
+    ++*scale_decisions_;
+    scale_decision_times_.push_back(now);
+    switch (act) {
+      case ScaleAction::kUp: {
+        net::NodeJoin j;
+        j.node = standby_next_++;
+        j.at = now;
+        finish_target_ += 1;  // the admitted worker must reach the target
+        execute_join(j);
+        break;
+      }
+      case ScaleAction::kDown:
+        begin_drain(surplus);
+        break;
+      case ScaleAction::kShed:
+        // Degrade gracefully: park the lowest-priority pushes instead of
+        // collapsing under load we cannot absorb. The window spans half
+        // the cooldown, never all of it — the other half is a guaranteed
+        // flow window, so even a permanently unreachable SLO degrades to
+        // slower progress, not starvation (shedding delays contributions,
+        // it never drops them).
+        shed_active_ = true;
+        shed_until_ = now + 0.5 * autoscaler_->config().cooldown;
+        break;
+      case ScaleAction::kHold:
+        break;
+    }
   }
 }
 
@@ -2680,6 +3164,10 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
       sim_.schedule_at(j.at, [this, j] { execute_join(j); });
       finish_target_ += 1;  // an admitted worker must also reach the target
     }
+    for (const auto& l : cfg_.faults.leaves) {
+      sim_.schedule_at(l.at, [this, l] { execute_leave(l); });
+    }
+    if (cfg_.autoscaler.enabled) sim_.spawn(autoscaler_loop());
     for (const auto& c : cfg_.faults.crashes) {
       if (c.node < 0 || c.node >= total_nodes()) {
         throw std::invalid_argument("crash plan names a node outside cluster");
@@ -2710,6 +3198,13 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   if (!finished) {
     throw std::logic_error("simulation deadlocked before workers finished");
   }
+  if (shed_active_) {
+    // The run finished mid-shed-window: release the parked pushes now so
+    // the settle phase (drain()) delivers every contribution — shedding
+    // delays, it never drops.
+    shed_active_ = false;
+    unshed_all();
+  }
 
   RunResult result;
   result.iterations_measured = measured_iterations;
@@ -2739,6 +3234,12 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   result.cross_partition_deliveries = net_->cross_partition_deliveries();
   result.parked_pushes = parked_pushes_.value();
   result.quorum_denied_failovers = quorum_denied_failovers_.value();
+  result.drains_started = drains_started();
+  result.drains_completed = drains_completed();
+  result.scale_decisions = scale_decisions();
+  result.sheds = sheds();
+  result.slo_violation_ticks = slo_violation_ticks();
+  result.scale_decision_times = scale_decision_times_;
   result.uplink_overtakes = net_->uplink_overtakes();
   result.uplink_priority_inversions = net_->uplink_priority_inversions();
   result.tor_uplink_bytes = net_->tor_uplink_bytes();
@@ -2764,9 +3265,11 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
     }
   }
 
-  if (crashes_.value() == 0 && joins_.value() == 0) {
+  if (crashes_.value() == 0 && joins_.value() == 0 && !scale_plane_) {
     // Crash-free path: the exact pre-membership arithmetic, so results stay
-    // bit-identical to the seed engine.
+    // bit-identical to the seed engine. A scale-plane run always takes the
+    // windowed path below — a drained worker's history ends mid-run, which
+    // breaks the full-history indexing this branch assumes.
     TimeS start = 0.0;
     TimeS end = 0.0;
     for (const auto& ws : workers_) {
@@ -2874,7 +3377,14 @@ std::int64_t Cluster::slice_version(std::int64_t slice) const {
   // is furthest ahead (the current leader; backups trail by in-flight
   // replication only).
   std::int64_t best = 0;
-  const auto& lead = *leadership_.front();
+  // Read leadership through the first non-retired node: a retired node's
+  // view froze at retirement and may predate later handovers.
+  std::size_t viewer = 0;
+  while (viewer + 1 < leadership_.size() &&
+         node_state_[viewer].retired) {
+    ++viewer;
+  }
+  const auto& lead = *leadership_[viewer];
   for (int k = 0; k < cfg_.replication; ++k) {
     const int replica = lead.member(sl.server, k);
     best = std::max(best, servers_[static_cast<std::size_t>(replica)]

@@ -69,6 +69,7 @@
 #include "net/network.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "ps/autoscaler.h"
 #include "ps/membership.h"
 #include "sim/queue.h"
 #include "sim/simulator.h"
@@ -192,6 +193,15 @@ struct ClusterConfig {
   /// the membership plane is armed; ignored otherwise.
   TimeS max_sim_time = 0.0;
 
+  // --- SLO-driven autoscaling + voluntary drain (docs/PROTOCOL.md) ---
+  /// Enabling it arms the membership plane, a dark standby pool, and the
+  /// control loop in src/ps/autoscaler.{h,cc}: evaluated on the suspicion
+  /// cadence, it admits standbys / drains surplus nodes to hold
+  /// `slo_p99_iteration`, shedding low-priority pushes when over capacity
+  /// with nothing left to admit. Scheduled `FaultPlan::leaves` run the same
+  /// drain path without the policy.
+  AutoscalerConfig autoscaler;
+
   std::uint64_t seed = 42;
 
   /// Override for the compute profile (used by the schedule figures to pin
@@ -272,6 +282,17 @@ struct RunResult {
   /// Pushes that bypassed the aggregator (recovery re-pushes, or the
   /// aggregator was dead/unreachable in the sender's view).
   std::int64_t agg_fallback_pushes = 0;
+
+  // Autoscaler / voluntary-drain observability (all zero without the scale
+  // plane).
+  std::int64_t drains_started = 0;     ///< nodes that entered draining mode
+  std::int64_t drains_completed = 0;   ///< nodes that retired cleanly
+  std::int64_t scale_decisions = 0;    ///< autoscaler admissions + drains
+  std::int64_t sheds = 0;              ///< pushes parked by overload shedding
+  std::int64_t slo_violation_ticks = 0; ///< control ticks with p99 > SLO
+  /// Sim times of the autoscaler's scale decisions, for flap auditing
+  /// (consecutive entries must be >= cooldown apart).
+  std::vector<TimeS> scale_decision_times;
 };
 
 class Cluster {
@@ -383,6 +404,33 @@ class Cluster {
   }
   std::int64_t agg_fallback_pushes() const {
     return agg_fallback_pushes_ != nullptr ? agg_fallback_pushes_->value() : 0;
+  }
+  // Autoscaler / drain introspection (zero/false while disarmed).
+  bool scale_plane_armed() const { return scale_plane_; }
+  bool node_draining(int node) const {
+    return node_state_[static_cast<std::size_t>(node)].draining;
+  }
+  bool node_retired(int node) const {
+    return node_state_[static_cast<std::size_t>(node)].retired;
+  }
+  std::int64_t drains_started() const {
+    return drains_started_ != nullptr ? drains_started_->value() : 0;
+  }
+  std::int64_t drains_completed() const {
+    return drains_completed_ != nullptr ? drains_completed_->value() : 0;
+  }
+  std::int64_t scale_decisions() const {
+    return scale_decisions_ != nullptr ? scale_decisions_->value() : 0;
+  }
+  std::int64_t sheds() const {
+    return sheds_ != nullptr ? sheds_->value() : 0;
+  }
+  std::int64_t slo_violation_ticks() const {
+    return slo_violation_ticks_ != nullptr ? slo_violation_ticks_->value()
+                                           : 0;
+  }
+  const std::vector<TimeS>& scale_decision_times() const {
+    return scale_decision_times_;
   }
   /// True while `server` has stepped down from `group` because it could not
   /// renew its own lease (leases must be armed).
@@ -515,6 +563,14 @@ class Cluster {
     /// false until this elastic joiner's NodeJoin event executes; base
     /// members are joined from the start.
     bool joined = true;
+    /// Voluntary drain in progress: the hosted server refuses new
+    /// leadership and is migrating its groups out. A crash clears it (the
+    /// drain intent dies with the process).
+    bool draining = false;
+    /// Drained to completion and permanently gone. A retired node never
+    /// reappears as a contributor or leaseholder (PROTOCOL.md inv. 12).
+    bool retired = false;
+    TimeS drain_since = -1.0;  ///< drain start (tracer span)
   };
 
   /// One in-flight shard-group migration (donor side).
@@ -571,7 +627,8 @@ class Cluster {
   /// are rejected for dedicated-server deployments). n_servers() keeps
   /// meaning the number of shard *groups* (the base ring).
   int n_total_workers() const {
-    return cfg_.n_workers + static_cast<int>(cfg_.faults.joins.size());
+    return cfg_.n_workers + static_cast<int>(cfg_.faults.joins.size()) +
+           (cfg_.autoscaler.enabled ? cfg_.autoscaler.standby_nodes : 0);
   }
   int n_total_servers() const {
     return cfg_.dedicated_servers ? cfg_.n_workers : n_total_workers();
@@ -614,6 +671,11 @@ class Cluster {
   bool permanently_down(int node) const;
   void execute_crash(const net::NodeCrash& c);
   void execute_restart(const net::NodeCrash& c);
+  /// Shared teardown of a process's in-memory state (queues, dedup memory,
+  /// ledgers, barriers, migrations, retransmission timers). Used by crashes
+  /// and by drain retirement — a retired node sheds state exactly like a
+  /// crashed one, it just never comes back.
+  void teardown_process_state(int node);
   void on_peer_dead(int observer_node, int dead_node);
   void takeover_group(int server, int group);
   /// Broadcast a kNewPrimary for `group` naming `primary`, sent from
@@ -688,6 +750,42 @@ class Cluster {
   /// a dual-primary window when an interval opens while another server's
   /// interval for the same group is still open.
   void update_acting(int server, int group);
+
+  // --- voluntary drain + SLO-driven autoscaling (docs/PROTOCOL.md) ---
+  void execute_leave(const net::NodeLeave& l);
+  /// Put `node` into draining mode: refuse new leadership, start migrating
+  /// its own-led groups out, spawn the drain supervisor. Shared by planned
+  /// leaves and autoscaler scale-down decisions.
+  void begin_drain(int node);
+  /// Best legal receiver for `group` leaving `donor` (home-chain member or
+  /// an admitted joiner; rack-weight preference under a topology), or -1
+  /// while none exists.
+  int drain_target(int donor, int group) const;
+  /// Drain supervisor: on the suspicion cadence, (re)issue migrations for
+  /// any group the draining server still leads; once nothing is led and no
+  /// donor-side migration is in flight, retire the node. Dies with the
+  /// node's epoch (a crash mid-drain hands recovery to the failover path).
+  sim::Task drain_loop(int node, std::int64_t epoch);
+  /// Terminal drain step: the node leaves every membership view, sheds all
+  /// process state exactly like a crash, and is marked permanently gone.
+  void retire_node(int node);
+  /// Per-group observed push weight (credited ledger bytes plus a payload
+  /// prior so cold groups still weigh in); drives the weighted planner and
+  /// drain-target ranking.
+  double group_weight(int group) const;
+  /// Weight-aware replacement for the contiguous planner: the share of
+  /// groups the joiner takes is proportional to observed per-group push
+  /// bytes. Frozen into `join_plan_` at admission so every node resolves
+  /// the identical plan.
+  std::vector<int> weighted_rebalance_plan(int joiner_server) const;
+  /// Control loop evaluating the Autoscaler policy on the suspicion
+  /// cadence and executing its decisions (admit / drain / shed).
+  sim::Task autoscaler_loop();
+  /// Overload shedding: while `shed_active_`, worker senders park
+  /// lowest-priority fresh pushes; expiry re-queues them (exactly-once —
+  /// they are delayed contributions, never dropped).
+  bool should_shed(const SendItem& item) const;
+  void unshed_all();
 
   // --- rack-local aggregation (docs/PROTOCOL.md) ---
   /// Node hosting the rack aggregator for `rack` (topology must be active).
@@ -873,6 +971,45 @@ class Cluster {
   obs::Counter* agg_combined_pushes_ = nullptr;
   obs::Counter* agg_param_broadcasts_ = nullptr;
   obs::Counter* agg_fallback_pushes_ = nullptr;
+
+  // Voluntary drain + autoscaling (inert unless armed: planned leaves or an
+  // enabled autoscaler).
+  bool scale_plane_ = false;
+  /// Per-group credited push bytes (ground truth, fed from the contribution
+  /// ledger); the weighted planner's signal.
+  std::vector<double> group_push_bytes_;
+  /// Per rack, per group: credited push bytes by origin rack (topology
+  /// runs only; the drain-target rack preference).
+  std::vector<std::vector<double>> rack_group_push_bytes_;
+  /// Admission-time frozen rebalance plans (joiner server -> groups), so
+  /// the joiner's ask and every donor's answer agree even as weights move.
+  std::map<int, std::vector<int>> join_plan_;
+  /// Groups already promised to an earlier (still admitted) joiner;
+  /// excluded from later weighted plans.
+  std::set<int> granted_groups_;
+  /// Next dark standby node id the autoscaler may admit.
+  int standby_next_ = 0;
+  std::unique_ptr<Autoscaler> autoscaler_;
+  /// Overload shedding window: active until `shed_until_`; fresh pushes
+  /// with priority >= `shed_cutoff_` park in `shed_parked_` until expiry.
+  bool shed_active_ = false;
+  TimeS shed_until_ = 0.0;
+  int shed_cutoff_ = 0;
+  std::vector<std::vector<SendItem>> shed_parked_;  // per worker
+  /// Iterations completed when the last shed window expired. A new shed
+  /// window may open only after at least one further iteration completes:
+  /// in synchronous training every parked push delays the round it belongs
+  /// to, so back-to-back sheds with no progress in between would spiral
+  /// (slower rounds -> higher p99 -> more shedding). -1 = never shed.
+  std::int64_t unshed_iter_count_ = -1;
+  std::vector<TimeS> scale_decision_times_;
+  // Registered only while the scale plane is armed, so fixed-membership
+  // runs keep the exact pre-autoscaler registry contents.
+  obs::Counter* drains_started_ = nullptr;
+  obs::Counter* drains_completed_ = nullptr;
+  obs::Counter* scale_decisions_ = nullptr;
+  obs::Counter* sheds_ = nullptr;
+  obs::Counter* slo_violation_ticks_ = nullptr;
 };
 
 }  // namespace p3::ps

@@ -188,6 +188,42 @@ sim::Task background_tenant(ps::Cluster& cluster, BitsPerSec offered,
   }
 }
 
+sim::Task diurnal_tenant(ps::Cluster& cluster, BitsPerSec base,
+                         BitsPerSec peak, TimeS period, Bytes flow_bytes,
+                         std::uint64_t seed, int n_target_nodes) {
+  Rng rng(seed);
+  auto& net = cluster.network();
+  auto& sim = cluster.simulator();
+  const int nodes =
+      n_target_nodes > 0 ? std::min(n_target_nodes, net.nodes()) : net.nodes();
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  for (;;) {
+    const int src = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(nodes)));
+    int dst = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(nodes - 1)));
+    if (dst >= src) ++dst;
+    net::Message m;
+    m.src = src;
+    m.dst = dst;
+    m.kind = net::MsgKind::kBackground;
+    m.bytes = flow_bytes;
+    net.post(m);
+    // Instantaneous offered load at this phase of the cycle; exponential
+    // inter-arrivals at that rate keep the trace bursty yet smooth in the
+    // mean. The rate never reaches zero (base > 0 is enforced).
+    const double phase = two_pi * sim.now() / period;
+    const double offered =
+        static_cast<double>(base) +
+        (static_cast<double>(peak) - static_cast<double>(base)) *
+            (1.0 - std::cos(phase)) / 2.0;
+    const TimeS interval =
+        static_cast<double>(flow_bytes) * kBitsPerByte / offered;
+    const double u = std::max(1e-12, 1.0 - rng.uniform());
+    co_await sim.sleep(-interval * std::log(u));
+  }
+}
+
 }  // namespace
 
 void inject_background_traffic(ps::Cluster& cluster, BitsPerSec offered,
@@ -197,6 +233,17 @@ void inject_background_traffic(ps::Cluster& cluster, BitsPerSec offered,
   }
   cluster.simulator().spawn(
       background_tenant(cluster, offered, flow_bytes, seed));
+}
+
+void inject_diurnal_background(ps::Cluster& cluster, BitsPerSec base,
+                               BitsPerSec peak, TimeS period,
+                               Bytes flow_bytes, std::uint64_t seed,
+                               int n_target_nodes) {
+  if (base <= 0 || peak < base || flow_bytes <= 0 || period <= 0.0) {
+    throw std::invalid_argument("malformed diurnal load trace");
+  }
+  cluster.simulator().spawn(diurnal_tenant(cluster, base, peak, period,
+                                           flow_bytes, seed, n_target_nodes));
 }
 
 double max_speedup(const Series& baseline, const Series& improved) {

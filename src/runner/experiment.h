@@ -86,4 +86,17 @@ double max_speedup(const Series& baseline, const Series& improved);
 void inject_background_traffic(ps::Cluster& cluster, BitsPerSec offered,
                                Bytes flow_bytes, std::uint64_t seed = 99);
 
+/// Diurnal offered-load trace: like inject_background_traffic, but the
+/// offered load follows a smooth day/night cycle,
+///   offered(t) = base + (peak - base) * (1 - cos(2*pi*t / period)) / 2,
+/// starting at `base` (midnight), cresting at `peak` half a period in, and
+/// returning to `base` at `period`. `n_target_nodes` restricts the tenant's
+/// flows to nodes [0, n_target_nodes): point it at the base cluster so that
+/// admitting standby nodes moves shard serving onto uncontended NICs
+/// (0 spreads over every node). Call before Cluster::run().
+void inject_diurnal_background(ps::Cluster& cluster, BitsPerSec base,
+                               BitsPerSec peak, TimeS period,
+                               Bytes flow_bytes, std::uint64_t seed = 99,
+                               int n_target_nodes = 0);
+
 }  // namespace p3::runner

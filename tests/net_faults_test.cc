@@ -380,6 +380,58 @@ TEST(FaultPlanValidate, RejectsJoinInsideTheNodesCrashWindow) {
   EXPECT_NO_THROW(plan.validate());
 }
 
+TEST(FaultPlanValidate, RejectsMalformedLeaves) {
+  FaultPlan plan;
+  plan.leaves.push_back({-1, 0.5});  // a leave must name its node
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.leaves[0] = {1, -0.5};  // negative leave time
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.leaves[0] = {1, 0.5};
+  plan.leaves.push_back({1, 0.8});  // a node can only leave once
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.leaves.pop_back();
+  EXPECT_NO_THROW(plan.validate(4, 2));
+  plan.leaves[0].node = 7;  // base 4, no joins: node 7 never exists
+  EXPECT_THROW(plan.validate(4, 2), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsLeaveWhileTheNodeIsDown) {
+  FaultPlan plan;
+  plan.crashes.push_back({1, 0.4, 0.3});  // node 1 down during [0.4, 0.7)
+  plan.leaves.push_back({1, 0.5});        // a dead process cannot drain
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.leaves[0].at = 0.3;  // crash lands mid-drain: the chaos path, legal
+  EXPECT_NO_THROW(plan.validate(4, 2));
+  // A leave of a joiner must come after its join.
+  FaultPlan joiner;
+  joiner.joins.push_back({4, 0.5});
+  joiner.leaves.push_back({4, 0.2});
+  EXPECT_THROW(joiner.validate(4, 2), std::invalid_argument);
+  joiner.leaves[0].at = 0.8;
+  EXPECT_NO_THROW(joiner.validate(4, 2));
+}
+
+TEST(FaultPlanValidate, RejectsLeaveDroppingAGroupsLastLiveReplica) {
+  // Replication 1 and no joiners: the leaving node's shard group would be
+  // left with nobody legal to adopt it.
+  FaultPlan plan;
+  plan.leaves.push_back({1, 0.5});
+  EXPECT_THROW(plan.validate(4, 1), std::invalid_argument);
+  EXPECT_NO_THROW(plan.validate(4, 2));  // the home chain absorbs it
+  // A permanent crash of the only other chain member is the same loss.
+  plan.crashes.push_back({2, 0.3, -1.0});
+  EXPECT_THROW(plan.validate(4, 2), std::invalid_argument);
+  // A joiner can always absorb the orphaned group.
+  plan.joins.push_back({4, 0.1});
+  EXPECT_NO_THROW(plan.validate(4, 2));
+}
+
+TEST(FaultPlanValidate, LeavesAreNotWireFaults) {
+  FaultPlan plan;
+  plan.leaves.push_back({1, 0.5});
+  EXPECT_FALSE(plan.active());
+}
+
 TEST(FaultPlanValidate, RejectsNonPositiveLeaseDurations) {
   FaultPlan plan;
   plan.lease_duration = 0.0;
