@@ -12,6 +12,9 @@
 //   3. observability guard — a cluster run with a tracer attached but
 //      disabled must stay within 2% of the same run with no tracer at all
 //      (src/obs promises "pay only for what you record").
+//   4. critpath guard — causal-graph construction + blame walk over a
+//      recorded trace must sustain a fixed events/sec floor, so the
+//      critical-path engine stays usable on full-size traces.
 //
 // Usage: perf_smoke [--events N] [--reps R] [--threads N] [--smoke]
 //                   [--out results/BENCH_perf.json]
@@ -26,6 +29,7 @@
 
 #include "bench_util.h"
 #include "model/zoo.h"
+#include "obs/critpath.h"
 #include "obs/tracer.h"
 #include "ps/cluster.h"
 #include "sim/simulator.h"
@@ -220,6 +224,47 @@ ObsResult bench_obs_overhead(int measured, int reps) {
   return r;
 }
 
+// --------------------------------------------------------------------------
+// Critpath guard: graph construction + the blame walk are offline analysis,
+// but a full fig08-style trace holds ~10^5..10^6 events, so the engine must
+// stay comfortably above a fixed floor to be usable in CI and notebooks.
+
+constexpr double kCritpathFloorEvps = 50'000.0;
+
+struct CritpathResult {
+  double trace_events = 0.0;
+  double evps = 0.0;  ///< best-of-reps analyze throughput
+  bool well_formed = false;
+  bool pass = false;
+};
+
+CritpathResult bench_critpath(int measured, int reps) {
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.bandwidth = gbps(2);
+  ps::Cluster cluster(toy_workload(), cfg);
+  obs::Tracer tracer;
+  cluster.attach_tracer(&tracer);
+  cluster.run(1, measured);
+
+  CritpathResult r;
+  r.trace_events = static_cast<double>(tracer.events().size());
+  r.well_formed = true;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    const obs::BlameReport blame = obs::analyze_critical_path(tracer, 1);
+    const double dt = seconds_since(t0);
+    if (!blame.problems.empty() || blame.iterations.empty()) {
+      r.well_formed = false;
+    }
+    r.evps = std::max(r.evps, r.trace_events / dt);
+    std::printf("  rep %d: %.0f trace events analyzed at %.2fM ev/s\n",
+                rep + 1, r.trace_events, r.trace_events / dt / 1e6);
+  }
+  r.pass = r.well_formed && r.evps >= kCritpathFloorEvps;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -275,6 +320,15 @@ int main(int argc, char** argv) {
               100.0 * obs.overhead,
               obs.pass ? "within budget" : "OVER BUDGET (BUG)");
 
+  std::printf("== perf smoke: critpath engine (floor %.0fk ev/s) ==\n",
+              kCritpathFloorEvps / 1e3);
+  const CritpathResult critpath = bench_critpath(sweep_measured, reps);
+  std::printf("critpath: %.0f-event trace analyzed at %.2fM ev/s "
+              "(best of %d) -> %s\n\n",
+              critpath.trace_events, critpath.evps / 1e6, reps,
+              critpath.pass ? "above floor"
+                            : "BELOW FLOOR OR MALFORMED (BUG)");
+
   const std::string out_path =
       opts.str("out").empty() ? bench::out("BENCH_perf.json") : opts.str("out");
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {
@@ -300,6 +354,12 @@ int main(int argc, char** argv) {
                  "    \"overhead\": %.4f,\n"
                  "    \"budget\": %.2f,\n"
                  "    \"within_budget\": %s\n"
+                 "  },\n"
+                 "  \"critpath\": {\n"
+                 "    \"trace_events\": %.0f,\n"
+                 "    \"analyze_events_per_sec\": %.0f,\n"
+                 "    \"floor\": %.0f,\n"
+                 "    \"above_floor\": %s\n"
                  "  }\n"
                  "}\n",
                  cores, static_cast<unsigned long long>(events), reps, threads,
@@ -307,12 +367,14 @@ int main(int argc, char** argv) {
                  loop.speedup, t_serial, t_parallel, sweep_speedup,
                  identical ? "true" : "false", obs.baseline_evps,
                  obs.disabled_evps, obs.overhead, kObsOverheadBudget,
-                 obs.pass ? "true" : "false");
+                 obs.pass ? "true" : "false", critpath.trace_events,
+                 critpath.evps, kCritpathFloorEvps,
+                 critpath.pass ? "true" : "false");
     std::fclose(f);
     std::printf("(json: %s)\n", out_path.c_str());
   } else {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  return identical && obs.pass ? 0 : 2;
+  return identical && obs.pass && critpath.pass ? 0 : 2;
 }

@@ -5,45 +5,36 @@
 //                   latency breakdown, the priority-inversion counter, and
 //                   the send-queue depth table; optionally export the raw
 //                   artifacts (Chrome/Perfetto JSON, lifecycle CSV, metrics
-//                   snapshot) under --out PREFIX.
+//                   snapshot, critpath blame CSV) under --out PREFIX.
 //   --load FILE     Re-analyze a lifecycle CSV written earlier by
 //                   Tracer::write_lifecycle_csv (or fig08 --trace) without
 //                   re-running anything.
 //
-// Elastic options (run mode): `--join T` admits a fresh worker+server node
-// at T seconds (with `--replication R` for a replicated chain), and
-// `--lease L` arms lease-based leadership. With leases armed the report
-// additionally gates on the no-split-view invariant: a nonzero
-// `membership.dual_primary_windows` is an invariant violation.
+// Drills are table-driven (see kDrills below): each entry names a flag,
+// a config-mutation step that arms the scenario, and an audit step that
+// prints the drill's counters and appends invariant violations. Adding a
+// drill is one table entry, not another copy of the arg/exit plumbing.
 //
-// Partition audit (run mode): `--partition` runs a canned split-brain
-// drill — five workers with replicated servers and leases, a symmetric
-// cut {0,1}|{2,3,4} over [0.3 s, 0.7 s), and drifting node clocks — and
-// gates on the two partition ground truths: `dual_primary_windows` and
-// the fabric's `cross_partition_deliveries` audit must both read 0.
-//
-// Hierarchy audit (run mode): `--hierarchy` runs a canned rack drill —
-// eight workers in two racks of four behind 4:1-oversubscribed ToR
-// uplinks with rack aggregation — and gates on the port priority
-// discipline (`uplink_priority_inversions` must read 0) and gradient
-// conservation through the aggregation tree (every slice's version must
-// reach exactly warmup + measured; a shortfall means a rack pre-reduce
-// lost a contribution).
-//
-// Autoscale audit (run mode): `--autoscale` runs a canned drain drill —
-// four workers under replicated leases, a fresh node admitted at 0.25 s,
-// then node 1 voluntarily drains out at 0.5 s — and gates on the drain
-// ground truths: gradient conservation across the live migrations (every
-// slice's version must reach exactly warmup + measured), zero dual-primary
-// windows, the drain completing (`drains_completed` == 1), the retired
-// node never reappearing as a leaseholder in any live node's view
-// (PROTOCOL.md invariant 12), and consecutive autoscaler decisions spaced
-// at least one cooldown apart (the no-flapping contract).
+//   --join T        admit a fresh worker+server node at T seconds
+//   --lease L       lease-based leadership with duration L
+//   --replication R replicated chains of length R
+//   --partition     canned split-brain drill (gates: dual_primary_windows
+//                   == 0 and cross_partition_deliveries == 0)
+//   --hierarchy     canned two-rack drill (gates: uplink priority
+//                   inversions == 0, aggregation conserves gradients)
+//   --autoscale     canned drain drill (gates: conservation, clean retire,
+//                   invariant 12, cooldown spacing)
+//   --critpath      causal critical-path engine: per-iteration blame table,
+//                   what-if panel, and (with --diff FILE) trace differencing
+//                   against an earlier blame CSV. Gates: well-formed causal
+//                   graph and per-iteration blame covering the full
+//                   iteration window.
 //
 // Exit status: 0 on success, 2 when the trace fails well-formedness
-// validation, the lifecycle stage-order invariant, or the lease
-// dual-primary / partition safety invariants — so CI can gate on it.
+// validation, the lifecycle stage-order invariant, or any active drill's
+// gate — so CI can gate on it.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -53,6 +44,7 @@
 #include "model/compute.h"
 #include "net/faults.h"
 #include "obs/analysis.h"
+#include "obs/critpath.h"
 #include "obs/tracer.h"
 #include "ps/cluster.h"
 
@@ -79,6 +71,298 @@ int report(const obs::Report& analysis,
   return 0;
 }
 
+/// Everything a drill's setup/audit steps can touch. `cluster`/`run` are
+/// null during setup (the cluster does not exist yet).
+struct DrillContext {
+  bench::BenchOptions* opts = nullptr;
+  ps::ClusterConfig* cfg = nullptr;
+  ps::Cluster* cluster = nullptr;
+  const ps::RunResult* run = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+struct Drill {
+  const char* name;  ///< the flag that arms it
+  bool (*active)(const DrillContext&);
+  /// Elastic drills legitimately reorder the per-round lifecycle (pushes
+  /// redirected off displaced leaders); stage order is gated only when no
+  /// active drill sets this.
+  bool reorders_lifecycle;
+  /// Audit reads slice versions, so the final round's in-flight traffic
+  /// must settle (cluster.drain()) before auditing.
+  bool needs_drain;
+  void (*setup)(DrillContext&);
+  void (*audit)(DrillContext&, std::vector<std::string>& problems);
+};
+
+void no_setup(DrillContext&) {}
+void no_audit(DrillContext&, std::vector<std::string>&) {}
+
+/// Shared conservation gate: every slice must advance exactly once per
+/// round through whatever the drill did to the topology.
+void audit_conservation(DrillContext& ctx, const char* what,
+                        std::vector<std::string>& problems) {
+  const std::int64_t want =
+      ctx.opts->measure().warmup + ctx.opts->measure().measured;
+  std::int64_t lost_slices = 0;
+  for (std::int64_t s = 0; s < ctx.cluster->partition().num_slices(); ++s) {
+    if (ctx.cluster->slice_version(s) != want) ++lost_slices;
+  }
+  if (lost_slices > 0) {
+    problems.push_back(std::string(what) + " lost contributions: " +
+                       std::to_string(lost_slices) +
+                       " slice(s) short of version " + std::to_string(want));
+  }
+}
+
+// -- join / lease / replication ---------------------------------------------
+
+bool join_active(const DrillContext& ctx) {
+  return ctx.opts->raw().num("join") > 0.0;
+}
+void join_setup(DrillContext& ctx) {
+  ctx.cfg->faults.joins.push_back(
+      {ctx.cfg->n_workers, ctx.opts->raw().num("join")});
+}
+
+bool lease_active(const DrillContext& ctx) {
+  return ctx.opts->raw().num("lease") > 0.0;
+}
+void lease_setup(DrillContext& ctx) {
+  ctx.cfg->faults.lease_duration = ctx.opts->raw().num("lease");
+}
+
+bool replication_active(const DrillContext& ctx) {
+  return ctx.opts->raw().integer("replication") != 1;
+}
+void replication_setup(DrillContext& ctx) {
+  ctx.cfg->replication =
+      static_cast<int>(ctx.opts->raw().integer("replication"));
+}
+
+// -- partition ---------------------------------------------------------------
+
+bool partition_active(const DrillContext& ctx) {
+  return ctx.opts->raw().flag("partition");
+}
+
+void partition_setup(DrillContext& ctx) {
+  // Canned split-brain drill: minority {0,1} against majority {2,3,4}
+  // under replicated leases and drifting clocks. Overrides the topology
+  // knobs — the audit is only meaningful on this shape.
+  ps::ClusterConfig& cfg = *ctx.cfg;
+  cfg.n_workers = 5;
+  cfg.replication = std::max(cfg.replication, 2);
+  if (cfg.faults.lease_duration <= 0.0) cfg.faults.lease_duration = 0.25;
+  net::NetPartition cut;
+  cut.side_a = {0, 1};
+  cut.side_b = {2, 3, 4};
+  cut.start = 0.3;
+  cut.heal = 0.7;
+  cfg.faults.partitions.push_back(cut);
+  cfg.faults.clock_drift_rate = 5e-4;
+  cfg.faults.clock_offset_bound = 0.02;
+}
+
+void partition_audit(DrillContext& ctx, std::vector<std::string>& problems) {
+  const ps::RunResult& run = *ctx.run;
+  std::printf("partition: %lld severed drop(s), %lld parked push(es), "
+              "%lld quorum-denied failover(s), %lld cross-partition "
+              "delivery(ies), %lld dual-primary window(s)\n",
+              static_cast<long long>(run.partition_drops),
+              static_cast<long long>(run.parked_pushes),
+              static_cast<long long>(run.quorum_denied_failovers),
+              static_cast<long long>(run.cross_partition_deliveries),
+              static_cast<long long>(ctx.cluster->dual_primary_windows()));
+  // The partition contract: the fabric delivers nothing across an active
+  // cut, and quorum/fence gating keeps leadership single-headed even
+  // while the views disagree.
+  if (run.cross_partition_deliveries > 0) {
+    problems.push_back(
+        "network.cross_partition_deliveries = " +
+        std::to_string(run.cross_partition_deliveries) +
+        " (a message landed across an active cut; expected 0)");
+  }
+}
+
+// -- hierarchy ---------------------------------------------------------------
+
+bool hierarchy_active(const DrillContext& ctx) {
+  return ctx.opts->raw().flag("hierarchy");
+}
+
+void hierarchy_setup(DrillContext& ctx) {
+  // Canned rack drill: two racks of four colocated nodes behind
+  // 4:1-oversubscribed ToR uplinks, with rack-local aggregation folding
+  // each rack's pushes before they reach the shared port.
+  ps::ClusterConfig& cfg = *ctx.cfg;
+  cfg.n_workers = 8;
+  cfg.topology.racks = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  cfg.topology.oversubscription = 4.0;
+  cfg.rack_aggregation = true;
+}
+
+void hierarchy_audit(DrillContext& ctx, std::vector<std::string>& problems) {
+  const ps::RunResult& run = *ctx.run;
+  std::printf("hierarchy: %.1f MiB over ToR uplinks, %lld overtake(s), "
+              "%lld inversion(s), %lld combined push(es), %lld param "
+              "re-broadcast(s), %lld fallback push(es)\n",
+              static_cast<double>(run.tor_uplink_bytes) / (1024.0 * 1024.0),
+              static_cast<long long>(run.uplink_overtakes),
+              static_cast<long long>(run.uplink_priority_inversions),
+              static_cast<long long>(run.agg_combined_pushes),
+              static_cast<long long>(run.agg_param_broadcasts),
+              static_cast<long long>(run.agg_fallback_pushes));
+  // The port contract: priority service never starts a transfer while a
+  // strictly-more-urgent one waits.
+  if (run.uplink_priority_inversions > 0) {
+    problems.push_back(
+        "network.uplink_priority_inversions = " +
+        std::to_string(run.uplink_priority_inversions) +
+        " at priority-served switch ports (expected 0)");
+  }
+  audit_conservation(ctx, "aggregation", problems);
+}
+
+// -- autoscale ---------------------------------------------------------------
+
+bool autoscale_active(const DrillContext& ctx) {
+  return ctx.opts->raw().flag("autoscale");
+}
+
+void autoscale_setup(DrillContext& ctx) {
+  // Canned drain drill: admit a fifth node at 0.25 s, then drain node 1
+  // out at 0.5 s — its groups live-migrate behind the commit barrier and
+  // the node retires permanently. Overrides the topology knobs — the
+  // audit is only meaningful with replicated leases and a scheduled leave.
+  ps::ClusterConfig& cfg = *ctx.cfg;
+  cfg.n_workers = 4;
+  cfg.replication = std::max(cfg.replication, 2);
+  if (cfg.faults.lease_duration <= 0.0) cfg.faults.lease_duration = 0.25;
+  cfg.faults.joins.push_back({cfg.n_workers, 0.25});
+  cfg.faults.leaves.push_back({1, 0.5});
+}
+
+void autoscale_audit(DrillContext& ctx, std::vector<std::string>& problems) {
+  ps::Cluster& cluster = *ctx.cluster;
+  std::printf("autoscale: %lld drain(s) started, %lld completed, %lld "
+              "scale decision(s), %lld shed push(es), %lld dual-primary "
+              "window(s)\n",
+              static_cast<long long>(cluster.drains_started()),
+              static_cast<long long>(cluster.drains_completed()),
+              static_cast<long long>(cluster.scale_decisions()),
+              static_cast<long long>(cluster.sheds()),
+              static_cast<long long>(cluster.dual_primary_windows()));
+  // The drain contract: live migration behind the commit barrier conserves
+  // every contribution — no slice falls short of one advance per round.
+  audit_conservation(ctx, "drain", problems);
+  if (cluster.drains_completed() != 1) {
+    problems.push_back("drains_completed = " +
+                       std::to_string(cluster.drains_completed()) +
+                       " (the scheduled leave must retire cleanly; "
+                       "expected 1)");
+  }
+  // Invariant 12: a retired node never reappears as a leaseholder in any
+  // live node's view.
+  const int n_total = ctx.cfg->n_workers + 1;  // base nodes + the admitted one
+  const int n_groups = cluster.leadership_view(0).n_groups();
+  for (int node = 0; node < n_total; ++node) {
+    if (cluster.node_retired(node)) continue;
+    for (int g = 0; g < n_groups; ++g) {
+      // Colocated drill: server index == node id.
+      const int primary = cluster.leadership_view(node).primary(g);
+      if (primary >= 0 && cluster.node_retired(primary)) {
+        problems.push_back("retired node " + std::to_string(primary) +
+                           " still leads group " + std::to_string(g) +
+                           " in node " + std::to_string(node) +
+                           "'s view (invariant 12)");
+      }
+    }
+  }
+  // The no-flapping contract: consecutive autoscaler decisions must be at
+  // least one cooldown apart. (The canned drill schedules its leave via
+  // the fault plan, so this audit is usually vacuous — it bites when
+  // --autoscale is combined with an armed policy loop.)
+  const auto& times = cluster.scale_decision_times();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] - times[i - 1] < ctx.cfg->autoscaler.cooldown - 1e-9) {
+      problems.push_back(
+          "autoscaler flapped: decisions " + std::to_string(times[i - 1]) +
+          "s and " + std::to_string(times[i]) + "s are closer than the " +
+          std::to_string(ctx.cfg->autoscaler.cooldown) + "s cooldown");
+    }
+  }
+}
+
+// -- critpath ----------------------------------------------------------------
+
+bool critpath_active(const DrillContext& ctx) {
+  return ctx.opts->raw().flag("critpath");
+}
+
+void critpath_audit(DrillContext& ctx, std::vector<std::string>& problems) {
+  const obs::BlameReport blame = obs::analyze_critical_path(
+      *ctx.tracer, ctx.opts->measure().warmup);
+  // A malformed causal graph is an exit-2 condition: the blame table would
+  // be garbage, and CI must notice rather than archive it.
+  problems.insert(problems.end(), blame.problems.begin(),
+                  blame.problems.end());
+  // Coverage gate: the walk telescopes, so per-iteration blame must sum to
+  // the iteration window. A gap means the path does not cover the span.
+  for (const obs::IterationBlame& ib : blame.iterations) {
+    if (std::fabs(ib.attributed() - ib.window()) > 1e-6) {
+      problems.push_back(
+          "critpath: iteration " + std::to_string(ib.iteration) +
+          " blame covers " + std::to_string(ib.attributed()) + "s of a " +
+          std::to_string(ib.window()) + "s window");
+    }
+  }
+  std::printf("%s", obs::format_blame(blame).c_str());
+  std::printf("%s", obs::format_what_ifs(obs::standard_what_ifs(blame)).c_str());
+  const std::string diff_path = ctx.opts->raw().str("diff");
+  if (!diff_path.empty()) {
+    const obs::BlameReport before = obs::load_blame_csv(diff_path);
+    std::printf("%s",
+                obs::format_blame_diff(obs::diff_blame(before, blame)).c_str());
+  }
+  const std::string out_prefix = ctx.opts->raw().str("out");
+  if (!out_prefix.empty()) {
+    obs::write_blame_csv(blame, out_prefix + ".blame.csv");
+    std::printf("exported %s.blame.csv\n", out_prefix.c_str());
+  }
+}
+
+// One row per drill: flag -> setup -> audit. Setup order is load-bearing
+// (partition/autoscale inspect the lease the --lease row may have armed).
+constexpr Drill kDrills[] = {
+    {"replication", replication_active, false, false, replication_setup,
+     no_audit},
+    {"join", join_active, true, false, join_setup, no_audit},
+    {"lease", lease_active, false, false, lease_setup, no_audit},
+    {"partition", partition_active, true, false, partition_setup,
+     partition_audit},
+    {"autoscale", autoscale_active, true, true, autoscale_setup,
+     autoscale_audit},
+    {"hierarchy", hierarchy_active, false, true, hierarchy_setup,
+     hierarchy_audit},
+    {"critpath", critpath_active, false, false, no_setup, critpath_audit},
+};
+
+/// Registry histogram digest via the p50/p90/p99 summary accessors.
+void print_histogram_summaries(const obs::Registry& metrics) {
+  bool any = false;
+  for (const auto& row : metrics.snapshot()) {
+    if (row.type != "histogram" || row.field != "count") continue;
+    const obs::Histogram* h = metrics.find_histogram(row.metric);
+    if (h == nullptr || h->count() == 0) continue;
+    if (!any) std::printf("histogram summaries (bucket-resolution):\n");
+    any = true;
+    std::printf("  %-28s n %8lld  p50 %.6g  p90 %.6g  p99 %.6g\n",
+                row.metric.c_str(), static_cast<long long>(h->count()),
+                h->p50(), h->p90(), h->p99());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,6 +379,8 @@ int main(int argc, char** argv) {
                             {"partition", ""},
                             {"hierarchy", ""},
                             {"autoscale", ""},
+                            {"critpath", ""},
+                            {"diff", ""},
                             {"out", ""},
                             {"strict", ""}});
   const bool strict = opts.raw().flag("strict");
@@ -113,50 +399,17 @@ int main(int argc, char** argv) {
   cfg.method = core::parse_sync_method(opts.raw().str("method"));
   cfg.bandwidth = gbps(opts.raw().num("bandwidth"));
   cfg.rx_bandwidth = gbps(100);
-  cfg.replication = static_cast<int>(opts.raw().integer("replication"));
-  const double join_at = opts.raw().num("join");
-  if (join_at > 0.0) cfg.faults.joins.push_back({cfg.n_workers, join_at});
-  const double lease = opts.raw().num("lease");
-  if (lease > 0.0) cfg.faults.lease_duration = lease;
-  const bool partition = opts.raw().flag("partition");
-  if (partition) {
-    // Canned split-brain drill: minority {0,1} against majority {2,3,4}
-    // under replicated leases and drifting clocks. Overrides the topology
-    // knobs — the audit is only meaningful on this shape.
-    cfg.n_workers = 5;
-    cfg.replication = std::max(cfg.replication, 2);
-    if (lease <= 0.0) cfg.faults.lease_duration = 0.25;
-    net::NetPartition cut;
-    cut.side_a = {0, 1};
-    cut.side_b = {2, 3, 4};
-    cut.start = 0.3;
-    cut.heal = 0.7;
-    cfg.faults.partitions.push_back(cut);
-    cfg.faults.clock_drift_rate = 5e-4;
-    cfg.faults.clock_offset_bound = 0.02;
-  }
-  const bool autoscale = opts.raw().flag("autoscale");
-  if (autoscale) {
-    // Canned drain drill: admit a fifth node at 0.25 s, then drain node 1
-    // out at 0.5 s — its groups live-migrate behind the commit barrier and
-    // the node retires permanently. Overrides the topology knobs — the
-    // audit is only meaningful with replicated leases and a scheduled
-    // leave.
-    cfg.n_workers = 4;
-    cfg.replication = std::max(cfg.replication, 2);
-    if (lease <= 0.0) cfg.faults.lease_duration = 0.25;
-    cfg.faults.joins.push_back({cfg.n_workers, 0.25});
-    cfg.faults.leaves.push_back({1, 0.5});
-  }
-  const bool hierarchy = opts.raw().flag("hierarchy");
-  if (hierarchy) {
-    // Canned rack drill: two racks of four colocated nodes behind
-    // 4:1-oversubscribed ToR uplinks, with rack-local aggregation folding
-    // each rack's pushes before they reach the shared port.
-    cfg.n_workers = 8;
-    cfg.topology.racks = {{0, 1, 2, 3}, {4, 5, 6, 7}};
-    cfg.topology.oversubscription = 4.0;
-    cfg.rack_aggregation = true;
+
+  DrillContext ctx;
+  ctx.opts = &opts;
+  ctx.cfg = &cfg;
+  bool reorders_lifecycle = false;
+  bool needs_drain = false;
+  for (const Drill& d : kDrills) {
+    if (!d.active(ctx)) continue;
+    d.setup(ctx);
+    reorders_lifecycle = reorders_lifecycle || d.reorders_lifecycle;
+    needs_drain = needs_drain || d.needs_drain;
   }
 
   ps::Cluster cluster(workload_by_name(model_name), cfg);
@@ -164,17 +417,25 @@ int main(int argc, char** argv) {
   cluster.attach_tracer(&tracer);
   const ps::RunResult run =
       cluster.run(opts.measure().warmup, opts.measure().measured);
-  // The conservation audit below reads slice versions, so the final round's
-  // in-flight traffic must settle first.
-  if (hierarchy || autoscale) cluster.drain();
+  // Conservation audits read slice versions, so the final round's in-flight
+  // traffic must settle first.
+  if (needs_drain) cluster.drain();
+  ctx.cluster = &cluster;
+  ctx.run = &run;
+  ctx.tracer = &tracer;
 
   std::printf("== trace report: %s, %s, %d workers ==\n", model_name.c_str(),
               core::sync_method_name(cfg.method).c_str(), cfg.n_workers);
 
-  std::vector<std::string> problems = tracer.validate();
+  const obs::Tracer::ValidationStats accounting = tracer.validate_accounting();
+  std::vector<std::string> problems = accounting.violations;
+  std::printf("flows: %lld started, %lld ended, %lld still in flight\n",
+              static_cast<long long>(accounting.flows_started),
+              static_cast<long long>(accounting.flows_ended),
+              static_cast<long long>(accounting.flows_in_flight));
   const auto lifecycle =
       obs::lifecycle_violations(tracer.lifecycle_records(), strict);
-  if (join_at > 0.0 || partition || autoscale) {
+  if (reorders_lifecycle) {
     // Elastic rebalancing and partition failover legitimately reorder the
     // per-round lifecycle: a push redirected off a displaced leader records
     // server_recv only at the final owner, and a bounded-staleness round
@@ -202,115 +463,11 @@ int main(int argc, char** argv) {
           " under lease-based leadership (expected 0)");
     }
   }
-  if (partition) {
-    std::printf("partition: %lld severed drop(s), %lld parked push(es), "
-                "%lld quorum-denied failover(s), %lld cross-partition "
-                "delivery(ies), %lld dual-primary window(s)\n",
-                static_cast<long long>(run.partition_drops),
-                static_cast<long long>(run.parked_pushes),
-                static_cast<long long>(run.quorum_denied_failovers),
-                static_cast<long long>(run.cross_partition_deliveries),
-                static_cast<long long>(cluster.dual_primary_windows()));
-    // The partition contract: the fabric delivers nothing across an active
-    // cut, and quorum/fence gating keeps leadership single-headed even
-    // while the views disagree.
-    if (run.cross_partition_deliveries > 0) {
-      problems.push_back(
-          "network.cross_partition_deliveries = " +
-          std::to_string(run.cross_partition_deliveries) +
-          " (a message landed across an active cut; expected 0)");
-    }
+
+  for (const Drill& d : kDrills) {
+    if (d.active(ctx)) d.audit(ctx, problems);
   }
-  if (hierarchy) {
-    std::printf("hierarchy: %.1f MiB over ToR uplinks, %lld overtake(s), "
-                "%lld inversion(s), %lld combined push(es), %lld param "
-                "re-broadcast(s), %lld fallback push(es)\n",
-                static_cast<double>(run.tor_uplink_bytes) / (1024.0 * 1024.0),
-                static_cast<long long>(run.uplink_overtakes),
-                static_cast<long long>(run.uplink_priority_inversions),
-                static_cast<long long>(run.agg_combined_pushes),
-                static_cast<long long>(run.agg_param_broadcasts),
-                static_cast<long long>(run.agg_fallback_pushes));
-    // The port contract: priority service never starts a transfer while a
-    // strictly-more-urgent one waits.
-    if (run.uplink_priority_inversions > 0) {
-      problems.push_back(
-          "network.uplink_priority_inversions = " +
-          std::to_string(run.uplink_priority_inversions) +
-          " at priority-served switch ports (expected 0)");
-    }
-    // The aggregation-tree contract: folding pushes at the rack tier must
-    // conserve gradients — every slice advances exactly once per round.
-    const std::int64_t want =
-        opts.measure().warmup + opts.measure().measured;
-    std::int64_t lost_slices = 0;
-    for (std::int64_t s = 0; s < cluster.partition().num_slices(); ++s) {
-      if (cluster.slice_version(s) != want) ++lost_slices;
-    }
-    if (lost_slices > 0) {
-      problems.push_back(
-          "aggregation lost contributions: " + std::to_string(lost_slices) +
-          " slice(s) short of version " + std::to_string(want));
-    }
-  }
-  if (autoscale) {
-    std::printf("autoscale: %lld drain(s) started, %lld completed, %lld "
-                "scale decision(s), %lld shed push(es), %lld dual-primary "
-                "window(s)\n",
-                static_cast<long long>(cluster.drains_started()),
-                static_cast<long long>(cluster.drains_completed()),
-                static_cast<long long>(cluster.scale_decisions()),
-                static_cast<long long>(cluster.sheds()),
-                static_cast<long long>(cluster.dual_primary_windows()));
-    // The drain contract: live migration behind the commit barrier conserves
-    // every contribution — no slice falls short of one advance per round.
-    const std::int64_t want = opts.measure().warmup + opts.measure().measured;
-    std::int64_t lost_slices = 0;
-    for (std::int64_t s = 0; s < cluster.partition().num_slices(); ++s) {
-      if (cluster.slice_version(s) != want) ++lost_slices;
-    }
-    if (lost_slices > 0) {
-      problems.push_back(
-          "drain lost contributions: " + std::to_string(lost_slices) +
-          " slice(s) short of version " + std::to_string(want));
-    }
-    if (cluster.drains_completed() != 1) {
-      problems.push_back("drains_completed = " +
-                         std::to_string(cluster.drains_completed()) +
-                         " (the scheduled leave must retire cleanly; "
-                         "expected 1)");
-    }
-    // Invariant 12: a retired node never reappears as a leaseholder in any
-    // live node's view.
-    const int n_total = cfg.n_workers + 1;  // base nodes + the admitted one
-    const int n_groups = cluster.leadership_view(0).n_groups();
-    for (int node = 0; node < n_total; ++node) {
-      if (cluster.node_retired(node)) continue;
-      for (int g = 0; g < n_groups; ++g) {
-        // Colocated drill: server index == node id.
-        const int primary = cluster.leadership_view(node).primary(g);
-        if (primary >= 0 && cluster.node_retired(primary)) {
-          problems.push_back("retired node " + std::to_string(primary) +
-                             " still leads group " + std::to_string(g) +
-                             " in node " + std::to_string(node) +
-                             "'s view (invariant 12)");
-        }
-      }
-    }
-    // The no-flapping contract: consecutive autoscaler decisions must be at
-    // least one cooldown apart. (The canned drill schedules its leave via
-    // the fault plan, so this audit is usually vacuous — it bites when
-    // --autoscale is combined with an armed policy loop.)
-    const auto& times = cluster.scale_decision_times();
-    for (std::size_t i = 1; i < times.size(); ++i) {
-      if (times[i] - times[i - 1] < cfg.autoscaler.cooldown - 1e-9) {
-        problems.push_back(
-            "autoscaler flapped: decisions " + std::to_string(times[i - 1]) +
-            "s and " + std::to_string(times[i]) + "s are closer than the " +
-            std::to_string(cfg.autoscaler.cooldown) + "s cooldown");
-      }
-    }
-  }
+  print_histogram_summaries(cluster.metrics());
 
   const std::string out_prefix = opts.raw().str("out");
   if (!out_prefix.empty()) {

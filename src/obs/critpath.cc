@@ -1,0 +1,1183 @@
+#include "obs/critpath.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace p3::obs {
+
+namespace {
+
+// Tolerance for matching a lifecycle timestamp against a span edge recorded
+// at the same simulated instant. Both sides carry the identical double in
+// the common case; the epsilon only absorbs the few sites where one side is
+// re-derived arithmetically.
+constexpr double kEps = 1e-9;
+// Hard step cap per iteration walk: a malformed trace that defeats the
+// monotone-cursor invariant terminates instead of spinning.
+constexpr int kMaxSteps = 1'000'000;
+
+const char* kBlameNames[kBlameCount] = {
+    "forward", "backward", "sendq",  "inversion", "wire",  "uplink",
+    "downlink", "server",  "agghold", "recovery",  "other",
+};
+
+struct SpanRef {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::uint32_t label = 0;
+  std::uint32_t track = 0;
+};
+
+struct CmpSpan {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::int64_t iter = -1;
+  int layer = 0;
+  bool forward = false;
+};
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+struct TxBusy {
+  double lo = 0.0;
+  double hi = 0.0;
+  int priority = -1;      ///< slice priority of the label's layer, -1 unknown
+  bool gradient = false;  ///< label carried gradient payload ('g'/'a')
+};
+
+struct FlowRec {
+  std::uint32_t start_track = 0;
+  double start_t = 0.0;
+  std::uint32_t label = 0;
+  bool has_start = false;
+};
+
+struct FlowEndRef {
+  double t = 0.0;
+  std::uint32_t label = 0;
+  std::int64_t flow = -1;
+};
+
+/// Pre-parsed label: leading kind char plus the trailing integer (and
+/// whether an 'L' immediately precedes it — the message_label layer suffix).
+struct LabelInfo {
+  char kind = 0;
+  int num = -1;
+  bool l_suffix = false;
+};
+
+LabelInfo parse_label(const std::string& s) {
+  LabelInfo info;
+  if (s.empty()) return info;
+  info.kind = s.front();
+  std::size_t end = s.size();
+  std::size_t begin = end;
+  while (begin > 0 && std::isdigit(static_cast<unsigned char>(s[begin - 1]))) {
+    --begin;
+  }
+  if (begin < end) {
+    info.num = std::atoi(s.c_str() + begin);
+    info.l_suffix = begin > 0 && s[begin - 1] == 'L';
+  }
+  return info;
+}
+
+/// Parse "<prefix><digits>.<suffix>" lane names; returns false on others.
+bool parse_lane(const std::string& name, char& prefix, int& id,
+                std::string& suffix) {
+  if (name.size() < 3) return false;
+  prefix = name[0];
+  std::size_t i = 1;
+  while (i < name.size() && std::isdigit(static_cast<unsigned char>(name[i]))) {
+    ++i;
+  }
+  if (i == 1 || i >= name.size() || name[i] != '.') return false;
+  id = std::atoi(name.c_str() + 1);
+  suffix = name.substr(i);
+  return true;
+}
+
+std::vector<Interval> merge_intervals(std::vector<Interval> v) {
+  std::sort(v.begin(), v.end(), [](const Interval& a, const Interval& b) {
+    return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+  });
+  std::vector<Interval> out;
+  for (const Interval& iv : v) {
+    if (iv.hi <= iv.lo) continue;
+    if (!out.empty() && iv.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, iv.hi);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+/// Does some interval cover the instant just below `t`, and where is the
+/// nearest boundary at or below `t` otherwise?
+struct Cover {
+  bool covered = false;
+  double boundary = -1e300;  ///< covered: interval lo; else: previous hi
+};
+
+Cover cover_at(const std::vector<Interval>& ivs, double t) {
+  Cover c;
+  auto it = std::lower_bound(
+      ivs.begin(), ivs.end(), t,
+      [](const Interval& iv, double x) { return iv.lo < x; });
+  if (it != ivs.begin()) {
+    const Interval& prev = *(it - 1);
+    if (prev.hi >= t - kEps && prev.lo < t - kEps) {
+      c.covered = true;
+      c.boundary = prev.lo;
+      return c;
+    }
+    c.boundary = std::min(prev.hi, t);
+  }
+  return c;
+}
+
+struct Lifecycle {
+  std::array<double, kNumStages> first{};
+  std::array<double, kNumStages> last{};
+  std::array<int, kNumStages> n{};
+  std::vector<double> sends;     ///< every kSend time, ascending
+  std::vector<double> enqueues;  ///< every kEnqueue time, ascending
+};
+
+std::int64_t group_key(int worker, std::int64_t slice, std::int64_t iter) {
+  return make_trace_id(slice, iter, worker);
+}
+
+std::int64_t slice_iter_key(std::int64_t slice, std::int64_t iter) {
+  return ((slice & 0x3FFFFFF) << 30) | (iter & 0x3FFFFFFF);
+}
+
+std::int64_t gate_key(int worker, int layer, std::int64_t iter) {
+  return ((static_cast<std::int64_t>(layer) & 0xFFFF) << 40) |
+         ((iter & 0xFFFFFFFF) << 8) | (worker & 0xFF);
+}
+
+struct Graph {
+  std::vector<LabelInfo> labels;
+
+  std::unordered_map<int, std::vector<CmpSpan>> cmp;      // worker -> spans
+  std::unordered_map<int, std::vector<double>> iter_end;  // worker -> B1 t1s
+  std::unordered_map<int, double> iter0_start;            // worker -> F1.t0
+  std::unordered_map<int, std::vector<SpanRef>> rx, tx, srv;
+  std::unordered_map<int, std::vector<SpanRef>> folds;  // agg fold marks
+  std::unordered_map<int, std::vector<Interval>> hold;  // park/shed windows
+  std::unordered_map<int, std::vector<TxBusy>> tx_busy;
+  std::vector<Interval> up_busy, dn_busy;
+
+  std::unordered_map<std::int64_t, FlowRec> flows;
+  std::unordered_map<std::uint32_t, std::vector<FlowEndRef>> flow_ends;
+  std::unordered_map<std::uint32_t, std::vector<SpanRef>> spans_by_track;
+
+  std::unordered_map<std::int64_t, Lifecycle> groups;
+  // (slice, iter) -> (t, worker) of every kServerRecv, ascending by t
+  std::unordered_map<std::int64_t, std::vector<std::pair<double, int>>>
+      server_recv;
+  // (worker, layer, iter) -> (t, slice) of every kParamReady, ascending
+  std::unordered_map<std::int64_t, std::vector<std::pair<double, std::int64_t>>>
+      param_ready;
+  std::unordered_map<std::int64_t, int> slice_priority;
+  std::unordered_map<int, int> layer_priority;
+
+  const LabelInfo& info(std::uint32_t id) const { return labels[id]; }
+};
+
+void sort_spans(std::vector<SpanRef>& v) {
+  std::stable_sort(v.begin(), v.end(), [](const SpanRef& a, const SpanRef& b) {
+    return a.t0 < b.t0;
+  });
+}
+
+Graph build_graph(const Tracer& tracer, std::vector<std::string>& problems) {
+  Graph g;
+  if (!tracer.events().empty()) {
+    std::uint32_t max_label = 0;
+    for (const Event& e : tracer.events()) {
+      max_label = std::max(max_label, e.label);
+    }
+    g.labels.resize(static_cast<std::size_t>(max_label) + 1);
+    for (std::uint32_t i = 0; i <= max_label; ++i) {
+      g.labels[i] = parse_label(tracer.label_text(i));
+    }
+  }
+
+  struct LaneKind {
+    char cls = 0;  ///< 'c' cmp, 'r' rx, 't' tx, 's' srv, 'a' agg, 'h' hold,
+                   ///< 'u' up-port, 'd' dn-port, 0 ignored
+    int id = 0;
+  };
+  std::vector<LaneKind> lanes(tracer.tracks().size());
+  for (std::size_t t = 0; t < tracer.tracks().size(); ++t) {
+    char prefix = 0;
+    int id = 0;
+    std::string suffix;
+    if (!parse_lane(tracer.tracks()[t].name, prefix, id, suffix)) continue;
+    LaneKind lk;
+    lk.id = id;
+    if (prefix == 'w' && suffix == ".cmp") lk.cls = 'c';
+    if (prefix == 'w' && suffix == ".hold") lk.cls = 'h';
+    if (prefix == 'n' && suffix == ".rx") lk.cls = 'r';
+    if (prefix == 'n' && suffix == ".tx") lk.cls = 't';
+    if (prefix == 'n' && suffix == ".srv") lk.cls = 's';
+    if (prefix == 'n' && suffix == ".agg") lk.cls = 'a';
+    if (prefix == 'r' && suffix == ".up") lk.cls = 'u';
+    if (prefix == 'r' && suffix == ".dn") lk.cls = 'd';
+    lanes[t] = lk;
+  }
+
+  std::vector<Interval> up_raw, dn_raw;
+  std::unordered_map<int, std::vector<Interval>> hold_raw;
+  std::unordered_map<int, std::vector<SpanRef>> cmp_raw;
+  for (const Event& e : tracer.events()) {
+    const LaneKind lk = lanes[e.track];
+    switch (e.kind) {
+      case EventKind::kSpan: {
+        const SpanRef s{e.t0, e.t1, e.label, e.track};
+        g.spans_by_track[e.track].push_back(s);
+        switch (lk.cls) {
+          case 'c':
+            cmp_raw[lk.id].push_back(s);
+            break;
+          case 'r':
+            g.rx[lk.id].push_back(s);
+            break;
+          case 't': {
+            g.tx[lk.id].push_back(s);
+            const LabelInfo& li = g.info(e.label);
+            TxBusy tb;
+            tb.lo = e.t0;
+            tb.hi = e.t1;
+            tb.gradient = li.kind == 'g' || li.kind == 'a';
+            if (li.l_suffix) tb.priority = li.num;  // layer; mapped below
+            g.tx_busy[lk.id].push_back(tb);
+            break;
+          }
+          case 's':
+            g.srv[lk.id].push_back(s);
+            break;
+          case 'a':
+            g.folds[lk.id].push_back(s);
+            break;
+          case 'h':
+            hold_raw[lk.id].push_back({e.t0, e.t1});
+            break;
+          case 'u':
+            up_raw.push_back({e.t0, e.t1});
+            break;
+          case 'd':
+            dn_raw.push_back({e.t0, e.t1});
+            break;
+          default:
+            break;
+        }
+        break;
+      }
+      case EventKind::kFlowStart: {
+        FlowRec& f = g.flows[e.flow];
+        f.start_track = e.track;
+        f.start_t = e.t0;
+        f.label = e.label;
+        f.has_start = true;
+        break;
+      }
+      case EventKind::kFlowEnd:
+        g.flow_ends[e.track].push_back({e.t0, e.label, e.flow});
+        break;
+      default:
+        break;
+    }
+  }
+  for (auto& [node, v] : g.rx) sort_spans(v);
+  for (auto& [node, v] : g.tx) sort_spans(v);
+  for (auto& [node, v] : g.srv) sort_spans(v);
+  for (auto& [node, v] : g.folds) sort_spans(v);
+  for (auto& [track, v] : g.spans_by_track) sort_spans(v);
+  for (auto& [track, v] : g.flow_ends) {
+    std::stable_sort(v.begin(), v.end(),
+                     [](const FlowEndRef& a, const FlowEndRef& b) {
+                       return a.t < b.t;
+                     });
+  }
+  for (auto& [node, v] : g.tx_busy) {
+    std::stable_sort(v.begin(), v.end(), [](const TxBusy& a, const TxBusy& b) {
+      return a.lo < b.lo;
+    });
+  }
+  for (auto& [w, v] : hold_raw) g.hold[w] = merge_intervals(std::move(v));
+  g.up_busy = merge_intervals(std::move(up_raw));
+  g.dn_busy = merge_intervals(std::move(dn_raw));
+
+  // Annotate compute spans with iteration indices: a lane is F1..FL BL..B1
+  // repeated; the iteration index increments on each F1 and the iteration
+  // completes at its B1.
+  for (auto& [w, raw] : cmp_raw) {
+    sort_spans(raw);
+    std::vector<CmpSpan>& spans = g.cmp[w];
+    std::vector<double>& ends = g.iter_end[w];
+    spans.reserve(raw.size());
+    std::int64_t iter = -1;
+    for (const SpanRef& s : raw) {
+      const LabelInfo& li = g.info(s.label);
+      if (li.kind != 'F' && li.kind != 'B') {
+        problems.push_back("critpath: unexpected label '" +
+                           tracer.label_text(s.label) + "' on compute lane w" +
+                           std::to_string(w) + ".cmp");
+        continue;
+      }
+      if (li.kind == 'F' && li.num == 1) {
+        ++iter;
+        if (g.iter0_start.find(w) == g.iter0_start.end()) {
+          g.iter0_start[w] = s.t0;
+        }
+      }
+      CmpSpan cs;
+      cs.t0 = s.t0;
+      cs.t1 = s.t1;
+      cs.forward = li.kind == 'F';
+      cs.layer = li.num - 1;
+      cs.iter = iter;
+      spans.push_back(cs);
+      if (li.kind == 'B' && li.num == 1 && iter >= 0 &&
+          static_cast<std::int64_t>(ends.size()) == iter) {
+        ends.push_back(s.t1);
+      }
+    }
+  }
+
+  for (const LifecycleRecord& r : tracer.lifecycle_records()) {
+    Lifecycle& lc = g.groups[group_key(r.worker, r.slice, r.iteration)];
+    const auto st = static_cast<std::size_t>(r.stage);
+    if (lc.n[st] == 0 || r.t < lc.first[st]) lc.first[st] = r.t;
+    if (lc.n[st] == 0 || r.t > lc.last[st]) lc.last[st] = r.t;
+    ++lc.n[st];
+    if (r.stage == Stage::kSend) lc.sends.push_back(r.t);
+    if (r.stage == Stage::kEnqueue) lc.enqueues.push_back(r.t);
+    if (r.stage == Stage::kServerRecv) {
+      g.server_recv[slice_iter_key(r.slice, r.iteration)].emplace_back(
+          r.t, r.worker);
+    }
+    if (r.stage == Stage::kParamReady) {
+      g.param_ready[gate_key(r.worker, r.layer, r.iteration)].emplace_back(
+          r.t, r.slice);
+    }
+    g.slice_priority.emplace(r.slice, r.priority);
+    g.layer_priority.emplace(r.layer, r.priority);
+  }
+  // Lifecycle records arrive in time order so the per-key vectors are
+  // already ascending; keep a defensive sort for merged/loaded traces.
+  for (auto& [k, v] : g.server_recv) std::stable_sort(v.begin(), v.end());
+  for (auto& [k, v] : g.param_ready) std::stable_sort(v.begin(), v.end());
+
+  // Rewrite tx-busy layer numbers into slice priorities now that the
+  // lifecycle stream supplied the layer -> priority map.
+  for (auto& [node, v] : g.tx_busy) {
+    for (TxBusy& tb : v) {
+      if (tb.priority >= 0) {
+        const auto it = g.layer_priority.find(tb.priority);
+        tb.priority = it == g.layer_priority.end() ? -1 : it->second;
+      }
+    }
+  }
+
+  if (g.cmp.empty()) {
+    problems.push_back("critpath: trace has no worker compute spans");
+  }
+  return g;
+}
+
+// -- Graph queries ----------------------------------------------------------
+
+/// Latest span on the lane with a matching label whose end is <= t (+eps).
+/// Lane spans are sequential, so t1 order follows t0 order: binary-search
+/// the start times, then scan backward for the label.
+const SpanRef* find_span_ending_at(const std::vector<SpanRef>* spans,
+                                   double t, const Graph& g, char kind,
+                                   int num, bool l_suffix) {
+  if (spans == nullptr) return nullptr;
+  auto it = std::upper_bound(spans->begin(), spans->end(), t + kEps,
+                             [](double x, const SpanRef& s) {
+                               return x < s.t0;
+                             });
+  while (it != spans->begin()) {
+    --it;
+    if (it->t1 > t + kEps) continue;
+    const LabelInfo& li = g.info(it->label);
+    if (li.kind == kind && li.num == num && li.l_suffix == l_suffix) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<SpanRef>* lookup(
+    const std::unordered_map<int, std::vector<SpanRef>>& m, int id) {
+  const auto it = m.find(id);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+struct LinkSource {
+  int node = -1;
+  const SpanRef* tx = nullptr;
+};
+
+// -- The backward walk ------------------------------------------------------
+
+class Walker {
+ public:
+  Walker(const Graph& g, const Tracer& tracer, IterationBlame& out,
+         double window_start, std::int64_t& stalls)
+      : g_(g),
+        tracer_(tracer),
+        out_(out),
+        ws_(window_start),
+        cursor_(out.window_end),
+        stalls_(stalls) {}
+
+  void run() {
+    int worker = out_.binding_worker;
+    while (!done()) {
+      worker = step_compute(worker);
+      if (worker < 0) break;
+    }
+    if (cursor_ > ws_ + kEps) take(ws_, Blame::kOther);
+  }
+
+ private:
+  bool done() const { return cursor_ <= ws_ + kEps || steps_ > kMaxSteps; }
+
+  /// Attribute [max(from, window_start), cursor] to `cat`, move the cursor.
+  /// A milestone later than the cursor (matching slop) attributes nothing.
+  void take(double from, Blame cat) {
+    if (from > cursor_) from = cursor_;
+    const double lo = std::max(from, ws_);
+    if (cursor_ > lo) {
+      out_.seconds[static_cast<std::size_t>(cat)] += cursor_ - lo;
+      cursor_ = lo;
+    }
+    ++steps_;
+  }
+
+  /// Mid-chain dead end: attribute the rest of the window to `other`.
+  bool stall_chain() {
+    ++stalls_;
+    take(ws_, Blame::kOther);
+    return false;
+  }
+
+  /// Walk one compute step at `worker`; returns the worker whose timeline
+  /// the walk continues on (a gate chain hands off to a contributor), or
+  /// -1 when the window is fully attributed or the walk stalled.
+  int step_compute(int worker) {
+    const auto it = g_.cmp.find(worker);
+    if (it == g_.cmp.end() || it->second.empty()) {
+      stall_chain();
+      return -1;
+    }
+    const std::vector<CmpSpan>& spans = it->second;
+    // Last span starting strictly before the cursor.
+    auto sit = std::upper_bound(
+        spans.begin(), spans.end(), cursor_ - kEps,
+        [](double t, const CmpSpan& s) { return t < s.t0; });
+    if (sit == spans.begin()) {
+      take(ws_, Blame::kOther);  // window predates this worker's first span
+      return -1;
+    }
+    const CmpSpan& s = *(sit - 1);
+    if (s.t1 < cursor_ - kEps) take(s.t1, Blame::kOther);  // idle sliver
+    if (done()) return -1;
+    take(s.t0, s.forward ? Blame::kForward : Blame::kBackward);
+    if (done()) return -1;
+    const bool has_prev = sit - 1 != spans.begin();
+    const double prev_end = has_prev ? (sit - 2)->t1 : -1e300;
+    if (cursor_ <= prev_end + kEps) return worker;  // back-to-back spans
+    if (s.forward) {
+      const int next = resolve_gate(worker, s.layer, s.iter);
+      if (next != kGateUnresolved) return next;
+    }
+    if (!has_prev) {
+      take(ws_, Blame::kOther);
+      return -1;
+    }
+    take(prev_end, Blame::kOther);  // non-gate gap (scheduling slop)
+    return worker;
+  }
+
+  static constexpr int kGateUnresolved = -2;
+
+  /// Resolve the gate wait before F_{layer+1} of `iter` at `worker`.
+  /// Returns the worker to continue on, -1 if the walk finished or stalled,
+  /// or kGateUnresolved if the chain could not even start (the caller falls
+  /// back to a plain-gap attribution).
+  int resolve_gate(int worker, int layer, std::int64_t iter) {
+    if (iter <= 0) return kGateUnresolved;
+    const auto it = g_.param_ready.find(gate_key(worker, layer, iter - 1));
+    if (it == g_.param_ready.end()) return kGateUnresolved;
+    // Binding slice: latest param-ready at or before the gate release.
+    const auto& prs = it->second;
+    auto pit = std::upper_bound(
+        prs.begin(), prs.end(),
+        std::make_pair(cursor_ + kEps,
+                       std::numeric_limits<std::int64_t>::max()));
+    if (pit == prs.begin()) return kGateUnresolved;
+    const double pr = (pit - 1)->first;
+    const std::int64_t slice = (pit - 1)->second;
+    take(pr, Blame::kOther);  // gate release -> span start sliver
+    current_worker_ = -1;
+    if (!resolve_param_arrival(worker, slice, layer, iter - 1)) return -1;
+    if (done()) return -1;
+    return current_worker_;
+  }
+
+  /// Chain: parameter delivery of (slice, round) completing at the cursor on
+  /// `worker`'s node. On success the cursor sits at a kGradReady boundary
+  /// and current_worker_ names the contributor.
+  bool resolve_param_arrival(int worker, std::int64_t slice, int layer,
+                             std::int64_t round) {
+    const SpanRef* rx_span = find_span_ending_at(lookup(g_.rx, worker),
+                                                 cursor_, g_, 'p', layer,
+                                                 true);
+    // Only accept a params rx that ends *at* the cursor: an earlier one
+    // belongs to a sibling slice and would skip real wait time.
+    if (rx_span != nullptr && rx_span->t1 < cursor_ - kEps) rx_span = nullptr;
+    int src = worker;  // loopback default: the server shares the node
+    if (rx_span != nullptr) {
+      const LinkSource link = follow_link(*rx_span);
+      if (link.node < 0) return stall_chain();
+      src = link.node;
+    }
+    return resolve_param_source(src, worker, slice, layer, round);
+  }
+
+  /// The cursor sits where node `src` posted (or relayed) the params for
+  /// (slice, round) toward `worker`. Identify the tightest predecessor:
+  /// the server's round release (U span), a rack relay hop, or a pull serve.
+  bool resolve_param_source(int src, int worker, std::int64_t slice, int layer,
+                            std::int64_t round) {
+    for (int hop = 0; hop < 8; ++hop) {
+      if (done()) return true;
+      const SpanRef* u = find_span_ending_at(lookup(g_.srv, src), cursor_, g_,
+                                             'U', layer + 1, false);
+      const SpanRef* relay = find_span_ending_at(lookup(g_.rx, src), cursor_,
+                                                 g_, 'P', layer, true);
+      const SpanRef* pull = find_span_ending_at(lookup(g_.rx, src), cursor_,
+                                                g_, 'q', layer, true);
+      // The binding predecessor is the latest-finishing candidate.
+      const SpanRef* best = u;
+      char kind = 'U';
+      if (relay != nullptr && (best == nullptr || relay->t1 > best->t1)) {
+        best = relay;
+        kind = 'P';
+      }
+      if (pull != nullptr && (best == nullptr || pull->t1 > best->t1)) {
+        best = pull;
+        kind = 'q';
+      }
+      if (best == nullptr) return stall_chain();
+      if (kind == 'U') {
+        take(best->t1, Blame::kWire);    // egress backlog after release
+        take(best->t0, Blame::kServer);  // aggregation + optimizer
+        return resolve_contribution(src, slice, layer, round);
+      }
+      if (kind == 'P') {
+        take(best->t1, Blame::kWire);
+        const LinkSource link = follow_link(*best);
+        if (link.node < 0) return stall_chain();
+        src = link.node;
+        continue;  // one relay hop closer to the server
+      }
+      // Pull serve: rxq wait + handling at the server, then the request's
+      // journey back to the worker, then notify delivery before that.
+      take(best->t1, Blame::kServer);
+      const LinkSource plink = follow_link(*best);
+      if (plink.node < 0) return stall_chain();
+      const Lifecycle* lc = group(worker, slice, round);
+      if (lc != nullptr && lc->n[static_cast<std::size_t>(Stage::kPull)] > 0) {
+        take(lc->first[static_cast<std::size_t>(Stage::kPull)], Blame::kWire);
+      }
+      const SpanRef* notify = find_span_ending_at(lookup(g_.rx, worker),
+                                                  cursor_, g_, 'n', layer,
+                                                  true);
+      if (notify != nullptr) {
+        take(notify->t1, Blame::kWire);  // waiting on sibling notifies
+        const LinkSource nlink = follow_link(*notify);
+        if (nlink.node < 0) return stall_chain();
+        src = nlink.node;
+      }
+      // Either way the cursor now precedes the round's pull and notify, so
+      // the next hop resolves to the server's U release.
+    }
+    return stall_chain();
+  }
+
+  /// Below the U span: the last-arriving contribution for (slice, round).
+  bool resolve_contribution(int server, std::int64_t slice, int layer,
+                            std::int64_t round) {
+    if (done()) return true;
+    const auto it = g_.server_recv.find(slice_iter_key(slice, round));
+    if (it == g_.server_recv.end()) return stall_chain();
+    const auto& recs = it->second;
+    auto rit = std::upper_bound(
+        recs.begin(), recs.end(),
+        std::make_pair(cursor_ + kEps, std::numeric_limits<int>::max()));
+    if (rit == recs.begin()) return stall_chain();
+    const double sr = (rit - 1)->first;
+    const int contributor = (rit - 1)->second;
+    take(sr, Blame::kServer);
+    // The push's rx completion precedes the rxq pop: direct ("gL") or
+    // rack-combined ("aL").
+    const SpanRef* direct = find_span_ending_at(lookup(g_.rx, server),
+                                                cursor_, g_, 'g', layer, true);
+    const SpanRef* combined = find_span_ending_at(lookup(g_.rx, server),
+                                                  cursor_, g_, 'a', layer,
+                                                  true);
+    const SpanRef* rx_span = direct;
+    bool is_combined = false;
+    if (combined != nullptr &&
+        (rx_span == nullptr || combined->t1 > rx_span->t1)) {
+      rx_span = combined;
+      is_combined = true;
+    }
+    if (rx_span != nullptr) {
+      take(rx_span->t1, Blame::kServer);  // receive-queue wait
+      const LinkSource link = follow_link(*rx_span);
+      if (link.node < 0) return stall_chain();
+      return resolve_sender(link.node, slice, layer, round, is_combined);
+    }
+    // Loopback push: the contributor shares the server's node.
+    return resolve_sender(contributor, slice, layer, round, false);
+  }
+
+  /// The cursor sits at (or above) the sender's NIC hand-off for the push of
+  /// (slice, round) from `sender`. Unwind send queue, parking, retransmit
+  /// waits, and — for rack-combined pushes — the aggregation hold.
+  bool resolve_sender(int sender, std::int64_t slice, int layer,
+                      std::int64_t round, bool combined) {
+    if (done()) return true;
+    const Lifecycle* lc = group(sender, slice, round);
+    if (lc == nullptr || lc->sends.empty()) return stall_chain();
+    // Latest kSend at or before the cursor: the delivered copy.
+    auto sit = std::upper_bound(lc->sends.begin(), lc->sends.end(),
+                                cursor_ + kEps);
+    if (sit == lc->sends.begin()) return stall_chain();
+    const double tsend = *(sit - 1);
+    take(tsend, Blame::kWire);  // loopback serialization / send-overhead slop
+    // Matching enqueue: latest at or before the send.
+    auto eit = std::upper_bound(lc->enqueues.begin(), lc->enqueues.end(),
+                                tsend + kEps);
+    if (eit == lc->enqueues.begin()) return stall_chain();
+    const double tenq = *(eit - 1);
+    // Earlier kSend attempts after this enqueue are retransmissions of the
+    // same copy: the span back to the first attempt is recovery wait.
+    auto first_try = std::lower_bound(lc->sends.begin(), lc->sends.end(),
+                                      tenq - kEps);
+    if (first_try != lc->sends.end() && *first_try < tsend - kEps) {
+      take(*first_try, Blame::kRecovery);
+    }
+    attribute_queue_wait(sender, tenq, priority_of(slice));
+    if (done()) return true;
+    if (combined) {
+      // Rack pre-reduction: before the combined push entered the
+      // aggregator's queue it waited for the closing member contribution.
+      const SpanRef* fold = find_span_ending_at(lookup(g_.folds, sender),
+                                                cursor_, g_, 'f', layer + 1,
+                                                false);
+      if (fold == nullptr) return stall_chain();
+      take(fold->t1, Blame::kAggHold);
+      const SpanRef* mrx = find_span_ending_at(lookup(g_.rx, sender), cursor_,
+                                               g_, 'g', layer, true);
+      if (mrx != nullptr && mrx->t1 >= fold->t1 - kEps) {
+        take(mrx->t1, Blame::kAggHold);
+        const LinkSource link = follow_link(*mrx);
+        if (link.node < 0) return stall_chain();
+        return resolve_sender(link.node, slice, layer, round, false);
+      }
+      // The closing member was the aggregator itself (loopback fold).
+      return resolve_sender(sender, slice, layer, round, false);
+    }
+    const auto gr = static_cast<std::size_t>(Stage::kGradReady);
+    if (lc->n[gr] == 0) return stall_chain();
+    take(lc->first[gr], Blame::kSendQueue);
+    current_worker_ = sender;
+    return true;
+  }
+
+  /// rx span -> flow arrow -> tx span, attributing receiver serialization,
+  /// in-flight time (split against switch-port busy intervals) and sender
+  /// serialization. Returns node == -1 on a broken link.
+  LinkSource follow_link(const SpanRef& rx_span) {
+    take(rx_span.t0, Blame::kWire);
+    const FlowEndRef* fe = find_flow_end(rx_span);
+    if (fe == nullptr) return {};
+    const auto fit = g_.flows.find(fe->flow);
+    if (fit == g_.flows.end() || !fit->second.has_start) return {};
+    const FlowRec& f = fit->second;
+    const SpanRef* tx_span = find_span_starting_at(f.start_track, f.start_t,
+                                                   f.label);
+    if (tx_span == nullptr) return {};
+    attribute_inflight(tx_span->t1);
+    take(tx_span->t0, Blame::kWire);
+    char prefix = 0;
+    int node = -1;
+    std::string suffix;
+    if (!parse_lane(tracer_.track_name(f.start_track), prefix, node, suffix)) {
+      return {};
+    }
+    LinkSource out;
+    out.node = node;
+    out.tx = tx_span;
+    return out;
+  }
+
+  const FlowEndRef* find_flow_end(const SpanRef& rx_span) {
+    const auto eit = g_.flow_ends.find(rx_span.track);
+    if (eit == g_.flow_ends.end()) return nullptr;
+    const auto& ends = eit->second;
+    auto it = std::lower_bound(
+        ends.begin(), ends.end(), rx_span.t0 - kEps,
+        [](const FlowEndRef& a, double t) { return a.t < t; });
+    for (; it != ends.end() && it->t <= rx_span.t0 + kEps; ++it) {
+      if (it->label == rx_span.label) return &*it;
+    }
+    return nullptr;
+  }
+
+  const SpanRef* find_span_starting_at(std::uint32_t track, double t,
+                                       std::uint32_t label) {
+    const auto it = g_.spans_by_track.find(track);
+    if (it == g_.spans_by_track.end()) return nullptr;
+    const auto& spans = it->second;
+    auto sit = std::lower_bound(
+        spans.begin(), spans.end(), t - kEps,
+        [](const SpanRef& s, double x) { return s.t0 < x; });
+    for (; sit != spans.end() && sit->t0 <= t + kEps; ++sit) {
+      if (sit->label == label) return &*sit;
+    }
+    return nullptr;
+  }
+
+  /// Split [from, cursor] between uplink-port, downlink-port and plain wire
+  /// time by overlap with the switch ports' busy intervals.
+  void attribute_inflight(double from) {
+    while (cursor_ > std::max(from, ws_) + kEps && steps_ <= kMaxSteps) {
+      const Cover up = cover_at(g_.up_busy, cursor_);
+      if (up.covered) {
+        take(std::max(from, up.boundary), Blame::kUplink);
+        continue;
+      }
+      const Cover dn = cover_at(g_.dn_busy, cursor_);
+      if (dn.covered) {
+        take(std::max(from, dn.boundary), Blame::kDownlink);
+        continue;
+      }
+      double boundary = std::max(up.boundary, dn.boundary);
+      if (boundary >= cursor_ - kEps) boundary = from;  // no progress: close
+      take(std::max(from, boundary), Blame::kWire);
+    }
+    take(from, Blame::kWire);
+  }
+
+  /// Split the send-queue wait [from, cursor] at `node` between recovery
+  /// parking (hold-lane overlap), priority inversion (NIC busy with strictly
+  /// lower-priority gradients) and plain queue wait.
+  void attribute_queue_wait(int node, double from, int priority) {
+    const auto hit = g_.hold.find(node);
+    const std::vector<Interval>* holds =
+        hit == g_.hold.end() ? nullptr : &hit->second;
+    const auto bit = g_.tx_busy.find(node);
+    const std::vector<TxBusy>* busy =
+        bit == g_.tx_busy.end() ? nullptr : &bit->second;
+    while (cursor_ > std::max(from, ws_) + kEps && steps_ <= kMaxSteps) {
+      if (holds != nullptr) {
+        const Cover h = cover_at(*holds, cursor_);
+        if (h.covered) {
+          take(std::max(from, h.boundary), Blame::kRecovery);
+          continue;
+        }
+      }
+      // Spans on one NIC lane are sequential, so only the last span starting
+      // below the cursor can cover it.
+      const TxBusy* cover = nullptr;
+      double boundary = -1e300;
+      if (busy != nullptr) {
+        auto it = std::lower_bound(busy->begin(), busy->end(), cursor_,
+                                   [](const TxBusy& b, double t) {
+                                     return b.lo < t;
+                                   });
+        if (it != busy->begin()) {
+          --it;
+          if (it->hi >= cursor_ - kEps && it->lo < cursor_ - kEps) {
+            cover = &*it;
+          } else {
+            boundary = std::min(it->hi, cursor_);
+          }
+        }
+      }
+      if (cover != nullptr) {
+        const bool inverted = cover->gradient && priority >= 0 &&
+                              cover->priority > priority;
+        take(std::max(from, cover->lo),
+             inverted ? Blame::kInversion : Blame::kSendQueue);
+        continue;
+      }
+      if (boundary >= cursor_ - kEps || boundary <= -1e299) boundary = from;
+      take(std::max(from, boundary), Blame::kSendQueue);
+    }
+    take(from, Blame::kSendQueue);
+  }
+
+  const Lifecycle* group(int worker, std::int64_t slice, std::int64_t iter) {
+    const auto it = g_.groups.find(group_key(worker, slice, iter));
+    return it == g_.groups.end() ? nullptr : &it->second;
+  }
+
+  int priority_of(std::int64_t slice) const {
+    const auto it = g_.slice_priority.find(slice);
+    return it == g_.slice_priority.end() ? -1 : it->second;
+  }
+
+  const Graph& g_;
+  const Tracer& tracer_;
+  IterationBlame& out_;
+  double ws_;
+  double cursor_;
+  int steps_ = 0;
+  std::int64_t& stalls_;
+  int current_worker_ = -1;
+};
+
+}  // namespace
+
+const char* blame_name(Blame b) { return kBlameNames[static_cast<int>(b)]; }
+
+double IterationBlame::attributed() const {
+  double sum = 0.0;
+  for (double s : seconds) sum += s;
+  return sum;
+}
+
+double BlameReport::share(Blame b) const {
+  return total_s > 0.0 ? totals[static_cast<std::size_t>(b)] / total_s : 0.0;
+}
+
+double BlameReport::network_share() const {
+  return share(Blame::kSendQueue) + share(Blame::kInversion) +
+         share(Blame::kWire) + share(Blame::kUplink) + share(Blame::kDownlink);
+}
+
+BlameReport analyze_critical_path(const Tracer& tracer, int skip_iterations) {
+  BlameReport report;
+  report.events_processed = static_cast<std::int64_t>(tracer.events().size());
+  const Graph g = build_graph(tracer, report.problems);
+  if (!report.problems.empty()) return report;
+
+  // Iterations every worker completed.
+  std::size_t n_iters = 0;
+  bool first = true;
+  for (const auto& [w, ends] : g.iter_end) {
+    n_iters = first ? ends.size() : std::min(n_iters, ends.size());
+    first = false;
+  }
+  if (n_iters == 0) {
+    report.problems.push_back("critpath: no complete iterations in trace");
+    return report;
+  }
+  const auto skip = static_cast<std::size_t>(std::max(0, skip_iterations));
+  if (skip >= n_iters) {
+    report.problems.push_back(
+        "critpath: skip_iterations covers every complete iteration");
+    return report;
+  }
+
+  std::vector<int> workers;
+  workers.reserve(g.iter_end.size());
+  for (const auto& [w, ends] : g.iter_end) workers.push_back(w);
+  std::sort(workers.begin(), workers.end());
+
+  const auto global_end = [&](std::size_t i) {
+    double e = -1e300;
+    int binding = 0;
+    for (int w : workers) {
+      const auto& ends = g.iter_end.at(w);
+      if (i < ends.size() && ends[i] > e) {
+        e = ends[i];
+        binding = w;
+      }
+    }
+    return std::make_pair(e, binding);
+  };
+
+  double window_start;
+  if (skip == 0) {
+    window_start = 1e300;
+    for (const auto& [w, t] : g.iter0_start) {
+      window_start = std::min(window_start, t);
+    }
+    if (window_start >= 1e299) window_start = 0.0;
+  } else {
+    window_start = global_end(skip - 1).first;
+  }
+
+  for (std::size_t i = skip; i < n_iters; ++i) {
+    const auto [end, binding] = global_end(i);
+    IterationBlame ib;
+    ib.iteration = static_cast<std::int64_t>(i);
+    ib.window_start = window_start;
+    ib.window_end = end;
+    ib.binding_worker = binding;
+    if (end < window_start - kEps) {
+      report.problems.push_back(
+          "critpath: iteration " + std::to_string(i) +
+          " ends before the previous one (non-monotone finish line)");
+      return report;
+    }
+    Walker walker(g, tracer, ib, window_start, report.chain_stalls);
+    walker.run();
+    report.iterations.push_back(ib);
+    window_start = end;
+  }
+
+  for (const IterationBlame& ib : report.iterations) {
+    for (int c = 0; c < kBlameCount; ++c) {
+      report.totals[static_cast<std::size_t>(c)] +=
+          ib.seconds[static_cast<std::size_t>(c)];
+    }
+    report.total_s += ib.window();
+  }
+  return report;
+}
+
+// -- What-if estimation -----------------------------------------------------
+
+double estimate_mean_iteration(const BlameReport& report,
+                               const std::array<double, kBlameCount>& keep) {
+  if (report.iterations.empty()) return 0.0;
+  double sum = 0.0;
+  for (const IterationBlame& ib : report.iterations) {
+    double t = 0.0;
+    for (int c = 0; c < kBlameCount; ++c) {
+      t += ib.seconds[static_cast<std::size_t>(c)] *
+           keep[static_cast<std::size_t>(c)];
+    }
+    sum += t;
+  }
+  return sum / static_cast<double>(report.iterations.size());
+}
+
+std::vector<WhatIf> standard_what_ifs(const BlameReport& report) {
+  std::vector<WhatIf> panel;
+  if (report.iterations.empty()) return panel;
+  const double measured =
+      report.total_s / static_cast<double>(report.iterations.size());
+  const auto add = [&](const std::string& name,
+                       const std::array<double, kBlameCount>& keep) {
+    WhatIf w;
+    w.name = name;
+    w.estimated_mean_iteration_s = estimate_mean_iteration(report, keep);
+    w.speedup_vs_measured = w.estimated_mean_iteration_s > 0.0
+                                ? measured / w.estimated_mean_iteration_s
+                                : 0.0;
+    panel.push_back(std::move(w));
+  };
+  std::array<double, kBlameCount> keep;
+  keep.fill(1.0);
+  for (Blame b : {Blame::kSendQueue, Blame::kInversion, Blame::kWire,
+                  Blame::kUplink, Blame::kDownlink}) {
+    keep[static_cast<std::size_t>(b)] = 0.0;
+  }
+  add("infinite_bandwidth", keep);
+  keep.fill(1.0);
+  keep[static_cast<std::size_t>(Blame::kServer)] = 0.0;
+  keep[static_cast<std::size_t>(Blame::kAggHold)] = 0.0;
+  add("zero_server", keep);
+  keep.fill(1.0);
+  for (Blame b : {Blame::kSendQueue, Blame::kInversion, Blame::kWire,
+                  Blame::kUplink, Blame::kDownlink}) {
+    keep[static_cast<std::size_t>(b)] = 0.5;
+  }
+  add("network_2x", keep);
+  return panel;
+}
+
+BlameDiff diff_blame(const BlameReport& a, const BlameReport& b) {
+  BlameDiff d;
+  const std::size_t n = std::min(a.iterations.size(), b.iterations.size());
+  d.iterations_compared = static_cast<std::int64_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int c = 0; c < kBlameCount; ++c) {
+      d.delta_seconds[static_cast<std::size_t>(c)] +=
+          b.iterations[i].seconds[static_cast<std::size_t>(c)] -
+          a.iterations[i].seconds[static_cast<std::size_t>(c)];
+    }
+    d.delta_total_s += b.iterations[i].window() - a.iterations[i].window();
+  }
+  return d;
+}
+
+// -- Rendering --------------------------------------------------------------
+
+std::string format_blame(const BlameReport& report) {
+  std::ostringstream out;
+  char buf[256];
+  out << "critical-path blame (seconds per iteration window)\n";
+  std::snprintf(buf, sizeof buf, "%5s %5s %10s", "iter", "bind", "window");
+  out << buf;
+  for (int c = 0; c < kBlameCount; ++c) {
+    std::snprintf(buf, sizeof buf, " %9s", kBlameNames[c]);
+    out << buf;
+  }
+  out << '\n';
+  for (const IterationBlame& ib : report.iterations) {
+    std::snprintf(buf, sizeof buf, "%5lld %5d %10.6f",
+                  static_cast<long long>(ib.iteration), ib.binding_worker,
+                  ib.window());
+    out << buf;
+    for (int c = 0; c < kBlameCount; ++c) {
+      std::snprintf(buf, sizeof buf, " %9.6f",
+                    ib.seconds[static_cast<std::size_t>(c)]);
+      out << buf;
+    }
+    out << '\n';
+  }
+  std::snprintf(buf, sizeof buf, "%5s %5s %10.6f", "total", "", report.total_s);
+  out << buf;
+  for (int c = 0; c < kBlameCount; ++c) {
+    std::snprintf(buf, sizeof buf, " %9.6f",
+                  report.totals[static_cast<std::size_t>(c)]);
+    out << buf;
+  }
+  out << '\n';
+  std::snprintf(buf, sizeof buf, "%5s %5s %10s", "share", "", "100.00%");
+  out << buf;
+  for (int c = 0; c < kBlameCount; ++c) {
+    std::snprintf(buf, sizeof buf, " %8.2f%%",
+                  100.0 * report.share(static_cast<Blame>(c)));
+    out << buf;
+  }
+  out << '\n';
+  std::snprintf(buf, sizeof buf,
+                "network-wait share %.2f%%  chain stalls %lld  events %lld\n",
+                100.0 * report.network_share(),
+                static_cast<long long>(report.chain_stalls),
+                static_cast<long long>(report.events_processed));
+  out << buf;
+  return out.str();
+}
+
+std::string format_what_ifs(const std::vector<WhatIf>& panel) {
+  std::ostringstream out;
+  char buf[160];
+  out << "what-if re-timing (first-order lower bounds)\n";
+  for (const WhatIf& w : panel) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-20s mean iter %9.6f s  speedup %5.2fx\n",
+                  w.name.c_str(), w.estimated_mean_iteration_s,
+                  w.speedup_vs_measured);
+    out << buf;
+  }
+  return out.str();
+}
+
+std::string format_blame_diff(const BlameDiff& diff) {
+  std::ostringstream out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "blame diff over %lld aligned iterations (b - a)\n",
+                static_cast<long long>(diff.iterations_compared));
+  out << buf;
+  for (int c = 0; c < kBlameCount; ++c) {
+    std::snprintf(buf, sizeof buf, "  %-10s %+10.6f s\n", kBlameNames[c],
+                  diff.delta_seconds[static_cast<std::size_t>(c)]);
+    out << buf;
+  }
+  std::snprintf(buf, sizeof buf, "  %-10s %+10.6f s\n", "total",
+                diff.delta_total_s);
+  out << buf;
+  return out.str();
+}
+
+// -- CSV --------------------------------------------------------------------
+
+void write_blame_csv(const BlameReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "iteration,binding_worker,window_s";
+  for (int c = 0; c < kBlameCount; ++c) out << ',' << kBlameNames[c] << "_s";
+  out << '\n';
+  char buf[64];
+  for (const IterationBlame& ib : report.iterations) {
+    out << ib.iteration << ',' << ib.binding_worker;
+    std::snprintf(buf, sizeof buf, ",%.9f", ib.window());
+    out << buf;
+    for (int c = 0; c < kBlameCount; ++c) {
+      std::snprintf(buf, sizeof buf, ",%.9f",
+                    ib.seconds[static_cast<std::size_t>(c)]);
+      out << buf;
+    }
+    out << '\n';
+  }
+}
+
+BlameReport load_blame_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error(path + ": empty blame CSV");
+  }
+  std::string expect = "iteration,binding_worker,window_s";
+  for (int c = 0; c < kBlameCount; ++c) {
+    expect += ',';
+    expect += kBlameNames[c];
+    expect += "_s";
+  }
+  if (line != expect) {
+    throw std::runtime_error(path + ": unexpected blame CSV header");
+  }
+  BlameReport report;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    IterationBlame ib;
+    const auto next = [&]() -> const std::string& {
+      if (!std::getline(row, cell, ',')) {
+        throw std::runtime_error(path + ": short blame CSV row");
+      }
+      return cell;
+    };
+    ib.iteration = std::atoll(next().c_str());
+    ib.binding_worker = std::atoi(next().c_str());
+    ib.window_start = 0.0;
+    ib.window_end = std::atof(next().c_str());
+    for (int c = 0; c < kBlameCount; ++c) {
+      ib.seconds[static_cast<std::size_t>(c)] = std::atof(next().c_str());
+    }
+    report.iterations.push_back(ib);
+  }
+  for (const IterationBlame& ib : report.iterations) {
+    for (int c = 0; c < kBlameCount; ++c) {
+      report.totals[static_cast<std::size_t>(c)] +=
+          ib.seconds[static_cast<std::size_t>(c)];
+    }
+    report.total_s += ib.window();
+  }
+  return report;
+}
+
+}  // namespace p3::obs

@@ -1,0 +1,133 @@
+// Causal critical-path engine over a recorded trace.
+//
+// Reconstructs the causal event graph of one run from a Tracer buffer —
+// compute spans per worker lane, NIC/switch-port spans, flow arrows
+// stitching sender to receiver, and slice-lifecycle records labeling every
+// link with (worker, slice, iteration, priority) — then walks the chain of
+// binding constraints backward from each iteration's finish line and
+// attributes every second of the iteration window to a blame category.
+//
+// The walk is a single backward chain: starting at the global iteration-end
+// event (the last worker to finish its backward pass), each step identifies
+// the activity whose completion released the current one — a compute span, a
+// parameter delivery, a switch-port service, a server round release, a
+// rack-aggregation hold, a send-queue pop — and attributes the interval
+// between them. Segments telescope, so per-iteration blame sums to the
+// iteration window *by construction*; `trace_report --critpath` still
+// re-checks the sum and exits 2 if the invariant ever breaks.
+//
+// On top of the attribution the module offers deterministic what-if
+// estimation (re-time the path under virtual interventions; first-order
+// lower bounds, see docs/OBSERVABILITY.md) and trace differencing (align two
+// runs by iteration, report which categories grew).
+//
+// Scope: the engine assumes a fixed worker roster (every worker runs the
+// same iterations). Traces from elastic/crash runs are analyzed best-effort;
+// unresolvable links fall back to the `other` category rather than failing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/tracer.h"
+
+namespace p3::obs {
+
+/// Blame categories a critical-path segment can land in. Order is the
+/// rendering/CSV column order and is part of the stable output format.
+enum class Blame : int {
+  kForward = 0,   ///< forward-pass compute on the binding chain
+  kBackward,      ///< backward-pass compute on the binding chain
+  kSendQueue,     ///< fragment queued in a worker/aggregator send queue
+  kInversion,     ///< portion of a queue wait spent behind strictly
+                  ///< lower-priority traffic on the same NIC
+  kWire,          ///< NIC serialization, propagation, egress backlog,
+                  ///< notify/pull round trips
+  kUplink,        ///< ToR uplink switch-port service + queueing
+  kDownlink,      ///< downlink (spine -> ToR -> node) port service + queueing
+  kServer,        ///< server receive-queue wait, aggregation, optimizer
+  kAggHold,       ///< rack pre-reduction waiting for member contributions
+  kRecovery,      ///< retransmit waits, partition parking, shed parking
+  kOther,         ///< slack the walk could not attribute (unresolved links)
+};
+inline constexpr int kBlameCount = 11;
+
+/// Stable short name ("forward", "sendq", ...) used in tables and CSVs.
+const char* blame_name(Blame b);
+
+/// Blame attribution of one iteration's critical-path window.
+struct IterationBlame {
+  std::int64_t iteration = 0;
+  TimeS window_start = 0.0;  ///< previous iteration's global finish
+  TimeS window_end = 0.0;    ///< this iteration's global finish
+  int binding_worker = 0;    ///< last worker to finish the backward pass
+  std::array<double, kBlameCount> seconds{};
+
+  double window() const { return window_end - window_start; }
+  double attributed() const;  ///< sum over categories (== window())
+};
+
+/// Whole-run blame report: per-iteration rows plus totals.
+struct BlameReport {
+  std::vector<IterationBlame> iterations;
+  std::array<double, kBlameCount> totals{};
+  double total_s = 0.0;  ///< summed iteration windows
+
+  /// Structural findings (no compute spans, irregular lanes, ...). Non-empty
+  /// means the graph was malformed; trace_report exits 2 on these.
+  std::vector<std::string> problems;
+  /// Chain links the walk could not resolve (fell back to `other`). Not an
+  /// error — elastic/crash traces legitimately stall — but a quality signal.
+  std::int64_t chain_stalls = 0;
+  std::int64_t events_processed = 0;  ///< trace events the graph indexed
+
+  double share(Blame b) const;
+  /// sendq + inversion + wire + uplink + downlink: the share P3 collapses.
+  double network_share() const;
+};
+
+/// Build the blame report. `skip_iterations` drops the warmup prefix (the
+/// first window starts at the skipped prefix's global finish).
+BlameReport analyze_critical_path(const Tracer& tracer,
+                                  int skip_iterations = 0);
+
+/// One what-if intervention: mean per-iteration time if `removed` categories
+/// cost zero and `scaled` categories ran `speedup`x faster. First-order: the
+/// estimate removes the categories' critical-path time without re-running
+/// the schedule, so it is a lower bound on the achievable time.
+struct WhatIf {
+  std::string name;
+  double estimated_mean_iteration_s = 0.0;
+  double speedup_vs_measured = 0.0;
+};
+
+/// Mean per-iteration estimate with each category's path time scaled by
+/// `keep[category]` (1.0 = untouched, 0.0 = removed, 0.5 = twice as fast).
+double estimate_mean_iteration(const BlameReport& report,
+                               const std::array<double, kBlameCount>& keep);
+
+/// The standard panel: infinite bandwidth, zero server time, 2x network.
+std::vector<WhatIf> standard_what_ifs(const BlameReport& report);
+
+/// Iteration-aligned difference of two runs of the same config.
+struct BlameDiff {
+  std::int64_t iterations_compared = 0;
+  std::array<double, kBlameCount> delta_seconds{};  ///< b - a, summed
+  double delta_total_s = 0.0;
+};
+BlameDiff diff_blame(const BlameReport& a, const BlameReport& b);
+
+/// Fixed-format renderers (byte-stable across thread counts and reruns).
+std::string format_blame(const BlameReport& report);
+std::string format_what_ifs(const std::vector<WhatIf>& panel);
+std::string format_blame_diff(const BlameDiff& diff);
+
+/// Blame table as CSV (iteration,window_s,<category>_s...); `load` parses it
+/// back for offline differencing. Throws std::runtime_error on bad files.
+void write_blame_csv(const BlameReport& report, const std::string& path);
+BlameReport load_blame_csv(const std::string& path);
+
+}  // namespace p3::obs

@@ -48,6 +48,21 @@ void Histogram::observe(double v) {
   sum_ += v;
 }
 
+double Histogram::quantile_from_counts(const std::vector<double>& bounds,
+                                       const std::vector<std::int64_t>& counts,
+                                       double q) {
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double need = q * static_cast<double>(total);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < bounds.size() && i < counts.size(); ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) >= need) return bounds[i];
+  }
+  return bounds.empty() ? 0.0 : 2.0 * bounds.back();
+}
+
 Registry::Entry& Registry::entry(const std::string& name, Type type) {
   auto it = by_name_.find(name);
   if (it != by_name_.end()) {
@@ -144,6 +159,9 @@ std::vector<Registry::Row> Registry::snapshot() const {
                            std::to_string(h.bucket_count(h.bounds().size()))});
         rows.push_back(Row{e.name, type, "sum", num(h.sum())});
         rows.push_back(Row{e.name, type, "count", std::to_string(h.count())});
+        rows.push_back(Row{e.name, type, "p50", num(h.p50())});
+        rows.push_back(Row{e.name, type, "p90", num(h.p90())});
+        rows.push_back(Row{e.name, type, "p99", num(h.p99())});
         break;
       }
     }

@@ -70,6 +70,24 @@ class Histogram {
   /// (index bounds().size()) is the overflow bucket.
   std::int64_t bucket_count(std::size_t i) const { return counts_.at(i); }
 
+  /// Bucket-resolution quantile: the smallest bound whose cumulative count
+  /// reaches q * count(). Overflow-bucket quantiles report 2x the last bound
+  /// ("decisively above every bound", and finite so JSON stays parseable);
+  /// an empty histogram reports 0.
+  double quantile(double q) const {
+    return quantile_from_counts(bounds_, counts_, q);
+  }
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+
+  /// Same estimator over an externally accumulated bucket-count vector
+  /// (bounds.size() + 1 entries, the last being overflow) — for windowed
+  /// deltas like the autoscaler's sliding p99.
+  static double quantile_from_counts(const std::vector<double>& bounds,
+                                     const std::vector<std::int64_t>& counts,
+                                     double q);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::int64_t> counts_;

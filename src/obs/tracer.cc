@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/csv.h"
@@ -179,15 +180,20 @@ void Tracer::clear() {
 }
 
 std::vector<std::string> Tracer::validate() const {
-  std::vector<std::string> violations;
+  return validate_accounting().violations;
+}
+
+Tracer::ValidationStats Tracer::validate_accounting() const {
+  ValidationStats stats;
   std::unordered_map<std::int64_t, TimeS> flow_starts;
+  std::unordered_set<std::int64_t> flows_ended;
   for (const auto& e : events_) {
     switch (e.kind) {
       case EventKind::kSpan:
         if (e.t1 < e.t0) {
-          violations.push_back("negative-duration span '" +
-                               labels_.at(e.label) + "' on track '" +
-                               tracks_.at(e.track).name + "'");
+          stats.violations.push_back("negative-duration span '" +
+                                     labels_.at(e.label) + "' on track '" +
+                                     tracks_.at(e.track).name + "'");
         }
         break;
       case EventKind::kFlowStart: {
@@ -198,12 +204,13 @@ std::vector<std::string> Tracer::validate() const {
       case EventKind::kFlowEnd: {
         auto it = flow_starts.find(e.flow);
         if (it == flow_starts.end()) {
-          violations.push_back("flow end without a start (id " +
-                               std::to_string(e.flow) + ")");
+          stats.violations.push_back("flow end without a start (id " +
+                                     std::to_string(e.flow) + ")");
         } else if (e.t0 < it->second) {
-          violations.push_back("flow " + std::to_string(e.flow) +
-                               " ends before it starts");
+          stats.violations.push_back("flow " + std::to_string(e.flow) +
+                                     " ends before it starts");
         }
+        flows_ended.insert(e.flow);
         break;
       }
       case EventKind::kInstant:
@@ -211,7 +218,12 @@ std::vector<std::string> Tracer::validate() const {
         break;
     }
   }
-  return violations;
+  stats.flows_started = static_cast<std::int64_t>(flow_starts.size());
+  stats.flows_ended = static_cast<std::int64_t>(flows_ended.size());
+  for (const auto& [id, t] : flow_starts) {
+    if (flows_ended.find(id) == flows_ended.end()) ++stats.flows_in_flight;
+  }
+  return stats;
 }
 
 void Tracer::write_chrome_json(std::ostream& out) const {

@@ -144,6 +144,19 @@ class Tracer {
   /// the run stopped). Returns human-readable violations (empty == valid).
   std::vector<std::string> validate() const;
 
+  /// validate() plus flow accounting. `flows_in_flight` counts flow starts
+  /// that never saw a matching end — not a violation (the run may simply
+  /// have stopped with messages on the wire), but a truncated trace drops
+  /// exactly these edges from any causal-graph reconstruction, so consumers
+  /// (trace_report, critpath) surface the number instead of hiding it.
+  struct ValidationStats {
+    std::vector<std::string> violations;
+    std::int64_t flows_started = 0;
+    std::int64_t flows_ended = 0;
+    std::int64_t flows_in_flight = 0;  ///< started, never ended
+  };
+  ValidationStats validate_accounting() const;
+
   // -- Export ---------------------------------------------------------------
   /// Chrome trace-event JSON (the format Perfetto and chrome://tracing
   /// load). Timestamps are microseconds; tracks map to pid/tid pairs with

@@ -84,15 +84,9 @@ double Autoscaler::windowed_p99() {
     }
   }
   if (total == 0) return last_p99_;  // no fresh signal: carry the estimate
-  const double need = 0.99 * static_cast<double>(total);
-  std::int64_t cum = 0;
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    cum += acc[i];
-    if (static_cast<double>(cum) >= need) return h->bounds()[i];
-  }
-  // The window's tail lands in the overflow bucket: report something
-  // decisively above every bound so any sane SLO reads as violated.
-  return 2.0 * h->bounds().back();
+  // Overflow-bucket windows report 2x the last bound: decisively above
+  // every bound, so any sane SLO reads as violated.
+  return obs::Histogram::quantile_from_counts(h->bounds(), acc, 0.99);
 }
 
 double Autoscaler::max_queue_depth() const {

@@ -1,5 +1,7 @@
 #include "ps/cluster.h"
 
+#include "obs/critpath.h"
+
 #include <algorithm>
 #include <limits>
 #include <optional>
@@ -776,6 +778,7 @@ sim::Task Cluster::worker_sender(int w) {
         // retransmission timer stays quiet until a revival beacon drains
         // the parking lot. Permanently-down destinations are not parked:
         // the legacy drop path applies.
+        item.parked_at = sim_.now();
         parked_[wn].push_back(item);
         ++parked_pushes_;
         continue;
@@ -803,6 +806,7 @@ sim::Task Cluster::worker_sender(int w) {
       // competing for the saturated link. They re-enter the send queue at
       // expiry — delayed contributions, never dropped (the ledger's
       // per-worker cap keeps the merge exactly-once regardless).
+      item.parked_at = sim_.now();
       shed_parked_[wn].push_back(item);
       ++*sheds_;
       continue;
@@ -846,6 +850,7 @@ sim::Task Cluster::worker_sender(int w) {
       // Fresh push toward a view-dead (but returning) destination: park the
       // queue item itself; on revival it re-enters the send queue and the
       // destination re-resolves against the then-current leadership view.
+      item.parked_at = sim_.now();
       parked_[wn].push_back(item);
       ++parked_pushes_;
       continue;
@@ -1230,6 +1235,9 @@ void Cluster::enqueue_agg_push(int agg, std::int64_t slice,
     item.priority = item_priority(slice);
     item.seq = ws.send_seq++;
     item.agg_id = id;
+    if (tracing()) {
+      lc(obs::Stage::kEnqueue, agg, slice, iteration, item.payload);
+    }
     ws.sendq.push(item);
     sendq_depth_changed(agg, +1);
     remaining -= item.payload;
@@ -2422,6 +2430,9 @@ void Cluster::unpark_worker(int w) {
     // Original sequence numbers are kept, so a parked push re-enters the
     // priority queue exactly where it would have competed; the sender
     // re-evaluates the (possibly still-dead, possibly re-led) destination.
+    if (tracing() && item.parked_at > 0.0) {
+      tracer_->span(lane("w", w, ".hold"), item.parked_at, sim_.now(), "park");
+    }
     ws.sendq.push(item);
     sendq_depth_changed(w, +1);
   }
@@ -3030,6 +3041,10 @@ void Cluster::unshed_all() {
     }
     auto& ws = *workers_[static_cast<std::size_t>(w)];
     for (auto& item : parked) {
+      if (tracing() && item.parked_at > 0.0) {
+        tracer_->span(lane("w", w, ".hold"), item.parked_at, sim_.now(),
+                      "shed");
+      }
       ws.sendq.push(std::move(item));
       sendq_depth_changed(w, 1);
     }
@@ -3359,6 +3374,37 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   result.duplicates_suppressed = duplicates_suppressed_.value();
   result.goodput_bytes = goodput_bytes_.value();
   result.wire_bytes = net_->bytes_posted();
+  if (tracing()) {
+    // Blame attribution over the measured iterations. Gauges are get-or-
+    // created here, so untraced runs keep byte-identical registry snapshots.
+    const obs::BlameReport blame =
+        obs::analyze_critical_path(*tracer_, warmup_iterations);
+    if (blame.problems.empty() && !blame.iterations.empty()) {
+      result.blame_iterations =
+          static_cast<std::int64_t>(blame.iterations.size());
+      result.blame_chain_stalls = blame.chain_stalls;
+      result.blame_total_s = blame.total_s;
+      result.blame_forward_share = blame.share(obs::Blame::kForward);
+      result.blame_backward_share = blame.share(obs::Blame::kBackward);
+      result.blame_sendq_share = blame.share(obs::Blame::kSendQueue);
+      result.blame_inversion_share = blame.share(obs::Blame::kInversion);
+      result.blame_wire_share = blame.share(obs::Blame::kWire);
+      result.blame_uplink_share = blame.share(obs::Blame::kUplink);
+      result.blame_downlink_share = blame.share(obs::Blame::kDownlink);
+      result.blame_server_share = blame.share(obs::Blame::kServer);
+      result.blame_agghold_share = blame.share(obs::Blame::kAggHold);
+      result.blame_recovery_share = blame.share(obs::Blame::kRecovery);
+      result.blame_other_share = blame.share(obs::Blame::kOther);
+      result.blame_network_share = blame.network_share();
+      for (int c = 0; c < obs::kBlameCount; ++c) {
+        registry_.gauge(std::string("blame.") +
+                        obs::blame_name(static_cast<obs::Blame>(c)) +
+                        "_share")
+            .set(blame.share(static_cast<obs::Blame>(c)));
+      }
+      registry_.gauge("blame.network_share").set(result.blame_network_share);
+    }
+  }
   return result;
 }
 

@@ -293,6 +293,26 @@ struct RunResult {
   /// Sim times of the autoscaler's scale decisions, for flap auditing
   /// (consecutive entries must be >= cooldown apart).
   std::vector<TimeS> scale_decision_times;
+
+  // Critical-path blame attribution (zero unless a tracer was attached; see
+  // obs::analyze_critical_path). Shares are fractions of the summed measured
+  // iteration windows.
+  std::int64_t blame_iterations = 0;   ///< iterations the walk attributed
+  std::int64_t blame_chain_stalls = 0; ///< unresolved causal links
+  double blame_total_s = 0.0;          ///< summed iteration windows
+  double blame_forward_share = 0.0;
+  double blame_backward_share = 0.0;
+  double blame_sendq_share = 0.0;
+  double blame_inversion_share = 0.0;
+  double blame_wire_share = 0.0;
+  double blame_uplink_share = 0.0;
+  double blame_downlink_share = 0.0;
+  double blame_server_share = 0.0;
+  double blame_agghold_share = 0.0;
+  double blame_recovery_share = 0.0;
+  double blame_other_share = 0.0;
+  /// sendq + inversion + wire + uplink + downlink: the share P3 collapses.
+  double blame_network_share = 0.0;
 };
 
 class Cluster {
@@ -464,6 +484,9 @@ class Cluster {
     /// because state died somewhere, and waiting for rack peers that will
     /// never re-push the same round would wedge the fold.
     bool direct = false;
+    /// Sim time this item entered a parking lot (partition park or shed);
+    /// 0 = never parked. Feeds the traced "w{w}.hold" recovery spans.
+    TimeS parked_at = 0.0;
   };
   struct SendOrder {
     bool operator()(const SendItem& a, const SendItem& b) const {

@@ -4,9 +4,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "model/zoo.h"
+#include "obs/tracer.h"
+#include "ps/cluster.h"
 
 namespace p3::obs {
 namespace {
@@ -195,6 +200,48 @@ TEST(FormatReport, ContainsTables) {
   EXPECT_NE(text.find("Per-priority latency breakdown"), std::string::npos);
   EXPECT_NE(text.find("Priority inversions: 0"), std::string::npos);
   EXPECT_NE(text.find("Send-queue depth"), std::string::npos);
+}
+
+TEST(Analyze, RackAggregationKeepsMemberSlicePriorities) {
+  // Rack aggregation folds member pushes into one combined kRackPush per
+  // rack; the per-priority breakdown must still attribute each member
+  // slice's wire/queue time to that slice's own priority, not collapse the
+  // whole rack onto the combined message's priority.
+  model::Workload workload;
+  workload.model = model::toy_uniform(4, 120'000);
+  workload.batch_per_worker = 4;
+  workload.iter_compute_time = 0.020;
+  ps::ClusterConfig cfg;
+  cfg.n_workers = 4;
+  cfg.method = core::SyncMethod::kP3;
+  cfg.bandwidth = gbps(2.0);
+  cfg.latency = us(25);
+  cfg.slice_params = 50'000;
+  cfg.max_sim_time = 60.0;
+  cfg.topology.racks = {{0, 1}, {2, 3}};
+  cfg.topology.oversubscription = 2.0;
+  cfg.rack_aggregation = true;
+
+  ps::Cluster cluster(workload, cfg);
+  Tracer tracer;
+  cluster.attach_tracer(&tracer);
+  cluster.run(1, 3);
+
+  const Report report = analyze(tracer.lifecycle_records());
+  EXPECT_GT(report.round_trips, 0);
+  // The toy model has 4 layers, so P3 slicing yields at least 4 distinct
+  // priority classes; every class must complete round trips of its own.
+  std::set<std::int32_t> priorities;
+  int classes_with_wire_time = 0;
+  for (const StageBreakdown& b : report.per_priority) {
+    EXPECT_GT(b.round_trips, 0);
+    priorities.insert(b.priority);
+    if (b.mean_wire_s > 0.0) ++classes_with_wire_time;
+  }
+  EXPECT_GE(priorities.size(), 4u);
+  // Wire time spread over several classes is the proof the combined push
+  // did not swallow the members' attribution.
+  EXPECT_GE(classes_with_wire_time, 2);
 }
 
 }  // namespace

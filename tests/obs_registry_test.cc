@@ -64,6 +64,58 @@ TEST(Histogram, BucketsByUpperBoundWithOverflow) {
   EXPECT_EQ(h.bucket_count(3), 1);  // overflow bucket
 }
 
+TEST(Histogram, QuantilesAtBucketResolution) {
+  Histogram h({0.1, 0.5, 1.0});
+  for (int i = 0; i < 90; ++i) h.observe(0.05);  // first bucket
+  for (int i = 0; i < 9; ++i) h.observe(0.4);    // second bucket
+  h.observe(2.0);                                // overflow
+  // Quantiles resolve to the smallest bound covering the rank.
+  EXPECT_DOUBLE_EQ(h.p50(), 0.1);
+  EXPECT_DOUBLE_EQ(h.p90(), 0.1);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.5);
+  // Ranks landing in the overflow bucket report 2x the last bound.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::quantile_from_counts({}, {}, 0.99), 0.0);
+}
+
+TEST(Histogram, QuantileFromExternalCounts) {
+  // The static form serves windowed deltas (autoscaler): same semantics as
+  // the member accessors over an accumulated count vector.
+  const std::vector<double> bounds = {0.1, 0.2, 0.4};
+  const std::vector<std::int64_t> counts = {5, 0, 4, 1};  // last = overflow
+  EXPECT_DOUBLE_EQ(Histogram::quantile_from_counts(bounds, counts, 0.50), 0.1);
+  EXPECT_DOUBLE_EQ(Histogram::quantile_from_counts(bounds, counts, 0.90), 0.4);
+  EXPECT_DOUBLE_EQ(Histogram::quantile_from_counts(bounds, counts, 0.99), 0.8);
+}
+
+TEST(Registry, SnapshotHistogramQuantileRows) {
+  Registry r;
+  auto& h = r.histogram("lat", {0.5, 1.0});
+  for (int i = 0; i < 90; ++i) h.observe(0.2);
+  for (int i = 0; i < 10; ++i) h.observe(0.8);
+  bool saw_p50 = false, saw_p90 = false, saw_p99 = false;
+  for (const auto& row : r.snapshot()) {
+    if (row.metric != "lat") continue;
+    if (row.field == "p50") {
+      saw_p50 = true;
+      EXPECT_EQ(row.value, "0.5");
+    }
+    if (row.field == "p90") saw_p90 = true;
+    if (row.field == "p99") {
+      saw_p99 = true;
+      EXPECT_EQ(row.value, "1");
+    }
+  }
+  EXPECT_TRUE(saw_p50);
+  EXPECT_TRUE(saw_p90);
+  EXPECT_TRUE(saw_p99);
+}
+
 TEST(Histogram, MeanOfEmptyIsZero) {
   Histogram h({1.0});
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);

@@ -111,6 +111,31 @@ TEST(Tracer, ValidateAllowsUnmatchedFlowStart) {
   EXPECT_TRUE(t.validate().empty());
 }
 
+TEST(Tracer, ValidateAccountingCountsInFlightFlows) {
+  // validate() stays silent about unmatched starts; the accounting mode
+  // reports how many causal edges a truncated trace is missing.
+  Tracer t;
+  t.flow_start("n0.tx", 1.0, 1, "push");
+  t.flow_end("n1.rx", 2.0, 1, "push");
+  t.flow_start("n0.tx", 3.0, 2, "in-flight");
+  t.flow_start("n2.tx", 4.0, 3, "in-flight");
+  const Tracer::ValidationStats stats = t.validate_accounting();
+  EXPECT_TRUE(stats.violations.empty());
+  EXPECT_EQ(stats.flows_started, 3);
+  EXPECT_EQ(stats.flows_ended, 1);
+  EXPECT_EQ(stats.flows_in_flight, 2);
+}
+
+TEST(Tracer, ValidateAccountingMatchesValidateViolations) {
+  Tracer t;
+  t.flow_end("n1.rx", 1.0, 7, "orphan");
+  const Tracer::ValidationStats stats = t.validate_accounting();
+  EXPECT_EQ(stats.violations, t.validate());
+  EXPECT_EQ(stats.flows_started, 0);
+  EXPECT_EQ(stats.flows_ended, 1);
+  EXPECT_EQ(stats.flows_in_flight, 0);
+}
+
 TEST(Tracer, ValidateCatchesBackwardsFlow) {
   Tracer t;
   t.flow_start("n0.tx", 2.0, 5, "push");
