@@ -156,7 +156,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> header = {
       "method",  "fabric",   "Gbps",     "iter_s",  "forward", "backward",
       "sendq",   "inversion", "wire",    "uplink",  "downlink", "server",
-      "agghold", "recovery", "other",    "net_share"};
+      "agghold", "recovery", "sspwait",  "other",    "net_share"};
   Table table(header);
   CsvWriter csv(bench::out("ext_critpath_blame.csv"), header);
   int malformed = 0;

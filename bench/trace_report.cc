@@ -24,6 +24,9 @@
 //                   inversions == 0, aggregation conserves gradients)
 //   --autoscale     canned drain drill (gates: conservation, clean retire,
 //                   invariant 12, cooldown spacing)
+//   --dssp          canned straggler+crash drill under the DSSP staleness
+//                   gate (gates: staleness_violations == 0,
+//                   gate_wedge_ticks == 0, conservation — invariant 13)
 //   --critpath      causal critical-path engine: per-iteration blame table,
 //                   what-if panel, and (with --diff FILE) trace differencing
 //                   against an earlier blame CSV. Gates: well-formed causal
@@ -294,6 +297,72 @@ void autoscale_audit(DrillContext& ctx, std::vector<std::string>& problems) {
   }
 }
 
+// -- dssp --------------------------------------------------------------------
+
+bool dssp_active(const DrillContext& ctx) {
+  return ctx.opts->raw().flag("dssp");
+}
+
+void dssp_setup(DrillContext& ctx) {
+  // Canned straggler+crash drill for the DSSP staleness gate: worker 3
+  // limps on a halved NIC for the whole run (a live straggler the gate
+  // must manage — heartbeats still flow, so it stays in the eligible set)
+  // while worker 1 crashes at 0.1 s and restarts 50 ms later (a dead
+  // straggler the gate must exclude and re-admit at the rejoin floor).
+  // Overrides method and topology knobs — the audit is only meaningful
+  // with the gate on and replicated recovery armed.
+  ps::ClusterConfig& cfg = *ctx.cfg;
+  cfg.method = core::SyncMethod::kDSSP;
+  cfg.n_workers = 4;
+  cfg.replication = std::max(cfg.replication, 2);
+  cfg.heartbeat_period = ms(5);
+  cfg.suspicion_timeout = ms(25);
+  cfg.staleness.s_min = 0;
+  cfg.staleness.s_max = 3;
+  cfg.staleness.window = 4;
+  cfg.staleness.decay_patience = 5;
+  net::Degradation deg;
+  deg.node = 3;
+  deg.start = 0.0;
+  deg.end = 600.0;
+  deg.bandwidth_factor = 0.5;
+  deg.extra_latency = us(100);
+  cfg.faults.degradations.push_back(deg);
+  cfg.faults.crashes.push_back({1, 0.1, 0.05});
+}
+
+void dssp_audit(DrillContext& ctx, std::vector<std::string>& problems) {
+  const ps::RunResult& run = *ctx.run;
+  std::printf("dssp: %lld gate block(s), %lld raise(s), %lld decay(s), "
+              "final bound %lld, mean wait %.6f s, %lld violation(s), "
+              "%lld wedge tick(s)\n",
+              static_cast<long long>(run.dssp_gate_blocks),
+              static_cast<long long>(run.staleness_raises),
+              static_cast<long long>(run.staleness_decays),
+              static_cast<long long>(run.final_staleness_bound),
+              run.mean_gate_wait,
+              static_cast<long long>(run.staleness_violations),
+              static_cast<long long>(run.gate_wedge_ticks));
+  // Invariant 13 ground truth: no worker ever computed past the bound the
+  // gate promised, and no fault plane wedged the gate.
+  if (run.staleness_violations > 0) {
+    problems.push_back("dssp: staleness_violations = " +
+                       std::to_string(run.staleness_violations) +
+                       " (a worker ran past the promised bound; "
+                       "invariant 13)");
+  }
+  if (run.gate_wedge_ticks > 0) {
+    problems.push_back("dssp: gate_wedge_ticks = " +
+                       std::to_string(run.gate_wedge_ticks) +
+                       " (every eligible worker stuck behind the floor "
+                       "across consecutive audits; invariant 13)");
+  }
+  // Park-never-drop: run-ahead pushes buffered through the straggle and
+  // the crash must all land — no slice may fall short of one advance per
+  // round.
+  audit_conservation(ctx, "dssp", problems);
+}
+
 // -- critpath ----------------------------------------------------------------
 
 bool critpath_active(const DrillContext& ctx) {
@@ -345,6 +414,7 @@ constexpr Drill kDrills[] = {
      autoscale_audit},
     {"hierarchy", hierarchy_active, false, true, hierarchy_setup,
      hierarchy_audit},
+    {"dssp", dssp_active, true, true, dssp_setup, dssp_audit},
     {"critpath", critpath_active, false, false, no_setup, critpath_audit},
 };
 
@@ -379,6 +449,7 @@ int main(int argc, char** argv) {
                             {"partition", ""},
                             {"hierarchy", ""},
                             {"autoscale", ""},
+                            {"dssp", ""},
                             {"critpath", ""},
                             {"diff", ""},
                             {"out", ""},

@@ -1,8 +1,29 @@
 #include "core/sync_method.h"
 
+#include <algorithm>
+#include <array>
+#include <cctype>
 #include <stdexcept>
 
 namespace p3::core {
+
+namespace {
+
+constexpr std::array<SyncMethod, 6> kAllMethods = {
+    SyncMethod::kBaseline,     SyncMethod::kSlicingOnly,
+    SyncMethod::kP3,           SyncMethod::kTensorFlowStyle,
+    SyncMethod::kPoseidonWFBP, SyncMethod::kDSSP,
+};
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
 
 SyncConfig sync_config(SyncMethod method) {
   SyncConfig cfg;
@@ -19,6 +40,10 @@ SyncConfig sync_config(SyncMethod method) {
       cfg.immediate_broadcast = true;
       break;
     case SyncMethod::kP3:
+    case SyncMethod::kDSSP:
+      // DSSP rides the full P3 transport (sliced, priority-scheduled,
+      // immediate broadcast); what changes is the synchronization barrier,
+      // which the cluster engine relaxes to a bounded-staleness gate.
       cfg.slicing = true;
       cfg.priority = true;
       cfg.immediate_broadcast = true;
@@ -42,17 +67,24 @@ std::string sync_method_name(SyncMethod method) {
       return "TensorFlow";
     case SyncMethod::kPoseidonWFBP:
       return "Poseidon";
+    case SyncMethod::kDSSP:
+      return "DSSP";
   }
   throw std::invalid_argument("unknown sync method");
 }
 
 SyncMethod parse_sync_method(const std::string& name) {
-  for (SyncMethod m :
-       {SyncMethod::kBaseline, SyncMethod::kSlicingOnly, SyncMethod::kP3,
-        SyncMethod::kTensorFlowStyle, SyncMethod::kPoseidonWFBP}) {
-    if (sync_method_name(m) == name) return m;
+  const std::string needle = lower(name);
+  for (SyncMethod m : kAllMethods) {
+    if (lower(sync_method_name(m)) == needle) return m;
   }
-  throw std::invalid_argument("unknown sync method: " + name);
+  std::string valid;
+  for (SyncMethod m : kAllMethods) {
+    if (!valid.empty()) valid += ", ";
+    valid += sync_method_name(m);
+  }
+  throw std::invalid_argument("unknown sync method: " + name +
+                              " (valid: " + valid + ")");
 }
 
 }  // namespace p3::core

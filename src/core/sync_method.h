@@ -10,11 +10,15 @@
 //   P3                  x        x         x            -
 //   TensorFlowStyle     -        -         -            x
 //   PoseidonWFBP        -        -         -            -
+//   DSSP                x        x         x            -
 //
 // Baseline/Poseidon both implement wait-free backpropagation (gradients of a
 // layer are pushed as soon as its backward completes); TensorFlowStyle
 // additionally defers all parameter pulls to the start of the next graph
 // execution, the bidirectional-underuse behaviour described in Section 2.
+// DSSP keeps the P3 transport but replaces the BSP barrier with a dynamic
+// bounded-staleness gate (Zhao et al., arXiv:1908.11848); the gate itself
+// lives in ps::Cluster and is configured through ps::StalenessConfig.
 #pragma once
 
 #include <string>
@@ -27,6 +31,7 @@ enum class SyncMethod {
   kP3,
   kTensorFlowStyle,
   kPoseidonWFBP,
+  kDSSP,
 };
 
 struct SyncConfig {
@@ -43,8 +48,9 @@ SyncConfig sync_config(SyncMethod method);
 /// labels used in the paper's figures.
 std::string sync_method_name(SyncMethod method);
 
-/// Parse a name (case-sensitive, as printed by sync_method_name) back to a
-/// method; throws std::invalid_argument on unknown names.
+/// Parse a name back to a method. Matching is case-insensitive ("p3",
+/// "dssp" and "P3", "DSSP" are all accepted); unknown names throw
+/// std::invalid_argument with a message listing every valid method.
 SyncMethod parse_sync_method(const std::string& name);
 
 }  // namespace p3::core

@@ -25,8 +25,8 @@ constexpr double kEps = 1e-9;
 constexpr int kMaxSteps = 1'000'000;
 
 const char* kBlameNames[kBlameCount] = {
-    "forward", "backward", "sendq",  "inversion", "wire",  "uplink",
-    "downlink", "server",  "agghold", "recovery",  "other",
+    "forward",  "backward", "sendq",   "inversion", "wire",    "uplink",
+    "downlink", "server",   "agghold", "recovery",  "sspwait", "other",
 };
 
 struct SpanRef {
@@ -178,6 +178,7 @@ struct Graph {
   std::unordered_map<int, std::vector<SpanRef>> rx, tx, srv;
   std::unordered_map<int, std::vector<SpanRef>> folds;  // agg fold marks
   std::unordered_map<int, std::vector<Interval>> hold;  // park/shed windows
+  std::unordered_map<int, std::vector<Interval>> ssp;   // DSSP gate blocks
   std::unordered_map<int, std::vector<TxBusy>> tx_busy;
   std::vector<Interval> up_busy, dn_busy;
 
@@ -219,7 +220,7 @@ Graph build_graph(const Tracer& tracer, std::vector<std::string>& problems) {
 
   struct LaneKind {
     char cls = 0;  ///< 'c' cmp, 'r' rx, 't' tx, 's' srv, 'a' agg, 'h' hold,
-                   ///< 'u' up-port, 'd' dn-port, 0 ignored
+                   ///< 'S' ssp gate, 'u' up-port, 'd' dn-port, 0 ignored
     int id = 0;
   };
   std::vector<LaneKind> lanes(tracer.tracks().size());
@@ -232,6 +233,7 @@ Graph build_graph(const Tracer& tracer, std::vector<std::string>& problems) {
     lk.id = id;
     if (prefix == 'w' && suffix == ".cmp") lk.cls = 'c';
     if (prefix == 'w' && suffix == ".hold") lk.cls = 'h';
+    if (prefix == 'w' && suffix == ".ssp") lk.cls = 'S';
     if (prefix == 'n' && suffix == ".rx") lk.cls = 'r';
     if (prefix == 'n' && suffix == ".tx") lk.cls = 't';
     if (prefix == 'n' && suffix == ".srv") lk.cls = 's';
@@ -242,7 +244,7 @@ Graph build_graph(const Tracer& tracer, std::vector<std::string>& problems) {
   }
 
   std::vector<Interval> up_raw, dn_raw;
-  std::unordered_map<int, std::vector<Interval>> hold_raw;
+  std::unordered_map<int, std::vector<Interval>> hold_raw, ssp_raw;
   std::unordered_map<int, std::vector<SpanRef>> cmp_raw;
   for (const Event& e : tracer.events()) {
     const LaneKind lk = lanes[e.track];
@@ -276,6 +278,9 @@ Graph build_graph(const Tracer& tracer, std::vector<std::string>& problems) {
             break;
           case 'h':
             hold_raw[lk.id].push_back({e.t0, e.t1});
+            break;
+          case 'S':
+            ssp_raw[lk.id].push_back({e.t0, e.t1});
             break;
           case 'u':
             up_raw.push_back({e.t0, e.t1});
@@ -320,6 +325,7 @@ Graph build_graph(const Tracer& tracer, std::vector<std::string>& problems) {
     });
   }
   for (auto& [w, v] : hold_raw) g.hold[w] = merge_intervals(std::move(v));
+  for (auto& [w, v] : ssp_raw) g.ssp[w] = merge_intervals(std::move(v));
   g.up_busy = merge_intervals(std::move(up_raw));
   g.dn_busy = merge_intervals(std::move(dn_raw));
 
@@ -507,6 +513,17 @@ class Walker {
     const double prev_end = has_prev ? (sit - 2)->t1 : -1e300;
     if (cursor_ <= prev_end + kEps) return worker;  // back-to-back spans
     if (s.forward) {
+      // DSSP staleness gate: when the gap below a forward span lands inside
+      // a blocked window on the worker's ssp lane, the min-clock floor — not
+      // a parameter delivery — was the binding constraint.
+      const auto sspit = g_.ssp.find(worker);
+      if (sspit != g_.ssp.end()) {
+        const Cover sc = cover_at(sspit->second, cursor_);
+        if (sc.covered) {
+          take(sc.boundary, Blame::kSspWait);
+          return done() ? -1 : worker;
+        }
+      }
       const int next = resolve_gate(worker, s.layer, s.iter);
       if (next != kGateUnresolved) return next;
     }

@@ -51,9 +51,10 @@ enum class Blame : int {
   kServer,        ///< server receive-queue wait, aggregation, optimizer
   kAggHold,       ///< rack pre-reduction waiting for member contributions
   kRecovery,      ///< retransmit waits, partition parking, shed parking
+  kSspWait,       ///< DSSP staleness gate: blocked on the min-clock floor
   kOther,         ///< slack the walk could not attribute (unresolved links)
 };
-inline constexpr int kBlameCount = 11;
+inline constexpr int kBlameCount = 12;
 
 /// Stable short name ("forward", "sendq", ...) used in tables and CSVs.
 const char* blame_name(Blame b);

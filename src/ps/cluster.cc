@@ -98,6 +98,9 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   if (cfg_.rejoin_slack < 0) {
     throw std::invalid_argument("negative rejoin slack");
   }
+  if (cfg_.method == core::SyncMethod::kDSSP) {
+    cfg_.staleness.validate();
+  }
   if (cfg_.max_sim_time < 0.0) {
     throw std::invalid_argument("negative simulation time limit");
   }
@@ -250,11 +253,15 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
   // exactly when a crash is planned, shards are replicated, or a test
   // forces it — otherwise nothing new is spawned and runs stay
   // bit-identical to the pre-membership engine.
+  // DSSP always arms it: the staleness gate's liveness contract leans on
+  // membership views (dead stragglers and minority-fenced workers leave the
+  // min-clock through suspicion / quorum, never by fiat).
+  dssp_on_ = cfg_.method == core::SyncMethod::kDSSP;
   membership_on_ = cfg_.force_membership || cfg_.replication > 1 ||
                    !cfg_.faults.crashes.empty() ||
                    !cfg_.faults.joins.empty() ||
                    !cfg_.faults.leaves.empty() || cfg_.autoscaler.enabled ||
-                   cfg_.faults.lease_duration.has_value();
+                   cfg_.faults.lease_duration.has_value() || dssp_on_;
   leases_on_ = membership_on_ && cfg_.faults.lease_duration.has_value();
   lease_len_ = leases_on_ ? *cfg_.faults.lease_duration : 0.0;
   // Partition degraded mode (parking, echo-gated self-leases, quorum-gated
@@ -428,6 +435,30 @@ Cluster::Cluster(model::Workload workload, ClusterConfig config)
       }
       autoscaler_ = std::make_unique<Autoscaler>(acfg, &registry_);
     }
+  }
+
+  // DSSP bounded-staleness gate: state, controller and metrics exist only
+  // for the DSSP method, so every other method keeps the exact pre-DSSP
+  // event sequence and registry contents.
+  if (dssp_on_) {
+    staleness_ = std::make_unique<StalenessController>(cfg_.staleness);
+    dssp_gate_ = std::make_unique<sim::VersionGate>(sim_);
+    dssp_clock_.assign(static_cast<std::size_t>(n_total_workers()), -1);
+    dssp_blocked_.assign(static_cast<std::size_t>(n_total_workers()), false);
+    dssp_need_.assign(static_cast<std::size_t>(n_total_workers()), 0);
+    dssp_future_.resize(static_cast<std::size_t>(n_total_servers()));
+    dssp_gate_blocks_ = &registry_.counter("dssp.gate_blocks");
+    staleness_violations_ = &registry_.counter("dssp.staleness_violations");
+    gate_wedge_ticks_ = &registry_.counter("dssp.gate_wedge_ticks");
+    dssp_wait_hist_ = &registry_.histogram(
+        "dssp.gate_wait_s",
+        {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.5, 1.0});
+    for (int w = 0; w < n_total_workers(); ++w) {
+      dssp_gap_gauge_.push_back(
+          &registry_.gauge(lane("w", w, ".dssp_clock_gap")));
+    }
+  } else {
+    dssp_clock_.assign(static_cast<std::size_t>(n_total_workers()), -1);
   }
 }
 
@@ -699,15 +730,50 @@ sim::Task Cluster::worker_loop(int w, std::int64_t start_iter) {
   const auto wn = static_cast<std::size_t>(w);
   const std::int64_t my_epoch = node_state_[wn].epoch;
   const int layers = workload_.model.num_layers();
+  if (dssp_on_) dssp_set_clock(w, start_iter);  // (re)enter the min-clock
   for (std::int64_t iter = start_iter; iter < target_iterations_; ++iter) {
     const double jitter = jitter_factor(ws);
     const TimeS iter_t0 = sim_.now();
     TimeS stall = 0.0;
+    std::int64_t fwd_floor = iter;
+    if (dssp_on_) {
+      // --- DSSP staleness gate ---
+      // Entering iteration `iter` at clock `iter`: block until the monotone
+      // floor of the min eligible clock reaches `iter - s`, with s captured
+      // from the controller at block time.
+      dssp_set_clock(w, iter);
+      const std::int64_t s = staleness_->bound();
+      const std::int64_t need = iter - s;
+      const TimeS gate_t0 = sim_.now();
+      if (need > dssp_gate_->version()) {
+        ++(*dssp_gate_blocks_);
+        dssp_blocked_[wn] = true;
+        dssp_need_[wn] = need;
+        co_await dssp_gate_->wait_for(need);
+        if (node_state_[wn].epoch != my_epoch) co_return;  // crashed gated
+        dssp_blocked_[wn] = false;
+        if (tracing()) {
+          tracer_->span(lane("w", w, ".ssp"), gate_t0, sim_.now(), "ssp");
+        }
+      }
+      const TimeS waited = sim_.now() - gate_t0;
+      // Ground-truth bound audit: a fresh re-derivation of the floor must
+      // cover what the gate just released (PROTOCOL.md inv. 13).
+      if (need > dssp_advance_gate()) ++(*staleness_violations_);
+      dssp_wait_hist_->observe(waited);
+      dssp_wait_sum_ += waited;
+      ++dssp_passages_;
+      staleness_->observe(sim_.now(), waited);
+      // The forward pass runs on parameters up to s rounds stale (the SSP
+      // relaxation); capture the bound once so every layer of this
+      // iteration waits on the same target.
+      fwd_floor = std::max<std::int64_t>(0, iter - staleness_->bound());
+    }
     // --- forward propagation ---
     for (int l = 0; l < layers; ++l) {
       if (!partition_.layer_slices[static_cast<std::size_t>(l)].empty()) {
         const TimeS wait_from = sim_.now();
-        co_await ws.gates[static_cast<std::size_t>(l)]->wait_for(iter);
+        co_await ws.gates[static_cast<std::size_t>(l)]->wait_for(fwd_floor);
         if (node_state_[wn].epoch != my_epoch) co_return;  // crashed
         stall += sim_.now() - wait_from;
       }
@@ -750,6 +816,9 @@ sim::Task Cluster::worker_loop(int w, std::int64_t start_iter) {
     iter_time_hist_.observe(sim_.now() - iter_t0);
     stall_time_hist_.observe(stall);
   }
+  // A finished worker leaves the min-clock (its clock would otherwise
+  // freeze and wedge the still-running stragglers).
+  if (dssp_on_) dssp_set_clock(w, -1);
   if (!ws.finished) {
     ws.finished = true;
     ++workers_finished_;
@@ -823,6 +892,15 @@ sim::Task Cluster::worker_sender(int w) {
     m.worker = w;
     m.logical = item.payload;
     m.bytes = wire_payload(item.payload) + net::kHeaderBytes;
+    if (dssp_on_ && item.kind == net::MsgKind::kPushGradient) {
+      // The held-params floor rides along with every push: rounds below it
+      // were released to this worker, hence committed cluster-wide. An
+      // adopted shard that is behind this floor fast-forwards to it
+      // instead of holding a round open that no re-push will ever fund
+      // (adoption re-pushes start at the worker's recv floor).
+      m.version = std::max<std::int64_t>(
+          0, ws.recv_version[static_cast<std::size_t>(item.slice)]);
+    }
     if (tracing()) {
       m.trace_id = obs::make_trace_id(item.slice, item.iteration, w);
     }
@@ -1134,7 +1212,18 @@ void Cluster::worker_repush_group(int w, int group) {
       // the round's parameters will never re-push it, so a fold waiting for
       // them would wedge. The server ledger keeps direct re-pushes
       // exactly-once against any cover the aggregator did forward.
-      enqueue_push(w, s, pushed, /*direct=*/true);
+      if (dssp_on_) {
+        // Run-ahead leaves up to s+1 rounds outstanding per slice, and a
+        // restarted primary needs every one of them (its future-round
+        // buffer died with the old process): re-push the whole unreturned
+        // window, oldest first.
+        for (std::int64_t r = std::max<std::int64_t>(0, ws.recv_version[si]);
+             r <= pushed; ++r) {
+          enqueue_push(w, s, r, /*direct=*/true);
+        }
+      } else {
+        enqueue_push(w, s, pushed, /*direct=*/true);
+      }
     }
   }
 }
@@ -1705,9 +1794,34 @@ sim::Task Cluster::server_loop(int n) {
         // one rehydrated from an old checkpoint). The workers' copies are
         // the surviving truth: fast-forward to their round.
         if (m.iteration > ss.version[slice_idx]) {
-          ss.version[slice_idx] = m.iteration;
-          ss.round_bytes[slice_idx] = 0;
-          for (auto& c : ss.contrib[slice_idx]) c = 0;
+          if (dssp_on_) {
+            // Under DSSP a future push is *normal* run-ahead, so it only
+            // proves commitment up to the sender's carried held-params
+            // floor (rounds below `m.version` were released to it) or, as
+            // a fallback, `iteration - s_max` from the forward gate.
+            // Fast-forward to exactly that proven floor (a no-op in
+            // healthy operation); anything still ahead of the shard's round
+            // parks in the future-round buffer after aggregation below.
+            const int s_max = cfg_.staleness.fixed_s >= 0
+                                  ? cfg_.staleness.fixed_s
+                                  : cfg_.staleness.s_max;
+            const std::int64_t proven =
+                std::max(m.version, m.iteration - s_max);
+            if (proven > ss.version[slice_idx]) {
+              ss.version[slice_idx] = proven;
+              ss.round_bytes[slice_idx] = 0;
+              for (auto& c : ss.contrib[slice_idx]) c = 0;
+              // Run-ahead pushes for the newly opened round may already be
+              // parked in the future buffer (they arrived while the shard
+              // lagged behind the proven floor); fold them in now or the
+              // round waits forever for contributions it already holds.
+              dssp_promote(n, m.slice);
+            }
+          } else {
+            ss.version[slice_idx] = m.iteration;
+            ss.round_bytes[slice_idx] = 0;
+            for (auto& c : ss.contrib[slice_idx]) c = 0;
+          }
         }
       }
 
@@ -1753,51 +1867,88 @@ sim::Task Cluster::server_loop(int n) {
         continue;
       }
 
-      // Membership path: per-worker contribution ledger, capped at one
-      // payload per worker per round so re-pushed fragments merge exactly
-      // once. An aggregated push credits every covered worker with the
-      // (pre-reduced) payload under the same cap, so a direct re-push that
-      // races a forwarded cover can never double-count.
-      Bytes credited = 0;
-      for (const int cw : push_cover(m)) {
-        auto& contrib = ss.contrib[slice_idx][static_cast<std::size_t>(cw)];
-        const Bytes room = sl.payload_bytes() - contrib;
-        if (room <= 0) continue;
-        const Bytes add = std::min(payload, room);
-        contrib += add;
-        credited += add;
-        if (scale_plane_ && hierarchy_on_) {
-          // Per-rack push weight by origin rack: the drain-target rack
-          // preference reads this.
-          rack_group_push_bytes_[static_cast<std::size_t>(
-              node_rack_[static_cast<std::size_t>(cw)])]
-                                [static_cast<std::size_t>(sl.server)] +=
-              static_cast<double>(add);
+      // DSSP: the version can move during the aggregation sleep (another
+      // push's completion loop, or this push's own pre-sleep fast-forward
+      // past its round) — re-classify before touching the ledger so a
+      // newly-stale push answers with parameters instead of polluting the
+      // open round.
+      if (dssp_on_ && m.iteration + 1 <= ss.version[slice_idx]) {
+        for (const int cw : push_cover(m)) {
+          ++stale_pushes_;
+          send_params(n, m.slice, cw);
         }
-      }
-      if (scale_plane_ && credited > 0) {
-        // Credited (exactly-once) ledger bytes are the weighted planner's
-        // observed per-group push signal.
-        group_push_bytes_[static_cast<std::size_t>(sl.server)] +=
-            static_cast<double>(credited);
-      }
-      consume_cover(m);
-      if (credited == 0) {
-        ++duplicates_suppressed_;
-        if (tracing()) {
-          tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
-                        "d" + std::to_string(sl.layer + 1));
-        }
+        consume_cover(m);
+        // A pre-sleep fast-forward may have left the open round fully
+        // funded from promoted buffers; sweep it below.
+        recheck.push_back(m.slice);
         continue;
       }
-      if (tracing()) {
-        lc(obs::Stage::kAggregate, m.worker, m.slice, m.iteration, 0);
-        if (!round_complete(n, m.slice)) {
+
+      // DSSP run-ahead: a push for a round this shard has not opened yet is
+      // a legitimate contribution from a worker running within the
+      // staleness bound. Park it in the future-round buffer (aggregation
+      // cost already paid above); it promotes into the live ledger the
+      // moment its round opens — park-never-drop.
+      if (dssp_on_ && m.iteration > ss.version[slice_idx]) {
+        dssp_buffer_future(n, m);
+        if (tracing()) {
           tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
-                        "a" + std::to_string(sl.layer + 1));
+                        "f" + std::to_string(sl.layer + 1));
         }
+        // The pre-sleep bounded fast-forward (or a round that closed during
+        // this push's aggregation sleep) may have promoted buffered
+        // contributions that fully fund the open round — and every later
+        // push for this slice may divert here too. Fall through to the
+        // completion sweep below or a fully-funded round wedges waiting
+        // for a merge that never comes.
+        recheck.push_back(m.slice);
+      } else {
+        // Membership path: per-worker contribution ledger, capped at one
+        // payload per worker per round so re-pushed fragments merge exactly
+        // once. An aggregated push credits every covered worker with the
+        // (pre-reduced) payload under the same cap, so a direct re-push that
+        // races a forwarded cover can never double-count.
+        Bytes credited = 0;
+        for (const int cw : push_cover(m)) {
+          auto& contrib = ss.contrib[slice_idx][static_cast<std::size_t>(cw)];
+          const Bytes room = sl.payload_bytes() - contrib;
+          if (room <= 0) continue;
+          const Bytes add = std::min(payload, room);
+          contrib += add;
+          credited += add;
+          if (scale_plane_ && hierarchy_on_) {
+            // Per-rack push weight by origin rack: the drain-target rack
+            // preference reads this.
+            rack_group_push_bytes_[static_cast<std::size_t>(
+                node_rack_[static_cast<std::size_t>(cw)])]
+                                  [static_cast<std::size_t>(sl.server)] +=
+                static_cast<double>(add);
+          }
+        }
+        if (scale_plane_ && credited > 0) {
+          // Credited (exactly-once) ledger bytes are the weighted planner's
+          // observed per-group push signal.
+          group_push_bytes_[static_cast<std::size_t>(sl.server)] +=
+              static_cast<double>(credited);
+        }
+        consume_cover(m);
+        if (credited == 0) {
+          ++duplicates_suppressed_;
+          if (tracing()) {
+            tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                          "d" + std::to_string(sl.layer + 1));
+          }
+          continue;
+        }
+        if (tracing()) {
+          lc(obs::Stage::kAggregate, m.worker, m.slice, m.iteration, 0);
+          if (!round_complete(n, m.slice)) {
+            tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
+                          "a" + std::to_string(sl.layer + 1));
+          }
+        }
+        recheck.push_back(m.slice);
       }
-      recheck.push_back(m.slice);
     }
 
     // Complete every round the triggering event made ready.
@@ -1816,6 +1967,9 @@ sim::Task Cluster::server_loop(int n) {
         for (auto& c : ss.contrib[si]) c = 0;
         ++ss.version[si];
         ++rounds_completed_;
+        // The new round may already be fully funded by buffered run-ahead
+        // pushes; promote them before the loop re-checks completion.
+        if (dssp_on_) dssp_promote(n, s);
         if (tracing()) {
           tracer_->span(lane("n", server_node(n), ".srv"), t0, sim_.now(),
                         "U" + std::to_string(sl.layer + 1));
@@ -1861,6 +2015,154 @@ sim::Task Cluster::heartbeat_loop(int n) {
       on_peer_dead(n, dead);
     }
     if (leases_on_) lease_tick(n);
+    // View-driven eligibility changes (suspicions, revivals, quorum moves)
+    // re-derive the staleness-gate floor on the same cadence.
+    if (dssp_on_) dssp_advance_gate();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DSSP dynamic bounded-staleness gate.
+// ---------------------------------------------------------------------------
+
+bool Cluster::dssp_eligible(int w) const {
+  const auto wn = static_cast<std::size_t>(w);
+  if (dssp_clock_[wn] < 0) return false;  // no running iteration loop
+  const auto& ns = node_state_[wn];
+  if (!ns.joined || ns.retired) return false;
+  // Membership exclusion: the min-clock drops a worker exactly when the
+  // fleet's failure detection would act on it — a live observer (one
+  // holding a view quorum when the partition plane is armed) suspects it
+  // dead. Ground-truth `up` is deliberately not consulted: a dead
+  // straggler keeps gating the fleet until suspicion fires or it restarts,
+  // and a minority-side observer can never fence a majority worker.
+  for (int n = 0; n < total_nodes(); ++n) {
+    if (n == w) continue;
+    const auto nn = static_cast<std::size_t>(n);
+    const auto& on = node_state_[nn];
+    if (!on.up || !on.joined || on.retired) continue;
+    if (partition_plane_ && !view_has_quorum(n)) continue;
+    if (!membership_[nn]->alive(w)) return false;
+  }
+  return true;
+}
+
+std::int64_t Cluster::dssp_advance_gate() {
+  std::int64_t min_clock = std::numeric_limits<std::int64_t>::max();
+  for (int w = 0; w < n_total_workers(); ++w) {
+    if (!dssp_eligible(w)) continue;
+    min_clock = std::min(min_clock, dssp_clock_[static_cast<std::size_t>(w)]);
+  }
+  if (min_clock != std::numeric_limits<std::int64_t>::max()) {
+    // Monotone floor: a rejoiner re-entering below the released floor (the
+    // rejoin_slack rule) makes this a no-op instead of retracting releases.
+    dssp_gate_->advance_to(min_clock);
+  }
+  const std::int64_t floor = dssp_gate_->version();
+  for (int w = 0; w < n_total_workers(); ++w) {
+    const auto wn = static_cast<std::size_t>(w);
+    dssp_gap_gauge_[wn]->set(dssp_clock_[wn] >= 0 ? static_cast<double>(
+                                                        dssp_clock_[wn] - floor)
+                                                  : 0.0);
+  }
+  return floor;
+}
+
+void Cluster::dssp_set_clock(int w, std::int64_t clock) {
+  const auto wn = static_cast<std::size_t>(w);
+  dssp_clock_[wn] = clock;
+  // Any clock event means the loop is executing, not suspended on the gate
+  // (and clears a stale flag left by an abandoned pre-crash incarnation).
+  dssp_blocked_[wn] = false;
+  dssp_advance_gate();
+}
+
+void Cluster::dssp_buffer_future(int server, const net::Message& m) {
+  const auto& sl = partition_.slices[static_cast<std::size_t>(m.slice)];
+  auto& round =
+      dssp_future_[static_cast<std::size_t>(server)][{m.slice, m.iteration}];
+  Bytes credited = 0;
+  for (const int cw : push_cover(m)) {
+    Bytes& have = round[cw];
+    const Bytes room = sl.payload_bytes() - have;
+    if (room <= 0) continue;
+    const Bytes add = std::min(m.logical, room);
+    have += add;
+    credited += add;
+    if (scale_plane_ && hierarchy_on_) {
+      rack_group_push_bytes_[static_cast<std::size_t>(
+          node_rack_[static_cast<std::size_t>(cw)])]
+                            [static_cast<std::size_t>(sl.server)] +=
+          static_cast<double>(add);
+    }
+  }
+  if (scale_plane_ && credited > 0) {
+    group_push_bytes_[static_cast<std::size_t>(sl.server)] +=
+        static_cast<double>(credited);
+  }
+  consume_cover(m);
+  if (credited == 0) ++duplicates_suppressed_;
+}
+
+void Cluster::dssp_promote(int server, std::int64_t slice) {
+  auto& fut = dssp_future_[static_cast<std::size_t>(server)];
+  auto& ss = *servers_[static_cast<std::size_t>(server)];
+  const auto si = static_cast<std::size_t>(slice);
+  const auto& sl = partition_.slices[si];
+  const std::int64_t round = ss.version[si];
+  // Rounds that closed while buffered (possible only after a bounded
+  // fast-forward recovered past them) were committed cluster-wide; drop
+  // their stale buffers.
+  auto it = fut.lower_bound({slice, std::numeric_limits<std::int64_t>::min()});
+  while (it != fut.end() && it->first.first == slice &&
+         it->first.second < round) {
+    it = fut.erase(it);
+  }
+  if (it == fut.end() || it->first.first != slice ||
+      it->first.second != round) {
+    return;
+  }
+  for (const auto& [cw, bytes] : it->second) {
+    auto& contrib = ss.contrib[si][static_cast<std::size_t>(cw)];
+    const Bytes room = sl.payload_bytes() - contrib;
+    if (room <= 0) continue;
+    contrib += std::min(bytes, room);
+  }
+  fut.erase(it);
+}
+
+sim::Task Cluster::dssp_audit_loop() {
+  // A wedge is by definition permanent, so the watchdog demands the stuck
+  // condition hold across consecutive audit periods before counting it:
+  // suspicion/re-admission churn (a congested straggler's heartbeats
+  // queueing past the timeout) can make every eligible worker look stuck
+  // for one sample and then resolve — that is degraded progress, not a
+  // lost worker.
+  constexpr int kWedgeConfirmTicks = 3;
+  int consecutive_stuck = 0;
+  for (;;) {
+    co_await sim_.sleep(cfg_.suspicion_timeout);
+    if (stopping_) co_return;
+    const std::int64_t floor = dssp_advance_gate();
+    // Inv. 13 ground truth: after a from-scratch re-derivation of the
+    // floor, a gate-blocked worker whose need the floor still does not
+    // cover is stuck; the invariant demands some eligible worker that is
+    // NOT stuck (the slowest eligible worker trivially satisfies its own
+    // gate, so an all-stuck eligible set means the gate lost someone).
+    bool stuck_exists = false;
+    bool eligible_can_proceed = false;
+    for (int w = 0; w < n_total_workers(); ++w) {
+      const auto wn = static_cast<std::size_t>(w);
+      const bool stuck = dssp_blocked_[wn] && dssp_need_[wn] > floor;
+      stuck_exists |= stuck;
+      if (dssp_eligible(w) && !stuck) eligible_can_proceed = true;
+    }
+    if (stuck_exists && !eligible_can_proceed) {
+      ++consecutive_stuck;
+      if (consecutive_stuck >= kWedgeConfirmTicks) ++(*gate_wedge_ticks_);
+    } else {
+      consecutive_stuck = 0;
+    }
   }
 }
 
@@ -2706,6 +3008,9 @@ void Cluster::teardown_process_state(int node) {
     ss.round_bytes.assign(ss.round_bytes.size(), 0);
     for (auto& row : ss.contrib) std::fill(row.begin(), row.end(), 0);
     for (auto& p : ss.pending) p.clear();
+    // Buffered run-ahead contributions are server memory; workers re-push
+    // their whole outstanding window when leadership moves.
+    if (dssp_on_) dssp_future_[static_cast<std::size_t>(s)].clear();
     // Commit barriers owned by the dead primary die with it; the replicated
     // copies (if any landed) survive at the backups.
     for (auto it = commits_.begin(); it != commits_.end();) {
@@ -3016,6 +3321,10 @@ void Cluster::retire_node(int node) {
       !workers_[nn]->finished) {
     finish_target_ -= 1;
   }
+  // Goodbye handshake hands the clock off: the retiree leaves the
+  // min-clock in the same event it leaves the views, so a slow drain can
+  // never gate the remaining fleet.
+  if (dssp_on_ && node < n_total_workers()) dssp_set_clock(node, -1);
 }
 
 bool Cluster::should_shed(const SendItem& item) const {
@@ -3170,6 +3479,10 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   finish_target_ = cfg_.n_workers;
   if (membership_on_) {
     for (int n = 0; n < total_nodes(); ++n) sim_.spawn(heartbeat_loop(n));
+    // Invariant-13 auditor: on the suspicion cadence, re-derive the gate
+    // floor from ground truth and count ticks where blocked workers exist
+    // but no eligible worker can proceed.
+    if (dssp_on_) sim_.spawn(dssp_audit_loop());
     if (cfg_.checkpoint_period > 0.0) {
       for (int s = 0; s < n_total_servers(); ++s) {
         sim_.spawn(checkpoint_loop(s));
@@ -3261,6 +3574,18 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
   result.agg_combined_pushes = agg_combined_pushes();
   result.agg_param_broadcasts = agg_param_broadcasts();
   result.agg_fallback_pushes = agg_fallback_pushes();
+  if (dssp_on_) {
+    result.dssp_gate_blocks = dssp_gate_blocks();
+    result.staleness_violations = staleness_violations();
+    result.gate_wedge_ticks = gate_wedge_ticks();
+    result.staleness_raises = staleness_->raises();
+    result.staleness_decays = staleness_->decays();
+    result.final_staleness_bound = staleness_->bound();
+    result.mean_gate_wait =
+        dssp_passages_ > 0
+            ? dssp_wait_sum_ / static_cast<double>(dssp_passages_)
+            : 0.0;
+  }
   if (hierarchy_on_) {
     // Per-tier link gauges: snapshot the switch-port stats into the registry
     // so metrics dumps carry them next to the protocol counters.
@@ -3368,6 +3693,11 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
           stall_sum / static_cast<double>(measured_iters);
     }
   }
+  if (dssp_on_) {
+    // Time-weighted mean of the adapted bound — denominator of the
+    // ext_dssp score, so adaptive runs pay for the slack they held.
+    result.mean_staleness_bound = staleness_->mean_bound(result.total_time);
+  }
   result.messages_dropped = net_->messages_dropped();
   result.retransmits = retransmits_.value();
   result.timeouts_fired = timeouts_fired_.value();
@@ -3394,6 +3724,7 @@ RunResult Cluster::run(int warmup_iterations, int measured_iterations) {
       result.blame_server_share = blame.share(obs::Blame::kServer);
       result.blame_agghold_share = blame.share(obs::Blame::kAggHold);
       result.blame_recovery_share = blame.share(obs::Blame::kRecovery);
+      result.blame_sspwait_share = blame.share(obs::Blame::kSspWait);
       result.blame_other_share = blame.share(obs::Blame::kOther);
       result.blame_network_share = blame.network_share();
       for (int c = 0; c < obs::kBlameCount; ++c) {

@@ -71,6 +71,7 @@
 #include "obs/tracer.h"
 #include "ps/autoscaler.h"
 #include "ps/membership.h"
+#include "ps/staleness.h"
 #include "sim/queue.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
@@ -202,6 +203,16 @@ struct ClusterConfig {
   /// drain path without the policy.
   AutoscalerConfig autoscaler;
 
+  // --- DSSP dynamic bounded staleness (docs/PROTOCOL.md) ---
+  /// Gate parameters for `method == kDSSP`: a worker entering iteration `c`
+  /// blocks until `min_live_clock >= c - s`, with `s` adapted online within
+  /// `[s_min, s_max]` by ps::StalenessController (or pinned via `fixed_s`
+  /// for static-s ablations). Ignored by every other sync method. DSSP arms
+  /// the membership plane: the gate's liveness contract excludes dead /
+  /// retired / minority-fenced workers from the min-clock through the
+  /// membership, lease and quorum machinery.
+  StalenessConfig staleness;
+
   std::uint64_t seed = 42;
 
   /// Override for the compute profile (used by the schedule figures to pin
@@ -294,6 +305,20 @@ struct RunResult {
   /// (consecutive entries must be >= cooldown apart).
   std::vector<TimeS> scale_decision_times;
 
+  // DSSP staleness-gate observability (all zero unless method == kDSSP).
+  std::int64_t dssp_gate_blocks = 0;   ///< gate passages that actually waited
+  /// Ground-truth audits (PROTOCOL.md inv. 13); both must stay 0.
+  std::int64_t staleness_violations = 0; ///< releases past the true min-clock
+  std::int64_t gate_wedge_ticks = 0;     ///< audit ticks with no eligible
+                                         ///< worker able to proceed
+  std::int64_t staleness_raises = 0;   ///< controller bound increments
+  std::int64_t staleness_decays = 0;   ///< controller bound decrements
+  int final_staleness_bound = 0;       ///< bound when the run ended
+  /// Time-weighted mean of the active bound — the staleness cost actually
+  /// incurred (ext_dssp's scoring denominator).
+  double mean_staleness_bound = 0.0;
+  TimeS mean_gate_wait = 0;            ///< mean wait per gate passage
+
   // Critical-path blame attribution (zero unless a tracer was attached; see
   // obs::analyze_critical_path). Shares are fractions of the summed measured
   // iteration windows.
@@ -310,6 +335,7 @@ struct RunResult {
   double blame_server_share = 0.0;
   double blame_agghold_share = 0.0;
   double blame_recovery_share = 0.0;
+  double blame_sspwait_share = 0.0;
   double blame_other_share = 0.0;
   /// sendq + inversion + wire + uplink + downlink: the share P3 collapses.
   double blame_network_share = 0.0;
@@ -451,6 +477,26 @@ class Cluster {
   }
   const std::vector<TimeS>& scale_decision_times() const {
     return scale_decision_times_;
+  }
+  // DSSP staleness-gate introspection (zero/false unless method == kDSSP).
+  bool dssp_armed() const { return dssp_on_; }
+  std::int64_t staleness_violations() const {
+    return staleness_violations_ != nullptr ? staleness_violations_->value()
+                                            : 0;
+  }
+  std::int64_t gate_wedge_ticks() const {
+    return gate_wedge_ticks_ != nullptr ? gate_wedge_ticks_->value() : 0;
+  }
+  std::int64_t dssp_gate_blocks() const {
+    return dssp_gate_blocks_ != nullptr ? dssp_gate_blocks_->value() : 0;
+  }
+  /// Current adaptive bound (s_min when DSSP is disarmed).
+  int staleness_bound() const {
+    return staleness_ != nullptr ? staleness_->bound() : 0;
+  }
+  /// Worker `w`'s DSSP iteration clock (-1 = not running).
+  std::int64_t dssp_clock(int w) const {
+    return dssp_clock_[static_cast<std::size_t>(w)];
   }
   /// True while `server` has stepped down from `group` because it could not
   /// renew its own lease (leases must be armed).
@@ -632,6 +678,10 @@ class Cluster {
   /// Joining server's admission loop: broadcast kServerJoin (rebalance ask)
   /// every suspicion_timeout until its planned groups are owned.
   sim::Task server_admit(int node, std::int64_t epoch);
+  /// DSSP ground-truth wedge audit on the suspicion cadence: re-derive the
+  /// gate floor from scratch and count a tick whenever gate-blocked workers
+  /// exist but no eligible worker can proceed (PROTOCOL.md inv. 13).
+  sim::Task dssp_audit_loop();
 
   /// Node hosting server `s` (== s when colocated, n_workers + s otherwise).
   int server_node(int server) const {
@@ -809,6 +859,30 @@ class Cluster {
   /// they are delayed contributions, never dropped).
   bool should_shed(const SendItem& item) const;
   void unshed_all();
+
+  // --- DSSP dynamic bounded-staleness gate (docs/PROTOCOL.md) ---
+  /// Worker `w` counts toward the min-clock: it has a running iteration
+  /// loop, its node is ground-truth present (up, joined, not retired), and
+  /// no quorum-side membership view holds it dead (dead stragglers and
+  /// minority-fenced workers are excluded so they can never wedge the
+  /// fleet; detection latency is the membership plane's, not instant).
+  bool dssp_eligible(int w) const;
+  /// Recompute the min clock over eligible workers and advance the gate to
+  /// the monotone floor `max(previous floor, that min)`. The floor is
+  /// monotone so a rejoiner re-entering below the released floor (the
+  /// rejoin_slack rule) narrows future advances instead of retracting
+  /// releases. Returns the floor.
+  std::int64_t dssp_advance_gate();
+  /// Clock bookkeeping for one worker (entering an iteration, finishing,
+  /// or leaving with its process); advances the gate and refreshes the
+  /// clock-gap gauges.
+  void dssp_set_clock(int w, std::int64_t clock);
+  /// Merge a push for a round the shard has not opened yet into the
+  /// future-round buffer (run-ahead under the staleness bound; promoted
+  /// into the live ledger as versions advance — park-never-drop).
+  void dssp_buffer_future(int server, const net::Message& m);
+  /// Promote buffered contributions for `slice`'s newly opened round.
+  void dssp_promote(int server, std::int64_t slice);
 
   // --- rack-local aggregation (docs/PROTOCOL.md) ---
   /// Node hosting the rack aggregator for `rack` (topology must be active).
@@ -1033,6 +1107,38 @@ class Cluster {
   obs::Counter* scale_decisions_ = nullptr;
   obs::Counter* sheds_ = nullptr;
   obs::Counter* slo_violation_ticks_ = nullptr;
+
+  // DSSP dynamic bounded-staleness gate (inert unless method == kDSSP).
+  bool dssp_on_ = false;
+  std::unique_ptr<StalenessController> staleness_;
+  /// The gate: its version is the monotone floor of the min eligible clock;
+  /// a worker entering iteration c waits for version >= c - s.
+  std::unique_ptr<sim::VersionGate> dssp_gate_;
+  /// Per worker: iteration clock (-1 = no running loop). Re-seeded at
+  /// rejoin/join to the loop's start iteration.
+  std::vector<std::int64_t> dssp_clock_;
+  /// Per worker: currently suspended on the staleness gate (wedge audit).
+  std::vector<bool> dssp_blocked_;
+  /// Per worker: the floor a blocked worker is waiting for. A worker whose
+  /// need the floor already covers is merely awaiting its scheduled resume,
+  /// not stuck.
+  std::vector<std::int64_t> dssp_need_;
+  /// Per server: future-round contributions keyed (slice, round) -> bytes
+  /// per worker, merged with the same per-round payload cap as the live
+  /// ledger. Dies with the server process; workers re-push outstanding
+  /// rounds on leadership changes.
+  std::vector<std::map<std::pair<std::int64_t, std::int64_t>,
+                       std::map<int, Bytes>>>
+      dssp_future_;
+  double dssp_wait_sum_ = 0.0;
+  std::int64_t dssp_passages_ = 0;
+  // Registered only while DSSP is armed, so every other method keeps the
+  // exact pre-DSSP registry contents.
+  obs::Counter* dssp_gate_blocks_ = nullptr;
+  obs::Counter* staleness_violations_ = nullptr;
+  obs::Counter* gate_wedge_ticks_ = nullptr;
+  obs::Histogram* dssp_wait_hist_ = nullptr;
+  std::vector<obs::Gauge*> dssp_gap_gauge_;  ///< per worker: clock - floor
 };
 
 }  // namespace p3::ps

@@ -1,0 +1,80 @@
+#include "ps/staleness.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace p3::ps {
+
+void StalenessConfig::validate() const {
+  if (s_min < 0) {
+    throw std::invalid_argument("staleness.s_min must be >= 0");
+  }
+  if (s_max < s_min) {
+    throw std::invalid_argument("staleness.s_max must be >= s_min");
+  }
+  if (window <= 0) {
+    throw std::invalid_argument("staleness.window must be positive");
+  }
+  if (raise_fraction < 0.0 || raise_fraction > 1.0 || decay_fraction < 0.0 ||
+      decay_fraction > 1.0) {
+    throw std::invalid_argument(
+        "staleness raise/decay fractions must lie in [0, 1]");
+  }
+  if (decay_fraction > raise_fraction) {
+    throw std::invalid_argument(
+        "staleness.decay_fraction must not exceed raise_fraction");
+  }
+  if (decay_patience < 1) {
+    throw std::invalid_argument("staleness.decay_patience must be >= 1");
+  }
+}
+
+StalenessController::StalenessController(const StalenessConfig& cfg)
+    : cfg_(cfg) {
+  cfg_.validate();
+  bound_ = cfg_.fixed_s >= 0 ? cfg_.fixed_s : cfg_.s_min;
+}
+
+void StalenessController::observe(double now_s, double wait_s) {
+  if (cfg_.fixed_s >= 0) return;  // static ablation: bound pinned
+  ++window_seen_;
+  if (wait_s > 0.0) ++window_blocked_;
+  if (window_seen_ < cfg_.window) return;
+  const double blocked_frac =
+      static_cast<double>(window_blocked_) / static_cast<double>(window_seen_);
+  window_seen_ = 0;
+  window_blocked_ = 0;
+  if (blocked_frac >= cfg_.raise_fraction && bound_ < cfg_.s_max) {
+    calm_windows_ = 0;
+    ++raises_;
+    set_bound(now_s, bound_ + 1);
+  } else if (blocked_frac <= cfg_.decay_fraction) {
+    // Calm window: only decay once `decay_patience` of them arrive
+    // back-to-back, so one quiet window inside a bursty straggle phase
+    // does not re-tighten the gate the fleet just paid to open.
+    ++calm_windows_;
+    if (calm_windows_ >= cfg_.decay_patience && bound_ > cfg_.s_min) {
+      calm_windows_ = 0;
+      ++decays_;
+      set_bound(now_s, bound_ - 1);
+    }
+  } else {
+    calm_windows_ = 0;
+  }
+}
+
+double StalenessController::mean_bound(double now_s) const {
+  if (now_s <= 0.0) return static_cast<double>(bound_);
+  const double integral =
+      bound_integral_ + static_cast<double>(bound_) * (now_s - bound_since_);
+  return integral / now_s;
+}
+
+void StalenessController::set_bound(double now_s, int next) {
+  bound_integral_ += static_cast<double>(bound_) * (now_s - bound_since_);
+  bound_since_ = now_s;
+  bound_ = std::clamp(next, cfg_.s_min, cfg_.s_max);
+}
+
+}  // namespace p3::ps

@@ -1,0 +1,80 @@
+// Online staleness-bound controller for the DSSP sync method.
+//
+// DSSP (Zhao et al., arXiv:1908.11848) generalizes SSP: instead of a fixed
+// staleness bound s, the bound is adapted online within [s_min, s_max] from
+// the observed synchronization-wait distribution. The controller here is the
+// deterministic core of that loop: the cluster engine reports every gate
+// passage (how long the worker sat blocked on the min-clock gate), and the
+// controller widens the bound when a window shows workers mostly blocking
+// (dispersion the bound is too tight for) and decays it back toward s_min
+// when waits vanish (so the fleet does not pay unbounded-staleness noise for
+// slack it no longer needs).
+//
+// The controller is a pure function of its observation sequence — no clocks,
+// no randomness — so cluster runs stay bit-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+
+namespace p3::ps {
+
+struct StalenessConfig {
+  int s_min = 0;   ///< tightest bound the controller may select
+  int s_max = 4;   ///< loosest bound the controller may select
+  /// Pin the bound to a fixed value and disable adaptation (static-s
+  /// ablation cells in bench/ext_dssp). Negative = adaptive.
+  int fixed_s = -1;
+  /// Gate passages per adaptation decision.
+  int window = 8;
+  /// Raise s when at least this fraction of a window's passages blocked.
+  double raise_fraction = 0.5;
+  /// Decay s when at most this fraction of a window's passages blocked.
+  double decay_fraction = 0.125;
+  /// Consecutive calm windows (blocked fraction <= decay_fraction) required
+  /// before the bound decays one step. 1 = decay immediately; larger values
+  /// add hysteresis so a bursty straggler does not thrash the bound
+  /// raise/decay every window (each decay re-tightens the gate and stalls
+  /// the workers that already ran ahead).
+  int decay_patience = 1;
+
+  /// Throws std::invalid_argument on out-of-range values.
+  void validate() const;
+};
+
+class StalenessController {
+ public:
+  explicit StalenessController(const StalenessConfig& cfg);
+
+  /// The bound workers must capture when they block (s in `min_live_clock
+  /// >= c - s`).
+  int bound() const { return bound_; }
+
+  /// Record one gate passage at simulated time `now_s` that waited
+  /// `wait_s` seconds (0 when the gate was already open).
+  void observe(double now_s, double wait_s);
+
+  /// Time-weighted mean of the active bound over [0, now_s] — the
+  /// staleness "cost" a run actually incurred, used by ext_dssp to score
+  /// adaptive against static ablations.
+  double mean_bound(double now_s) const;
+
+  std::int64_t raises() const { return raises_; }
+  std::int64_t decays() const { return decays_; }
+
+ private:
+  void set_bound(double now_s, int next);
+
+  StalenessConfig cfg_;
+  int bound_ = 0;
+  int window_seen_ = 0;
+  int window_blocked_ = 0;
+  int calm_windows_ = 0;
+  std::int64_t raises_ = 0;
+  std::int64_t decays_ = 0;
+  // Time-weighted bound integral: sum of bound * dwell time over every
+  // bound value held so far.
+  double bound_integral_ = 0.0;
+  double bound_since_ = 0.0;
+};
+
+}  // namespace p3::ps

@@ -45,12 +45,31 @@ TEST(SyncMethod, PoseidonMatchesBaselineTransport) {
   EXPECT_EQ(a.deferred_pull, b.deferred_pull);
 }
 
+TEST(SyncMethod, DSSPUsesP3Transport) {
+  // DSSP relaxes the barrier, not the transport: same flag set as P3.
+  const auto a = sync_config(SyncMethod::kP3);
+  const auto b = sync_config(SyncMethod::kDSSP);
+  EXPECT_EQ(a.slicing, b.slicing);
+  EXPECT_EQ(a.priority, b.priority);
+  EXPECT_EQ(a.immediate_broadcast, b.immediate_broadcast);
+  EXPECT_EQ(a.deferred_pull, b.deferred_pull);
+}
+
 TEST(SyncMethod, NamesRoundTrip) {
   for (SyncMethod m :
        {SyncMethod::kBaseline, SyncMethod::kSlicingOnly, SyncMethod::kP3,
-        SyncMethod::kTensorFlowStyle, SyncMethod::kPoseidonWFBP}) {
+        SyncMethod::kTensorFlowStyle, SyncMethod::kPoseidonWFBP,
+        SyncMethod::kDSSP}) {
     EXPECT_EQ(parse_sync_method(sync_method_name(m)), m);
   }
+}
+
+TEST(SyncMethod, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_sync_method("baseline"), SyncMethod::kBaseline);
+  EXPECT_EQ(parse_sync_method("p3"), SyncMethod::kP3);
+  EXPECT_EQ(parse_sync_method("TENSORFLOW"), SyncMethod::kTensorFlowStyle);
+  EXPECT_EQ(parse_sync_method("dssp"), SyncMethod::kDSSP);
+  EXPECT_EQ(parse_sync_method("pOsEiDoN"), SyncMethod::kPoseidonWFBP);
 }
 
 TEST(SyncMethod, PaperSeriesNames) {
@@ -61,7 +80,18 @@ TEST(SyncMethod, PaperSeriesNames) {
 
 TEST(SyncMethod, ParseUnknownThrows) {
   EXPECT_THROW(parse_sync_method("nonsense"), std::invalid_argument);
-  EXPECT_THROW(parse_sync_method("baseline"), std::invalid_argument);
+  // The error message enumerates every valid method so a CLI typo is
+  // self-correcting.
+  try {
+    parse_sync_method("bsp");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const char* name :
+         {"Baseline", "Slicing", "P3", "TensorFlow", "Poseidon", "DSSP"}) {
+      EXPECT_NE(msg.find(name), std::string::npos) << msg;
+    }
+  }
 }
 
 }  // namespace

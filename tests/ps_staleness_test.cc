@@ -1,0 +1,212 @@
+// Unit tests for the DSSP staleness-bound controller: deterministic
+// raise/decay behaviour over observation windows, static pinning for the
+// ablation cells, the time-weighted mean-bound integral, and config
+// validation.
+#include "ps/staleness.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace p3::ps {
+namespace {
+
+StalenessConfig base_config() {
+  StalenessConfig cfg;
+  cfg.s_min = 0;
+  cfg.s_max = 4;
+  cfg.window = 4;
+  cfg.raise_fraction = 0.5;
+  cfg.decay_fraction = 0.25;
+  return cfg;
+}
+
+TEST(StalenessController, StartsAtSMin) {
+  StalenessController c(base_config());
+  EXPECT_EQ(c.bound(), 0);
+  EXPECT_EQ(c.raises(), 0);
+  EXPECT_EQ(c.decays(), 0);
+}
+
+TEST(StalenessController, RaisesWhenWindowMostlyBlocked) {
+  StalenessController c(base_config());
+  // 3 of 4 passages blocked (75% >= raise_fraction 50%): bound goes up.
+  c.observe(0.1, 0.01);
+  c.observe(0.2, 0.02);
+  c.observe(0.3, 0.0);
+  c.observe(0.4, 0.01);
+  EXPECT_EQ(c.bound(), 1);
+  EXPECT_EQ(c.raises(), 1);
+}
+
+TEST(StalenessController, DecaysWhenWaitsVanish) {
+  StalenessConfig cfg = base_config();
+  StalenessController c(cfg);
+  // Push the bound up first.
+  for (int i = 0; i < cfg.window; ++i) c.observe(0.1 * (i + 1), 0.01);
+  ASSERT_EQ(c.bound(), 1);
+  // A fully unblocked window (0% <= decay_fraction 25%) decays it back.
+  for (int i = 0; i < cfg.window; ++i) c.observe(1.0 + 0.1 * i, 0.0);
+  EXPECT_EQ(c.bound(), 0);
+  EXPECT_EQ(c.decays(), 1);
+}
+
+TEST(StalenessController, DecayPatienceRequiresConsecutiveCalmWindows) {
+  StalenessConfig cfg = base_config();
+  cfg.decay_patience = 2;
+  StalenessController c(cfg);
+  // Raise to 1.
+  for (int i = 0; i < cfg.window; ++i) c.observe(0.1 * (i + 1), 0.01);
+  ASSERT_EQ(c.bound(), 1);
+  // One calm window is not enough with patience 2.
+  for (int i = 0; i < cfg.window; ++i) c.observe(1.0 + 0.1 * i, 0.0);
+  EXPECT_EQ(c.bound(), 1);
+  EXPECT_EQ(c.decays(), 0);
+  // The second consecutive calm window completes the streak and decays
+  // exactly one step.
+  for (int i = 0; i < cfg.window; ++i) c.observe(2.0 + 0.1 * i, 0.0);
+  EXPECT_EQ(c.bound(), 0);
+  EXPECT_EQ(c.decays(), 1);
+}
+
+TEST(StalenessController, MidWindowResetsCalmStreak) {
+  StalenessConfig cfg = base_config();
+  cfg.raise_fraction = 0.75;
+  cfg.decay_fraction = 0.25;
+  cfg.decay_patience = 2;
+  StalenessController c(cfg);
+  // Raise to 1 (all blocked).
+  for (int i = 0; i < cfg.window; ++i) c.observe(0.1 * (i + 1), 0.01);
+  ASSERT_EQ(c.bound(), 1);
+  // calm, mid (2/4 blocked), calm: the mid window breaks the streak, so
+  // two non-consecutive calm windows do not decay.
+  for (int i = 0; i < cfg.window; ++i) c.observe(1.0 + 0.1 * i, 0.0);
+  c.observe(2.0, 0.01);
+  c.observe(2.1, 0.01);
+  c.observe(2.2, 0.0);
+  c.observe(2.3, 0.0);
+  for (int i = 0; i < cfg.window; ++i) c.observe(3.0 + 0.1 * i, 0.0);
+  EXPECT_EQ(c.bound(), 1);
+  EXPECT_EQ(c.decays(), 0);
+  // The next consecutive calm window completes a streak of two.
+  for (int i = 0; i < cfg.window; ++i) c.observe(4.0 + 0.1 * i, 0.0);
+  EXPECT_EQ(c.bound(), 0);
+  EXPECT_EQ(c.decays(), 1);
+}
+
+TEST(StalenessController, MidFractionHoldsSteady) {
+  StalenessConfig cfg = base_config();
+  cfg.raise_fraction = 0.75;
+  cfg.decay_fraction = 0.25;
+  StalenessController c(cfg);
+  // 2 of 4 blocked (50%): between the thresholds, no change.
+  c.observe(0.1, 0.01);
+  c.observe(0.2, 0.0);
+  c.observe(0.3, 0.01);
+  c.observe(0.4, 0.0);
+  EXPECT_EQ(c.bound(), 0);
+  EXPECT_EQ(c.raises(), 0);
+  EXPECT_EQ(c.decays(), 0);
+}
+
+TEST(StalenessController, BoundSaturatesAtSMax) {
+  StalenessConfig cfg = base_config();
+  cfg.s_max = 2;
+  StalenessController c(cfg);
+  for (int i = 0; i < 10 * cfg.window; ++i) {
+    c.observe(0.01 * (i + 1), 0.005);
+  }
+  EXPECT_EQ(c.bound(), 2);
+  EXPECT_EQ(c.raises(), 2);  // saturated raises stop counting
+}
+
+TEST(StalenessController, SMinFloorHolds) {
+  StalenessConfig cfg = base_config();
+  cfg.s_min = 1;
+  StalenessController c(cfg);
+  EXPECT_EQ(c.bound(), 1);
+  for (int i = 0; i < 10 * cfg.window; ++i) {
+    c.observe(0.01 * (i + 1), 0.0);
+  }
+  EXPECT_EQ(c.bound(), 1);
+  EXPECT_EQ(c.decays(), 0);
+}
+
+TEST(StalenessController, FixedSPinsBoundAndIgnoresObservations) {
+  StalenessConfig cfg = base_config();
+  cfg.fixed_s = 3;
+  StalenessController c(cfg);
+  EXPECT_EQ(c.bound(), 3);
+  for (int i = 0; i < 4 * cfg.window; ++i) {
+    c.observe(0.01 * (i + 1), 0.5);
+  }
+  EXPECT_EQ(c.bound(), 3);
+  EXPECT_EQ(c.raises(), 0);
+  EXPECT_EQ(c.decays(), 0);
+  EXPECT_DOUBLE_EQ(c.mean_bound(10.0), 3.0);
+}
+
+TEST(StalenessController, MeanBoundIsTimeWeighted) {
+  StalenessConfig cfg = base_config();
+  StalenessController c(cfg);
+  // Bound 0 over [0, 4), then one raise at t=4.
+  c.observe(1.0, 0.01);
+  c.observe(2.0, 0.01);
+  c.observe(3.0, 0.01);
+  c.observe(4.0, 0.01);
+  ASSERT_EQ(c.bound(), 1);
+  // Over [0, 8]: 4 s at bound 0 plus 4 s at bound 1 -> mean 0.5.
+  EXPECT_NEAR(c.mean_bound(8.0), 0.5, 1e-12);
+  // At the switch instant the integral is all zeros.
+  EXPECT_NEAR(c.mean_bound(4.0), 0.0, 1e-12);
+}
+
+TEST(StalenessController, DeterministicReplay) {
+  // Same observation sequence, same decisions — the bit-identity
+  // prerequisite for parallel sweeps.
+  StalenessController a(base_config());
+  StalenessController b(base_config());
+  const double waits[] = {0.0, 0.01, 0.02, 0.0, 0.03, 0.0, 0.0, 0.01, 0.02};
+  double t = 0.0;
+  for (double w : waits) {
+    t += 0.25;
+    a.observe(t, w);
+    b.observe(t, w);
+  }
+  EXPECT_EQ(a.bound(), b.bound());
+  EXPECT_EQ(a.raises(), b.raises());
+  EXPECT_EQ(a.decays(), b.decays());
+  EXPECT_DOUBLE_EQ(a.mean_bound(t), b.mean_bound(t));
+}
+
+TEST(StalenessConfigValidate, RejectsBadRanges) {
+  {
+    StalenessConfig cfg = base_config();
+    cfg.s_min = -1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    StalenessConfig cfg = base_config();
+    cfg.s_max = cfg.s_min - 1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    StalenessConfig cfg = base_config();
+    cfg.window = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    StalenessConfig cfg = base_config();
+    cfg.raise_fraction = 1.5;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    StalenessConfig cfg = base_config();
+    cfg.decay_fraction = 0.9;  // above raise_fraction 0.5
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  EXPECT_NO_THROW(base_config().validate());
+}
+
+}  // namespace
+}  // namespace p3::ps
